@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Batch-normalization ablation: the deferred-synchronization proof
+ * (eq. 6) assumes each sample's backward pass is independent, which
+ * the DCGAN recipe's batch-statistics BN violates. This bench
+ * measures the gradient divergence between the synchronized and
+ * deferred algorithms with (a) no BN, (b) batch-statistics BN and
+ * (c) frozen-statistics BN — the variant a deferred-sync hardware
+ * implementation must adopt.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "gan/data.hh"
+#include "gan/models.hh"
+#include "gan/trainer.hh"
+#include "nn/batchnorm.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ganacc;
+using tensor::Tensor;
+
+gan::GanModel
+smallModel(bool bn)
+{
+    std::vector<gan::LayerSpec> disc;
+    gan::LayerSpec l1;
+    l1.kind = nn::ConvKind::Strided;
+    l1.act = nn::Activation::LeakyReLU;
+    l1.batchNorm = bn;
+    l1.inChannels = 1;
+    l1.outChannels = 12;
+    l1.inH = l1.inW = 16;
+    l1.geom = nn::Conv2dGeom{4, 2, 1, 0};
+    disc.push_back(l1);
+    gan::LayerSpec l2 = l1;
+    l2.inChannels = 12;
+    l2.outChannels = 24;
+    l2.inH = l2.inW = 8;
+    disc.push_back(l2);
+    gan::LayerSpec head;
+    head.kind = nn::ConvKind::Strided;
+    head.act = nn::Activation::None;
+    head.batchNorm = false;
+    head.inChannels = 24;
+    head.outChannels = 1;
+    head.inH = head.inW = 4;
+    head.geom = nn::Conv2dGeom{4, 1, 0, 0};
+    disc.push_back(head);
+    return gan::makeModel("bn-study", std::move(disc), 16);
+}
+
+/** Relative L2 distance between the two algorithms' gradients. */
+double
+gradientDivergence(bool bn, nn::BatchNormLayer::Mode mode, int batch)
+{
+    gan::GanModel m = smallModel(bn);
+    gan::Trainer sync(m, 1234, gan::SyncMode::Synchronized);
+    gan::Trainer defer(m, 1234, gan::SyncMode::Deferred);
+    sync.discriminator().setBnMode(mode);
+    defer.discriminator().setBnMode(mode);
+
+    util::Rng rng(55);
+    Tensor real = gan::makeBlobImages(batch, 1, 16, 16, rng);
+    Tensor noise = sync.sampleNoise(batch, rng);
+    sync.accumulateDiscriminatorGradients(real, noise);
+    defer.accumulateDiscriminatorGradients(real, noise);
+
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < m.disc.size(); ++i) {
+        const Tensor &a =
+            sync.discriminator().layers()[i]->gradAccum();
+        const Tensor &b =
+            defer.discriminator().layers()[i]->gradAccum();
+        for (std::size_t k = 0; k < a.numel(); ++k) {
+            double d = double(a.data()[k]) - b.data()[k];
+            num += d * d;
+            den += double(a.data()[k]) * a.data()[k];
+        }
+    }
+    return den > 0 ? std::sqrt(num / den) : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ganacc;
+    bench::banner("Ablation — batch norm vs deferred synchronization",
+                  "eq. (6) holds without BN or with frozen statistics; "
+                  "batch statistics couple samples and break it");
+
+    util::Table t({"configuration", "batch", "rel. gradient "
+                                             "divergence",
+                   "deferred-sync exact?"});
+    for (int batch : {4, 16}) {
+        double none = gradientDivergence(
+            false, nn::BatchNormLayer::Mode::Batch, batch);
+        double bn_batch = gradientDivergence(
+            true, nn::BatchNormLayer::Mode::Batch, batch);
+        double bn_frozen = gradientDivergence(
+            true, nn::BatchNormLayer::Mode::Frozen, batch);
+        t.addRow("no batch norm", batch, none,
+                 none < 1e-3 ? "yes" : "NO");
+        t.addRow("BN, batch statistics", batch, bn_batch,
+                 bn_batch < 1e-3 ? "yes" : "NO");
+        t.addRow("BN, frozen statistics", batch, bn_frozen,
+                 bn_frozen < 1e-3 ? "yes" : "NO");
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nConclusion: a deferred-synchronization accelerator must "
+           "freeze (or per-sample-localize) normalization statistics; "
+           "with frozen statistics the per-sample loops reproduce the "
+           "mini-batch gradient exactly, preserving the paper's "
+           "algorithmic equivalence.\n";
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: each bench binary
+ * regenerates one table or figure of the paper and prints it in a
+ * diffable plain-text format, leading with a header that names the
+ * experiment (see DESIGN.md section 3 for the index).
+ */
+
+#ifndef GANACC_BENCH_BENCH_COMMON_HH
+#define GANACC_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "util/table.hh"
+
+namespace ganacc {
+namespace bench {
+
+/** Print the experiment banner. */
+inline void
+banner(const std::string &experiment, const std::string &paper_claim)
+{
+    std::cout << "==================================================="
+                 "=====================\n";
+    std::cout << "Reproduction: " << experiment << "\n";
+    std::cout << "Paper claim:  " << paper_claim << "\n";
+    std::cout << "==================================================="
+                 "=====================\n";
+}
+
+} // namespace bench
+} // namespace ganacc
+
+#endif // GANACC_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Context-Encoder extension study: the paper evaluates the cGAN
+ * discriminator of Context Encoders (Table IV); this bench adds the
+ * system's actual encoder-decoder *generator* and asks how the
+ * accelerator handles a mixed strided/transposed stack — both W-CONV
+ * forms live in the same Gw phase, and the per-phase balance shifts.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "core/unrolling.hh"
+#include "gan/models.hh"
+#include "sched/design.hh"
+#include "sim/phase.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ganacc;
+    using core::ArchKind;
+    using sched::Design;
+
+    bench::banner("Context-Encoder (encoder-decoder generator)",
+                  "the mixed generator runs both W-CONV forms; the "
+                  "zero-free design handles it unchanged");
+
+    gan::GanModel ce = gan::makeContextEncoder();
+    gan::GanModel cgan = gan::makeCgan();
+    Design d = Design::combo(ArchKind::ZFOST, ArchKind::ZFWST, 1680);
+
+    std::cout << "\nPer-phase effective work (GMACs/sample):\n";
+    util::Table t({"phase", "cGAN (inverse gen)",
+                   "ContextEncoder (enc-dec gen)"});
+    for (sim::Phase p : sim::allPhases()) {
+        auto g1 = sim::totalEffectiveMacs(sim::phaseJobs(cgan, p));
+        auto g2 = sim::totalEffectiveMacs(sim::phaseJobs(ce, p));
+        t.addRow(sim::phaseName(p), double(g1) / 1e9,
+                 double(g2) / 1e9);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nEnd-to-end on the 1680-PE ZFOST-ZFWST design:\n";
+    util::Table e({"model", "iter cycles (deferred)", "samples/s",
+                   "sync/deferred"});
+    for (const auto &m : {cgan, ce}) {
+        auto def =
+            sched::iterationCycles(d, m, sched::SyncPolicy::Deferred);
+        auto sync = sched::iterationCycles(
+            d, m, sched::SyncPolicy::Synchronized);
+        e.addRow(m.name, def, 200e6 / double(def),
+                 double(sync) / double(def));
+    }
+    e.print(std::cout);
+
+    std::cout << "\nThe generator's Gw phase now mixes the "
+                 "dilated-kernel (encoder) and stuffed-input "
+                 "(decoder) W-CONV forms; ZFWST's zero-free "
+                 "scheduling covers both, so deferred "
+                 "synchronization keeps its benefit on the richer "
+                 "topology.\n";
+    return 0;
+}

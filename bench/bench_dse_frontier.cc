@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Design-space frontier: throughput vs W-bank width under the VCU9P's
+ * resource budget and the DDR4 bandwidth law — the sweep whose
+ * feasible optimum is the paper's configuration (30 ZFWST + 75 ZFOST
+ * channels). Demonstrates which constraint binds where: DRAM cuts the
+ * frontier at eq. (7)'s W_Pof = 30; the DSP/LUT budget would not bind
+ * until far later.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "core/dse.hh"
+#include "gan/models.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ganacc;
+    bench::banner("Design-space frontier (ZFOST-ZFWST on the VCU9P)",
+                  "the feasible optimum is the paper's 30+75-channel "
+                  "point; DRAM bandwidth is the binding constraint");
+
+    core::DseConstraints cons;
+    cons.budget = core::vcu9pBudget();
+    cons.maxWPof = 60;
+    gan::GanModel dcgan = gan::makeDcgan();
+
+    auto pts = core::sweepFrontier(cons, dcgan);
+    util::Table t({"W_Pof", "ST_Pof", "PEs", "samples/s", "DSP",
+                   "BRAM", "fits", "bandwidth ok"});
+    for (const auto &p : pts) {
+        if (p.wPof % 5 != 0 && p.wPof != 1 && p.wPof != 29 &&
+            p.wPof != 31)
+            continue; // print a readable subset
+        t.addRow(p.wPof, p.stPof, p.totalPes, p.samplesPerSecond,
+                 p.resources.dsp, p.resources.bram36,
+                 p.fitsDevice ? "yes" : "NO",
+                 p.bandwidthFeasible ? "yes" : "NO");
+    }
+    t.print(std::cout);
+
+    auto best = core::bestFeasible(pts);
+    if (best)
+        std::cout << "\nOptimizer's pick: W_Pof=" << best->wPof
+                  << ", ST_Pof=" << best->stPof << " ("
+                  << best->totalPes << " PEs, "
+                  << best->samplesPerSecond
+                  << " DCGAN samples/s) — the paper's design point.\n";
+
+    // What a bigger memory system would buy.
+    std::cout << "\nIf the DRAM doubled (384 Gbps):\n";
+    cons.offchip.bandwidthBitsPerSec = 384e9;
+    auto pts2 = core::sweepFrontier(cons, dcgan);
+    auto best2 = core::bestFeasible(pts2);
+    if (best2)
+        std::cout << "  optimum moves to W_Pof=" << best2->wPof
+                  << " (" << best2->totalPes << " PEs, "
+                  << best2->samplesPerSecond << " samples/s, "
+                  << best2->samplesPerSecond /
+                         (best ? best->samplesPerSecond : 1.0)
+                  << "x)\n";
+    return 0;
+}

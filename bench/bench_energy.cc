@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Energy ablation: convert every design's cycle/access statistics
+ * into joules per training iteration (Horowitz-ballpark 16-bit
+ * coefficients), ranking the designs the way Fig. 16's access
+ * argument implies, and cross-checking the board-power figure the
+ * Fig. 19 comparison assumes.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "core/unrolling.hh"
+#include "gan/models.hh"
+#include "sched/design.hh"
+#include "sched/energy.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ganacc;
+    using core::ArchKind;
+    using sched::Design;
+
+    bench::banner("Energy per training iteration (model-derived)",
+                  "access counts dominate energy: the zero-free "
+                  "combination is the most efficient design, and its "
+                  "implied power is consistent with the ~22 W board "
+                  "assumption of Fig. 19");
+
+    sched::EnergyCoefficients c;
+    std::cout << "\nCoefficients (pJ): MAC " << c.macPj << ", register "
+              << c.registerPj << ", SRAM " << c.sramPj << ", DRAM "
+              << c.dramPj << ", idle " << c.idlePj << "\n";
+
+    const Design designs[] = {
+        Design::unique(ArchKind::OST, 1680),
+        Design::unique(ArchKind::ZFOST, 1680),
+        Design::combo(ArchKind::NLR, ArchKind::OST, 1680),
+        Design::combo(ArchKind::ZFOST, ArchKind::ZFWST, 1680),
+    };
+
+    for (const auto &m : gan::allModels()) {
+        std::cout << "\n" << m.name << " (uJ per iteration)\n";
+        util::Table t({"design", "compute", "on-chip", "DRAM", "idle",
+                       "total", "implied W @deferred rate"});
+        for (const Design &d : designs) {
+            auto e = sched::iterationEnergy(d, m, c);
+            double rate =
+                200e6 / double(sched::iterationCycles(
+                            d, m, sched::SyncPolicy::Deferred));
+            t.addRow(d.name(), e.computePj / 1e6, e.onChipPj / 1e6,
+                     e.dramPj / 1e6, e.idlePj / 1e6,
+                     e.totalPj() / 1e6,
+                     sched::impliedWatts(e, rate));
+        }
+        t.print(std::cout);
+    }
+    std::cout << "\n(Implied watts cover the PE array and memory "
+                 "traffic only; static, clocking and I/O overheads "
+                 "take a real board to the ~20 W class.)\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig. 18 reproduction: performance of the top three designs
+ * (NLR-OST, unique ZFOST, ZFOST-ZFWST) as the PE count sweeps, under
+ * deferred synchronization. The paper's headline: ZFOST-ZFWST with
+ * 512 PEs roughly matches the other two with 1024 PEs.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "core/unrolling.hh"
+#include "gan/models.hh"
+#include "sched/design.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ganacc;
+    using core::ArchKind;
+    using sched::Design;
+    using sched::SyncPolicy;
+
+    bench::banner("Fig. 18 — performance vs PE count",
+                  "ZFOST-ZFWST best at every size; with 512 PEs it "
+                  "matches NLR-OST and ZFOST at 1024 PEs");
+
+    const int pe_counts[] = {256, 512, 1024, 1680, 2048};
+
+    for (const auto &m : gan::allModels()) {
+        std::cout << "\n" << m.name
+                  << " (iterations/sec at 200 MHz, deferred sync)\n";
+        util::Table t({"PEs", "NLR-OST", "ZFOST", "ZFOST-ZFWST",
+                       "ZF advantage"});
+        for (int pes : pe_counts) {
+            auto rate = [&](const Design &d) {
+                return 200e6 /
+                       double(sched::iterationCycles(
+                           d, m, SyncPolicy::Deferred));
+            };
+            double nlr_ost =
+                rate(Design::combo(ArchKind::NLR, ArchKind::OST, pes));
+            double zfost = rate(Design::unique(ArchKind::ZFOST, pes));
+            double zz = rate(Design::combo(ArchKind::ZFOST,
+                                           ArchKind::ZFWST, pes));
+            t.addRow(pes, nlr_ost, zfost, zz,
+                     zz / std::max(nlr_ost, zfost));
+        }
+        t.print(std::cout);
+    }
+
+    // The crossover claim, spelled out.
+    gan::GanModel dcgan = gan::makeDcgan();
+    auto cycles = [&](const Design &d) {
+        return sched::iterationCycles(d, dcgan, SyncPolicy::Deferred);
+    };
+    std::cout << "\nCrossover check (DCGAN iteration cycles): "
+              << "ZFOST-ZFWST@512 = "
+              << cycles(Design::combo(ArchKind::ZFOST, ArchKind::ZFWST,
+                                      512))
+              << ", NLR-OST@1024 = "
+              << cycles(Design::combo(ArchKind::NLR, ArchKind::OST,
+                                      1024))
+              << ", ZFOST@1024 = "
+              << cycles(Design::unique(ArchKind::ZFOST, 1024)) << "\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 19 reproduction: performance (effective GOP/s) and energy
+ * efficiency (GOP/s per watt) of the accelerator versus the CPU and
+ * GPU baselines on one full training iteration of each network.
+ * Baselines are calibrated roofline models (DESIGN.md substitution);
+ * the comparison's *shape* — who wins, by what factor — is the claim
+ * under reproduction.
+ */
+
+#include <iostream>
+
+#include "baseline/cpu_gpu_model.hh"
+#include "bench/bench_common.hh"
+#include "core/accelerator.hh"
+#include "gan/models.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ganacc;
+    bench::banner("Fig. 19 — comparison with CPU and GPU",
+                  "8.3x speedup and 45.2x energy efficiency over CPU; "
+                  "7.1x / 5.2x energy efficiency over K20 / Titan X");
+
+    core::GanAccelerator acc;
+    const double fpga_power = baseline::fpgaBoardPowerWatts();
+
+    double cpu_speedup = 0, cpu_e = 0, k20_e = 0, tx_e = 0;
+    for (const auto &m : gan::allModels()) {
+        auto rep = acc.evaluate(m);
+        double fpga_gops = rep.gopsDeferred;
+        double fpga_gpw = fpga_gops / fpga_power;
+        std::cout << "\n" << m.name << "\n";
+        util::Table t({"device", "GOPS", "power W", "GOPS/W",
+                       "FPGA speedup", "FPGA energy-eff"});
+        t.addRow("FPGA (ZFOST-ZFWST)", fpga_gops, fpga_power, fpga_gpw,
+                 1.0, 1.0);
+        for (const auto &d : baseline::allDevices()) {
+            double g = baseline::iterationGops(d, m);
+            double gpw = baseline::gopsPerWatt(d, m);
+            t.addRow(d.name, g, d.powerWatts, gpw, fpga_gops / g,
+                     fpga_gpw / gpw);
+            if (d.name.find("CPU") != std::string::npos) {
+                cpu_speedup += fpga_gops / g;
+                cpu_e += fpga_gpw / gpw;
+            } else if (d.name.find("K20") != std::string::npos) {
+                k20_e += fpga_gpw / gpw;
+            } else {
+                tx_e += fpga_gpw / gpw;
+            }
+        }
+        t.print(std::cout);
+    }
+    std::cout << "\nAverages over the three networks:\n";
+    util::Table a({"metric", "measured", "paper"});
+    a.addRow("speedup vs CPU", cpu_speedup / 3, 8.3);
+    a.addRow("energy-eff vs CPU", cpu_e / 3, 45.2);
+    a.addRow("energy-eff vs K20", k20_e / 3, 7.1);
+    a.addRow("energy-eff vs Titan X", tx_e / 3, 5.2);
+    a.print(std::cout);
+    return 0;
+}

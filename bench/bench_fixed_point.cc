@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fixed-point datapath study: the paper computes in 16-bit fixed
+ * point while the CPU/GPU baselines use float (Section VI-C notes the
+ * comparison mixes the two). This bench quantifies what Q7.8 costs in
+ * numerical accuracy on real layer shapes — per-layer error for the
+ * discriminator forward pass and an end-to-end critic-score check.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "gan/models.hh"
+#include "gan/network.hh"
+#include "nn/conv_ref.hh"
+#include "nn/quantize.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ganacc;
+    using tensor::Tensor;
+
+    bench::banner("Fixed-point datapath (Q7.8, DSP-style accumulate)",
+                  "16-bit fixed point is accurate enough for GAN "
+                  "training workloads (Section V-C design choice)");
+
+    util::Rng rng(123);
+    for (const auto &m : gan::allModels()) {
+        std::cout << "\n" << m.name
+                  << " discriminator layers, float vs fixed "
+                     "forward:\n";
+        util::Table t({"layer", "shape", "max |err|", "RMS err",
+                       "out scale", "rel RMS"});
+        for (std::size_t i = 0; i < m.disc.size(); ++i) {
+            const auto &l = m.disc[i];
+            Tensor in(1, l.inChannels, l.inH, l.inW);
+            in.fillUniform(rng, -1.0f, 1.0f);
+            Tensor w(l.outChannels, l.inChannels, l.geom.kernel,
+                     l.geom.kernel);
+            // Realistic magnitude: Kaiming-ish scale.
+            float s = 1.0f / float(std::sqrt(double(l.inChannels) *
+                                             l.geom.kernel *
+                                             l.geom.kernel));
+            w.fillUniform(rng, -s, s);
+            Tensor ref = nn::sconvForward(in, w, l.geom);
+            Tensor fx = nn::sconvForwardFixed(in, w, l.geom);
+            auto e = nn::quantError(ref, fx);
+            t.addRow("L" + std::to_string(i), l.describe(), e.maxAbs,
+                     e.rms, e.refScale,
+                     e.refScale > 0 ? e.rms / e.refScale : 0.0);
+        }
+        t.print(std::cout);
+    }
+
+    // End-to-end critic scores with quantized weights + inputs.
+    std::cout << "\nEnd-to-end critic-score perturbation "
+                 "(quantized weights and inputs, MNIST-GAN):\n";
+    gan::GanModel m = gan::makeMnistGan();
+    gan::Network critic(m.disc, rng);
+    Tensor img(8, 1, 28, 28);
+    img.fillUniform(rng, -1.0f, 1.0f);
+    auto ref = gan::Network::scores(critic.forward(img));
+    for (auto &layer : critic.layers())
+        layer->weights() = nn::quantizeTensor(layer->weights());
+    auto q =
+        gan::Network::scores(critic.forward(nn::quantizeTensor(img)));
+    util::Table s({"sample", "float score", "fixed score", "abs err"});
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        s.addRow(i, ref[i], q[i], std::abs(ref[i] - q[i]));
+    s.print(std::cout);
+    return 0;
+}

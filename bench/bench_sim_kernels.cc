@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator itself: how fast
+ * the cycle-level models and the golden convolution execute on real
+ * layer shapes. These guard against performance regressions that
+ * would make the figure-reproduction sweeps impractical.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/unrolling.hh"
+#include "gan/models.hh"
+#include "nn/conv_ref.hh"
+#include "sim/conv_spec.hh"
+#include "sim/phase.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace ganacc;
+
+/** Timing-only simulation of one DCGAN phase family per iteration. */
+void
+simulateFamily(benchmark::State &state, core::ArchKind kind,
+               sim::PhaseFamily family)
+{
+    gan::GanModel m = gan::makeDcgan();
+    core::BankRole role =
+        (family == sim::PhaseFamily::D || family == sim::PhaseFamily::G)
+            ? core::BankRole::ST
+            : core::BankRole::W;
+    int pes = role == core::BankRole::ST ? 1200 : 480;
+    auto arch =
+        core::makeArch(kind, core::paperUnroll(kind, role, family, pes));
+    auto jobs = sim::familyJobs(m, family);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        for (const auto &j : jobs)
+            cycles += arch->run(j).cycles;
+        benchmark::DoNotOptimize(cycles);
+    }
+    state.counters["sim_cycles_per_iter"] =
+        benchmark::Counter(double(cycles) / state.iterations());
+}
+
+void
+BM_ZfostOnGPhase(benchmark::State &state)
+{
+    simulateFamily(state, core::ArchKind::ZFOST, sim::PhaseFamily::G);
+}
+BENCHMARK(BM_ZfostOnGPhase)->Unit(benchmark::kMillisecond);
+
+void
+BM_ZfwstOnGwPhase(benchmark::State &state)
+{
+    simulateFamily(state, core::ArchKind::ZFWST, sim::PhaseFamily::Gw);
+}
+BENCHMARK(BM_ZfwstOnGwPhase)->Unit(benchmark::kMillisecond);
+
+void
+BM_OstOnDPhase(benchmark::State &state)
+{
+    simulateFamily(state, core::ArchKind::OST, sim::PhaseFamily::D);
+}
+BENCHMARK(BM_OstOnDPhase)->Unit(benchmark::kMillisecond);
+
+void
+BM_WstOnDwPhase(benchmark::State &state)
+{
+    simulateFamily(state, core::ArchKind::WST, sim::PhaseFamily::Dw);
+}
+BENCHMARK(BM_WstOnDwPhase)->Unit(benchmark::kMillisecond);
+
+/** Functional (data-carrying) simulation of a mid-sized T-CONV job. */
+void
+BM_ZfostFunctionalTconv(benchmark::State &state)
+{
+    gan::GanModel m = gan::makeMnistGan();
+    auto jobs = sim::phaseJobs(m, sim::Phase::GenForward);
+    const sim::ConvSpec &job = jobs[1];
+    util::Rng rng(1);
+    tensor::Tensor in = sim::makeStreamedInput(job, rng);
+    tensor::Tensor w = sim::makeStreamedKernel(job, rng);
+    tensor::Tensor out = sim::makeOutputTensor(job);
+    auto arch = core::makeArch(
+        core::ArchKind::ZFOST,
+        core::paperUnroll(core::ArchKind::ZFOST, core::BankRole::ST,
+                          sim::PhaseFamily::G, 1200));
+    for (auto _ : state) {
+        auto st = arch->run(job, &in, &w, &out);
+        benchmark::DoNotOptimize(st.cycles);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(job.effectiveMacs()));
+}
+BENCHMARK(BM_ZfostFunctionalTconv)->Unit(benchmark::kMillisecond);
+
+/** Golden-model strided convolution on the first DCGAN layer. */
+void
+BM_GoldenSconvDcganL1(benchmark::State &state)
+{
+    util::Rng rng(2);
+    tensor::Tensor in(1, 3, 64, 64);
+    in.fillUniform(rng);
+    tensor::Tensor w(64, 3, 5, 5);
+    w.fillUniform(rng);
+    nn::Conv2dGeom g{5, 2, 2, 0};
+    for (auto _ : state) {
+        tensor::Tensor out = nn::sconvForward(in, w, g);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 64 * 3 * 25 *
+                            32 * 32);
+}
+BENCHMARK(BM_GoldenSconvDcganL1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table III reproduction: FPGA resource utilization of the full
+ * 1200-ZFOST + 480-ZFWST design with the Fig. 14 buffer plan, from
+ * the calibrated analytic resource model (DESIGN.md documents the
+ * substitution for the paper's synthesis report).
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "core/accelerator.hh"
+#include "core/resource_model.hh"
+#include "gan/models.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ganacc;
+    bench::banner("Table III — resource utilization",
+                  "LUTs 254523/1182240, FFs 79668/2364480, "
+                  "BRAM 2008/2160, DSP 1694/6840");
+
+    core::GanAccelerator acc;
+    auto budget = core::vcu9pBudget();
+    gan::GanModel dcgan = gan::makeDcgan();
+    auto rep = acc.evaluate(dcgan);
+
+    std::cout << "\nDesign: " << acc.stPof() << " ZFOST channels + "
+              << acc.wPof() << " ZFWST channels = " << acc.totalPes()
+              << " PEs (DCGAN buffer plan)\n\n";
+
+    util::Table t({"resource", "model estimate", "paper (Table III)",
+                   "total on board", "util %"});
+    auto pct = [](double used, double total) {
+        return double(int(1000.0 * used / total)) / 10.0;
+    };
+    t.addRow("Logic (LUTs)", rep.resources.luts, 254523, budget.luts,
+             pct(double(rep.resources.luts), double(budget.luts)));
+    t.addRow("Flip-Flops", rep.resources.flipFlops, 79668,
+             budget.flipFlops,
+             pct(double(rep.resources.flipFlops),
+                 double(budget.flipFlops)));
+    t.addRow("Block RAM (36Kb)", rep.resources.bram36, 2008,
+             budget.bram36,
+             pct(double(rep.resources.bram36), double(budget.bram36)));
+    t.addRow("DSP", rep.resources.dsp, 1694, budget.dsp,
+             pct(double(rep.resources.dsp), double(budget.dsp)));
+    t.print(std::cout);
+
+    std::cout << "\nFits XCVU9P: " << (rep.fitsDevice ? "yes" : "NO")
+              << "\n\nPer-model buffer plans (bytes):\n";
+    util::Table b({"model", "In&Out x2", "Data", "Error", "Weight",
+                   "gradW x2", "total", "BRAM36"});
+    for (const auto &m : gan::allModels()) {
+        auto plan = mem::planBuffers(m, acc.wPof(), 2);
+        b.addRow(m.name, 2 * plan.inOutBytes, plan.dataBytes,
+                 plan.errorBytes, plan.weightBytes, 2 * plan.gradWBytes,
+                 plan.totalBytes(), plan.bram36Count());
+    }
+    b.print(std::cout);
+    return 0;
+}

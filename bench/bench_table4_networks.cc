@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table IV reproduction: the layer parameters of the evaluated GAN
+ * discriminators (MNIST-GAN and cGAN in the paper's table, plus the
+ * DCGAN of Fig. 1), with per-layer work and footprint columns.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "gan/models.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ganacc;
+    bench::banner("Table IV — parameters of GANs",
+                  "MNIST-GAN: 1x28x28 -> 64x14x14 -> 128x7x7 (5x5, s2); "
+                  "cGAN: 3x64x64 -> ... -> 512x4x4 (4x4, s2)");
+
+    for (const auto &m : gan::allModels()) {
+        std::cout << "\n" << m.name
+                  << " (discriminator; generator is the inverse, "
+                     "latent dim "
+                  << m.latentDim << ")\n";
+        util::Table t({"layer", "input", "kernel", "stride", "output",
+                       "MACs", "weights"});
+        for (std::size_t i = 0; i < m.disc.size(); ++i) {
+            const auto &l = m.disc[i];
+            t.addRow("L" + std::to_string(i),
+                     std::to_string(l.inChannels) + "x" +
+                         std::to_string(l.inH) + "x" +
+                         std::to_string(l.inW),
+                     std::to_string(l.geom.kernel) + "x" +
+                         std::to_string(l.geom.kernel),
+                     std::to_string(l.geom.stride) + "x" +
+                         std::to_string(l.geom.stride),
+                     std::to_string(l.outChannels) + "x" +
+                         std::to_string(l.outH()) + "x" +
+                         std::to_string(l.outW()),
+                     l.macs(), l.numWeights());
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

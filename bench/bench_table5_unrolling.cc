@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Table V reproduction: the unrolling strategy of every architecture
+ * on both PE banks. Prints the paper's published entries next to the
+ * choices of the exhaustive solver (which minimizes simulated cycles
+ * over the evaluation networks' jobs), confirming the published
+ * configurations are (near-)optimal under the model.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "core/unrolling.hh"
+#include "gan/models.hh"
+#include "sim/phase.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ganacc;
+
+std::string
+unrollStr(core::ArchKind kind, const sim::Unroll &u)
+{
+    switch (kind) {
+      case core::ArchKind::NLR:
+        return "Pif=" + std::to_string(u.pIf) +
+               ",Pof=" + std::to_string(u.pOf);
+      case core::ArchKind::WST:
+      case core::ArchKind::ZFWST:
+        return "Pk=" + std::to_string(u.pKy) + "x" +
+               std::to_string(u.pKx) + ",Pof=" + std::to_string(u.pOf);
+      case core::ArchKind::OST:
+      case core::ArchKind::ZFOST:
+        return "Po=" + std::to_string(u.pOy) + "x" +
+               std::to_string(u.pOx) + ",Pof=" + std::to_string(u.pOf);
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ganacc;
+    bench::banner("Table V — unrolling strategy",
+                  "ST-ARCH (1200 PEs) e.g. OST Po=4x4 Pof=75; "
+                  "W-ARCH (480 PEs) e.g. ZFWST Pk=4x4 Pof=30");
+
+    // Probe jobs: the DCGAN families (the network Table V was sized
+    // for; 5x5 kernels).
+    gan::GanModel dcgan = gan::makeDcgan();
+
+    struct Row
+    {
+        sim::PhaseFamily family;
+        core::BankRole role;
+        int pes;
+    };
+    const Row rows[] = {
+        {sim::PhaseFamily::D, core::BankRole::ST, 1200},
+        {sim::PhaseFamily::G, core::BankRole::ST, 1200},
+        {sim::PhaseFamily::Dw, core::BankRole::W, 480},
+        {sim::PhaseFamily::Gw, core::BankRole::W, 480},
+    };
+
+    for (const Row &row : rows) {
+        auto jobs = sim::familyJobs(dcgan, row.family);
+        std::cout << "\nPhase family " << sim::phaseFamilyName(row.family)
+                  << " on the "
+                  << (row.role == core::BankRole::ST ? "ST" : "W")
+                  << " bank (" << row.pes << " PEs):\n";
+        util::Table t({"arch", "paper unrolling", "paper cycles",
+                       "solver unrolling", "solver cycles", "solver PEs"});
+        for (core::ArchKind kind : core::allArchKinds()) {
+            auto paper =
+                core::paperUnroll(kind, row.role, row.family, row.pes);
+            auto paper_arch = core::makeArch(kind, paper);
+            std::uint64_t paper_cycles = 0;
+            for (const auto &j : jobs)
+                paper_cycles += paper_arch->run(j).cycles;
+            auto solved =
+                core::solveUnrolling(kind, row.pes, jobs, 8);
+            t.addRow(core::archKindName(kind), unrollStr(kind, paper),
+                     paper_cycles, unrollStr(kind, solved.unroll),
+                     solved.cycles, solved.pes);
+        }
+        t.print(std::cout);
+    }
+    std::cout << "\n(Solver may shave cycles with workload-specific "
+                 "shapes; the published entries must be within a few "
+                 "percent.)\n";
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Design-space exploration with the public API: sweep off-chip
+ * bandwidth and PE budget, derive each point's unrolling (eqs. 7-8 or
+ * the exhaustive solver), check it against the FPGA's resources, and
+ * report the throughput/resource frontier — the workflow an architect
+ * would actually use this library for.
+ */
+
+#include <iostream>
+
+#include "core/accelerator.hh"
+#include "core/resource_model.hh"
+#include "core/unrolling.hh"
+#include "gan/models.hh"
+#include "sched/design.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ganacc;
+    gan::GanModel dcgan = gan::makeDcgan();
+
+    // 1. Bandwidth sweep: eq. (7) couples DRAM bandwidth to the
+    //    sustainable W-bank width, which sizes the whole design.
+    std::cout << "Bandwidth-driven sizing (DCGAN, 200 MHz):\n";
+    util::Table bw({"DRAM Gbps", "W_Pof", "ST_Pof", "PEs", "GOPS",
+                    "samples/s", "fits VCU9P"});
+    for (double gbps : {48.0, 96.0, 192.0, 384.0}) {
+        core::AcceleratorConfig cfg;
+        cfg.offchip.bandwidthBitsPerSec = gbps * 1e9;
+        core::GanAccelerator acc(cfg);
+        auto rep = acc.evaluate(dcgan);
+        bw.addRow(gbps, acc.wPof(), acc.stPof(), acc.totalPes(),
+                  rep.gopsDeferred, rep.samplesPerSecond,
+                  rep.fitsDevice ? "yes" : "no");
+    }
+    bw.print(std::cout);
+
+    // 2. PE sweep at fixed bandwidth: where does the design stop
+    //    scaling?
+    std::cout << "\nPE scaling (ZFOST-ZFWST, deferred sync):\n";
+    util::Table pe({"PEs", "iter cycles", "samples/s", "DSP", "LUTs",
+                    "fits"});
+    auto plan = mem::planBuffers(dcgan, 30, 2);
+    for (int pes : {256, 512, 1024, 1680, 2048, 4096}) {
+        auto d = sched::Design::combo(core::ArchKind::ZFOST,
+                                      core::ArchKind::ZFWST, pes);
+        auto cycles = sched::iterationCycles(
+            d, dcgan, sched::SyncPolicy::Deferred);
+        auto res = core::estimateResources(pes, plan);
+        pe.addRow(pes, cycles, 200e6 / double(cycles), res.dsp,
+                  res.luts,
+                  core::fits(res, core::vcu9pBudget()) ? "yes" : "no");
+    }
+    pe.print(std::cout);
+
+    // 3. Let the solver re-derive the ST-bank unrolling for each
+    //    network — Table V, but computed rather than copied.
+    std::cout << "\nSolver-derived ZFOST unrollings (1200 PEs, "
+                 "T-CONV family):\n";
+    util::Table sv({"network", "Po", "Pof", "cycles"});
+    for (const auto &m : gan::allModels()) {
+        auto jobs = sim::familyJobs(m, sim::PhaseFamily::G);
+        auto c = core::solveUnrolling(core::ArchKind::ZFOST, 1200,
+                                      jobs, 8);
+        sv.addRow(m.name,
+                  std::to_string(c.unroll.pOy) + "x" +
+                      std::to_string(c.unroll.pOx),
+                  c.unroll.pOf, c.cycles);
+    }
+    sv.print(std::cout);
+    return 0;
+}

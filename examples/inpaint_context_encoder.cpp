@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Context-Encoder inpainting demo — the workload behind the paper's
+ * cGAN evaluation (Pathak et al.): an encoder-decoder generator
+ * reconstructs the masked-out center of an image. Trains a small
+ * mixed strided/transposed stack with reconstruction loss, reports
+ * masked-region error, and prices each iteration on the accelerator
+ * model (the mixed generator exercises both W-CONV forms at once).
+ */
+
+#include <iostream>
+
+#include "core/unrolling.hh"
+#include "gan/conditional.hh"
+#include "gan/data.hh"
+#include "gan/models.hh"
+#include "nn/optimizer.hh"
+#include "sched/design.hh"
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ganacc;
+using tensor::Tensor;
+
+/** Zero out the central square of every image. */
+Tensor
+maskCenter(const Tensor &batch, int hole)
+{
+    Tensor out = batch;
+    const auto &s = batch.shape();
+    int y0 = (s.d2 - hole) / 2, x0 = (s.d3 - hole) / 2;
+    for (int n = 0; n < s.d0; ++n)
+        for (int c = 0; c < s.d1; ++c)
+            for (int y = y0; y < y0 + hole; ++y)
+                for (int x = x0; x < x0 + hole; ++x)
+                    out.ref(n, c, y, x) = 0.0f;
+    return out;
+}
+
+/** Mean squared error over the masked region only. */
+double
+holeError(const Tensor &pred, const Tensor &target, int hole)
+{
+    const auto &s = target.shape();
+    int y0 = (s.d2 - hole) / 2, x0 = (s.d3 - hole) / 2;
+    double acc = 0.0;
+    int n_elems = 0;
+    for (int n = 0; n < s.d0; ++n)
+        for (int c = 0; c < s.d1; ++c)
+            for (int y = y0; y < y0 + hole; ++y)
+                for (int x = x0; x < x0 + hole; ++x) {
+                    double d = double(pred.get(n, c, y, x)) -
+                               target.get(n, c, y, x);
+                    acc += d * d;
+                    ++n_elems;
+                }
+    return acc / n_elems;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ganacc;
+
+    // A 16x16 encoder-decoder (two down, two up) for a fast demo.
+    std::vector<gan::LayerSpec> gen;
+    auto enc = [&](int ic, int oc, int hw) {
+        gan::LayerSpec l;
+        l.kind = nn::ConvKind::Strided;
+        l.act = nn::Activation::LeakyReLU;
+        l.inChannels = ic;
+        l.outChannels = oc;
+        l.inH = l.inW = hw;
+        l.geom = nn::Conv2dGeom{4, 2, 1, 0};
+        gen.push_back(l);
+    };
+    auto dec = [&](int ic, int oc, int hw, nn::Activation a) {
+        gan::LayerSpec l;
+        l.kind = nn::ConvKind::Transposed;
+        l.act = a;
+        l.inChannels = ic;
+        l.outChannels = oc;
+        l.inH = l.inW = hw;
+        l.geom = nn::Conv2dGeom{4, 2, 1, 0};
+        gen.push_back(l);
+    };
+    enc(1, 12, 16);
+    enc(12, 24, 8);
+    dec(24, 12, 4, nn::Activation::ReLU);
+    dec(12, 1, 8, nn::Activation::Tanh);
+    std::vector<gan::LayerSpec> disc;
+    {
+        gan::LayerSpec h;
+        h.kind = nn::ConvKind::Strided;
+        h.act = nn::Activation::None;
+        h.inChannels = 1;
+        h.outChannels = 1;
+        h.inH = h.inW = 16;
+        h.geom = nn::Conv2dGeom{16, 1, 0, 0};
+        disc.push_back(h);
+    }
+    gan::GanModel model = gan::makeModelWithGenerator(
+        "mini-inpainter", std::move(disc), std::move(gen));
+
+    // Price an iteration of the full-size ContextEncoder on the
+    // accelerator (mixed generator = both W-CONV forms live at once).
+    auto design = sched::Design::combo(core::ArchKind::ZFOST,
+                                       core::ArchKind::ZFWST, 1680);
+    gan::GanModel full = gan::makeContextEncoder();
+    std::cout << "Full ContextEncoder on the 1680-PE accelerator: "
+              << sched::iterationCycles(design, full,
+                                        sched::SyncPolicy::Deferred)
+              << " cycles/sample-iteration ("
+              << 200e6 / double(sched::iterationCycles(
+                             design, full,
+                             sched::SyncPolicy::Deferred))
+              << " samples/s @200 MHz)\n\n";
+
+    // Joint adversarial + reconstruction training (the Context-
+    // Encoder recipe) on masked synthetic digits, using the
+    // deferred-synchronization per-sample loops throughout.
+    util::Rng rng(99);
+    gan::ConditionalTrainer trainer(model, 2025, /*recon=*/25.0f,
+                                    /*clip=*/0.03f);
+    nn::Adam d_opt(1e-3f), g_opt(2e-3f);
+    const int batch = 8, hole = 6, iters = 40;
+
+    util::Rng probe_rng(1);
+    Tensor probe = gan::makeBlobImages(16, 1, 16, 16, probe_rng);
+    Tensor probe_masked = maskCenter(probe, hole);
+
+    util::Table t({"iter", "hole MSE (probe)", "adv loss",
+                   "recon loss"});
+    double adv = 0.0, rec_loss = 0.0;
+    for (int it = 0; it <= iters; ++it) {
+        if (it % 8 == 0 || it == iters) {
+            Tensor rec = trainer.inpaint(probe_masked);
+            t.addRow(it, holeError(rec, probe, hole), adv, rec_loss);
+        }
+        if (it == iters)
+            break;
+        Tensor target = gan::makeBlobImages(batch, 1, 16, 16, rng);
+        Tensor masked = maskCenter(target, hole);
+        trainer.discriminatorStep(target, masked, d_opt);
+        auto losses = trainer.generatorStep(target, masked, g_opt);
+        adv = losses.adversarial;
+        rec_loss = losses.reconstruction;
+    }
+    t.print(std::cout);
+    std::cout << "\nThe hole MSE falling shows the encoder-decoder "
+                 "learning to hallucinate the masked center from "
+                 "context — the Context-Encoder objective.\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Didactic dissection of one T-CONV layer on all five
+ * microarchitectures: run the same streamed job functionally through
+ * each dataflow, verify every output against the golden model, and
+ * print where the cycles and buffer accesses go — a working tour of
+ * the paper's Figs. 5-7 and 11-13.
+ */
+
+#include <iostream>
+
+#include "core/unrolling.hh"
+#include "gan/models.hh"
+#include "sim/conv_spec.hh"
+#include "sim/phase.hh"
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ganacc;
+
+    // The job: MNIST-GAN's generator layer 1 — a stride-2 T-CONV
+    // whose zero-inserted input is 7x7 dense values inside a 15x15
+    // stuffed map (Fig. 6(b)).
+    gan::GanModel m = gan::makeMnistGan();
+    auto jobs = sim::phaseJobs(m, sim::Phase::GenForward);
+    const sim::ConvSpec &job = jobs[1];
+    std::cout << "Job under the microscope:\n  " << job.describe()
+              << "\n  dense MACs " << job.denseMacs()
+              << ", effective " << job.effectiveMacs() << " ("
+              << 100.0 * double(job.effectiveMacs()) /
+                     double(job.denseMacs())
+              << "% useful)\n\n";
+
+    // Streamed operands exactly as the hardware would see them.
+    util::Rng rng(99);
+    tensor::Tensor in = sim::makeStreamedInput(job, rng);
+    tensor::Tensor w = sim::makeStreamedKernel(job, rng);
+    tensor::Tensor golden = sim::genericConvRef(job, in, w);
+    std::cout << "Stuffed input map is "
+              << 100.0 * double(in.countZeros()) / double(in.numel())
+              << "% zeros.\n\n";
+
+    util::Table t({"arch", "unrolling", "cycles", "util %",
+                   "ineffectual %", "buffer accesses", "output ok"});
+    for (core::ArchKind kind : core::allArchKinds()) {
+        auto u = core::paperUnroll(kind, core::BankRole::ST,
+                                   sim::PhaseFamily::G, 1200);
+        auto arch = core::makeArch(kind, u);
+        tensor::Tensor out = sim::makeOutputTensor(job);
+        sim::RunStats st = arch->run(job, &in, &w, &out);
+        bool ok = tensor::approxEqual(golden, out, 1e-3f);
+        t.addRow(arch->name(), u.str(), st.cycles,
+                 100.0 * st.utilization(),
+                 100.0 * double(st.ineffectualMacs) /
+                     double(st.totalSlots()),
+                 st.totalAccesses(), ok ? "yes" : "NO");
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nReading the table:\n"
+        << "  * OST burns ~3/4 of its slots multiplying inserted "
+           "zeros (Fig. 7(c)).\n"
+        << "  * NLR skips them but streams every operand from the "
+           "buffers each cycle.\n"
+        << "  * ZFOST skips them AND keeps the register-array reuse "
+           "(Fig. 12(b)).\n"
+        << "  * Every architecture computes bit-identical useful "
+           "work - the 'output ok' column is the functional "
+           "cross-check against the golden model.\n";
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Functional WGAN training demo: train the MNIST-GAN topology on
+ * synthetic digit-like images using the *deferred-synchronization*
+ * algorithm (the exact computation the accelerator executes), and
+ * show that (a) the critic's Wasserstein gap responds to training,
+ * (b) the generator's output distribution moves toward the data, and
+ * (c) the algorithm change cuts the intermediate-buffer footprint
+ * from megabytes to kilobytes without changing the gradients.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "gan/data.hh"
+#include "gan/memory_analysis.hh"
+#include "gan/models.hh"
+#include "gan/trainer.hh"
+#include "nn/optimizer.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ganacc;
+    using tensor::Tensor;
+
+    // A reduced MNIST-GAN (14x14 images, thinner layers) so the demo
+    // trains in seconds on a laptop; same topology family as Table IV.
+    std::vector<gan::LayerSpec> disc;
+    {
+        gan::LayerSpec l1;
+        l1.kind = nn::ConvKind::Strided;
+        l1.act = nn::Activation::LeakyReLU;
+        l1.inChannels = 1;
+        l1.outChannels = 16;
+        l1.inH = l1.inW = 14;
+        l1.geom = nn::Conv2dGeom{5, 2, 2, 0};
+        disc.push_back(l1);
+        gan::LayerSpec l2 = l1;
+        l2.inChannels = 16;
+        l2.outChannels = 32;
+        l2.inH = l2.inW = 7;
+        disc.push_back(l2);
+        gan::LayerSpec head;
+        head.kind = nn::ConvKind::Strided;
+        head.act = nn::Activation::None;
+        head.inChannels = 32;
+        head.outChannels = 1;
+        head.inH = head.inW = 4;
+        head.geom = nn::Conv2dGeom{4, 1, 0, 0};
+        disc.push_back(head);
+    }
+    gan::GanModel model = gan::makeModel("mini-MNIST-GAN",
+                                         std::move(disc), 32);
+
+    // The memory argument for running deferred (Section III-A).
+    auto mem = gan::analyzeMemory(model, 64, 2);
+    std::cout << "Intermediate buffers @ batch 64: synchronized "
+              << mem.syncDiscUpdateBytes / 1024 << " KiB vs deferred "
+              << mem.deferredDiscUpdateBytes / 1024 << " KiB\n\n";
+
+    gan::Trainer trainer(model, /*seed=*/2024, gan::SyncMode::Deferred,
+                         /*clip=*/0.03f);
+    util::Rng rng(7);
+    nn::RmsProp d_opt(5e-4f), g_opt(5e-4f);
+
+    const int batch = 16;
+    const int iters = 30;
+    Tensor probe_noise = trainer.sampleNoise(64, rng);
+    double real_mean =
+        gan::meanPixel(gan::makeBlobImages(64, 1, 14, 14, rng));
+
+    util::Table t({"iter", "critic loss", "gen loss",
+                   "fake mean px", "target mean px"});
+    for (int it = 0; it < iters; ++it) {
+        Tensor real = gan::makeBlobImages(batch, 1, 14, 14, rng);
+        auto losses =
+            trainer.trainIteration(real, d_opt, g_opt, rng,
+                                   /*n_critic=*/2);
+        if (it % 5 == 0 || it == iters - 1) {
+            Tensor fake = trainer.generate(probe_noise);
+            t.addRow(it, losses.discLoss, losses.genLoss,
+                     gan::meanPixel(fake), real_mean);
+        }
+    }
+    t.print(std::cout);
+
+    // Final distribution check: the generator's mean pixel should
+    // have moved toward the data's.
+    Tensor fake = trainer.generate(probe_noise);
+    std::cout << "\nFinal |fake mean - real mean| = "
+              << std::abs(gan::meanPixel(fake) - real_mean)
+              << " (started near |" << -0.0 - real_mean << "|)\n";
+
+    // Show one generated sample as ASCII art, because why not.
+    std::cout << "\nA generated sample:\n";
+    for (int y = 0; y < 14; ++y) {
+        for (int x = 0; x < 14; ++x) {
+            float v = fake.get(0, 0, y, x);
+            std::cout << (v > 0.3f ? '#' : v > -0.3f ? '+' : '.');
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

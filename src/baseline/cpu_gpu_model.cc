@@ -1,0 +1,136 @@
+/**
+ * @file
+ * CPU/GPU roofline implementations.
+ */
+
+#include "baseline/cpu_gpu_model.hh"
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace baseline {
+
+using gan::GanModel;
+using sim::Phase;
+using sim::PhaseFamily;
+
+double
+DeviceModel::efficiencyFor(PhaseFamily f) const
+{
+    switch (f) {
+      case PhaseFamily::D:
+        return convEfficiency;
+      case PhaseFamily::G:
+      case PhaseFamily::Gw:
+      case PhaseFamily::Dw:
+        // Zero-inserted / dilated phases: Caffe's im2col-based path
+        // materializes the stuffed maps and multiplies the zeros, at
+        // a lower sustained fraction of peak (strided gathers, poor
+        // locality).
+        return tconvEfficiency;
+    }
+    util::panic("unknown phase family");
+}
+
+DeviceModel
+intelI7_6850K()
+{
+    // 6 cores x 3.6 GHz x 32 SP FLOP/cycle (2 AVX2 FMA ports) ~= 691
+    // GFLOP/s peak. Efficiency fractions and sustained package power
+    // are the calibrated free parameters (EXPERIMENTS.md).
+    return {"CPU i7-6850K", 691.0, 0.31, 0.187, 120.0};
+}
+
+DeviceModel
+nvidiaK20()
+{
+    // GK110: 3.52 TFLOP/s SP peak; sustained power under the Caffe
+    // workload sits below the 225 W board TDP.
+    return {"GPU K20", 3520.0, 0.45, 0.32, 165.0};
+}
+
+DeviceModel
+nvidiaTitanX()
+{
+    // GM200: 6.6 TFLOP/s SP peak, 250 W TDP.
+    return {"GPU Titan X", 6600.0, 0.40, 0.30, 210.0};
+}
+
+double
+fpgaBoardPowerWatts()
+{
+    // VCU118 board-level estimate under load (the paper measured wall
+    // power with a WattsUp meter; a mid-sized UltraScale+ design with
+    // two DDR4 channels draws on the order of 20-25 W).
+    return 22.0;
+}
+
+std::vector<DeviceModel>
+allDevices()
+{
+    return {intelI7_6850K(), nvidiaK20(), nvidiaTitanX()};
+}
+
+namespace {
+
+/** Phase-pass multiplicities of one full training iteration
+ *  (Fig. 2: one discriminator update plus one generator update). */
+const std::vector<std::pair<Phase, int>> &
+iterationPhases()
+{
+    static const std::vector<std::pair<Phase, int>> phases = {
+        {Phase::GenForward, 2},  {Phase::DiscForward, 3},
+        {Phase::DiscBackward, 3}, {Phase::GenBackward, 1},
+        {Phase::DiscWeight, 2},  {Phase::GenWeight, 1},
+    };
+    return phases;
+}
+
+} // namespace
+
+double
+iterationSeconds(const DeviceModel &dev, const GanModel &model)
+{
+    GANACC_ASSERT(dev.peakGops > 0, "device without peak rate");
+    double seconds = 0.0;
+    for (auto [phase, count] : iterationPhases()) {
+        auto jobs = sim::phaseJobs(model, phase);
+        double dense_ops = 2.0 * double(sim::totalDenseMacs(jobs));
+        double eff = dev.efficiencyFor(sim::familyOf(phase));
+        seconds += count * dense_ops / (dev.peakGops * 1e9 * eff);
+    }
+    return seconds;
+}
+
+double
+iterationUsefulOps(const GanModel &model)
+{
+    double ops = 0.0;
+    for (auto [phase, count] : iterationPhases())
+        ops += count * 2.0 *
+               double(sim::totalEffectiveMacs(sim::phaseJobs(model,
+                                                             phase)));
+    return ops;
+}
+
+double
+iterationGops(const DeviceModel &dev, const GanModel &model)
+{
+    return iterationUsefulOps(model) / iterationSeconds(dev, model) /
+           1e9;
+}
+
+double
+iterationJoules(const DeviceModel &dev, const GanModel &model)
+{
+    return dev.powerWatts * iterationSeconds(dev, model);
+}
+
+double
+gopsPerWatt(const DeviceModel &dev, const GanModel &model)
+{
+    return iterationGops(dev, model) / dev.powerWatts;
+}
+
+} // namespace baseline
+} // namespace ganacc

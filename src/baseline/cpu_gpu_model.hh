@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Calibrated roofline models of the paper's CPU and GPU baselines
+ * (Fig. 19): Caffe on an Intel i7-6850K, an NVIDIA K20 and an NVIDIA
+ * Titan X.
+ *
+ * SUBSTITUTION NOTE (see DESIGN.md): the paper measured real hardware
+ * with a wall-power meter; we model each device as peak throughput
+ * times a phase-dependent efficiency. Dense work (including the
+ * multiply-by-zero work Caffe's im2col does on zero-inserted maps)
+ * runs at `peak * efficiency`; devices are charged their sustained
+ * board/package power. Peak rates and power are from the vendors'
+ * published specifications; the efficiency fractions are the only
+ * free parameters and are documented in EXPERIMENTS.md.
+ */
+
+#ifndef GANACC_BASELINE_CPU_GPU_MODEL_HH
+#define GANACC_BASELINE_CPU_GPU_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "gan/models.hh"
+#include "sim/phase.hh"
+
+namespace ganacc {
+namespace baseline {
+
+/** A roofline device model. */
+struct DeviceModel
+{
+    std::string name;
+    double peakGops = 0.0;      ///< dense peak (2 ops per MAC)
+    double convEfficiency = 0.0;  ///< fraction of peak on S-CONV work
+    double tconvEfficiency = 0.0; ///< fraction on zero-inserted work
+    double powerWatts = 0.0;      ///< sustained power under load
+
+    /** Efficiency applying to one phase family. */
+    double efficiencyFor(sim::PhaseFamily f) const;
+};
+
+/** Intel i7-6850K, 6 cores Broadwell-E @3.6 GHz, Caffe CPU path. */
+DeviceModel intelI7_6850K();
+
+/** NVIDIA Tesla K20 (Kepler GK110), Caffe GPU path. */
+DeviceModel nvidiaK20();
+
+/** NVIDIA GeForce Titan X (Maxwell GM200), Caffe GPU path. */
+DeviceModel nvidiaTitanX();
+
+/** All three baselines in Fig. 19 order. */
+std::vector<DeviceModel> allDevices();
+
+/** Sustained board power assumed for the FPGA accelerator. */
+double fpgaBoardPowerWatts();
+
+/**
+ * Seconds the device spends on one training iteration per sample
+ * (5 forward + 4 backward phase passes of Fig. 2). Devices execute
+ * dense arithmetic — inserted zeros are multiplied, not skipped.
+ */
+double iterationSeconds(const DeviceModel &dev,
+                        const gan::GanModel &model);
+
+/** Effective (useful-operation) GOP/s the device sustains on one
+ *  training iteration — the Fig. 19 performance metric. */
+double iterationGops(const DeviceModel &dev, const gan::GanModel &model);
+
+/** Joules per training iteration per sample. */
+double iterationJoules(const DeviceModel &dev,
+                       const gan::GanModel &model);
+
+/** GOP/s per watt — the Fig. 19 energy-efficiency metric. */
+double gopsPerWatt(const DeviceModel &dev, const gan::GanModel &model);
+
+/** Useful (effective) operations of one training iteration. */
+double iterationUsefulOps(const gan::GanModel &model);
+
+} // namespace baseline
+} // namespace ganacc
+
+#endif // GANACC_BASELINE_CPU_GPU_MODEL_HH

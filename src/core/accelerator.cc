@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Accelerator facade implementation.
+ */
+
+#include "core/accelerator.hh"
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace core {
+
+GanAccelerator::GanAccelerator(const AcceleratorConfig &cfg) : cfg_(cfg)
+{
+    wPof_ = mem::deriveWPof(cfg_.offchip);
+    stPof_ = mem::deriveStPof(wPof_);
+    totalPes_ = stPof_ * cfg_.pesPerChannelSt +
+                wPof_ * cfg_.pesPerChannelW;
+}
+
+sched::Design
+GanAccelerator::design() const
+{
+    return sched::Design::combo(ArchKind::ZFOST, ArchKind::ZFWST,
+                                totalPes_);
+}
+
+AcceleratorReport
+GanAccelerator::evaluate(const gan::GanModel &model) const
+{
+    AcceleratorReport rep;
+    sched::Design d = design();
+    rep.discUpdate = sched::discriminatorUpdateTiming(d, model);
+    rep.genUpdate = sched::generatorUpdateTiming(d, model);
+    rep.iterationCyclesDeferred =
+        rep.discUpdate.deferredCycles + rep.genUpdate.deferredCycles;
+    rep.iterationCyclesSync =
+        rep.discUpdate.syncCycles + rep.genUpdate.syncCycles;
+    rep.gopsDeferred = sched::iterationGops(
+        d, model, sched::SyncPolicy::Deferred, cfg_.offchip.frequencyHz);
+    rep.samplesPerSecond =
+        cfg_.offchip.frequencyHz / double(rep.iterationCyclesDeferred);
+    rep.buffers =
+        mem::planBuffers(model, wPof_, cfg_.offchip.bitsPerData / 8);
+    rep.resources = estimateResources(totalPes_, rep.buffers);
+    rep.fitsDevice = fits(rep.resources, vcu9pBudget());
+    return rep;
+}
+
+} // namespace core
+} // namespace ganacc

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The complete GAN accelerator of Fig. 14: a ZFOST bank for the
+ * S-CONV/T-CONV phases, a ZFWST bank for the W-CONV phases, the four
+ * on-chip buffer kinds, the off-chip bandwidth-derived unrolling
+ * (eqs. 7-8) and the deferred-synchronization time-multiplexed
+ * schedule. This is the design the paper evaluates end to end.
+ */
+
+#ifndef GANACC_CORE_ACCELERATOR_HH
+#define GANACC_CORE_ACCELERATOR_HH
+
+#include "core/resource_model.hh"
+#include "gan/memory_analysis.hh"
+#include "gan/models.hh"
+#include "mem/offchip.hh"
+#include "mem/onchip_buffer.hh"
+#include "sched/design.hh"
+
+namespace ganacc {
+namespace core {
+
+/** Platform and sizing parameters. */
+struct AcceleratorConfig
+{
+    mem::OffChipConfig offchip; ///< 192 Gbps / 200 MHz / 16-bit
+    int pesPerChannelSt = 16;   ///< 4x4 output tile per ZFOST channel
+    int pesPerChannelW = 16;    ///< 4x4 resident weights per ZFWST
+};
+
+/** Everything the evaluation reports about one (design, model). */
+struct AcceleratorReport
+{
+    sched::UpdateTiming discUpdate;
+    sched::UpdateTiming genUpdate;
+    std::uint64_t iterationCyclesDeferred = 0;
+    std::uint64_t iterationCyclesSync = 0;
+    double gopsDeferred = 0.0;
+    double samplesPerSecond = 0.0;
+    mem::BufferPlan buffers;
+    FpgaResources resources;
+    bool fitsDevice = false;
+};
+
+/** The paper's accelerator: sized from bandwidth, built as a
+ *  ZFOST-ZFWST combination. */
+class GanAccelerator
+{
+  public:
+    explicit GanAccelerator(const AcceleratorConfig &cfg = {});
+
+    /** Eq. (7): ZFWST channels sustainable by the DRAM. */
+    int wPof() const { return wPof_; }
+    /** Eq. (8): ZFOST channels for a balanced schedule. */
+    int stPof() const { return stPof_; }
+    /** 1200 + 480 in the paper's configuration. */
+    int totalPes() const { return totalPes_; }
+
+    const AcceleratorConfig &config() const { return cfg_; }
+
+    /** The design point handed to the schedulers. */
+    sched::Design design() const;
+
+    /** Full evaluation of one GAN model on this accelerator. */
+    AcceleratorReport evaluate(const gan::GanModel &model) const;
+
+  private:
+    AcceleratorConfig cfg_;
+    int wPof_;
+    int stPof_;
+    int totalPes_;
+};
+
+} // namespace core
+} // namespace ganacc
+
+#endif // GANACC_CORE_ACCELERATOR_HH

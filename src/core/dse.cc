@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Design-space exploration implementation.
+ */
+
+#include "core/dse.hh"
+
+#include <algorithm>
+
+#include "core/unrolling.hh"
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace core {
+
+using gan::GanModel;
+
+DsePoint
+evaluatePoint(const DseConstraints &cons, const GanModel &model,
+              int w_pof, int st_pof)
+{
+    GANACC_ASSERT(w_pof >= 1 && st_pof >= 1, "degenerate DSE point");
+    DsePoint p;
+    p.wPof = w_pof;
+    p.stPof = st_pof;
+    p.totalPes = (w_pof + st_pof) * cons.pesPerChannel;
+
+    sched::Design design = sched::Design::comboWithSplit(
+        ArchKind::ZFOST, ArchKind::ZFWST,
+        st_pof * cons.pesPerChannel, w_pof * cons.pesPerChannel);
+    p.iterationCycles = sched::iterationCycles(
+        design, model, sched::SyncPolicy::Deferred);
+    p.samplesPerSecond =
+        cons.offchip.frequencyHz / double(p.iterationCycles);
+
+    mem::BufferPlan plan =
+        mem::planBuffers(model, w_pof, cons.offchip.bitsPerData / 8);
+    p.resources = estimateResources(p.totalPes, plan);
+    p.fitsDevice = fits(p.resources, cons.budget);
+
+    // Worst-case ∇W stream: the smallest resident pass drives the
+    // peak demand (Section V-C); with the kernel fully resident per
+    // pass that is 2 * f * W_Pof * bits.
+    double demand = 2.0 * cons.offchip.frequencyHz * w_pof *
+                    cons.offchip.bitsPerData;
+    p.bandwidthFeasible = demand <= cons.offchip.bandwidthBitsPerSec;
+    return p;
+}
+
+std::vector<DsePoint>
+sweepFrontier(const DseConstraints &cons, const GanModel &model)
+{
+    std::vector<DsePoint> pts;
+    for (int w = 1; w <= cons.maxWPof; ++w) {
+        int st = mem::deriveStPof(w);
+        pts.push_back(evaluatePoint(cons, model, w, st));
+    }
+    return pts;
+}
+
+std::optional<DsePoint>
+bestFeasible(const std::vector<DsePoint> &pts)
+{
+    std::optional<DsePoint> best;
+    for (const DsePoint &p : pts) {
+        if (!p.feasible())
+            continue;
+        if (!best || p.samplesPerSecond > best->samplesPerSecond)
+            best = p;
+    }
+    return best;
+}
+
+} // namespace core
+} // namespace ganacc

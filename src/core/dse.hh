@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Design-space exploration: the optimizer an architect runs before
+ * committing to a configuration.
+ *
+ * The paper picks one point (eqs. 7-8 at 192 Gbps on the VCU9P); this
+ * module searches the surrounding space — bank widths, PE split and
+ * clock — for the best throughput subject to the FPGA's resources and
+ * the DRAM bandwidth constraint, and can emit the whole frontier for
+ * plotting. It reuses the same cycle models and resource/bandwidth
+ * laws as the reproduction, so its optimum landing on the paper's
+ * configuration is itself a consistency check (asserted in the
+ * tests).
+ */
+
+#ifndef GANACC_CORE_DSE_HH
+#define GANACC_CORE_DSE_HH
+
+#include <optional>
+#include <vector>
+
+#include "core/resource_model.hh"
+#include "gan/models.hh"
+#include "mem/offchip.hh"
+#include "mem/onchip_buffer.hh"
+#include "sched/design.hh"
+
+namespace ganacc {
+namespace core {
+
+/** The search space. */
+struct DseConstraints
+{
+    mem::OffChipConfig offchip;       ///< bandwidth + clock + width
+    FpgaResources budget;             ///< device limits
+    int maxWPof = 120;                ///< W-bank channel ceiling
+    int pesPerChannel = 16;           ///< 4x4 arrays per channel
+};
+
+/** One evaluated configuration. */
+struct DsePoint
+{
+    int wPof = 0;
+    int stPof = 0;
+    int totalPes = 0;
+    std::uint64_t iterationCycles = 0; ///< DCGAN-weighted, deferred
+    double samplesPerSecond = 0.0;
+    FpgaResources resources;
+    bool fitsDevice = false;
+    bool bandwidthFeasible = false;
+
+    bool
+    feasible() const
+    {
+        return fitsDevice && bandwidthFeasible;
+    }
+};
+
+/**
+ * Evaluate one (W_Pof, ST_Pof) configuration on a model: timing from
+ * the cycle models, resources from the Table III model, bandwidth
+ * feasibility from eq. (7)'s worst-case ∇W stream.
+ */
+DsePoint evaluatePoint(const DseConstraints &cons,
+                       const gan::GanModel &model, int w_pof,
+                       int st_pof);
+
+/**
+ * Sweep W_Pof (with ST_Pof following eq. 8) and return every point,
+ * feasible or not, in increasing W_Pof order.
+ */
+std::vector<DsePoint> sweepFrontier(const DseConstraints &cons,
+                                    const gan::GanModel &model);
+
+/** The fastest feasible point of the frontier, if any. */
+std::optional<DsePoint> bestFeasible(const std::vector<DsePoint> &pts);
+
+} // namespace core
+} // namespace ganacc
+
+#endif // GANACC_CORE_DSE_HH

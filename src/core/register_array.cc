@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Register-array implementation.
+ */
+
+#include "core/register_array.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace core {
+
+InputRegisterArray::InputRegisterArray(int rows, int cols)
+    : rows_(rows), cols_(cols), grid_(std::size_t(rows) * cols)
+{
+    GANACC_ASSERT(rows >= 1 && cols >= 1, "degenerate register array");
+}
+
+Coord
+InputRegisterArray::held(int r, int c) const
+{
+    GANACC_ASSERT(loaded_, "register array not loaded");
+    GANACC_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                  "register index out of range");
+    return grid_[std::size_t(r) * cols_ + c];
+}
+
+bool
+InputRegisterArray::translationOf(const std::vector<Coord> &want,
+                                  int &dy, int &dx) const
+{
+    dy = want[0].y - grid_[0].y;
+    dx = want[0].x - grid_[0].x;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        if (want[i].y - grid_[i].y != dy ||
+            want[i].x - grid_[i].x != dx)
+            return false;
+    }
+    return true;
+}
+
+Delivery
+InputRegisterArray::deliver(const std::vector<Coord> &want)
+{
+    GANACC_ASSERT(int(want.size()) == rows_ * cols_,
+                  "demand size mismatch: ", want.size(), " vs ",
+                  rows_ * cols_);
+    Delivery d;
+    auto reload = [&] {
+        grid_ = want;
+        loaded_ = true;
+        d.bufferLoads = rows_ * cols_;
+        d.reloaded = true;
+        totalLoads_ += std::uint64_t(d.bufferLoads);
+        totalReloads_ += 1;
+    };
+
+    if (!loaded_) {
+        reload();
+        return d;
+    }
+
+    int dy = 0, dx = 0;
+    if (!translationOf(want, dy, dx)) {
+        reload();
+        return d;
+    }
+    if (dy == 0 && dx == 0)
+        return d; // already holding exactly this set
+
+    // Register pitch along each axis: the coordinate spacing between
+    // adjacent registers. A translation is shiftable only by whole
+    // register positions.
+    int pitch_x =
+        cols_ > 1 ? grid_[1].x - grid_[0].x : (dx != 0 ? 0 : 1);
+    int pitch_y = rows_ > 1 ? grid_[std::size_t(cols_)].y - grid_[0].y
+                            : (dy != 0 ? 0 : 1);
+    bool x_ok = dx == 0 || (pitch_x != 0 && dx % pitch_x == 0);
+    bool y_ok = dy == 0 || (pitch_y != 0 && dy % pitch_y == 0);
+    if (!x_ok || !y_ok) {
+        reload();
+        return d;
+    }
+    int steps_x = dx == 0 ? 0 : std::abs(dx / pitch_x);
+    int steps_y = dy == 0 ? 0 : std::abs(dy / pitch_y);
+    // Each column shift brings in one new column (rows_ loads); each
+    // row shift one new row (cols_ loads).
+    d.shifts = steps_x + steps_y;
+    d.bufferLoads = steps_x * rows_ + steps_y * cols_;
+    grid_ = want;
+    totalShifts_ += std::uint64_t(d.shifts);
+    totalLoads_ += std::uint64_t(d.bufferLoads);
+    return d;
+}
+
+std::vector<Coord>
+zfostDemand(int ty0, int tx0, int rows, int cols, int cy, int cx, int zc,
+            int stride, int ky, int kx, int pad)
+{
+    std::vector<Coord> want;
+    want.reserve(std::size_t(rows) * cols);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c) {
+            int oy = cy + (ty0 + r) * zc;
+            int ox = cx + (tx0 + c) * zc;
+            want.push_back(
+                {oy * stride + ky - pad, ox * stride + kx - pad});
+        }
+    return want;
+}
+
+} // namespace core
+} // namespace ganacc

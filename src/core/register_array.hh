@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The ZFOST/ZFWST input register array (Figs. 11-13), modeled at the
+ * register level.
+ *
+ * The array holds one input operand per PE. Between weight steps the
+ * demanded operand set changes; if the new set is a pure translation
+ * of the current one by a whole number of register positions, the
+ * array *shifts* (circularly, loading only the incoming row/column
+ * from the buffer); otherwise it must reload entirely. Whether a
+ * weight feed order produces shiftable transitions is exactly the
+ * paper's Fig. 7(b) vs Fig. 12(a) argument:
+ *
+ *  - raster-order weights on a stride-2 S-CONV move the demand by 1
+ *    while the registers sit at pitch 2 — never shiftable;
+ *  - parity-reordered weights move the demand by the pitch — a
+ *    single-column shift every step.
+ *
+ * This module lets the tests *derive* the access accounting that the
+ * cycle-level models assert.
+ */
+
+#ifndef GANACC_CORE_REGISTER_ARRAY_HH
+#define GANACC_CORE_REGISTER_ARRAY_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ganacc {
+namespace core {
+
+/** An input-space coordinate held by a register. */
+struct Coord
+{
+    int y = 0;
+    int x = 0;
+    bool operator==(const Coord &) const = default;
+};
+
+/** How one operand-set transition was satisfied. */
+struct Delivery
+{
+    /// Buffer reads performed (full grid, incoming rows/cols, or 0).
+    int bufferLoads = 0;
+    /// Positional shifts executed (rows + columns).
+    int shifts = 0;
+    /// True when the transition was not a whole-pitch translation and
+    /// the grid had to reload.
+    bool reloaded = false;
+};
+
+/**
+ * A rows x cols register grid with circular shift paths. Register
+ * contents are tracked as input-space coordinates so tests can verify
+ * which operand each PE would read.
+ */
+class InputRegisterArray
+{
+  public:
+    InputRegisterArray(int rows, int cols);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    bool loaded() const { return loaded_; }
+
+    /** Coordinate currently held for PE (r, c); panics if unloaded. */
+    Coord held(int r, int c) const;
+
+    /**
+     * Make the array hold exactly `want` (row-major rows x cols
+     * coordinates). Uses shifts when `want` is a translation of the
+     * current contents by a multiple of the register pitch; reloads
+     * otherwise. Returns what it did and updates cumulative counters.
+     */
+    Delivery deliver(const std::vector<Coord> &want);
+
+    std::uint64_t totalBufferLoads() const { return totalLoads_; }
+    std::uint64_t totalShifts() const { return totalShifts_; }
+    std::uint64_t totalReloads() const { return totalReloads_; }
+
+  private:
+    bool translationOf(const std::vector<Coord> &want, int &dy,
+                       int &dx) const;
+
+    int rows_;
+    int cols_;
+    bool loaded_ = false;
+    std::vector<Coord> grid_; ///< row-major coordinates
+    std::uint64_t totalLoads_ = 0;
+    std::uint64_t totalShifts_ = 0;
+    std::uint64_t totalReloads_ = 0;
+};
+
+/**
+ * The operand set a ZFOST output tile demands at one weight step:
+ * coordinates (oy*stride + ky - pad, ox*stride + kx - pad) for the
+ * tile's outputs. Outputs are class members oy = cy + (ty0 + r) * zc.
+ */
+std::vector<Coord> zfostDemand(int ty0, int tx0, int rows, int cols,
+                               int cy, int cx, int zc, int stride,
+                               int ky, int kx, int pad);
+
+} // namespace core
+} // namespace ganacc
+
+#endif // GANACC_CORE_REGISTER_ARRAY_HH

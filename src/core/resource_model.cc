@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Resource model implementation.
+ */
+
+#include "core/resource_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace core {
+
+namespace {
+
+// Linear coefficients fitted so a 1680-PE design with the DCGAN
+// buffer plan reproduces Table III (254523 LUTs, 79668 FFs, 1694
+// DSPs).
+constexpr std::uint64_t kLutsPerPe = 130;
+constexpr std::uint64_t kLutsFixed = 36123;
+constexpr std::uint64_t kFfsPerPe = 40;
+constexpr std::uint64_t kFfsFixed = 12468;
+constexpr int kDspPerPe = 1;
+constexpr int kDspFixed = 14; // address generation / control
+
+} // namespace
+
+FpgaResources
+vcu9pBudget()
+{
+    FpgaResources r;
+    r.luts = 1182240;
+    r.flipFlops = 2364480;
+    r.bram36 = 2160;
+    r.dsp = 6840;
+    return r;
+}
+
+FpgaResources
+estimateResources(int total_pes, const mem::BufferPlan &plan)
+{
+    GANACC_ASSERT(total_pes > 0, "design needs at least one PE");
+    FpgaResources r;
+    r.luts = kLutsPerPe * total_pes + kLutsFixed;
+    r.flipFlops = kFfsPerPe * total_pes + kFfsFixed;
+    r.dsp = kDspPerPe * total_pes + kDspFixed;
+    r.bram36 = plan.bram36Count();
+    return r;
+}
+
+bool
+fits(const FpgaResources &need, const FpgaResources &budget)
+{
+    return need.luts <= budget.luts &&
+           need.flipFlops <= budget.flipFlops &&
+           need.bram36 <= budget.bram36 && need.dsp <= budget.dsp;
+}
+
+double
+worstUtilization(const FpgaResources &need, const FpgaResources &budget)
+{
+    double u = 0.0;
+    u = std::max(u, double(need.luts) / double(budget.luts));
+    u = std::max(u, double(need.flipFlops) / double(budget.flipFlops));
+    u = std::max(u, double(need.bram36) / double(budget.bram36));
+    u = std::max(u, double(need.dsp) / double(budget.dsp));
+    return u;
+}
+
+} // namespace core
+} // namespace ganacc

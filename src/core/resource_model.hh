@@ -1,0 +1,54 @@
+/**
+ * @file
+ * First-order FPGA resource model calibrated against the paper's
+ * synthesis report (Table III) on the Xilinx UltraScale+ XCVU9P.
+ *
+ * The paper built Verilog; we substitute an analytic cost model so
+ * design-space sweeps can reject infeasible points. Calibration: one
+ * DSP slice per 16-bit MAC PE plus a fixed control margin, linear
+ * LUT/FF cost per PE fitted to Table III's 1680-PE design, and Block
+ * RAM from the Fig. 14 buffer plan.
+ */
+
+#ifndef GANACC_CORE_RESOURCE_MODEL_HH
+#define GANACC_CORE_RESOURCE_MODEL_HH
+
+#include <cstdint>
+
+#include "mem/onchip_buffer.hh"
+
+namespace ganacc {
+namespace core {
+
+/** Resource vector of a design or a device. */
+struct FpgaResources
+{
+    std::uint64_t luts = 0;
+    std::uint64_t flipFlops = 0;
+    int bram36 = 0;
+    int dsp = 0;
+};
+
+/** The XCVU9P totals from Table III's "total resource on board". */
+FpgaResources vcu9pBudget();
+
+/**
+ * Estimate the design's resources.
+ *
+ * @param total_pes ST-bank + W-bank PEs.
+ * @param plan      the Fig. 14 buffer plan.
+ */
+FpgaResources estimateResources(int total_pes,
+                                const mem::BufferPlan &plan);
+
+/** True when every component of `need` fits within `budget`. */
+bool fits(const FpgaResources &need, const FpgaResources &budget);
+
+/** Utilization fraction of the scarcest resource. */
+double worstUtilization(const FpgaResources &need,
+                        const FpgaResources &budget);
+
+} // namespace core
+} // namespace ganacc
+
+#endif // GANACC_CORE_RESOURCE_MODEL_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * ZFWST cycle-level model.
+ */
+
+#include "core/zfwst.hh"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace core {
+
+using sim::ConvSpec;
+using sim::RunStats;
+using tensor::Tensor;
+
+RunStats
+Zfwst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
+             Tensor *out) const
+{
+    const bool functional = in != nullptr;
+    const int n_pes = numPes();
+    const int resident_cap = unroll_.pKx * unroll_.pKy;
+    RunStats st;
+
+    const int z = spec.inZeroStride;
+    GANACC_ASSERT(z == 1 || spec.stride == 1,
+                  "stuffed input with strided streaming is not a GAN "
+                  "pattern: ", spec.describe());
+
+    for (int cy = 0; cy < z && cy < spec.oh; ++cy) {
+        for (int cx = 0; cx < z && cx < spec.ow; ++cx) {
+            const int n_y = (spec.oh - cy + z - 1) / z;
+            const int n_x = (spec.ow - cx + z - 1) / z;
+            // Effective kernel elements for this output class: not a
+            // structural kernel zero, and parity-compatible with the
+            // input stuffing pattern.
+            std::vector<std::pair<int, int>> eff;
+            for (int ky = 0; ky < spec.kh; ++ky) {
+                if (spec.kernelRowZero(ky))
+                    continue;
+                if (z > 1 && (cy + ky - spec.pad) % z != 0)
+                    continue;
+                for (int kx = 0; kx < spec.kw; ++kx) {
+                    if (spec.kernelColZero(kx))
+                        continue;
+                    if (z > 1 && (cx + kx - spec.pad) % z != 0)
+                        continue;
+                    eff.emplace_back(ky, kx);
+                }
+            }
+            if (eff.empty())
+                continue;
+            const int n_chunks =
+                int((eff.size() + resident_cap - 1) / resident_cap);
+
+            for (int of0 = 0; of0 < spec.nof; of0 += unroll_.pOf) {
+                const int of_cnt = std::min(unroll_.pOf, spec.nof - of0);
+                for (int chunk = 0; chunk < n_chunks; ++chunk) {
+                    const int e0 = chunk * resident_cap;
+                    const int e_cnt = std::min(
+                        resident_cap, int(eff.size()) - e0);
+                    // Resident weights load once per pass per channel.
+                    st.weightLoads += std::uint64_t(e_cnt) * of_cnt;
+
+                    for (int c = 0; c < spec.nif; ++c) {
+                        bool first_out = true;
+                        for (int t_y = 0; t_y < n_y; ++t_y) {
+                            for (int t_x = 0; t_x < n_x; ++t_x) {
+                                // ---- one cycle: one output neuron
+                                // per channel via the adder tree ----
+                                st.cycles += 1;
+                                const int oy = cy + t_y * z;
+                                const int ox = cx + t_x * z;
+                                int eff_cnt = 0;
+                                for (int e = e0; e < e0 + e_cnt; ++e) {
+                                    const auto [ky, kx] = eff[e];
+                                    int iy = oy * spec.stride + ky -
+                                             spec.pad;
+                                    int ix = ox * spec.stride + kx -
+                                             spec.pad;
+                                    bool useful =
+                                        iy >= 0 && iy < spec.ih &&
+                                        ix >= 0 && ix < spec.iw &&
+                                        !spec.inputIsZero(iy, ix);
+                                    if (useful) {
+                                        ++eff_cnt;
+                                        if (functional) {
+                                            float v =
+                                                in->get(0, c, iy, ix);
+                                            for (int f = 0; f < of_cnt;
+                                                 ++f) {
+                                                int of = of0 + f;
+                                                int wc =
+                                                    spec.fourDimOutput
+                                                        ? 0
+                                                        : c;
+                                                float ww = w->get(
+                                                    of, wc, ky, kx);
+                                                if (spec.fourDimOutput)
+                                                    out->ref(of, c, oy,
+                                                             ox) +=
+                                                        v * ww;
+                                                else
+                                                    out->ref(0, of, oy,
+                                                             ox) +=
+                                                        v * ww;
+                                            }
+                                        }
+                                    }
+                                }
+                                st.effectiveMacs +=
+                                    std::uint64_t(eff_cnt) * of_cnt;
+                                st.ineffectualMacs +=
+                                    std::uint64_t(e_cnt - eff_cnt) *
+                                    of_cnt;
+                                st.idlePeSlots +=
+                                    std::uint64_t(n_pes) -
+                                    std::uint64_t(e_cnt) * of_cnt;
+                                // Register-array traffic: footprint on
+                                // the first output of a pass, then a
+                                // column shift per step.
+                                if (first_out) {
+                                    st.inputLoads +=
+                                        std::uint64_t(e_cnt);
+                                    first_out = false;
+                                } else {
+                                    st.inputLoads += std::uint64_t(
+                                        std::min(e_cnt, unroll_.pKy));
+                                }
+                                // One adder-tree result per channel;
+                                // later passes accumulate through the
+                                // ping-pong partial-result buffer.
+                                st.outputWrites += std::uint64_t(of_cnt);
+                                const bool accumulating =
+                                    chunk > 0 ||
+                                    (!spec.fourDimOutput && c > 0);
+                                if (accumulating)
+                                    st.outputReads +=
+                                        std::uint64_t(of_cnt);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return st;
+}
+
+} // namespace core
+} // namespace ganacc

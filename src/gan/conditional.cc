@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Conditional trainer implementation.
+ */
+
+#include "gan/conditional.hh"
+
+#include "gan/trainer.hh"
+#include "nn/loss.hh"
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace gan {
+
+using tensor::Tensor;
+
+ConditionalTrainer::ConditionalTrainer(const GanModel &model,
+                                       std::uint64_t seed,
+                                       float recon_weight, float clip)
+    : model_(model), reconWeight_(recon_weight), clip_(clip)
+{
+    GANACC_ASSERT(recon_weight >= 0.0f, "negative recon weight");
+    util::Rng rng(seed);
+    gen_ = std::make_unique<Network>(model_.gen, rng);
+    disc_ = std::make_unique<Network>(model_.disc, rng);
+}
+
+Tensor
+ConditionalTrainer::inpaint(const Tensor &conditions)
+{
+    return gen_->forward(conditions);
+}
+
+double
+ConditionalTrainer::discriminatorStep(const Tensor &real,
+                                      const Tensor &conditions,
+                                      nn::Optimizer &opt)
+{
+    const int m = real.shape().d0;
+    GANACC_ASSERT(conditions.shape().d0 == m,
+                  "conditions/real batch mismatch");
+    std::vector<double> real_scores, fake_scores;
+    for (int i = 0; i < m; ++i) {
+        Tensor real_i = extractSample(real, i);
+        Tensor out_r = disc_->forward(real_i);
+        real_scores.push_back(Network::scores(out_r)[0]);
+        disc_->backward(
+            Tensor(out_r.shape(), float(nn::criticOutputErrorReal(m))));
+
+        Tensor cond_i = extractSample(conditions, i);
+        Tensor fake_i = gen_->forward(cond_i);
+        Tensor out_f = disc_->forward(fake_i);
+        fake_scores.push_back(Network::scores(out_f)[0]);
+        disc_->backward(
+            Tensor(out_f.shape(), float(nn::criticOutputErrorFake(m))));
+    }
+    disc_->applyUpdates(opt);
+    if (clip_ > 0.0f)
+        disc_->clipWeights(clip_);
+    return nn::wassersteinCriticLoss(real_scores, fake_scores);
+}
+
+ConditionalLosses
+ConditionalTrainer::generatorStep(const Tensor &real,
+                                  const Tensor &conditions,
+                                  nn::Optimizer &opt)
+{
+    const int m = real.shape().d0;
+    GANACC_ASSERT(conditions.shape().d0 == m,
+                  "conditions/real batch mismatch");
+    ConditionalLosses losses;
+    for (int i = 0; i < m; ++i) {
+        Tensor cond_i = extractSample(conditions, i);
+        Tensor truth_i = extractSample(real, i);
+        Tensor rec = gen_->forward(cond_i);
+
+        // Adversarial error relayed through the (frozen) critic.
+        Tensor out = disc_->forward(rec);
+        losses.adversarial += -Network::scores(out)[0] / m;
+        Tensor derr_head(out.shape(),
+                         float(nn::generatorOutputError(m)));
+        Tensor derr_adv = disc_->backwardError(derr_head);
+
+        // Reconstruction error: d(lambda/2m * ||rec - truth||^2 / P)
+        // where P is pixels per sample.
+        const float scale =
+            reconWeight_ / (float(m) * float(rec.numel()));
+        Tensor derr = rec;
+        derr.axpy(-1.0f, truth_i);
+        double mse = 0.0;
+        for (std::size_t k = 0; k < derr.numel(); ++k)
+            mse += double(derr.data()[k]) * derr.data()[k];
+        losses.reconstruction += mse / double(rec.numel()) / m;
+        derr.scale(scale);
+        derr.add(derr_adv);
+
+        gen_->backward(derr);
+    }
+    gen_->applyUpdates(opt);
+    return losses;
+}
+
+} // namespace gan
+} // namespace ganacc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Conditional GAN training (the Context-Encoder recipe behind the
+ * paper's cGAN): the generator is conditioned on an input image
+ * (e.g. a masked photo) and trained with a joint objective —
+ * adversarial (the critic judges the reconstruction) plus a
+ * weighted reconstruction loss toward the ground truth.
+ *
+ * Both updates run the deferred-synchronization per-sample loops: the
+ * adversarial term's output error is the constant of eq. (6) and the
+ * reconstruction term is intrinsically per-sample, so the algorithm
+ * the accelerator executes computes the exact mini-batch gradient
+ * here too.
+ */
+
+#ifndef GANACC_GAN_CONDITIONAL_HH
+#define GANACC_GAN_CONDITIONAL_HH
+
+#include <memory>
+
+#include "gan/models.hh"
+#include "gan/network.hh"
+#include "nn/optimizer.hh"
+#include "tensor/tensor.hh"
+
+namespace ganacc {
+namespace gan {
+
+/** Losses of one conditional-generator step. */
+struct ConditionalLosses
+{
+    double adversarial = 0.0;   ///< -mean D(G(condition))
+    double reconstruction = 0.0; ///< mean squared error to the truth
+};
+
+/** Trainer for encoder-decoder conditional GANs. */
+class ConditionalTrainer
+{
+  public:
+    /**
+     * @param model        topology with an image-conditioned
+     *                     generator (makeContextEncoder-style).
+     * @param seed         deterministic initialization.
+     * @param recon_weight weight of the reconstruction term (the
+     *                     Context-Encoder paper weighs reconstruction
+     *                     heavily).
+     * @param clip         WGAN critic clip bound (0 disables).
+     */
+    ConditionalTrainer(const GanModel &model, std::uint64_t seed,
+                       float recon_weight = 10.0f, float clip = 0.01f);
+
+    /** Reconstruct from conditions (no training side effects kept). */
+    tensor::Tensor inpaint(const tensor::Tensor &conditions);
+
+    /**
+     * One deferred-sync critic update: real images against
+     * reconstructions from their conditions. @return critic loss.
+     */
+    double discriminatorStep(const tensor::Tensor &real,
+                             const tensor::Tensor &conditions,
+                             nn::Optimizer &opt);
+
+    /**
+     * One deferred-sync generator update with the joint objective.
+     */
+    ConditionalLosses generatorStep(const tensor::Tensor &real,
+                                    const tensor::Tensor &conditions,
+                                    nn::Optimizer &opt);
+
+    Network &generator() { return *gen_; }
+    Network &discriminator() { return *disc_; }
+    float reconWeight() const { return reconWeight_; }
+
+  private:
+    GanModel model_;
+    float reconWeight_;
+    float clip_;
+    std::unique_ptr<Network> gen_;
+    std::unique_ptr<Network> disc_;
+};
+
+} // namespace gan
+} // namespace ganacc
+
+#endif // GANACC_GAN_CONDITIONAL_HH

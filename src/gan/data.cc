@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Synthetic dataset implementations.
+ */
+
+#include "gan/data.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace gan {
+
+using tensor::Shape4;
+using tensor::Tensor;
+
+Tensor
+makeBlobImages(int n, int channels, int h, int w, util::Rng &rng)
+{
+    GANACC_ASSERT(n > 0 && channels > 0 && h > 0 && w > 0,
+                  "bad blob image dims");
+    Tensor out(Shape4(n, channels, h, w), -1.0f);
+    for (int i = 0; i < n; ++i) {
+        double cy = rng.uniform(0.3, 0.7) * h;
+        double cx = rng.uniform(0.3, 0.7) * w;
+        double sigma = rng.uniform(0.10, 0.22) * std::min(h, w);
+        for (int c = 0; c < channels; ++c) {
+            double gain = 1.0 - 0.1 * c;
+            for (int y = 0; y < h; ++y)
+                for (int x = 0; x < w; ++x) {
+                    double dy = (y - cy) / sigma;
+                    double dx = (x - cx) / sigma;
+                    double v =
+                        gain * std::exp(-0.5 * (dy * dy + dx * dx));
+                    out.ref(i, c, y, x) = float(2.0 * v - 1.0);
+                }
+        }
+    }
+    return out;
+}
+
+Tensor
+makeStripeImages(int n, int channels, int h, int w, util::Rng &rng)
+{
+    GANACC_ASSERT(n > 0 && channels > 0 && h > 0 && w > 0,
+                  "bad stripe image dims");
+    Tensor out(Shape4(n, channels, h, w));
+    for (int i = 0; i < n; ++i) {
+        double theta = rng.uniform(0.0, 3.14159265);
+        double freq = rng.uniform(0.15, 0.45);
+        double phase = rng.uniform(0.0, 6.2831853);
+        double ky = std::sin(theta) * freq;
+        double kx = std::cos(theta) * freq;
+        for (int c = 0; c < channels; ++c)
+            for (int y = 0; y < h; ++y)
+                for (int x = 0; x < w; ++x)
+                    out.ref(i, c, y, x) = float(
+                        std::sin(ky * y + kx * x + phase + 0.5 * c));
+    }
+    return out;
+}
+
+double
+meanPixel(const Tensor &batch)
+{
+    GANACC_ASSERT(batch.numel() > 0, "empty batch");
+    return batch.sum() / double(batch.numel());
+}
+
+} // namespace gan
+} // namespace ganacc

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Synthetic dataset generators.
+ *
+ * The paper trains on MNIST and natural-image datasets we do not ship.
+ * Accelerator throughput is data-independent, and the functional
+ * training demos only need a learnable low-dimensional target
+ * distribution, so we substitute deterministic procedural images
+ * (documented in DESIGN.md): smooth blob/stripe patterns in [-1, 1]
+ * with sample-to-sample variation drawn from a seeded RNG.
+ */
+
+#ifndef GANACC_GAN_DATA_HH
+#define GANACC_GAN_DATA_HH
+
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+
+namespace ganacc {
+namespace gan {
+
+/**
+ * Digit-like images: a bright Gaussian blob whose position/scale vary
+ * per sample, on a dark background. Shape (n, channels, h, w).
+ */
+tensor::Tensor makeBlobImages(int n, int channels, int h, int w,
+                              util::Rng &rng);
+
+/**
+ * Texture-like images: oriented sinusoidal stripes with random phase
+ * and frequency. Shape (n, channels, h, w).
+ */
+tensor::Tensor makeStripeImages(int n, int channels, int h, int w,
+                                util::Rng &rng);
+
+/** Mean pixel value per sample (cheap distribution statistic). */
+double meanPixel(const tensor::Tensor &batch);
+
+} // namespace gan
+} // namespace ganacc
+
+#endif // GANACC_GAN_DATA_HH

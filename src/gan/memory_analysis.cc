@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Memory footprint analysis implementation.
+ */
+
+#include "gan/memory_analysis.hh"
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace gan {
+
+MemoryFootprint
+analyzeMemory(const GanModel &model, int batch_size, int bytes_per_elem)
+{
+    GANACC_ASSERT(batch_size > 0 && bytes_per_elem > 0,
+                  "bad memory-analysis parameters");
+    MemoryFootprint f;
+    f.perSampleDiscBytes =
+        model.discIntermediateElems() * std::size_t(bytes_per_elem);
+    f.perSampleGenBytes =
+        model.genIntermediateElems() * std::size_t(bytes_per_elem);
+
+    const std::size_t m = std::size_t(batch_size);
+    // Discriminator update sees m real + m fake samples (Fig. 2
+    // steps 1-4): 2m intermediate sets stay live until the loss
+    // synchronizes.
+    f.syncDiscUpdateBytes = 2 * m * f.perSampleDiscBytes;
+    // Generator update (steps 5-9): every sample's G intermediates are
+    // needed for Gw, and the relayed D activations are live until the
+    // synchronized loss is formed.
+    f.syncGenUpdateBytes =
+        m * (f.perSampleGenBytes + f.perSampleDiscBytes);
+
+    // Deferred: one sample's forward data plus its backward errors
+    // (the Data and Error buffers of Fig. 14).
+    f.deferredDiscUpdateBytes = 2 * f.perSampleDiscBytes;
+    f.deferredGenUpdateBytes =
+        2 * (f.perSampleGenBytes + f.perSampleDiscBytes);
+    return f;
+}
+
+} // namespace gan
+} // namespace ganacc

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Intermediate-data footprint analysis (Section III-A).
+ *
+ * Weight updating needs every layer's forward output d^l (eq. 4), so
+ * the synchronized algorithm buffers the per-sample intermediate set
+ * for all 2m samples of the combined real+fake batch; the paper
+ * reports ~126 MB for DCGAN at batch 256 with 16-bit data. Deferred
+ * synchronization shrinks the live set to a single sample.
+ */
+
+#ifndef GANACC_GAN_MEMORY_ANALYSIS_HH
+#define GANACC_GAN_MEMORY_ANALYSIS_HH
+
+#include <cstddef>
+
+#include "gan/models.hh"
+
+namespace ganacc {
+namespace gan {
+
+/** Byte counts of the intermediate-activation buffers. */
+struct MemoryFootprint
+{
+    /// d^l bytes for one sample through the discriminator.
+    std::size_t perSampleDiscBytes = 0;
+    /// d^l bytes for one sample through the generator.
+    std::size_t perSampleGenBytes = 0;
+    /// Synchronized discriminator update: 2m buffered sample sets.
+    std::size_t syncDiscUpdateBytes = 0;
+    /// Synchronized generator update: m sets through G and D each.
+    std::size_t syncGenUpdateBytes = 0;
+    /// Deferred: one sample's set (data) plus one error set in flight.
+    std::size_t deferredDiscUpdateBytes = 0;
+    std::size_t deferredGenUpdateBytes = 0;
+};
+
+/**
+ * Compute the footprint for one model and batch size.
+ *
+ * @param bytes_per_elem data width; 2 for the paper's 16-bit datapath.
+ */
+MemoryFootprint analyzeMemory(const GanModel &model, int batch_size,
+                              int bytes_per_elem = 2);
+
+} // namespace gan
+} // namespace ganacc
+
+#endif // GANACC_GAN_MEMORY_ANALYSIS_HH

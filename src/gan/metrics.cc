@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Metric implementations.
+ */
+
+#include "gan/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace gan {
+
+using tensor::Tensor;
+
+double
+momentDistance(const Tensor &a, const Tensor &b)
+{
+    GANACC_ASSERT(a.shape().d1 == b.shape().d1 &&
+                      a.shape().d2 == b.shape().d2 &&
+                      a.shape().d3 == b.shape().d3,
+                  "momentDistance needs same per-sample shape");
+    GANACC_ASSERT(a.shape().d0 > 0 && b.shape().d0 > 0,
+                  "empty batches");
+    const int pixels = a.shape().d1 * a.shape().d2 * a.shape().d3;
+    double acc = 0.0;
+    for (int p = 0; p < pixels; ++p) {
+        auto moments = [&](const Tensor &t) {
+            const int n = t.shape().d0;
+            double m = 0.0, sq = 0.0;
+            for (int i = 0; i < n; ++i) {
+                double v = t.data()[std::size_t(i) * pixels + p];
+                m += v;
+                sq += v * v;
+            }
+            m /= n;
+            double var = std::max(0.0, sq / n - m * m);
+            return std::pair<double, double>(m, std::sqrt(var));
+        };
+        auto [ma, sa] = moments(a);
+        auto [mb, sb] = moments(b);
+        acc += (ma - mb) * (ma - mb) + (sa - sb) * (sa - sb);
+    }
+    return std::sqrt(acc / pixels);
+}
+
+namespace {
+
+/** Squared euclidean distance between two flattened samples. */
+double
+sqDist(const Tensor &a, int i, const Tensor &b, int j, int pixels)
+{
+    const float *pa = a.data() + std::size_t(i) * pixels;
+    const float *pb = b.data() + std::size_t(j) * pixels;
+    double s = 0.0;
+    for (int p = 0; p < pixels; ++p) {
+        double d = double(pa[p]) - pb[p];
+        s += d * d;
+    }
+    return s;
+}
+
+} // namespace
+
+double
+medianBandwidth(const Tensor &a, const Tensor &b)
+{
+    const int pixels = a.shape().d1 * a.shape().d2 * a.shape().d3;
+    std::vector<double> dists;
+    for (int i = 0; i < a.shape().d0; ++i)
+        for (int j = 0; j < b.shape().d0; ++j)
+            dists.push_back(sqDist(a, i, b, j, pixels));
+    GANACC_ASSERT(!dists.empty(), "no pairs for bandwidth");
+    std::nth_element(dists.begin(), dists.begin() + dists.size() / 2,
+                     dists.end());
+    double median_sq = dists[dists.size() / 2];
+    return std::sqrt(std::max(median_sq, 1e-12) / 2.0);
+}
+
+double
+mmd2(const Tensor &a, const Tensor &b, double bandwidth)
+{
+    GANACC_ASSERT(a.shape().d1 == b.shape().d1 &&
+                      a.shape().d2 == b.shape().d2 &&
+                      a.shape().d3 == b.shape().d3,
+                  "mmd2 needs same per-sample shape");
+    const int m = a.shape().d0;
+    const int n = b.shape().d0;
+    GANACC_ASSERT(m >= 2 && n >= 2, "mmd2 needs >= 2 samples each");
+    const int pixels = a.shape().d1 * a.shape().d2 * a.shape().d3;
+    if (bandwidth <= 0.0)
+        bandwidth = medianBandwidth(a, b);
+    const double gamma = 1.0 / (2.0 * bandwidth * bandwidth);
+    auto k = [&](double sq) { return std::exp(-gamma * sq); };
+
+    double kxx = 0.0;
+    for (int i = 0; i < m; ++i)
+        for (int j = 0; j < m; ++j)
+            if (i != j)
+                kxx += k(sqDist(a, i, a, j, pixels));
+    kxx /= double(m) * (m - 1);
+
+    double kyy = 0.0;
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            if (i != j)
+                kyy += k(sqDist(b, i, b, j, pixels));
+    kyy /= double(n) * (n - 1);
+
+    double kxy = 0.0;
+    for (int i = 0; i < m; ++i)
+        for (int j = 0; j < n; ++j)
+            kxy += k(sqDist(a, i, b, j, pixels));
+    kxy /= double(m) * n;
+
+    return kxx + kyy - 2.0 * kxy;
+}
+
+} // namespace gan
+} // namespace ganacc

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Distribution-distance metrics for evaluating generator quality.
+ *
+ * The paper evaluates throughput, not sample quality, but a training
+ * substrate needs a way to tell whether the GAN it trains is actually
+ * learning. Two standard, label-free metrics:
+ *
+ *  - Moment distance: L2 gap between the first two per-pixel moments
+ *    of the real and generated batches (cheap, coarse).
+ *  - Kernel MMD^2 (unbiased, RBF kernel): the maximum mean
+ *    discrepancy estimator of Gretton et al., a proper two-sample
+ *    statistic that goes to zero iff the distributions match.
+ */
+
+#ifndef GANACC_GAN_METRICS_HH
+#define GANACC_GAN_METRICS_HH
+
+#include "tensor/tensor.hh"
+
+namespace ganacc {
+namespace gan {
+
+/**
+ * L2 distance between per-pixel means plus per-pixel standard
+ * deviations of two same-shape batches, normalized by pixel count.
+ */
+double momentDistance(const tensor::Tensor &a, const tensor::Tensor &b);
+
+/**
+ * Unbiased MMD^2 estimate between two batches with an RBF kernel.
+ *
+ * @param bandwidth kernel bandwidth sigma; <= 0 selects the median
+ *                  pairwise distance heuristic.
+ */
+double mmd2(const tensor::Tensor &a, const tensor::Tensor &b,
+            double bandwidth = -1.0);
+
+/** The median-heuristic bandwidth for a pair of batches. */
+double medianBandwidth(const tensor::Tensor &a, const tensor::Tensor &b);
+
+} // namespace gan
+} // namespace ganacc
+
+#endif // GANACC_GAN_METRICS_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Network implementation.
+ */
+
+#include "gan/network.hh"
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace gan {
+
+using tensor::Tensor;
+
+Network::Network(const std::vector<LayerSpec> &specs, util::Rng &rng)
+{
+    GANACC_ASSERT(!specs.empty(), "network needs at least one layer");
+    for (const auto &spec : specs) {
+        auto layer = instantiateLayer(spec);
+        layer->initWeights(rng);
+        layers_.push_back(std::move(layer));
+    }
+}
+
+Tensor
+Network::forward(const Tensor &in)
+{
+    Tensor x = in;
+    for (auto &layer : layers_)
+        x = layer->forward(x);
+    return x;
+}
+
+Tensor
+Network::backward(const Tensor &dout)
+{
+    Tensor g = dout;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        g = (*it)->backward(g);
+    return g;
+}
+
+Tensor
+Network::backwardError(const Tensor &dout)
+{
+    // Save gradient accumulators, run the normal backward, restore.
+    std::vector<nn::ConvLayerBase::GradSnapshot> saved;
+    saved.reserve(layers_.size());
+    for (auto &layer : layers_)
+        saved.push_back(layer->snapshotGrads());
+    Tensor g = backward(dout);
+    for (std::size_t i = 0; i < layers_.size(); ++i)
+        layers_[i]->restoreGrads(saved[i]);
+    return g;
+}
+
+void
+Network::zeroGrads()
+{
+    for (auto &layer : layers_)
+        layer->zeroGrad();
+}
+
+void
+Network::applyUpdates(nn::Optimizer &opt)
+{
+    for (auto &layer : layers_)
+        layer->applyUpdate(opt);
+}
+
+void
+Network::clipWeights(float c)
+{
+    for (auto &layer : layers_)
+        nn::clipWeights(layer->weights(), c);
+}
+
+void
+Network::setBnMode(nn::BatchNormLayer::Mode mode)
+{
+    for (auto &layer : layers_)
+        layer->setBnMode(mode);
+}
+
+std::vector<double>
+Network::scores(const Tensor &out)
+{
+    GANACC_ASSERT(out.shape().d1 == 1 && out.shape().d2 == 1 &&
+                      out.shape().d3 == 1,
+                  "scores() expects a (N,1,1,1) tensor, got ",
+                  out.shape().str());
+    std::vector<double> s(out.shape().d0);
+    for (int n = 0; n < out.shape().d0; ++n)
+        s[n] = out.get(n, 0, 0, 0);
+    return s;
+}
+
+} // namespace gan
+} // namespace ganacc

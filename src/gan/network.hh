@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A GAN sub-network (Generator or Discriminator) as a stack of
+ * convolution layers, exposing the exact passes of Fig. 2:
+ * forward, backward (error + weight gradients) and backward-error-only
+ * (used when the discriminator merely relays error to the generator
+ * during the generator update, step 8).
+ */
+
+#ifndef GANACC_GAN_NETWORK_HH
+#define GANACC_GAN_NETWORK_HH
+
+#include <memory>
+#include <vector>
+
+#include "gan/models.hh"
+#include "nn/layers.hh"
+#include "nn/optimizer.hh"
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+
+namespace ganacc {
+namespace gan {
+
+/** Trainable layer stack built from LayerSpecs. */
+class Network
+{
+  public:
+    Network(const std::vector<LayerSpec> &specs, util::Rng &rng);
+
+    /** Run all layers; caches per-layer state for backward. */
+    tensor::Tensor forward(const tensor::Tensor &in);
+
+    /**
+     * Full backward pass: accumulates every layer's weight gradient
+     * and returns the error at the network input.
+     */
+    tensor::Tensor backward(const tensor::Tensor &dout);
+
+    /**
+     * Backward-error-only pass (no weight gradients): the D-bar phase
+     * of the generator update. Implemented by saving and restoring the
+     * layers' gradient accumulators, so the arithmetic path is
+     * identical to backward().
+     */
+    tensor::Tensor backwardError(const tensor::Tensor &dout);
+
+    /** Zero all accumulated gradients. */
+    void zeroGrads();
+
+    /** Apply all accumulated gradients and clear them. */
+    void applyUpdates(nn::Optimizer &opt);
+
+    /** WGAN critic weight clipping on every layer. */
+    void clipWeights(float c);
+
+    /** Statistics source for every attached batch-norm layer: Batch
+     *  couples samples, Frozen keeps them independent (what the
+     *  deferred-synchronization hardware requires). */
+    void setBnMode(nn::BatchNormLayer::Mode mode);
+
+    std::vector<std::unique_ptr<nn::ConvLayerBase>> &layers()
+    {
+        return layers_;
+    }
+
+    const std::vector<std::unique_ptr<nn::ConvLayerBase>> &layers() const
+    {
+        return layers_;
+    }
+
+    /** Extract per-sample scalar scores from a (N,1,1,1) output. */
+    static std::vector<double> scores(const tensor::Tensor &out);
+
+  private:
+    std::vector<std::unique_ptr<nn::ConvLayerBase>> layers_;
+};
+
+} // namespace gan
+} // namespace ganacc
+
+#endif // GANACC_GAN_NETWORK_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Checkpoint serialization implementation.
+ */
+
+#include "gan/serialize.hh"
+
+#include <cstdint>
+#include <fstream>
+
+#include "nn/batchnorm.hh"
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace gan {
+
+using tensor::Shape4;
+using tensor::Tensor;
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x47414E43; // "GANC"
+constexpr std::uint32_t kVersion = 1;
+
+void
+writeU32(std::ostream &os, std::uint32_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof v);
+}
+
+std::uint32_t
+readU32(std::istream &is)
+{
+    std::uint32_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof v);
+    if (!is)
+        util::fatal("checkpoint truncated");
+    return v;
+}
+
+/** Every parameter tensor of a network, in a stable order. */
+template <typename NetworkT, typename Fn>
+void
+forEachParam(NetworkT &net, Fn &&fn)
+{
+    for (auto &layer : net.layers()) {
+        fn(layer->weights());
+        if (layer->hasBatchNorm()) {
+            auto *bn = layer->batchNorm();
+            fn(bn->gamma());
+            fn(bn->beta());
+            // Running statistics are state, not parameters, but a
+            // checkpoint is useless without them.
+            fn(const_cast<Tensor &>(bn->runningMean()));
+            fn(const_cast<Tensor &>(bn->runningVar()));
+        }
+    }
+}
+
+} // namespace
+
+void
+writeTensor(std::ostream &os, const Tensor &t)
+{
+    const Shape4 &s = t.shape();
+    writeU32(os, std::uint32_t(s.d0));
+    writeU32(os, std::uint32_t(s.d1));
+    writeU32(os, std::uint32_t(s.d2));
+    writeU32(os, std::uint32_t(s.d3));
+    os.write(reinterpret_cast<const char *>(t.data()),
+             std::streamsize(t.numel() * sizeof(float)));
+}
+
+Tensor
+readTensor(std::istream &is)
+{
+    int d0 = int(readU32(is));
+    int d1 = int(readU32(is));
+    int d2 = int(readU32(is));
+    int d3 = int(readU32(is));
+    if (d0 <= 0 || d1 <= 0 || d2 <= 0 || d3 <= 0)
+        util::fatal("checkpoint contains an invalid shape ", d0, "x",
+                    d1, "x", d2, "x", d3);
+    Tensor t(Shape4(d0, d1, d2, d3));
+    is.read(reinterpret_cast<char *>(t.data()),
+            std::streamsize(t.numel() * sizeof(float)));
+    if (!is)
+        util::fatal("checkpoint truncated inside tensor data");
+    return t;
+}
+
+void
+saveNetwork(const Network &net, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        util::fatal("cannot open '", path, "' for writing");
+    writeU32(os, kMagic);
+    writeU32(os, kVersion);
+    std::uint32_t count = 0;
+    forEachParam(const_cast<Network &>(net),
+                 [&](Tensor &) { ++count; });
+    writeU32(os, count);
+    forEachParam(const_cast<Network &>(net),
+                 [&](Tensor &t) { writeTensor(os, t); });
+    if (!os)
+        util::fatal("write failure on '", path, "'");
+}
+
+void
+loadNetwork(Network &net, const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        util::fatal("cannot open '", path, "' for reading");
+    if (readU32(is) != kMagic)
+        util::fatal("'", path, "' is not a ganacc checkpoint");
+    std::uint32_t version = readU32(is);
+    if (version != kVersion)
+        util::fatal("checkpoint version ", version, " unsupported");
+    std::uint32_t count = readU32(is);
+    std::uint32_t expected = 0;
+    forEachParam(net, [&](Tensor &) { ++expected; });
+    if (count != expected)
+        util::fatal("checkpoint has ", count, " tensors; network has ",
+                    expected);
+    forEachParam(net, [&](Tensor &t) {
+        Tensor loaded = readTensor(is);
+        if (!(loaded.shape() == t.shape()))
+            util::fatal("checkpoint tensor shape ",
+                        loaded.shape().str(), " does not match ",
+                        t.shape().str());
+        t = std::move(loaded);
+    });
+}
+
+} // namespace gan
+} // namespace ganacc

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Binary checkpointing of networks and tensors.
+ *
+ * Format: a magic/version header, then one record per tensor (shape
+ * as four 32-bit dims followed by raw little-endian float32 data).
+ * Loading validates magic, version and every shape against the
+ * in-memory network, so mismatched topologies fail loudly instead of
+ * silently mis-assigning weights.
+ */
+
+#ifndef GANACC_GAN_SERIALIZE_HH
+#define GANACC_GAN_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "gan/network.hh"
+#include "tensor/tensor.hh"
+
+namespace ganacc {
+namespace gan {
+
+/** Write one tensor record to a stream. */
+void writeTensor(std::ostream &os, const tensor::Tensor &t);
+
+/** Read one tensor record; throws FatalError on malformed input. */
+tensor::Tensor readTensor(std::istream &is);
+
+/** Save every parameter of a network (conv weights, and BN
+ *  gamma/beta/running stats where attached). */
+void saveNetwork(const Network &net, const std::string &path);
+
+/** Load parameters saved by saveNetwork into a structurally
+ *  identical network; throws FatalError on any mismatch. */
+void loadNetwork(Network &net, const std::string &path);
+
+} // namespace gan
+} // namespace ganacc
+
+#endif // GANACC_GAN_SERIALIZE_HH

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Trainer implementation.
+ */
+
+#include "gan/trainer.hh"
+
+#include "nn/loss.hh"
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace gan {
+
+using tensor::Shape4;
+using tensor::Tensor;
+
+Tensor
+extractSample(const Tensor &batch, int index)
+{
+    const Shape4 &s = batch.shape();
+    GANACC_ASSERT(index >= 0 && index < s.d0, "sample index out of range");
+    Tensor out(Shape4(1, s.d1, s.d2, s.d3));
+    for (int c = 0; c < s.d1; ++c)
+        for (int y = 0; y < s.d2; ++y)
+            for (int x = 0; x < s.d3; ++x)
+                out.ref(0, c, y, x) = batch.get(index, c, y, x);
+    return out;
+}
+
+Tensor
+concatBatch(const Tensor &a, const Tensor &b)
+{
+    const Shape4 &sa = a.shape();
+    const Shape4 &sb = b.shape();
+    GANACC_ASSERT(sa.d1 == sb.d1 && sa.d2 == sb.d2 && sa.d3 == sb.d3,
+                  "concatBatch per-sample shapes differ");
+    Tensor out(Shape4(sa.d0 + sb.d0, sa.d1, sa.d2, sa.d3));
+    for (int n = 0; n < sa.d0; ++n)
+        for (int c = 0; c < sa.d1; ++c)
+            for (int y = 0; y < sa.d2; ++y)
+                for (int x = 0; x < sa.d3; ++x)
+                    out.ref(n, c, y, x) = a.get(n, c, y, x);
+    for (int n = 0; n < sb.d0; ++n)
+        for (int c = 0; c < sb.d1; ++c)
+            for (int y = 0; y < sb.d2; ++y)
+                for (int x = 0; x < sb.d3; ++x)
+                    out.ref(sa.d0 + n, c, y, x) = b.get(n, c, y, x);
+    return out;
+}
+
+Trainer::Trainer(const GanModel &model, std::uint64_t seed, SyncMode mode,
+                 float clip)
+    : model_(model), mode_(mode), clip_(clip)
+{
+    util::Rng rng(seed);
+    gen_ = std::make_unique<Network>(model_.gen, rng);
+    disc_ = std::make_unique<Network>(model_.disc, rng);
+}
+
+Tensor
+Trainer::sampleNoise(int m, util::Rng &rng) const
+{
+    Tensor z(Shape4(m, model_.latentDim, 1, 1));
+    z.fillGaussian(rng);
+    return z;
+}
+
+Tensor
+Trainer::generate(const Tensor &noise)
+{
+    return gen_->forward(noise);
+}
+
+double
+Trainer::accumulateDiscriminatorGradients(const Tensor &real,
+                                          const Tensor &noise)
+{
+    GANACC_ASSERT(real.shape().d0 == noise.shape().d0,
+                  "real batch and noise batch sizes differ");
+    if (mode_ == SyncMode::Synchronized)
+        return discGradientsSynchronized(real, noise);
+    return discGradientsDeferred(real, noise);
+}
+
+double
+Trainer::discGradientsSynchronized(const Tensor &real, const Tensor &noise)
+{
+    const int m = real.shape().d0;
+    // Steps 1-2 of Fig. 2: generate the whole fake batch, then push
+    // the combined 2m samples through the discriminator. Every layer
+    // keeps its full 2m-sample activations buffered (the memory cost
+    // the paper's Section III-A quantifies).
+    Tensor fake = gen_->forward(noise);
+    Tensor combined = concatBatch(real, fake);
+    Tensor out = disc_->forward(combined);
+    auto all_scores = Network::scores(out);
+    std::vector<double> real_scores(all_scores.begin(),
+                                    all_scores.begin() + m);
+    std::vector<double> fake_scores(all_scores.begin() + m,
+                                    all_scores.end());
+    // Step 3: the synchronized loss/error computation.
+    Tensor derr(out.shape());
+    for (int n = 0; n < m; ++n)
+        derr.ref(n, 0, 0, 0) = float(nn::criticOutputErrorReal(m));
+    for (int n = 0; n < m; ++n)
+        derr.ref(m + n, 0, 0, 0) = float(nn::criticOutputErrorFake(m));
+    // Step 4: backward error + weight gradients.
+    disc_->backward(derr);
+    return nn::wassersteinCriticLoss(real_scores, fake_scores);
+}
+
+double
+Trainer::discGradientsDeferred(const Tensor &real, const Tensor &noise)
+{
+    const int m = real.shape().d0;
+    std::vector<double> real_scores, fake_scores;
+    // Fig. 8(a): m independent loops; each sample's backward starts as
+    // soon as its own forward completes, so only one sample's
+    // intermediates are ever live.
+    for (int i = 0; i < m; ++i) {
+        Tensor real_i = extractSample(real, i);
+        Tensor out_r = disc_->forward(real_i);
+        real_scores.push_back(Network::scores(out_r)[0]);
+        Tensor derr_r(out_r.shape(),
+                      float(nn::criticOutputErrorReal(m)));
+        disc_->backward(derr_r);
+
+        Tensor noise_i = extractSample(noise, i);
+        Tensor fake_i = gen_->forward(noise_i);
+        Tensor out_f = disc_->forward(fake_i);
+        fake_scores.push_back(Network::scores(out_f)[0]);
+        Tensor derr_f(out_f.shape(),
+                      float(nn::criticOutputErrorFake(m)));
+        disc_->backward(derr_f);
+    }
+    return nn::wassersteinCriticLoss(real_scores, fake_scores);
+}
+
+double
+Trainer::accumulateGeneratorGradients(const Tensor &noise)
+{
+    if (mode_ == SyncMode::Synchronized)
+        return genGradientsSynchronized(noise);
+    return genGradientsDeferred(noise);
+}
+
+double
+Trainer::genGradientsSynchronized(const Tensor &noise)
+{
+    const int m = noise.shape().d0;
+    // Steps 5-9 of Fig. 2 for the whole batch at once.
+    Tensor fake = gen_->forward(noise);
+    Tensor out = disc_->forward(fake);
+    auto fake_scores = Network::scores(out);
+    Tensor derr(out.shape(), float(nn::generatorOutputError(m)));
+    Tensor at_gen_output = disc_->backwardError(derr);
+    gen_->backward(at_gen_output);
+    return nn::wassersteinGeneratorLoss(fake_scores);
+}
+
+double
+Trainer::genGradientsDeferred(const Tensor &noise)
+{
+    const int m = noise.shape().d0;
+    std::vector<double> fake_scores;
+    for (int i = 0; i < m; ++i) {
+        Tensor noise_i = extractSample(noise, i);
+        Tensor fake_i = gen_->forward(noise_i);
+        Tensor out = disc_->forward(fake_i);
+        fake_scores.push_back(Network::scores(out)[0]);
+        Tensor derr(out.shape(), float(nn::generatorOutputError(m)));
+        Tensor at_gen_output = disc_->backwardError(derr);
+        gen_->backward(at_gen_output);
+    }
+    return nn::wassersteinGeneratorLoss(fake_scores);
+}
+
+void
+Trainer::applyDiscriminatorUpdate(nn::Optimizer &opt)
+{
+    disc_->applyUpdates(opt);
+    if (clip_ > 0.0f)
+        disc_->clipWeights(clip_);
+}
+
+void
+Trainer::applyGeneratorUpdate(nn::Optimizer &opt)
+{
+    gen_->applyUpdates(opt);
+}
+
+IterationLosses
+Trainer::trainIteration(const Tensor &real, nn::Optimizer &d_opt,
+                        nn::Optimizer &g_opt, util::Rng &rng, int n_critic)
+{
+    GANACC_ASSERT(n_critic >= 1, "n_critic must be >= 1");
+    const int m = real.shape().d0;
+    IterationLosses losses;
+    for (int k = 0; k < n_critic; ++k) {
+        Tensor noise = sampleNoise(m, rng);
+        losses.discLoss = accumulateDiscriminatorGradients(real, noise);
+        applyDiscriminatorUpdate(d_opt);
+    }
+    Tensor noise = sampleNoise(m, rng);
+    losses.genLoss = accumulateGeneratorGradients(noise);
+    applyGeneratorUpdate(g_opt);
+    return losses;
+}
+
+} // namespace gan
+} // namespace ganacc

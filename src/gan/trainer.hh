@@ -1,0 +1,124 @@
+/**
+ * @file
+ * GAN training loops implementing both algorithms the paper contrasts:
+ *
+ *  - Synchronized (Fig. 2): a whole mini-batch flows forward through
+ *    the discriminator before any backward work starts, forcing all
+ *    2m intermediate activation sets to stay buffered.
+ *  - Deferred synchronization (Fig. 8, Section IV-A): because the
+ *    Wasserstein loss averages linearly, each sample's output-layer
+ *    error is a constant (eq. 6), so every sample runs its backward
+ *    pass immediately after its forward pass and only the per-sample
+ *    gradient contributions are accumulated.
+ *
+ * Both must produce the same mini-batch gradient — that equivalence is
+ * asserted by the test suite.
+ */
+
+#ifndef GANACC_GAN_TRAINER_HH
+#define GANACC_GAN_TRAINER_HH
+
+#include <memory>
+
+#include "gan/models.hh"
+#include "gan/network.hh"
+#include "nn/optimizer.hh"
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+
+namespace ganacc {
+namespace gan {
+
+/** Which of the two training algorithms to run. */
+enum class SyncMode
+{
+    Synchronized, ///< original mini-batch algorithm (Fig. 2)
+    Deferred,     ///< deferred synchronization (Fig. 8)
+};
+
+/** Losses observed during one iteration. */
+struct IterationLosses
+{
+    double discLoss = 0.0;
+    double genLoss = 0.0;
+};
+
+/** Orchestrates generator/discriminator updates. */
+class Trainer
+{
+  public:
+    /**
+     * @param model topology to instantiate.
+     * @param seed  RNG seed for weight init (deterministic).
+     * @param mode  which training algorithm to execute.
+     * @param clip  WGAN critic clip bound (0 disables clipping).
+     */
+    Trainer(const GanModel &model, std::uint64_t seed, SyncMode mode,
+            float clip = 0.01f);
+
+    /**
+     * Accumulate the discriminator's mini-batch gradient (eq. 1) for
+     * the given real images and generator noise. Does not update
+     * weights. @return the critic loss.
+     */
+    double accumulateDiscriminatorGradients(const tensor::Tensor &real,
+                                            const tensor::Tensor &noise);
+
+    /**
+     * Accumulate the generator's mini-batch gradient (eq. 2). The
+     * discriminator only relays error (no D weight gradients), per
+     * Fig. 8(b). @return the generator loss.
+     */
+    double accumulateGeneratorGradients(const tensor::Tensor &noise);
+
+    /** Apply and clear the discriminator gradient; clips if enabled. */
+    void applyDiscriminatorUpdate(nn::Optimizer &opt);
+
+    /** Apply and clear the generator gradient. */
+    void applyGeneratorUpdate(nn::Optimizer &opt);
+
+    /**
+     * One full training iteration (n_critic discriminator updates
+     * followed by one generator update), as in WGAN.
+     */
+    IterationLosses trainIteration(const tensor::Tensor &real,
+                                   nn::Optimizer &d_opt,
+                                   nn::Optimizer &g_opt, util::Rng &rng,
+                                   int n_critic = 1);
+
+    /** Draw a (m, latentDim, 1, 1) noise tensor. */
+    tensor::Tensor sampleNoise(int m, util::Rng &rng) const;
+
+    /** Generate images from noise (no caching side effects kept). */
+    tensor::Tensor generate(const tensor::Tensor &noise);
+
+    Network &generator() { return *gen_; }
+    Network &discriminator() { return *disc_; }
+    const GanModel &model() const { return model_; }
+    SyncMode mode() const { return mode_; }
+
+  private:
+    double discGradientsSynchronized(const tensor::Tensor &real,
+                                     const tensor::Tensor &noise);
+    double discGradientsDeferred(const tensor::Tensor &real,
+                                 const tensor::Tensor &noise);
+    double genGradientsSynchronized(const tensor::Tensor &noise);
+    double genGradientsDeferred(const tensor::Tensor &noise);
+
+    GanModel model_;
+    SyncMode mode_;
+    float clip_;
+    std::unique_ptr<Network> gen_;
+    std::unique_ptr<Network> disc_;
+};
+
+/** Copy one sample of a batch into a batch-of-one tensor. */
+tensor::Tensor extractSample(const tensor::Tensor &batch, int index);
+
+/** Concatenate two batches along the batch axis. */
+tensor::Tensor concatBatch(const tensor::Tensor &a, const tensor::Tensor &b);
+
+} // namespace gan
+} // namespace ganacc
+
+#endif // GANACC_GAN_TRAINER_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Off-chip model implementation.
+ */
+
+#include "mem/offchip.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace mem {
+
+int
+deriveWPof(const OffChipConfig &cfg)
+{
+    GANACC_ASSERT(cfg.bandwidthBitsPerSec > 0 && cfg.frequencyHz > 0 &&
+                      cfg.bitsPerData > 0,
+                  "bad off-chip configuration");
+    double w = cfg.bandwidthBitsPerSec /
+               (2.0 * cfg.frequencyHz * cfg.bitsPerData);
+    int w_pof = int(std::floor(w));
+    GANACC_ASSERT(w_pof >= 1,
+                  "off-chip bandwidth cannot sustain a single ZFWST "
+                  "channel");
+    return w_pof;
+}
+
+int
+deriveStPof(int w_pof)
+{
+    GANACC_ASSERT(w_pof >= 1, "W_Pof must be positive");
+    // Eq. (8): the ST bank runs 5 processes for every 2 W processes
+    // during discriminator updates, so it needs 2.5x the channels.
+    return (5 * w_pof) / 2;
+}
+
+double
+zfwstBandwidthDemand(const OffChipConfig &cfg, int w_pof,
+                     int kernel_elems, int resident_elems)
+{
+    GANACC_ASSERT(kernel_elems > 0 && resident_elems > 0,
+                  "bad kernel geometry");
+    // One ∇W result (read + write) every
+    // kernel_elems / resident_elems cycles per channel.
+    double passes =
+        double(kernel_elems) / double(resident_elems);
+    return 2.0 * cfg.frequencyHz * w_pof * cfg.bitsPerData / passes;
+}
+
+} // namespace mem
+} // namespace ganacc

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Off-chip memory (DDR4) bandwidth model and the unrolling-parallelism
+ * derivations of Section V-C.
+ *
+ * The gradient stream of ZFWST is the design's dominant off-chip
+ * traffic: each ∇W partial result needs one read and one write, so the
+ * sustainable number of parallel ZFWST channels is bounded by eq. (7):
+ *
+ *   W_Pof = bandwidth / (2 * frequency * bits_per_data)
+ *
+ * and the ST-bank width follows from the 5:2 phase-count ratio of the
+ * time-multiplexed schedule, eq. (8): ST_Pof = 2.5 * W_Pof.
+ */
+
+#ifndef GANACC_MEM_OFFCHIP_HH
+#define GANACC_MEM_OFFCHIP_HH
+
+#include <cstdint>
+
+namespace ganacc {
+namespace mem {
+
+/** Platform parameters of the paper's VCU118 deployment. */
+struct OffChipConfig
+{
+    double bandwidthBitsPerSec = 192e9; ///< 192 Gbps DDR4
+    double frequencyHz = 200e6;         ///< PE clock
+    int bitsPerData = 16;               ///< fixed-point width
+};
+
+/** Eq. (7): ZFWST channel parallelism sustainable by the DRAM. */
+int deriveWPof(const OffChipConfig &cfg);
+
+/** Eq. (8): ZFOST channel parallelism for a balanced pipeline. */
+int deriveStPof(int w_pof);
+
+/**
+ * Peak off-chip bandwidth demanded by a ZFWST bank of `w_pof`
+ * channels whose smallest resident-kernel pass is min_kernel_elems
+ * big: 2 * f * w_pof * bits / min_passes. Used to verify a design
+ * point is feasible before simulating it.
+ */
+double zfwstBandwidthDemand(const OffChipConfig &cfg, int w_pof,
+                            int kernel_elems, int resident_elems);
+
+/**
+ * Byte-accurate DRAM traffic meter with simple latency/bandwidth
+ * accounting: transfers are accumulated and converted to seconds at
+ * the configured bandwidth.
+ */
+class OffChipMemory
+{
+  public:
+    explicit OffChipMemory(const OffChipConfig &cfg) : cfg_(cfg) {}
+
+    void
+    read(std::uint64_t bytes)
+    {
+        bytesRead_ += bytes;
+    }
+
+    void
+    write(std::uint64_t bytes)
+    {
+        bytesWritten_ += bytes;
+    }
+
+    std::uint64_t bytesRead() const { return bytesRead_; }
+    std::uint64_t bytesWritten() const { return bytesWritten_; }
+
+    /** Seconds the accumulated traffic occupies the channel. */
+    double
+    transferSeconds() const
+    {
+        return double(bytesRead_ + bytesWritten_) * 8.0 /
+               cfg_.bandwidthBitsPerSec;
+    }
+
+    /** Cycles (at the PE clock) the traffic occupies the channel. */
+    std::uint64_t
+    transferCycles() const
+    {
+        return std::uint64_t(transferSeconds() * cfg_.frequencyHz);
+    }
+
+    void
+    reset()
+    {
+        bytesRead_ = bytesWritten_ = 0;
+    }
+
+    const OffChipConfig &config() const { return cfg_; }
+
+  private:
+    OffChipConfig cfg_;
+    std::uint64_t bytesRead_ = 0;
+    std::uint64_t bytesWritten_ = 0;
+};
+
+} // namespace mem
+} // namespace ganacc
+
+#endif // GANACC_MEM_OFFCHIP_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * On-chip buffer implementation.
+ */
+
+#include "mem/onchip_buffer.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace mem {
+
+void
+OnChipBuffer::occupy(std::uint64_t bytes)
+{
+    GANACC_ASSERT(occupied_ + bytes <= capacity_, name_,
+                  ": occupancy overflow (", occupied_, " + ", bytes,
+                  " > ", capacity_, ")");
+    occupied_ += bytes;
+    peak_ = std::max(peak_, occupied_);
+}
+
+void
+OnChipBuffer::release(std::uint64_t bytes)
+{
+    GANACC_ASSERT(bytes <= occupied_, name_,
+                  ": releasing more than occupied");
+    occupied_ -= bytes;
+}
+
+std::uint64_t
+BufferPlan::totalBytes() const
+{
+    return 2 * inOutBytes + dataBytes + errorBytes + weightBytes +
+           2 * gradWBytes;
+}
+
+namespace {
+
+constexpr std::uint64_t kBram36Bytes = 4608; // 36 Kb
+
+int
+bramsFor(std::uint64_t bytes)
+{
+    return int((bytes + kBram36Bytes - 1) / kBram36Bytes);
+}
+
+} // namespace
+
+int
+BufferPlan::bram36Count() const
+{
+    // Each physical buffer rounds up separately (banks cannot share a
+    // BRAM primitive).
+    return 2 * bramsFor(inOutBytes) + bramsFor(dataBytes) +
+           bramsFor(errorBytes) + bramsFor(weightBytes) +
+           2 * bramsFor(gradWBytes);
+}
+
+BufferPlan
+planBuffers(const gan::GanModel &model, int w_pof, int bytes_per_elem)
+{
+    GANACC_ASSERT(w_pof >= 1 && bytes_per_elem >= 1,
+                  "bad buffer-plan parameters");
+    BufferPlan plan;
+
+    std::uint64_t max_output = 0;
+    std::uint64_t max_weights = 0;
+    std::uint64_t max_partial = 0;
+    auto scan = [&](const std::vector<gan::LayerSpec> &layers) {
+        for (const auto &l : layers) {
+            max_output = std::max<std::uint64_t>(max_output,
+                                                 l.outputElems());
+            max_weights = std::max<std::uint64_t>(max_weights,
+                                                  l.numWeights());
+            // ZFWST partial working set: W_Pof channels x the per-
+            // channel gradient patch x the input maps accumulating.
+            std::uint64_t partial =
+                std::uint64_t(w_pof) * l.inChannels * l.geom.kernel *
+                l.geom.kernel;
+            max_partial = std::max(max_partial, partial);
+        }
+    };
+    scan(model.disc);
+    scan(model.gen);
+
+    const std::uint64_t bpe = std::uint64_t(bytes_per_elem);
+    plan.inOutBytes = max_output * bpe;
+    std::uint64_t image =
+        std::uint64_t(model.disc.front().inChannels) *
+        model.disc.front().inH * model.disc.front().inW;
+    std::uint64_t sample_set =
+        std::max(model.discIntermediateElems(),
+                 model.genIntermediateElems()) +
+        image;
+    plan.dataBytes = sample_set * bpe;
+    plan.errorBytes = sample_set * bpe;
+    plan.weightBytes = max_weights * bpe;
+    plan.gradWBytes = max_partial * bpe;
+    return plan;
+}
+
+bool
+fitsBram(const BufferPlan &plan, int bram36_budget)
+{
+    return plan.bram36Count() <= bram36_budget;
+}
+
+} // namespace mem
+} // namespace ganacc

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * On-chip buffer models: the four buffer kinds of the accelerator
+ * organization in Fig. 14 (In&Out ping-pong pair, Data, Error, ∇W
+ * ping-pong, Weight), with access counting and capacity checks
+ * against the FPGA's Block RAM.
+ */
+
+#ifndef GANACC_MEM_ONCHIP_BUFFER_HH
+#define GANACC_MEM_ONCHIP_BUFFER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gan/models.hh"
+
+namespace ganacc {
+namespace mem {
+
+/** One banked on-chip SRAM with access counters. */
+class OnChipBuffer
+{
+  public:
+    OnChipBuffer(std::string name, std::uint64_t capacity_bytes)
+        : name_(std::move(name)), capacity_(capacity_bytes) {}
+
+    const std::string &name() const { return name_; }
+    std::uint64_t capacityBytes() const { return capacity_; }
+
+    /** Record reads/writes (bytes); throws on overflowing occupancy
+     *  when used with occupy/release. */
+    void
+    read(std::uint64_t bytes)
+    {
+        bytesRead_ += bytes;
+    }
+
+    void
+    write(std::uint64_t bytes)
+    {
+        bytesWritten_ += bytes;
+    }
+
+    /** Claim space (a tensor made resident). */
+    void occupy(std::uint64_t bytes);
+
+    /** Release previously claimed space. */
+    void release(std::uint64_t bytes);
+
+    std::uint64_t occupiedBytes() const { return occupied_; }
+    std::uint64_t bytesRead() const { return bytesRead_; }
+    std::uint64_t bytesWritten() const { return bytesWritten_; }
+    std::uint64_t peakOccupied() const { return peak_; }
+
+    void
+    resetCounters()
+    {
+        bytesRead_ = bytesWritten_ = 0;
+    }
+
+  private:
+    std::string name_;
+    std::uint64_t capacity_;
+    std::uint64_t occupied_ = 0;
+    std::uint64_t peak_ = 0;
+    std::uint64_t bytesRead_ = 0;
+    std::uint64_t bytesWritten_ = 0;
+};
+
+/** A ping-pong pair: compute reads one half while the other fills. */
+class PingPongBuffer
+{
+  public:
+    PingPongBuffer(const std::string &name, std::uint64_t half_bytes)
+        : halves_{OnChipBuffer(name + "[0]", half_bytes),
+                  OnChipBuffer(name + "[1]", half_bytes)}
+    {
+    }
+
+    OnChipBuffer &active() { return halves_[activeIdx_]; }
+    OnChipBuffer &shadow() { return halves_[1 - activeIdx_]; }
+
+    /** Swap roles — the layer-boundary switch of Section V-B1. */
+    void
+    swap()
+    {
+        activeIdx_ = 1 - activeIdx_;
+        ++swapCount_;
+    }
+
+    int swapCount() const { return swapCount_; }
+
+    std::uint64_t
+    totalCapacityBytes() const
+    {
+        return halves_[0].capacityBytes() + halves_[1].capacityBytes();
+    }
+
+  private:
+    OnChipBuffer halves_[2];
+    int activeIdx_ = 0;
+    int swapCount_ = 0;
+};
+
+/** Sizes of every Fig. 14 buffer for a model (bytes). */
+struct BufferPlan
+{
+    std::uint64_t inOutBytes = 0;   ///< 2x (ping-pong), per half
+    std::uint64_t dataBytes = 0;    ///< per-sample forward data d^l
+    std::uint64_t errorBytes = 0;   ///< per-sample backward errors
+    std::uint64_t weightBytes = 0;  ///< largest layer's kernels
+    std::uint64_t gradWBytes = 0;   ///< ∇W partials, per half (x2)
+
+    /** Everything summed (ping-pongs counted twice). */
+    std::uint64_t totalBytes() const;
+
+    /** 36 Kb Block RAMs needed (4.5 KB each, ceil per buffer). */
+    int bram36Count() const;
+};
+
+/**
+ * Size the buffers for one model per Section V-B:
+ *  - In&Out halves hold the largest layer output of either network.
+ *  - Data/Error hold one sample's full intermediate set (deferred
+ *    synchronization makes that sufficient) plus the input image.
+ *  - Weight holds the largest layer's kernel set so each weight is
+ *    fetched from DRAM exactly once.
+ *  - ∇W halves hold the partial-gradient working set of a W_Pof-wide
+ *    ZFWST bank on the largest layer.
+ */
+BufferPlan planBuffers(const gan::GanModel &model, int w_pof,
+                       int bytes_per_elem = 2);
+
+/** True when the plan fits the given Block-RAM budget. */
+bool fitsBram(const BufferPlan &plan, int bram36_budget);
+
+} // namespace mem
+} // namespace ganacc
+
+#endif // GANACC_MEM_ONCHIP_BUFFER_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Activation implementations.
+ */
+
+#include "nn/activations.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace nn {
+
+using tensor::Tensor;
+
+std::string
+activationName(Activation a)
+{
+    switch (a) {
+      case Activation::None:
+        return "none";
+      case Activation::ReLU:
+        return "relu";
+      case Activation::LeakyReLU:
+        return "leaky_relu";
+      case Activation::Tanh:
+        return "tanh";
+    }
+    util::panic("unknown activation");
+}
+
+Tensor
+activationForward(const Tensor &pre, Activation a)
+{
+    Tensor out(pre.shape());
+    const float *src = pre.data();
+    float *dst = out.data();
+    for (std::size_t i = 0; i < pre.numel(); ++i) {
+        float x = src[i];
+        switch (a) {
+          case Activation::None:
+            dst[i] = x;
+            break;
+          case Activation::ReLU:
+            dst[i] = x > 0.0f ? x : 0.0f;
+            break;
+          case Activation::LeakyReLU:
+            dst[i] = x > 0.0f ? x : kLeakySlope * x;
+            break;
+          case Activation::Tanh:
+            dst[i] = std::tanh(x);
+            break;
+        }
+    }
+    return out;
+}
+
+Tensor
+activationBackward(const Tensor &dout, const Tensor &pre, Activation a)
+{
+    GANACC_ASSERT(dout.shape() == pre.shape(),
+                  "activation backward shape mismatch");
+    Tensor dpre(pre.shape());
+    const float *g = dout.data();
+    const float *x = pre.data();
+    float *dst = dpre.data();
+    for (std::size_t i = 0; i < pre.numel(); ++i) {
+        float d;
+        switch (a) {
+          case Activation::None:
+            d = 1.0f;
+            break;
+          case Activation::ReLU:
+            d = x[i] > 0.0f ? 1.0f : 0.0f;
+            break;
+          case Activation::LeakyReLU:
+            d = x[i] > 0.0f ? 1.0f : kLeakySlope;
+            break;
+          case Activation::Tanh: {
+            float t = std::tanh(x[i]);
+            d = 1.0f - t * t;
+            break;
+          }
+          default:
+            util::panic("unknown activation");
+        }
+        dst[i] = g[i] * d;
+    }
+    return dpre;
+}
+
+} // namespace nn
+} // namespace ganacc

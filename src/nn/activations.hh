@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Activation functions and their derivatives.
+ *
+ * DCGAN uses LeakyReLU(0.2) in the discriminator, ReLU in the
+ * generator's hidden layers and Tanh on the generator output
+ * (Radford et al., ICLR'16). The backward-error pass multiplies the
+ * incoming error element-wise by the activation derivative (the
+ * "∘ σ'" term of eq. 3).
+ */
+
+#ifndef GANACC_NN_ACTIVATIONS_HH
+#define GANACC_NN_ACTIVATIONS_HH
+
+#include <string>
+
+#include "tensor/tensor.hh"
+
+namespace ganacc {
+namespace nn {
+
+/** Supported activation kinds. */
+enum class Activation
+{
+    None,      ///< identity (used on the critic's scalar output)
+    ReLU,      ///< max(0, x)
+    LeakyReLU, ///< x>0 ? x : 0.2*x
+    Tanh,      ///< tanh(x)
+};
+
+/** Human-readable activation name. */
+std::string activationName(Activation a);
+
+/** Apply the activation element-wise, returning a new tensor. */
+tensor::Tensor activationForward(const tensor::Tensor &pre, Activation a);
+
+/**
+ * Element-wise derivative evaluated at the *pre-activation* values,
+ * multiplied into the incoming error:
+ * returns dpre(i) = dout(i) * sigma'(pre(i)).
+ */
+tensor::Tensor activationBackward(const tensor::Tensor &dout,
+                                  const tensor::Tensor &pre, Activation a);
+
+/** Negative slope used by LeakyReLU. */
+inline constexpr float kLeakySlope = 0.2f;
+
+} // namespace nn
+} // namespace ganacc
+
+#endif // GANACC_NN_ACTIVATIONS_HH

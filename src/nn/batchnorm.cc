@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Batch-normalization implementation.
+ */
+
+#include "nn/batchnorm.hh"
+
+#include <cmath>
+
+#include "tensor/shape.hh"
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace nn {
+
+using tensor::Shape4;
+using tensor::Tensor;
+
+BatchNormLayer::BatchNormLayer(int channels, float eps, float momentum)
+    : channels_(channels), eps_(eps), momentum_(momentum),
+      gamma_(Shape4(1, channels, 1, 1), 1.0f),
+      beta_(Shape4(1, channels, 1, 1), 0.0f),
+      gradGamma_(Shape4(1, channels, 1, 1), 0.0f),
+      gradBeta_(Shape4(1, channels, 1, 1), 0.0f),
+      runningMean_(Shape4(1, channels, 1, 1), 0.0f),
+      runningVar_(Shape4(1, channels, 1, 1), 1.0f)
+{
+    GANACC_ASSERT(channels >= 1, "batchnorm needs channels");
+    GANACC_ASSERT(eps > 0.0f && momentum > 0.0f && momentum <= 1.0f,
+                  "bad batchnorm hyperparameters");
+}
+
+Tensor
+BatchNormLayer::forward(const Tensor &in, Mode mode)
+{
+    const Shape4 &s = in.shape();
+    GANACC_ASSERT(s.d1 == channels_, "batchnorm channel mismatch: ",
+                  s.d1, " vs ", channels_);
+    const std::size_t per_channel = std::size_t(s.d0) * s.d2 * s.d3;
+    GANACC_ASSERT(per_channel >= 1, "empty batchnorm input");
+
+    Tensor mean(Shape4(1, channels_, 1, 1));
+    Tensor inv_std(Shape4(1, channels_, 1, 1));
+    if (mode == Mode::Batch) {
+        for (int c = 0; c < channels_; ++c) {
+            double m = 0.0;
+            for (int n = 0; n < s.d0; ++n)
+                for (int y = 0; y < s.d2; ++y)
+                    for (int x = 0; x < s.d3; ++x)
+                        m += in.get(n, c, y, x);
+            m /= double(per_channel);
+            double v = 0.0;
+            for (int n = 0; n < s.d0; ++n)
+                for (int y = 0; y < s.d2; ++y)
+                    for (int x = 0; x < s.d3; ++x) {
+                        double d = in.get(n, c, y, x) - m;
+                        v += d * d;
+                    }
+            v /= double(per_channel);
+            mean.ref(0, c, 0, 0) = float(m);
+            inv_std.ref(0, c, 0, 0) =
+                float(1.0 / std::sqrt(v + eps_));
+            // Exponential running statistics for Frozen mode.
+            runningMean_.ref(0, c, 0, 0) =
+                (1.0f - momentum_) * runningMean_.get(0, c, 0, 0) +
+                momentum_ * float(m);
+            runningVar_.ref(0, c, 0, 0) =
+                (1.0f - momentum_) * runningVar_.get(0, c, 0, 0) +
+                momentum_ * float(v);
+        }
+    } else {
+        for (int c = 0; c < channels_; ++c) {
+            mean.ref(0, c, 0, 0) = runningMean_.get(0, c, 0, 0);
+            inv_std.ref(0, c, 0, 0) = float(
+                1.0 / std::sqrt(runningVar_.get(0, c, 0, 0) + eps_));
+        }
+    }
+
+    Tensor xhat(s);
+    Tensor out(s);
+    for (int n = 0; n < s.d0; ++n)
+        for (int c = 0; c < channels_; ++c) {
+            float m = mean.get(0, c, 0, 0);
+            float is = inv_std.get(0, c, 0, 0);
+            float g = gamma_.get(0, c, 0, 0);
+            float b = beta_.get(0, c, 0, 0);
+            for (int y = 0; y < s.d2; ++y)
+                for (int x = 0; x < s.d3; ++x) {
+                    float xh = (in.get(n, c, y, x) - m) * is;
+                    xhat.ref(n, c, y, x) = xh;
+                    out.ref(n, c, y, x) = g * xh + b;
+                }
+        }
+
+    lastMode_ = mode;
+    cachedXhat_ = std::move(xhat);
+    cachedInvStd_ = std::move(inv_std);
+    haveCache_ = true;
+    return out;
+}
+
+Tensor
+BatchNormLayer::backward(const Tensor &dout)
+{
+    GANACC_ASSERT(haveCache_, "batchnorm backward before forward");
+    const Shape4 &s = dout.shape();
+    GANACC_ASSERT(s == cachedXhat_.shape(),
+                  "batchnorm backward shape mismatch");
+    const double per_channel = double(s.d0) * s.d2 * s.d3;
+
+    Tensor din(s);
+    for (int c = 0; c < channels_; ++c) {
+        double sum_dout = 0.0, sum_dout_xhat = 0.0;
+        for (int n = 0; n < s.d0; ++n)
+            for (int y = 0; y < s.d2; ++y)
+                for (int x = 0; x < s.d3; ++x) {
+                    double g = dout.get(n, c, y, x);
+                    sum_dout += g;
+                    sum_dout_xhat += g * cachedXhat_.get(n, c, y, x);
+                }
+        gradBeta_.ref(0, c, 0, 0) += float(sum_dout);
+        gradGamma_.ref(0, c, 0, 0) += float(sum_dout_xhat);
+
+        const float g = gamma_.get(0, c, 0, 0);
+        const float is = cachedInvStd_.get(0, c, 0, 0);
+        if (lastMode_ == Mode::Batch) {
+            // Full backward through the batch statistics:
+            // dx = g*is * (dout - mean(dout) - xhat*mean(dout*xhat)).
+            const double mean_dout = sum_dout / per_channel;
+            const double mean_dx = sum_dout_xhat / per_channel;
+            for (int n = 0; n < s.d0; ++n)
+                for (int y = 0; y < s.d2; ++y)
+                    for (int x = 0; x < s.d3; ++x)
+                        din.ref(n, c, y, x) = float(
+                            double(g) * is *
+                            (dout.get(n, c, y, x) - mean_dout -
+                             cachedXhat_.get(n, c, y, x) * mean_dx));
+        } else {
+            // Frozen statistics: a per-sample affine map.
+            for (int n = 0; n < s.d0; ++n)
+                for (int y = 0; y < s.d2; ++y)
+                    for (int x = 0; x < s.d3; ++x)
+                        din.ref(n, c, y, x) =
+                            g * is * dout.get(n, c, y, x);
+        }
+    }
+    return din;
+}
+
+void
+BatchNormLayer::zeroGrad()
+{
+    gradGamma_.fill(0.0f);
+    gradBeta_.fill(0.0f);
+}
+
+void
+BatchNormLayer::restoreGrads(const Tensor &dgamma, const Tensor &dbeta)
+{
+    GANACC_ASSERT(dgamma.shape() == gradGamma_.shape() &&
+                      dbeta.shape() == gradBeta_.shape(),
+                  "batchnorm restoreGrads shape mismatch");
+    gradGamma_ = dgamma;
+    gradBeta_ = dbeta;
+}
+
+void
+BatchNormLayer::applyUpdate(Optimizer &opt)
+{
+    opt.step(reinterpret_cast<std::uintptr_t>(&gamma_), gamma_,
+             gradGamma_);
+    opt.step(reinterpret_cast<std::uintptr_t>(&beta_), beta_,
+             gradBeta_);
+    zeroGrad();
+}
+
+} // namespace nn
+} // namespace ganacc

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Batch normalization.
+ *
+ * DCGAN's published recipe places BN after most convolutions. The
+ * paper's deferred-synchronization argument (Section IV-A) relies on
+ * per-sample independence of the backward pass — which *batch-mode*
+ * BN breaks, because every sample's activations flow through shared
+ * batch statistics. This module implements both modes so the
+ * repository can quantify that interaction:
+ *
+ *  - Batch mode: normalize by mini-batch statistics, full backward
+ *    through the statistics (the textbook training behaviour).
+ *  - Frozen mode: normalize by running statistics; the backward pass
+ *    is a per-sample affine map, restoring the independence deferred
+ *    synchronization needs (how a hardware implementation would run).
+ */
+
+#ifndef GANACC_NN_BATCHNORM_HH
+#define GANACC_NN_BATCHNORM_HH
+
+#include <cstdint>
+
+#include "nn/optimizer.hh"
+#include "tensor/tensor.hh"
+
+namespace ganacc {
+namespace nn {
+
+/** Per-channel batch normalization over (N, C, H, W) tensors. */
+class BatchNormLayer
+{
+  public:
+    /** Normalization statistics source. */
+    enum class Mode
+    {
+        Batch,  ///< mini-batch statistics (couples samples)
+        Frozen, ///< running statistics (per-sample independent)
+    };
+
+    explicit BatchNormLayer(int channels, float eps = 1e-5f,
+                            float momentum = 0.1f);
+
+    /** Normalize; caches what backward() needs. In Batch mode also
+     *  updates the running statistics. */
+    tensor::Tensor forward(const tensor::Tensor &in, Mode mode);
+
+    /** Backward pass matching the last forward's mode; accumulates
+     *  dgamma/dbeta and returns dinput. */
+    tensor::Tensor backward(const tensor::Tensor &dout);
+
+    void zeroGrad();
+    void applyUpdate(Optimizer &opt);
+
+    /** Restore previously captured gradient accumulators. */
+    void restoreGrads(const tensor::Tensor &dgamma,
+                      const tensor::Tensor &dbeta);
+
+    int channels() const { return channels_; }
+    const tensor::Tensor &gamma() const { return gamma_; }
+    const tensor::Tensor &beta() const { return beta_; }
+    tensor::Tensor &gamma() { return gamma_; }
+    tensor::Tensor &beta() { return beta_; }
+    const tensor::Tensor &gradGamma() const { return gradGamma_; }
+    const tensor::Tensor &gradBeta() const { return gradBeta_; }
+    const tensor::Tensor &runningMean() const { return runningMean_; }
+    const tensor::Tensor &runningVar() const { return runningVar_; }
+
+  private:
+    int channels_;
+    float eps_;
+    float momentum_;
+
+    tensor::Tensor gamma_;       ///< (1, C, 1, 1)
+    tensor::Tensor beta_;        ///< (1, C, 1, 1)
+    tensor::Tensor gradGamma_;
+    tensor::Tensor gradBeta_;
+    tensor::Tensor runningMean_;
+    tensor::Tensor runningVar_;
+
+    // Backward cache.
+    Mode lastMode_ = Mode::Batch;
+    bool haveCache_ = false;
+    tensor::Tensor cachedXhat_;
+    tensor::Tensor cachedInvStd_; ///< (1, C, 1, 1)
+};
+
+} // namespace nn
+} // namespace ganacc
+
+#endif // GANACC_NN_BATCHNORM_HH

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Golden-model convolution implementations.
+ */
+
+#include "nn/conv_ref.hh"
+
+#include "nn/zero_insert.hh"
+#include "tensor/shape.hh"
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace nn {
+
+using tensor::convOutDim;
+using tensor::Shape4;
+using tensor::tconvOutDim;
+using tensor::Tensor;
+
+Tensor
+sconvForward(const Tensor &in, const Tensor &w, const Conv2dGeom &g)
+{
+    const Shape4 &is = in.shape();
+    const Shape4 &ws = w.shape();
+    GANACC_ASSERT(ws.d1 == is.d1, "S-CONV channel mismatch: weights ",
+                  ws.str(), " input ", is.str());
+    GANACC_ASSERT(ws.d2 == g.kernel && ws.d3 == g.kernel,
+                  "kernel geometry mismatch");
+    int oh = convOutDim(is.d2, g.kernel, g.stride, g.pad);
+    int ow = convOutDim(is.d3, g.kernel, g.stride, g.pad);
+    Tensor out(Shape4(is.d0, ws.d0, oh, ow), 0.0f);
+    for (int n = 0; n < is.d0; ++n)
+        for (int of = 0; of < ws.d0; ++of)
+            for (int oy = 0; oy < oh; ++oy)
+                for (int ox = 0; ox < ow; ++ox) {
+                    double acc = 0.0;
+                    for (int c = 0; c < is.d1; ++c)
+                        for (int ky = 0; ky < g.kernel; ++ky)
+                            for (int kx = 0; kx < g.kernel; ++kx) {
+                                int iy = oy * g.stride + ky - g.pad;
+                                int ix = ox * g.stride + kx - g.pad;
+                                acc += double(in.getPadded(n, c, iy, ix)) *
+                                       w.get(of, c, ky, kx);
+                            }
+                    out.ref(n, of, oy, ox) = float(acc);
+                }
+    return out;
+}
+
+Tensor
+sconvBackwardData(const Tensor &dout, const Tensor &w, const Conv2dGeom &g,
+                  int in_h, int in_w)
+{
+    const Shape4 &os = dout.shape();
+    const Shape4 &ws = w.shape();
+    GANACC_ASSERT(ws.d0 == os.d1, "S-CONV bwd-data channel mismatch");
+    Tensor din(Shape4(os.d0, ws.d1, in_h, in_w), 0.0f);
+    for (int n = 0; n < os.d0; ++n)
+        for (int of = 0; of < ws.d0; ++of)
+            for (int oy = 0; oy < os.d2; ++oy)
+                for (int ox = 0; ox < os.d3; ++ox) {
+                    float grad = dout.get(n, of, oy, ox);
+                    if (grad == 0.0f)
+                        continue;
+                    for (int c = 0; c < ws.d1; ++c)
+                        for (int ky = 0; ky < g.kernel; ++ky)
+                            for (int kx = 0; kx < g.kernel; ++kx) {
+                                int iy = oy * g.stride + ky - g.pad;
+                                int ix = ox * g.stride + kx - g.pad;
+                                if (iy < 0 || iy >= in_h || ix < 0 ||
+                                    ix >= in_w)
+                                    continue;
+                                din.ref(n, c, iy, ix) +=
+                                    grad * w.get(of, c, ky, kx);
+                            }
+                }
+    return din;
+}
+
+Tensor
+sconvBackwardWeights(const Tensor &in, const Tensor &dout,
+                     const Conv2dGeom &g, int kh, int kw)
+{
+    const Shape4 &is = in.shape();
+    const Shape4 &os = dout.shape();
+    GANACC_ASSERT(is.d0 == os.d0, "batch mismatch in W-CONV");
+    Tensor dw(Shape4(os.d1, is.d1, kh, kw), 0.0f);
+    for (int n = 0; n < is.d0; ++n)
+        for (int of = 0; of < os.d1; ++of)
+            for (int c = 0; c < is.d1; ++c)
+                for (int ky = 0; ky < kh; ++ky)
+                    for (int kx = 0; kx < kw; ++kx) {
+                        double acc = 0.0;
+                        for (int oy = 0; oy < os.d2; ++oy)
+                            for (int ox = 0; ox < os.d3; ++ox) {
+                                int iy = oy * g.stride + ky - g.pad;
+                                int ix = ox * g.stride + kx - g.pad;
+                                acc += double(dout.get(n, of, oy, ox)) *
+                                       in.getPadded(n, c, iy, ix);
+                            }
+                        dw.ref(of, c, ky, kx) += float(acc);
+                    }
+    return dw;
+}
+
+Tensor
+tconvForward(const Tensor &in, const Tensor &w, const Conv2dGeom &g)
+{
+    const Shape4 &is = in.shape();
+    const Shape4 &ws = w.shape();
+    GANACC_ASSERT(ws.d0 == is.d1, "T-CONV channel mismatch: weights ",
+                  ws.str(), " input ", is.str());
+    int oh = tconvOutDim(is.d2, g.kernel, g.stride, g.pad, g.outPad);
+    int ow = tconvOutDim(is.d3, g.kernel, g.stride, g.pad, g.outPad);
+    Tensor out(Shape4(is.d0, ws.d1, oh, ow), 0.0f);
+    for (int n = 0; n < is.d0; ++n)
+        for (int of = 0; of < ws.d1; ++of)
+            for (int y = 0; y < oh; ++y)
+                for (int x = 0; x < ow; ++x) {
+                    double acc = 0.0;
+                    for (int c = 0; c < is.d1; ++c)
+                        for (int ky = 0; ky < g.kernel; ++ky)
+                            for (int kx = 0; kx < g.kernel; ++kx) {
+                                int ny = y + g.pad - ky;
+                                int nx = x + g.pad - kx;
+                                if (ny < 0 || nx < 0 ||
+                                    ny % g.stride != 0 ||
+                                    nx % g.stride != 0)
+                                    continue;
+                                int iy = ny / g.stride;
+                                int ix = nx / g.stride;
+                                if (iy >= is.d2 || ix >= is.d3)
+                                    continue;
+                                acc += double(in.get(n, c, iy, ix)) *
+                                       w.get(c, of, ky, kx);
+                            }
+                    out.ref(n, of, y, x) = float(acc);
+                }
+    return out;
+}
+
+Tensor
+tconvForwardViaZeroInsert(const Tensor &in, const Tensor &w,
+                          const Conv2dGeom &g)
+{
+    // The zero-inserted map the accelerator actually streams.
+    Tensor stuffed = zeroInsertSpatial(in, g.stride, g.outPad);
+    // Equivalent stride-1 convolution uses the flipped kernel with the
+    // channel axes swapped to (OF, IF, ...), and "full" padding
+    // shrunk by the transposed conv's own pad.
+    Tensor flipped = flipKernelSpatial(swapLeadingAxes(w));
+    Conv2dGeom eff{g.kernel, 1, g.kernel - 1 - g.pad};
+    GANACC_ASSERT(eff.pad >= 0,
+                  "T-CONV pad must be < kernel for zero-insert form");
+    return sconvForward(stuffed, flipped, eff);
+}
+
+Tensor
+tconvBackwardData(const Tensor &dout, const Tensor &w, const Conv2dGeom &g,
+                  int in_h, int in_w)
+{
+    const Shape4 &os = dout.shape();
+    const Shape4 &ws = w.shape();
+    GANACC_ASSERT(ws.d1 == os.d1, "T-CONV bwd-data channel mismatch");
+    Tensor din(Shape4(os.d0, ws.d0, in_h, in_w), 0.0f);
+    for (int n = 0; n < os.d0; ++n)
+        for (int c = 0; c < ws.d0; ++c)
+            for (int iy = 0; iy < in_h; ++iy)
+                for (int ix = 0; ix < in_w; ++ix) {
+                    double acc = 0.0;
+                    for (int of = 0; of < ws.d1; ++of)
+                        for (int ky = 0; ky < g.kernel; ++ky)
+                            for (int kx = 0; kx < g.kernel; ++kx) {
+                                int y = iy * g.stride + ky - g.pad;
+                                int x = ix * g.stride + kx - g.pad;
+                                if (y < 0 || y >= os.d2 || x < 0 ||
+                                    x >= os.d3)
+                                    continue;
+                                acc += double(dout.get(n, of, y, x)) *
+                                       w.get(c, of, ky, kx);
+                            }
+                    din.ref(n, c, iy, ix) = float(acc);
+                }
+    return din;
+}
+
+Tensor
+tconvBackwardWeights(const Tensor &in, const Tensor &dout,
+                     const Conv2dGeom &g, int kh, int kw)
+{
+    const Shape4 &is = in.shape();
+    const Shape4 &os = dout.shape();
+    GANACC_ASSERT(is.d0 == os.d0, "batch mismatch in W-CONV (gen)");
+    Tensor dw(Shape4(is.d1, os.d1, kh, kw), 0.0f);
+    for (int n = 0; n < is.d0; ++n)
+        for (int c = 0; c < is.d1; ++c)
+            for (int of = 0; of < os.d1; ++of)
+                for (int ky = 0; ky < kh; ++ky)
+                    for (int kx = 0; kx < kw; ++kx) {
+                        double acc = 0.0;
+                        for (int iy = 0; iy < is.d2; ++iy)
+                            for (int ix = 0; ix < is.d3; ++ix) {
+                                int y = iy * g.stride + ky - g.pad;
+                                int x = ix * g.stride + kx - g.pad;
+                                if (y < 0 || y >= os.d2 || x < 0 ||
+                                    x >= os.d3)
+                                    continue;
+                                acc += double(in.get(n, c, iy, ix)) *
+                                       dout.get(n, of, y, x);
+                            }
+                        dw.ref(c, of, ky, kx) += float(acc);
+                    }
+    return dw;
+}
+
+Tensor
+wconvViaDilatedKernel(const Tensor &in, const Tensor &dout,
+                      const Conv2dGeom &g, int kh, int kw)
+{
+    const Shape4 &is = in.shape();
+    const Shape4 &os = dout.shape();
+    GANACC_ASSERT(is.d0 == os.d0, "batch mismatch in W-CONV (dilated)");
+    // Zero-insert the error map: this is the "zero-inserting in kernel"
+    // of Fig. 6(c). The dilated map then slides at stride 1 over the
+    // padded input; output positions beyond the kernel extent would be
+    // artifacts of inexact conv arithmetic and are cropped.
+    Tensor dil = zeroInsertSpatial(dout, g.stride);
+    Tensor padded = padSpatial(in, g.pad);
+    const Shape4 &ds = dil.shape();
+    Tensor dw(Shape4(os.d1, is.d1, kh, kw), 0.0f);
+    for (int n = 0; n < is.d0; ++n)
+        for (int of = 0; of < os.d1; ++of)
+            for (int c = 0; c < is.d1; ++c)
+                for (int ky = 0; ky < kh; ++ky)
+                    for (int kx = 0; kx < kw; ++kx) {
+                        double acc = 0.0;
+                        for (int jy = 0; jy < ds.d2; ++jy)
+                            for (int jx = 0; jx < ds.d3; ++jx)
+                                acc += double(dil.get(n, of, jy, jx)) *
+                                       padded.get(n, c, ky + jy, kx + jx);
+                        dw.ref(of, c, ky, kx) += float(acc);
+                    }
+    return dw;
+}
+
+} // namespace nn
+} // namespace ganacc

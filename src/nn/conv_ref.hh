@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Reference (golden-model) implementations of the three GAN
+ * convolution variants from Table I of the paper:
+ *
+ *  - S-CONV: strided convolution (discriminator forward, generator
+ *    backward-error).
+ *  - T-CONV: transposed convolution with zero-inserted inputs
+ *    (generator forward, discriminator backward-error).
+ *  - W-CONV: the weight-gradient convolution with four-dimension
+ *    output and no cross-channel accumulation (Fig. 3); zero-inserted
+ *    kernel for the discriminator update and zero-inserted input for
+ *    the generator update.
+ *
+ * These are written as direct nested loops with no cleverness; every
+ * microarchitecture simulator must reproduce their outputs exactly.
+ *
+ * Tensor conventions:
+ *  - data:    (N, C, H, W)
+ *  - S-CONV weights: (OF, IF, KH, KW)
+ *  - T-CONV weights: (IF, OF, KH, KW)   (input-major, like the adjoint)
+ */
+
+#ifndef GANACC_NN_CONV_REF_HH
+#define GANACC_NN_CONV_REF_HH
+
+#include "tensor/tensor.hh"
+
+namespace ganacc {
+namespace nn {
+
+/** Static geometry of one 2-D convolution. */
+struct Conv2dGeom
+{
+    int kernel = 3;
+    int stride = 1;
+    int pad = 0;
+    /// Extra bottom-right zeros in T-CONV outputs (ignored by S-CONV).
+    int outPad = 0;
+
+    bool operator==(const Conv2dGeom &) const = default;
+};
+
+/**
+ * Strided convolution (S-CONV).
+ *
+ * out(n,of,oy,ox) = sum_{if,ky,kx}
+ *     in(n,if,oy*s+ky-p, ox*s+kx-p) * w(of,if,ky,kx)
+ */
+tensor::Tensor sconvForward(const tensor::Tensor &in,
+                            const tensor::Tensor &w,
+                            const Conv2dGeom &g);
+
+/**
+ * Data gradient of sconvForward: the adjoint map, itself a T-CONV.
+ * Returns d(in) with the given spatial size (needed because strided
+ * convs are not always exactly invertible in size).
+ */
+tensor::Tensor sconvBackwardData(const tensor::Tensor &dout,
+                                 const tensor::Tensor &w,
+                                 const Conv2dGeom &g, int in_h, int in_w);
+
+/**
+ * Weight gradient of sconvForward (W-CONV, discriminator form).
+ *
+ * dW(of,if,ky,kx) = sum_{n,oy,ox}
+ *     dout(n,of,oy,ox) * in(n,if,oy*s+ky-p, ox*s+kx-p)
+ *
+ * For a single sample this *is* the four-dimension-output convolution
+ * of Fig. 3 where the (stride-dilated) error map acts as the kernel.
+ */
+tensor::Tensor sconvBackwardWeights(const tensor::Tensor &in,
+                                    const tensor::Tensor &dout,
+                                    const Conv2dGeom &g, int kh, int kw);
+
+/**
+ * Transposed convolution (T-CONV), direct gather form.
+ *
+ * out(n,of,y,x) = sum_{if,ky,kx : (y+p-ky)%s==0, (x+p-kx)%s==0}
+ *     in(n,if,(y+p-ky)/s,(x+p-kx)/s) * w(if,of,ky,kx)
+ */
+tensor::Tensor tconvForward(const tensor::Tensor &in,
+                            const tensor::Tensor &w,
+                            const Conv2dGeom &g);
+
+/**
+ * T-CONV computed the way the accelerator sees it: zero-insert the
+ * input (stride-1 zeros), pad by (kernel-1-pad), then run a stride-1
+ * S-CONV with the spatially flipped, axis-swapped kernel. Must equal
+ * tconvForward — this equivalence is what lets the hardware treat
+ * T-CONV as a convolution over a zero-stuffed map.
+ */
+tensor::Tensor tconvForwardViaZeroInsert(const tensor::Tensor &in,
+                                         const tensor::Tensor &w,
+                                         const Conv2dGeom &g);
+
+/**
+ * Data gradient of tconvForward: the adjoint, which is an S-CONV of
+ * the output-side gradient.
+ */
+tensor::Tensor tconvBackwardData(const tensor::Tensor &dout,
+                                 const tensor::Tensor &w,
+                                 const Conv2dGeom &g, int in_h, int in_w);
+
+/**
+ * Weight gradient of tconvForward (W-CONV, generator form): the
+ * zero-inserted input maps convolved with the error map, no
+ * cross-channel accumulation. Returns (IF, OF, KH, KW).
+ */
+tensor::Tensor tconvBackwardWeights(const tensor::Tensor &in,
+                                    const tensor::Tensor &dout,
+                                    const Conv2dGeom &g, int kh, int kw);
+
+/**
+ * W-CONV discriminator form computed as the paper describes it
+ * (Fig. 6(c)): stride-1 correlation of the padded input with the
+ * *zero-inserted* (stride-dilated) error map acting as kernel, cropped
+ * to the true kernel extent. Must equal sconvBackwardWeights.
+ */
+tensor::Tensor wconvViaDilatedKernel(const tensor::Tensor &in,
+                                     const tensor::Tensor &dout,
+                                     const Conv2dGeom &g, int kh, int kw);
+
+} // namespace nn
+} // namespace ganacc
+
+#endif // GANACC_NN_CONV_REF_HH

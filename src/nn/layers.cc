@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Convolution layer implementations.
+ */
+
+#include "nn/layers.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "tensor/shape.hh"
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace nn {
+
+using tensor::Shape4;
+using tensor::Tensor;
+
+ConvLayerBase::ConvLayerBase(int in_channels, int out_channels,
+                             Conv2dGeom geom, Activation act,
+                             Shape4 weight_shape)
+    : inChannels_(in_channels), outChannels_(out_channels), geom_(geom),
+      act_(act), weights_(weight_shape, 0.0f),
+      gradAccum_(weight_shape, 0.0f)
+{
+    GANACC_ASSERT(in_channels > 0 && out_channels > 0,
+                  "channel counts must be positive");
+}
+
+Tensor
+ConvLayerBase::forward(const Tensor &in)
+{
+    GANACC_ASSERT(in.shape().d1 == inChannels_, "layer expects ",
+                  inChannels_, " input channels, got ", in.shape().d1);
+    cachedInput_ = in;
+    Tensor conv_out = doForward(in);
+    // DCGAN ordering: convolution -> (batch norm) -> activation.
+    cachedPre_ = bn_ ? bn_->forward(conv_out, bnMode_)
+                     : std::move(conv_out);
+    haveCache_ = true;
+    return activationForward(cachedPre_, act_);
+}
+
+Tensor
+ConvLayerBase::backward(const Tensor &dout)
+{
+    GANACC_ASSERT(haveCache_, "backward() before forward()");
+    GANACC_ASSERT(dout.shape() == cachedPre_.shape(),
+                  "backward error shape ", dout.shape().str(),
+                  " != forward output shape ", cachedPre_.shape().str());
+    Tensor derr = activationBackward(dout, cachedPre_, act_);
+    if (bn_)
+        derr = bn_->backward(derr);
+    gradAccum_.add(doBackwardWeights(cachedInput_, derr));
+    gradSamples_ += dout.shape().d0;
+    return doBackwardData(derr, cachedInput_.shape().d2,
+                          cachedInput_.shape().d3);
+}
+
+void
+ConvLayerBase::enableBatchNorm()
+{
+    GANACC_ASSERT(!bn_, "batch norm already attached");
+    bn_ = std::make_unique<BatchNormLayer>(outChannels_);
+}
+
+void
+ConvLayerBase::zeroGrad()
+{
+    gradAccum_.fill(0.0f);
+    gradSamples_ = 0;
+    if (bn_)
+        bn_->zeroGrad();
+}
+
+ConvLayerBase::GradSnapshot
+ConvLayerBase::snapshotGrads() const
+{
+    GradSnapshot snap;
+    snap.weights = gradAccum_;
+    snap.samples = gradSamples_;
+    if (bn_) {
+        snap.hasBn = true;
+        snap.bnGamma = bn_->gradGamma();
+        snap.bnBeta = bn_->gradBeta();
+    }
+    return snap;
+}
+
+void
+ConvLayerBase::restoreGrads(const GradSnapshot &snap)
+{
+    GANACC_ASSERT(snap.weights.shape() == gradAccum_.shape(),
+                  "restoreGrads shape mismatch");
+    GANACC_ASSERT(snap.hasBn == (bn_ != nullptr),
+                  "restoreGrads BN presence mismatch");
+    gradAccum_ = snap.weights;
+    gradSamples_ = snap.samples;
+    if (bn_)
+        bn_->restoreGrads(snap.bnGamma, snap.bnBeta);
+}
+
+void
+ConvLayerBase::applyUpdate(Optimizer &opt)
+{
+    GANACC_ASSERT(gradSamples_ > 0, "applyUpdate with no gradient");
+    opt.step(reinterpret_cast<std::uintptr_t>(this), weights_,
+             gradAccum_);
+    if (bn_)
+        bn_->applyUpdate(opt);
+    zeroGrad();
+}
+
+void
+ConvLayerBase::initWeights(util::Rng &rng)
+{
+    float fan_in =
+        float(inChannels_) * geom_.kernel * geom_.kernel;
+    float stddev = std::sqrt(2.0f / fan_in);
+    weights_.fillGaussian(rng, 0.0f, stddev);
+}
+
+std::string
+ConvLayerBase::describe() const
+{
+    std::ostringstream os;
+    os << (kind() == ConvKind::Strided ? "S-CONV" : "T-CONV") << " "
+       << inChannels_ << "->" << outChannels_ << " k" << geom_.kernel
+       << " s" << geom_.stride << " p" << geom_.pad << " "
+       << activationName(act_);
+    return os.str();
+}
+
+ConvLayer::ConvLayer(int in_channels, int out_channels, Conv2dGeom geom,
+                     Activation act)
+    : ConvLayerBase(in_channels, out_channels, geom, act,
+                    Shape4(out_channels, in_channels, geom.kernel,
+                           geom.kernel))
+{
+}
+
+int
+ConvLayer::outDim(int in_dim) const
+{
+    return tensor::convOutDim(in_dim, geom_.kernel, geom_.stride,
+                              geom_.pad);
+}
+
+Tensor
+ConvLayer::doForward(const Tensor &in) const
+{
+    return sconvForward(in, weights_, geom_);
+}
+
+Tensor
+ConvLayer::doBackwardData(const Tensor &derr, int in_h, int in_w) const
+{
+    return sconvBackwardData(derr, weights_, geom_, in_h, in_w);
+}
+
+Tensor
+ConvLayer::doBackwardWeights(const Tensor &in, const Tensor &derr) const
+{
+    return sconvBackwardWeights(in, derr, geom_, geom_.kernel,
+                                geom_.kernel);
+}
+
+TransposedConvLayer::TransposedConvLayer(int in_channels, int out_channels,
+                                         Conv2dGeom geom, Activation act)
+    : ConvLayerBase(in_channels, out_channels, geom, act,
+                    Shape4(in_channels, out_channels, geom.kernel,
+                           geom.kernel))
+{
+}
+
+int
+TransposedConvLayer::outDim(int in_dim) const
+{
+    return tensor::tconvOutDim(in_dim, geom_.kernel, geom_.stride,
+                               geom_.pad, geom_.outPad);
+}
+
+Tensor
+TransposedConvLayer::doForward(const Tensor &in) const
+{
+    return tconvForward(in, weights_, geom_);
+}
+
+Tensor
+TransposedConvLayer::doBackwardData(const Tensor &derr, int in_h,
+                                    int in_w) const
+{
+    return tconvBackwardData(derr, weights_, geom_, in_h, in_w);
+}
+
+Tensor
+TransposedConvLayer::doBackwardWeights(const Tensor &in,
+                                       const Tensor &derr) const
+{
+    return tconvBackwardWeights(in, derr, geom_, geom_.kernel,
+                                geom_.kernel);
+}
+
+} // namespace nn
+} // namespace ganacc

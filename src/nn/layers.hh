@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Trainable convolution layers with the three passes the accelerator
+ * executes: forward, backward-error (eq. 3) and backward-weights
+ * (eq. 4). Gradients accumulate across backward() calls so the
+ * deferred-synchronization trainer can run one sample at a time and
+ * still produce the exact mini-batch gradient.
+ */
+
+#ifndef GANACC_NN_LAYERS_HH
+#define GANACC_NN_LAYERS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "nn/activations.hh"
+#include "nn/batchnorm.hh"
+#include "nn/conv_ref.hh"
+#include "nn/optimizer.hh"
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+
+namespace ganacc {
+namespace nn {
+
+/** Which convolution variant a layer's forward pass uses. */
+enum class ConvKind
+{
+    Strided,    ///< S-CONV (discriminator-style)
+    Transposed, ///< T-CONV (generator-style)
+};
+
+/** Common state and interface of the two conv layer types. */
+class ConvLayerBase
+{
+  public:
+    virtual ~ConvLayerBase() = default;
+
+    /**
+     * Forward pass: convolution followed by the layer activation.
+     * Caches the input and pre-activation for the backward passes.
+     */
+    tensor::Tensor forward(const tensor::Tensor &in);
+
+    /**
+     * Backward pass: applies the activation derivative, accumulates
+     * the weight gradient (eq. 4) into the layer's gradient buffer and
+     * returns the error for the previous layer (eq. 3).
+     */
+    tensor::Tensor backward(const tensor::Tensor &dout);
+
+    /** Reset the accumulated gradient to zero. */
+    void zeroGrad();
+
+    /**
+     * Snapshot of every gradient accumulator the layer owns (conv
+     * weights plus any attached BN parameters). Used to make a
+     * backward pass side-effect free on the gradients (the
+     * discriminator's error-relay pass during the generator update).
+     */
+    struct GradSnapshot
+    {
+        tensor::Tensor weights;
+        int samples = 0;
+        tensor::Tensor bnGamma;
+        tensor::Tensor bnBeta;
+        bool hasBn = false;
+    };
+
+    GradSnapshot snapshotGrads() const;
+    void restoreGrads(const GradSnapshot &snap);
+
+    /** Apply the accumulated gradient with the given optimizer. */
+    void applyUpdate(Optimizer &opt);
+
+    /** Kaiming-style random initialization. */
+    void initWeights(util::Rng &rng);
+
+    /**
+     * Attach batch normalization between the convolution and the
+     * activation (the DCGAN recipe). The layer then owns the BN
+     * parameters: applyUpdate()/zeroGrad() cover them too.
+     */
+    void enableBatchNorm();
+
+    bool hasBatchNorm() const { return bn_ != nullptr; }
+    BatchNormLayer *batchNorm() { return bn_.get(); }
+
+    /** Statistics source for an attached BN (ignored without one). */
+    void
+    setBnMode(BatchNormLayer::Mode mode)
+    {
+        bnMode_ = mode;
+    }
+
+    const tensor::Tensor &weights() const { return weights_; }
+    tensor::Tensor &weights() { return weights_; }
+    const tensor::Tensor &gradAccum() const { return gradAccum_; }
+    int gradSamples() const { return gradSamples_; }
+
+    int inChannels() const { return inChannels_; }
+    int outChannels() const { return outChannels_; }
+    const Conv2dGeom &geom() const { return geom_; }
+    Activation activation() const { return act_; }
+    virtual ConvKind kind() const = 0;
+
+    /** Spatial output size for a given input size. */
+    virtual int outDim(int in_dim) const = 0;
+
+    std::string describe() const;
+
+  protected:
+    ConvLayerBase(int in_channels, int out_channels, Conv2dGeom geom,
+                  Activation act, tensor::Shape4 weight_shape);
+
+    virtual tensor::Tensor doForward(const tensor::Tensor &in) const = 0;
+    virtual tensor::Tensor doBackwardData(const tensor::Tensor &derr,
+                                          int in_h, int in_w) const = 0;
+    virtual tensor::Tensor doBackwardWeights(
+        const tensor::Tensor &in, const tensor::Tensor &derr) const = 0;
+
+    int inChannels_;
+    int outChannels_;
+    Conv2dGeom geom_;
+    Activation act_;
+
+    tensor::Tensor weights_;
+    tensor::Tensor gradAccum_;
+    int gradSamples_ = 0;
+
+    std::unique_ptr<BatchNormLayer> bn_;
+    BatchNormLayer::Mode bnMode_ = BatchNormLayer::Mode::Batch;
+
+    tensor::Tensor cachedInput_;
+    tensor::Tensor cachedPre_; ///< what the activation saw
+    bool haveCache_ = false;
+};
+
+/** Strided convolution layer (S-CONV forward). */
+class ConvLayer : public ConvLayerBase
+{
+  public:
+    ConvLayer(int in_channels, int out_channels, Conv2dGeom geom,
+              Activation act);
+
+    ConvKind kind() const override { return ConvKind::Strided; }
+    int outDim(int in_dim) const override;
+
+  protected:
+    tensor::Tensor doForward(const tensor::Tensor &in) const override;
+    tensor::Tensor doBackwardData(const tensor::Tensor &derr, int in_h,
+                                  int in_w) const override;
+    tensor::Tensor doBackwardWeights(
+        const tensor::Tensor &in,
+        const tensor::Tensor &derr) const override;
+};
+
+/** Transposed convolution layer (T-CONV forward). */
+class TransposedConvLayer : public ConvLayerBase
+{
+  public:
+    TransposedConvLayer(int in_channels, int out_channels, Conv2dGeom geom,
+                        Activation act);
+
+    ConvKind kind() const override { return ConvKind::Transposed; }
+    int outDim(int in_dim) const override;
+
+  protected:
+    tensor::Tensor doForward(const tensor::Tensor &in) const override;
+    tensor::Tensor doBackwardData(const tensor::Tensor &derr, int in_h,
+                                  int in_w) const override;
+    tensor::Tensor doBackwardWeights(
+        const tensor::Tensor &in,
+        const tensor::Tensor &derr) const override;
+};
+
+} // namespace nn
+} // namespace ganacc
+
+#endif // GANACC_NN_LAYERS_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Wasserstein loss implementations.
+ */
+
+#include "nn/loss.hh"
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace nn {
+
+double
+wassersteinCriticLoss(const std::vector<double> &real_scores,
+                      const std::vector<double> &fake_scores)
+{
+    GANACC_ASSERT(!real_scores.empty() &&
+                      real_scores.size() == fake_scores.size(),
+                  "critic loss needs equal, non-empty batches");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < real_scores.size(); ++i)
+        acc += real_scores[i] - fake_scores[i];
+    return -acc / double(real_scores.size());
+}
+
+double
+wassersteinGeneratorLoss(const std::vector<double> &fake_scores)
+{
+    GANACC_ASSERT(!fake_scores.empty(), "generator loss needs samples");
+    double acc = 0.0;
+    for (double s : fake_scores)
+        acc += s;
+    return -acc / double(fake_scores.size());
+}
+
+double
+criticOutputErrorReal(int batch_size)
+{
+    GANACC_ASSERT(batch_size > 0, "batch size must be positive");
+    return -1.0 / double(batch_size);
+}
+
+double
+criticOutputErrorFake(int batch_size)
+{
+    GANACC_ASSERT(batch_size > 0, "batch size must be positive");
+    return 1.0 / double(batch_size);
+}
+
+double
+generatorOutputError(int batch_size)
+{
+    GANACC_ASSERT(batch_size > 0, "batch size must be positive");
+    return -1.0 / double(batch_size);
+}
+
+} // namespace nn
+} // namespace ganacc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Wasserstein GAN losses (paper eqs. 1, 2 and 6).
+ *
+ * The deferred-synchronization insight of Section IV-A rests on eq. 6:
+ * because the loss linearly averages per-sample critic outputs, the
+ * output-layer error of each sample is a constant (±1/m) independent
+ * of the other samples, so backpropagation can start per sample.
+ */
+
+#ifndef GANACC_NN_LOSS_HH
+#define GANACC_NN_LOSS_HH
+
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace ganacc {
+namespace nn {
+
+/**
+ * Critic (discriminator) loss, eq. (1):
+ * loss = -(1/m) * sum_i [ D(x_i) - D(x~_i) ].
+ *
+ * @param real_scores per-sample critic outputs on real data.
+ * @param fake_scores per-sample critic outputs on generated data.
+ */
+double wassersteinCriticLoss(const std::vector<double> &real_scores,
+                             const std::vector<double> &fake_scores);
+
+/** Generator loss, eq. (2): loss = -(1/m) * sum_i D(x~_i). */
+double wassersteinGeneratorLoss(const std::vector<double> &fake_scores);
+
+/**
+ * Output-layer error of the critic for one *real* sample (eq. 6):
+ * d loss / d D(x_i) = -1/m. Independent of every other sample.
+ */
+double criticOutputErrorReal(int batch_size);
+
+/**
+ * Output-layer error of the critic for one *fake* sample during the
+ * discriminator update: d loss / d D(x~_i) = +1/m.
+ */
+double criticOutputErrorFake(int batch_size);
+
+/**
+ * Output-layer error fed back through the critic during the
+ * *generator* update: d loss_gen / d D(x~_i) = -1/m.
+ */
+double generatorOutputError(int batch_size);
+
+} // namespace nn
+} // namespace ganacc
+
+#endif // GANACC_NN_LOSS_HH

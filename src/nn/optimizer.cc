@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Optimizer implementations.
+ */
+
+#include "nn/optimizer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace nn {
+
+using tensor::Tensor;
+
+void
+RmsProp::step(std::uintptr_t param_id, Tensor &param, const Tensor &grad)
+{
+    GANACC_ASSERT(param.shape() == grad.shape(),
+                  "rmsprop shape mismatch");
+    auto it = meanSquare_.find(param_id);
+    if (it == meanSquare_.end()) {
+        it = meanSquare_.emplace(param_id, Tensor(grad.shape(), 0.0f))
+                 .first;
+    }
+    Tensor &ms = it->second;
+    GANACC_ASSERT(ms.shape() == grad.shape(),
+                  "rmsprop state shape changed for the same param id");
+    float *m = ms.data();
+    float *p = param.data();
+    const float *g = grad.data();
+    for (std::size_t i = 0; i < grad.numel(); ++i) {
+        m[i] = decay_ * m[i] + (1.0f - decay_) * g[i] * g[i];
+        p[i] -= lr_ * g[i] / (std::sqrt(m[i]) + eps_);
+    }
+}
+
+void
+Adam::step(std::uintptr_t param_id, Tensor &param, const Tensor &grad)
+{
+    GANACC_ASSERT(param.shape() == grad.shape(), "adam shape mismatch");
+    auto it = state_.find(param_id);
+    if (it == state_.end()) {
+        State fresh{Tensor(grad.shape(), 0.0f),
+                    Tensor(grad.shape(), 0.0f), 0};
+        it = state_.emplace(param_id, std::move(fresh)).first;
+    }
+    State &s = it->second;
+    GANACC_ASSERT(s.m.shape() == grad.shape(),
+                  "adam state shape changed for the same param id");
+    s.t += 1;
+    const double bc1 = 1.0 - std::pow(double(beta1_), double(s.t));
+    const double bc2 = 1.0 - std::pow(double(beta2_), double(s.t));
+    float *m = s.m.data();
+    float *v = s.v.data();
+    float *p = param.data();
+    const float *g = grad.data();
+    for (std::size_t i = 0; i < grad.numel(); ++i) {
+        m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+        v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+        double mhat = m[i] / bc1;
+        double vhat = v[i] / bc2;
+        p[i] -= float(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+}
+
+void
+clipWeights(Tensor &t, float c)
+{
+    GANACC_ASSERT(c > 0.0f, "clip bound must be positive");
+    float *p = t.data();
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        p[i] = std::clamp(p[i], -c, c);
+}
+
+} // namespace nn
+} // namespace ganacc

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Parameter-update rules.
+ *
+ * The paper trains with the Wasserstein objective (Arjovsky et al.),
+ * whose reference recipe is RMSProp plus weight clipping on the
+ * critic; plain SGD is provided for deterministic equivalence tests.
+ */
+
+#ifndef GANACC_NN_OPTIMIZER_HH
+#define GANACC_NN_OPTIMIZER_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "tensor/tensor.hh"
+
+namespace ganacc {
+namespace nn {
+
+/** Abstract update rule: param -= f(grad). */
+class Optimizer
+{
+  public:
+    virtual ~Optimizer() = default;
+
+    /**
+     * Apply one update step.
+     *
+     * @param param_id stable identifier of the parameter tensor, used
+     *                 to key per-parameter optimizer state.
+     * @param param    the parameter tensor, updated in place.
+     * @param grad     the gradient of the loss w.r.t. param.
+     */
+    virtual void step(std::uintptr_t param_id, tensor::Tensor &param,
+                      const tensor::Tensor &grad) = 0;
+
+    float learningRate() const { return lr_; }
+
+  protected:
+    explicit Optimizer(float lr) : lr_(lr) {}
+    float lr_;
+};
+
+/** Vanilla stochastic gradient descent. */
+class Sgd : public Optimizer
+{
+  public:
+    explicit Sgd(float lr) : Optimizer(lr) {}
+
+    void
+    step(std::uintptr_t, tensor::Tensor &param,
+         const tensor::Tensor &grad) override
+    {
+        param.axpy(-lr_, grad);
+    }
+};
+
+/** RMSProp as used by the WGAN reference implementation. */
+class RmsProp : public Optimizer
+{
+  public:
+    explicit RmsProp(float lr, float decay = 0.9f, float eps = 1e-8f)
+        : Optimizer(lr), decay_(decay), eps_(eps) {}
+
+    void step(std::uintptr_t param_id, tensor::Tensor &param,
+              const tensor::Tensor &grad) override;
+
+  private:
+    float decay_;
+    float eps_;
+    std::unordered_map<std::uintptr_t, tensor::Tensor> meanSquare_;
+};
+
+/** Adam (Kingma & Ba) — the optimizer of the original DCGAN recipe. */
+class Adam : public Optimizer
+{
+  public:
+    explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                  float eps = 1e-8f)
+        : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+    void step(std::uintptr_t param_id, tensor::Tensor &param,
+              const tensor::Tensor &grad) override;
+
+  private:
+    struct State
+    {
+        tensor::Tensor m; ///< first-moment estimate
+        tensor::Tensor v; ///< second-moment estimate
+        long t = 0;       ///< step count (bias correction)
+    };
+
+    float beta1_;
+    float beta2_;
+    float eps_;
+    std::unordered_map<std::uintptr_t, State> state_;
+};
+
+/** Clamp every element of a tensor into [-c, c] (WGAN critic clip). */
+void clipWeights(tensor::Tensor &t, float c);
+
+} // namespace nn
+} // namespace ganacc
+
+#endif // GANACC_NN_OPTIMIZER_HH

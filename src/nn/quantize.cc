@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Fixed-point datapath implementation.
+ */
+
+#include "nn/quantize.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "tensor/shape.hh"
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace nn {
+
+using tensor::Shape4;
+using tensor::Tensor;
+using util::AccelFixed;
+
+namespace {
+
+/** Quantize a float to a raw Q7.8 pattern. */
+int32_t
+toRaw(float v)
+{
+    return AccelFixed::fromDouble(v).raw();
+}
+
+/** Renormalize a wide accumulator of Q(2*frac) products back to the
+ *  Q7.8 grid with round-to-nearest and saturation. */
+float
+fromAccumulator(std::int64_t acc)
+{
+    const int frac = AccelFixed::fracBits;
+    std::int64_t rounded = acc + (std::int64_t(1) << (frac - 1));
+    std::int64_t raw = rounded >> frac;
+    raw = std::clamp<std::int64_t>(
+        raw, std::numeric_limits<std::int16_t>::min(),
+        std::numeric_limits<std::int16_t>::max());
+    return float(AccelFixed::fromRaw(int16_t(raw)).toDouble());
+}
+
+} // namespace
+
+Tensor
+sconvForwardFixed(const Tensor &in, const Tensor &w, const Conv2dGeom &g)
+{
+    const Shape4 &is = in.shape();
+    const Shape4 &ws = w.shape();
+    GANACC_ASSERT(ws.d1 == is.d1, "fixed S-CONV channel mismatch");
+    int oh = tensor::convOutDim(is.d2, g.kernel, g.stride, g.pad);
+    int ow = tensor::convOutDim(is.d3, g.kernel, g.stride, g.pad);
+    Tensor out(Shape4(is.d0, ws.d0, oh, ow));
+    for (int n = 0; n < is.d0; ++n)
+        for (int of = 0; of < ws.d0; ++of)
+            for (int oy = 0; oy < oh; ++oy)
+                for (int ox = 0; ox < ow; ++ox) {
+                    std::int64_t acc = 0;
+                    for (int c = 0; c < is.d1; ++c)
+                        for (int ky = 0; ky < g.kernel; ++ky)
+                            for (int kx = 0; kx < g.kernel; ++kx) {
+                                int iy = oy * g.stride + ky - g.pad;
+                                int ix = ox * g.stride + kx - g.pad;
+                                float v = in.getPadded(n, c, iy, ix);
+                                if (v == 0.0f)
+                                    continue;
+                                acc += std::int64_t(toRaw(v)) *
+                                       toRaw(w.get(of, c, ky, kx));
+                            }
+                    out.ref(n, of, oy, ox) = fromAccumulator(acc);
+                }
+    return out;
+}
+
+Tensor
+tconvForwardFixed(const Tensor &in, const Tensor &w, const Conv2dGeom &g)
+{
+    const Shape4 &is = in.shape();
+    const Shape4 &ws = w.shape();
+    GANACC_ASSERT(ws.d0 == is.d1, "fixed T-CONV channel mismatch");
+    int oh = tensor::tconvOutDim(is.d2, g.kernel, g.stride, g.pad,
+                                 g.outPad);
+    int ow = tensor::tconvOutDim(is.d3, g.kernel, g.stride, g.pad,
+                                 g.outPad);
+    Tensor out(Shape4(is.d0, ws.d1, oh, ow));
+    for (int n = 0; n < is.d0; ++n)
+        for (int of = 0; of < ws.d1; ++of)
+            for (int y = 0; y < oh; ++y)
+                for (int x = 0; x < ow; ++x) {
+                    std::int64_t acc = 0;
+                    for (int c = 0; c < is.d1; ++c)
+                        for (int ky = 0; ky < g.kernel; ++ky)
+                            for (int kx = 0; kx < g.kernel; ++kx) {
+                                int ny = y + g.pad - ky;
+                                int nx = x + g.pad - kx;
+                                if (ny < 0 || nx < 0 ||
+                                    ny % g.stride != 0 ||
+                                    nx % g.stride != 0)
+                                    continue;
+                                int iy = ny / g.stride;
+                                int ix = nx / g.stride;
+                                if (iy >= is.d2 || ix >= is.d3)
+                                    continue;
+                                acc += std::int64_t(toRaw(in.get(
+                                           n, c, iy, ix))) *
+                                       toRaw(w.get(c, of, ky, kx));
+                            }
+                    out.ref(n, of, y, x) = fromAccumulator(acc);
+                }
+    return out;
+}
+
+QuantError
+quantError(const Tensor &reference, const Tensor &fixed_result)
+{
+    GANACC_ASSERT(reference.shape() == fixed_result.shape(),
+                  "quantError shape mismatch");
+    QuantError e;
+    double sq = 0.0;
+    for (std::size_t i = 0; i < reference.numel(); ++i) {
+        double d = double(reference.data()[i]) - fixed_result.data()[i];
+        e.maxAbs = std::max(e.maxAbs, std::fabs(d));
+        sq += d * d;
+        e.refScale = std::max(e.refScale,
+                              double(std::fabs(reference.data()[i])));
+    }
+    e.rms = std::sqrt(sq / double(reference.numel()));
+    return e;
+}
+
+} // namespace nn
+} // namespace ganacc

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * 16-bit fixed-point datapath model.
+ *
+ * The paper's FPGA computes in 16-bit fixed point ("the width of data
+ * is 16 in our system", Section V-C) while the CPU/GPU baselines use
+ * floating point. This module runs the convolutions through the
+ * modeled datapath — Q7.8 operands, exact 32-bit products, wide
+ * accumulation, round-and-saturate on writeback (the Xilinx DSP48
+ * behaviour) — so the reproduction can quantify what the precision
+ * choice costs in accuracy.
+ */
+
+#ifndef GANACC_NN_QUANTIZE_HH
+#define GANACC_NN_QUANTIZE_HH
+
+#include "nn/conv_ref.hh"
+#include "tensor/tensor.hh"
+#include "util/fixed_point.hh"
+
+namespace ganacc {
+namespace nn {
+
+/** Snap every element to the Q(15-FracBits).FracBits grid. */
+template <int FracBits = util::AccelFixed::fracBits>
+tensor::Tensor
+quantizeTensor(const tensor::Tensor &t)
+{
+    tensor::Tensor out(t.shape());
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        out.data()[i] = float(
+            util::Fixed16<FracBits>::fromDouble(t.data()[i]).toDouble());
+    return out;
+}
+
+/**
+ * S-CONV through the fixed-point datapath: operands quantized to
+ * Q7.8, products kept exact in 32 bits, accumulated in 64 bits, one
+ * round-and-saturate on writeback.
+ */
+tensor::Tensor sconvForwardFixed(const tensor::Tensor &in,
+                                 const tensor::Tensor &w,
+                                 const Conv2dGeom &g);
+
+/** T-CONV through the fixed-point datapath (gather form). */
+tensor::Tensor tconvForwardFixed(const tensor::Tensor &in,
+                                 const tensor::Tensor &w,
+                                 const Conv2dGeom &g);
+
+/** Error metrics between a float reference and the fixed result. */
+struct QuantError
+{
+    double maxAbs = 0.0;
+    double rms = 0.0;
+    double refScale = 0.0; ///< max |reference| for context
+};
+
+QuantError quantError(const tensor::Tensor &reference,
+                      const tensor::Tensor &fixed_result);
+
+} // namespace nn
+} // namespace ganacc
+
+#endif // GANACC_NN_QUANTIZE_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Zero-insertion and spatial rearrangement implementations.
+ */
+
+#include "nn/zero_insert.hh"
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace nn {
+
+using tensor::Shape4;
+using tensor::Tensor;
+
+Tensor
+zeroInsertSpatial(const Tensor &in, int stride, int extra)
+{
+    GANACC_ASSERT(stride >= 1 && extra >= 0, "bad stride/extra");
+    const Shape4 &s = in.shape();
+    if (stride == 1 && extra == 0)
+        return in;
+    Shape4 out_shape(s.d0, s.d1, (s.d2 - 1) * stride + 1 + extra,
+                     (s.d3 - 1) * stride + 1 + extra);
+    Tensor out(out_shape, 0.0f);
+    for (int n = 0; n < s.d0; ++n)
+        for (int c = 0; c < s.d1; ++c)
+            for (int y = 0; y < s.d2; ++y)
+                for (int x = 0; x < s.d3; ++x)
+                    out.ref(n, c, y * stride, x * stride) =
+                        in.get(n, c, y, x);
+    return out;
+}
+
+Tensor
+padSpatial(const Tensor &in, int pad)
+{
+    GANACC_ASSERT(pad >= 0, "pad must be >= 0");
+    if (pad == 0)
+        return in;
+    const Shape4 &s = in.shape();
+    Tensor out(Shape4(s.d0, s.d1, s.d2 + 2 * pad, s.d3 + 2 * pad), 0.0f);
+    for (int n = 0; n < s.d0; ++n)
+        for (int c = 0; c < s.d1; ++c)
+            for (int y = 0; y < s.d2; ++y)
+                for (int x = 0; x < s.d3; ++x)
+                    out.ref(n, c, y + pad, x + pad) = in.get(n, c, y, x);
+    return out;
+}
+
+Tensor
+flipKernelSpatial(const Tensor &w)
+{
+    const Shape4 &s = w.shape();
+    Tensor out(s);
+    for (int a = 0; a < s.d0; ++a)
+        for (int b = 0; b < s.d1; ++b)
+            for (int y = 0; y < s.d2; ++y)
+                for (int x = 0; x < s.d3; ++x)
+                    out.ref(a, b, s.d2 - 1 - y, s.d3 - 1 - x) =
+                        w.get(a, b, y, x);
+    return out;
+}
+
+Tensor
+swapLeadingAxes(const Tensor &w)
+{
+    const Shape4 &s = w.shape();
+    Tensor out(Shape4(s.d1, s.d0, s.d2, s.d3));
+    for (int a = 0; a < s.d0; ++a)
+        for (int b = 0; b < s.d1; ++b)
+            for (int y = 0; y < s.d2; ++y)
+                for (int x = 0; x < s.d3; ++x)
+                    out.ref(b, a, y, x) = w.get(a, b, y, x);
+    return out;
+}
+
+double
+zeroInsertZeroFraction(int h, int w, int stride)
+{
+    GANACC_ASSERT(h > 0 && w > 0 && stride >= 1, "bad map dims");
+    double dense = double(h) * w;
+    double expanded =
+        double((h - 1) * stride + 1) * double((w - 1) * stride + 1);
+    return 1.0 - dense / expanded;
+}
+
+} // namespace nn
+} // namespace ganacc

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Zero-insertion and spatial rearrangement helpers.
+ *
+ * T-CONV implements up-sampling by inserting (stride-1) zeros between
+ * every pair of input neurons (paper Fig. 6(b)); W-CONV for the
+ * discriminator inserts zeros between kernel weights instead
+ * (Fig. 6(c)). These transforms are what create the "ineffectual"
+ * zero-operand multiplications that ZFOST/ZFWST skip.
+ */
+
+#ifndef GANACC_NN_ZERO_INSERT_HH
+#define GANACC_NN_ZERO_INSERT_HH
+
+#include "tensor/tensor.hh"
+
+namespace ganacc {
+namespace nn {
+
+/**
+ * Insert (stride-1) zeros between adjacent elements along both spatial
+ * axes, plus `extra` all-zero rows/columns on the bottom-right (the
+ * T-CONV output-padding). A (.., H, W) tensor becomes
+ * (.., (H-1)*stride+1+extra, (W-1)*stride+1+extra).
+ */
+tensor::Tensor zeroInsertSpatial(const tensor::Tensor &in, int stride,
+                                 int extra = 0);
+
+/** Surround both spatial axes with `pad` rings of zeros. */
+tensor::Tensor padSpatial(const tensor::Tensor &in, int pad);
+
+/** Rotate every kernel plane by 180 degrees (flip both spatial axes). */
+tensor::Tensor flipKernelSpatial(const tensor::Tensor &w);
+
+/** Swap the two leading axes, e.g. (IF,OF,KH,KW) -> (OF,IF,KH,KW). */
+tensor::Tensor swapLeadingAxes(const tensor::Tensor &w);
+
+/**
+ * Fraction of elements that are exactly zero after zero-inserting a
+ * dense map with the given stride: 1 - (H*W) / (H'*W'). Pure shape
+ * arithmetic; used by the zero-operand census (Section III-C3).
+ */
+double zeroInsertZeroFraction(int h, int w, int stride);
+
+} // namespace nn
+} // namespace ganacc
+
+#endif // GANACC_NN_ZERO_INSERT_HH

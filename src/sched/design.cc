@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Design-point timing implementation.
+ */
+
+#include "sched/design.hh"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace sched {
+
+using core::ArchKind;
+using core::BankRole;
+using gan::GanModel;
+using sim::Phase;
+using sim::RunStats;
+
+std::string
+syncPolicyName(SyncPolicy p)
+{
+    return p == SyncPolicy::Synchronized ? "sync" : "deferred";
+}
+
+Design
+Design::unique(ArchKind kind, int total_pes)
+{
+    GANACC_ASSERT(total_pes >= 4, "design too small");
+    Design d;
+    d.name_ = core::archKindName(kind);
+    d.isCombo_ = false;
+    d.totalPes_ = total_pes;
+    d.stPes_ = total_pes;
+    d.wPes_ = total_pes;
+    d.stKind_ = kind;
+    d.wKind_ = kind;
+    return d;
+}
+
+Design
+Design::combo(ArchKind st_kind, ArchKind w_kind, int total_pes)
+{
+    GANACC_ASSERT(total_pes >= 7, "design too small to split 5:2");
+    // Eq. (8): ST : W = 2.5 : 1, i.e. a 5:2 PE split.
+    int st = total_pes * 5 / 7;
+    return comboWithSplit(st_kind, w_kind, st, total_pes - st);
+}
+
+Design
+Design::comboWithSplit(ArchKind st_kind, ArchKind w_kind, int st_pes,
+                       int w_pes)
+{
+    GANACC_ASSERT(st_pes >= 1 && w_pes >= 1,
+                  "both banks need at least one PE");
+    Design d;
+    d.name_ = core::archKindName(st_kind) + "-" +
+              core::archKindName(w_kind);
+    d.isCombo_ = true;
+    d.totalPes_ = st_pes + w_pes;
+    d.stPes_ = st_pes;
+    d.wPes_ = w_pes;
+    d.stKind_ = st_kind;
+    d.wKind_ = w_kind;
+    return d;
+}
+
+RunStats
+phaseStats(const sim::Architecture &arch, const GanModel &model, Phase p)
+{
+    RunStats total;
+    for (const sim::ConvSpec &job : sim::phaseJobs(model, p))
+        total += arch.run(job);
+    return total;
+}
+
+namespace {
+
+/** Run one phase on the bank owning it, with the Table V unrolling
+ *  for that (architecture, role, family). */
+RunStats
+runPhaseOnBank(ArchKind kind, BankRole role, int pes,
+               const GanModel &model, Phase p)
+{
+    sim::Unroll u = core::paperUnroll(kind, role, sim::familyOf(p), pes);
+    auto arch = core::makeArch(kind, u);
+    return phaseStats(*arch, model, p);
+}
+
+/** One update's bank cycles given per-phase multiplicities. */
+UpdateTiming
+updateTiming(const Design &design, const GanModel &model,
+             const std::vector<std::pair<Phase, int>> &st_phases,
+             const std::vector<std::pair<Phase, int>> &w_phases)
+{
+    UpdateTiming t;
+    for (auto [phase, count] : st_phases) {
+        RunStats st = runPhaseOnBank(design.stKind(), BankRole::ST,
+                                     design.stPes(), model, phase);
+        for (int i = 0; i < count; ++i) {
+            t.bank.st += st.cycles;
+            t.stStats += st;
+        }
+    }
+    for (auto [phase, count] : w_phases) {
+        RunStats st = runPhaseOnBank(design.wKind(), BankRole::W,
+                                     design.wPes(), model, phase);
+        for (int i = 0; i < count; ++i) {
+            t.bank.w += st.cycles;
+            t.wStats += st;
+        }
+    }
+    // Synchronized: the loss barrier serializes the banks. Deferred:
+    // combos overlap; a unique design still shares one array.
+    t.syncCycles = t.bank.serial();
+    t.deferredCycles =
+        design.isCombo() ? t.bank.overlapped() : t.bank.serial();
+    return t;
+}
+
+} // namespace
+
+UpdateTiming
+discriminatorUpdateTiming(const Design &design, const GanModel &model)
+{
+    // Fig. 8(a): per sample-pair, 5 ST passes and 2 W passes.
+    return updateTiming(design, model,
+                        {{Phase::GenForward, 1},
+                         {Phase::DiscForward, 2},
+                         {Phase::DiscBackward, 2}},
+                        {{Phase::DiscWeight, 2}});
+}
+
+UpdateTiming
+generatorUpdateTiming(const Design &design, const GanModel &model)
+{
+    // Fig. 8(b): per sample, 4 ST passes and 1 W pass.
+    return updateTiming(design, model,
+                        {{Phase::GenForward, 1},
+                         {Phase::DiscForward, 1},
+                         {Phase::DiscBackward, 1},
+                         {Phase::GenBackward, 1}},
+                        {{Phase::GenWeight, 1}});
+}
+
+std::uint64_t
+iterationCycles(const Design &design, const GanModel &model,
+                SyncPolicy policy)
+{
+    UpdateTiming d = discriminatorUpdateTiming(design, model);
+    UpdateTiming g = generatorUpdateTiming(design, model);
+    if (policy == SyncPolicy::Synchronized)
+        return d.syncCycles + g.syncCycles;
+    return d.deferredCycles + g.deferredCycles;
+}
+
+double
+iterationGops(const Design &design, const GanModel &model,
+              SyncPolicy policy, double frequency_hz)
+{
+    // Useful work of one iteration: the effective MACs of every phase
+    // pass, counted once per execution.
+    auto phase_macs = [&](Phase p) {
+        return sim::totalEffectiveMacs(sim::phaseJobs(model, p));
+    };
+    std::uint64_t macs = phase_macs(Phase::GenForward) * 2 +
+                         phase_macs(Phase::DiscForward) * 3 +
+                         phase_macs(Phase::DiscBackward) * 3 +
+                         phase_macs(Phase::GenBackward) +
+                         phase_macs(Phase::DiscWeight) * 2 +
+                         phase_macs(Phase::GenWeight);
+    std::uint64_t cycles = iterationCycles(design, model, policy);
+    GANACC_ASSERT(cycles > 0, "zero-cycle iteration");
+    double seconds = double(cycles) / frequency_hz;
+    return 2.0 * double(macs) / seconds / 1e9;
+}
+
+} // namespace sched
+} // namespace ganacc

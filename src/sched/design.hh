@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Whole-accelerator design points and their end-to-end timing under
+ * the two training algorithms.
+ *
+ * A design is either *unique* (one architecture owning every PE and
+ * executing all six phases back-to-back) or a *combination* (an
+ * ST bank for the S-CONV/T-CONV phases plus a W bank for the W-CONV
+ * phases, split 5:2 per eq. 8).
+ *
+ * Timing rules (Section VI-B):
+ *  - Per sample, a discriminator update runs 5 ST-phase passes
+ *    (G→, 2x D→, 2x D←) and 2 W passes (2x Dw); a generator update
+ *    runs 4 ST passes and 1 W pass (Fig. 8).
+ *  - Under the original synchronized algorithm the banks serialize:
+ *    only one is ever busy, so the update takes ST + W cycles.
+ *  - Under deferred synchronization the per-sample loops let the W
+ *    bank overlap the ST bank: the update takes max(ST, W) cycles.
+ *  - A unique design cannot overlap with itself: both algorithms take
+ *    ST + W cycles, which is why Fig. 17's unique bars do not move.
+ */
+
+#ifndef GANACC_SCHED_DESIGN_HH
+#define GANACC_SCHED_DESIGN_HH
+
+#include <memory>
+#include <string>
+
+#include "core/unrolling.hh"
+#include "gan/models.hh"
+#include "sim/arch.hh"
+#include "sim/phase.hh"
+#include "sim/stats.hh"
+
+namespace ganacc {
+namespace sched {
+
+/** The training-algorithm variants of Fig. 17. */
+enum class SyncPolicy
+{
+    Synchronized,
+    Deferred,
+};
+
+std::string syncPolicyName(SyncPolicy p);
+
+/** One accelerator design point. */
+class Design
+{
+  public:
+    /** A unique design: one architecture runs every phase. */
+    static Design unique(core::ArchKind kind, int total_pes);
+
+    /** A combination: st_kind on the ST bank, w_kind on the W bank,
+     *  PEs split 5:2 (eq. 8). */
+    static Design combo(core::ArchKind st_kind, core::ArchKind w_kind,
+                        int total_pes);
+
+    /** A combination with an explicit PE split — for ablating the
+     *  eq. (8) ratio. */
+    static Design comboWithSplit(core::ArchKind st_kind,
+                                 core::ArchKind w_kind, int st_pes,
+                                 int w_pes);
+
+    const std::string &name() const { return name_; }
+    bool isCombo() const { return isCombo_; }
+    int totalPes() const { return totalPes_; }
+    int stPes() const { return stPes_; }
+    int wPes() const { return wPes_; }
+    core::ArchKind stKind() const { return stKind_; }
+    core::ArchKind wKind() const { return wKind_; }
+
+  private:
+    std::string name_;
+    bool isCombo_ = false;
+    int totalPes_ = 0;
+    int stPes_ = 0;
+    int wPes_ = 0;
+    core::ArchKind stKind_ = core::ArchKind::ZFOST;
+    core::ArchKind wKind_ = core::ArchKind::ZFWST;
+};
+
+/** Per-bank cycles of one network update for one sample. */
+struct BankCycles
+{
+    std::uint64_t st = 0; ///< cycles of the 5 (or 4) ST passes
+    std::uint64_t w = 0;  ///< cycles of the 2 (or 1) W passes
+
+    std::uint64_t
+    serial() const
+    {
+        return st + w;
+    }
+
+    std::uint64_t
+    overlapped() const
+    {
+        return std::max(st, w);
+    }
+};
+
+/** Timing report for one (design, model, update) combination. */
+struct UpdateTiming
+{
+    BankCycles bank;
+    std::uint64_t syncCycles = 0;     ///< per-sample, synchronized
+    std::uint64_t deferredCycles = 0; ///< per-sample, deferred
+    sim::RunStats stStats;            ///< accumulated ST-bank stats
+    sim::RunStats wStats;             ///< accumulated W-bank stats
+};
+
+/** Cycles one phase pass takes on one architecture (all its layer
+ *  jobs back-to-back), with accumulated stats. */
+sim::RunStats phaseStats(const sim::Architecture &arch,
+                         const gan::GanModel &model, sim::Phase p);
+
+/** Per-sample timing of a discriminator update on a design. */
+UpdateTiming discriminatorUpdateTiming(const Design &design,
+                                       const gan::GanModel &model);
+
+/** Per-sample timing of a generator update on a design. */
+UpdateTiming generatorUpdateTiming(const Design &design,
+                                   const gan::GanModel &model);
+
+/** Per-sample cycles of a full training iteration (one D update plus
+ *  one G update) under a sync policy. */
+std::uint64_t iterationCycles(const Design &design,
+                              const gan::GanModel &model,
+                              SyncPolicy policy);
+
+/**
+ * Throughput in effective GOP/s of a full iteration at the given
+ * clock: useful (non-zero) operations divided by time. Two ops per
+ * MAC, as hardware papers count.
+ */
+double iterationGops(const Design &design, const gan::GanModel &model,
+                     SyncPolicy policy, double frequency_hz);
+
+} // namespace sched
+} // namespace ganacc
+
+#endif // GANACC_SCHED_DESIGN_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Energy accounting on top of the cycle-level statistics.
+ *
+ * Fig. 16 argues data-access counts because accesses dominate energy:
+ * a 16-bit MAC costs ~1 pJ while an on-chip SRAM access costs several
+ * and a DRAM access two orders of magnitude more (the Horowitz
+ * ISSCC'14 ballpark, which Eyeriss-era accelerator papers build on).
+ * This module turns each architecture's RunStats plus its off-chip
+ * traffic into joules, letting the repository rank designs by energy
+ * and sanity-check the board-power figure used in the Fig. 19
+ * comparison.
+ */
+
+#ifndef GANACC_SCHED_ENERGY_HH
+#define GANACC_SCHED_ENERGY_HH
+
+#include "gan/models.hh"
+#include "sched/design.hh"
+#include "sim/stats.hh"
+
+namespace ganacc {
+namespace sched {
+
+/** Per-event energy costs in picojoules (16-bit datapath). */
+struct EnergyCoefficients
+{
+    double macPj = 1.0;       ///< one 16-bit multiply-accumulate
+    double registerPj = 0.3;  ///< register-array read/shift
+    double sramPj = 5.0;      ///< on-chip buffer access (16-bit word)
+    double dramPj = 160.0;    ///< off-chip access (16-bit word)
+    double idlePj = 0.05;     ///< clocking an idle PE slot
+};
+
+/** Energy breakdown of one job / phase / iteration. */
+struct EnergyBreakdown
+{
+    double computePj = 0.0; ///< executed MACs (incl. wasted ones)
+    double onChipPj = 0.0;  ///< buffer accesses
+    double dramPj = 0.0;    ///< off-chip words
+    double idlePj = 0.0;    ///< idle-slot clocking
+
+    double
+    totalPj() const
+    {
+        return computePj + onChipPj + dramPj + idlePj;
+    }
+
+    EnergyBreakdown &operator+=(const EnergyBreakdown &o);
+};
+
+/**
+ * On-chip energy of one run. `gated_slots` are ineffectual slots
+ * whose datapath was clock-gated (RST): they cost idle power instead
+ * of MAC power.
+ */
+EnergyBreakdown runEnergy(const sim::RunStats &stats,
+                          const EnergyCoefficients &c,
+                          std::uint64_t gated_slots = 0);
+
+/**
+ * Full-iteration energy of a design on a model: every phase pass's
+ * on-chip energy plus the off-chip traffic (single-fetch weights per
+ * pass and the ∇W read+write streams).
+ */
+EnergyBreakdown iterationEnergy(const Design &design,
+                                const gan::GanModel &model,
+                                const EnergyCoefficients &c = {});
+
+/**
+ * Implied average power (watts) of a design sustaining the given
+ * iteration rate: energy/iteration x iterations/second.
+ */
+double impliedWatts(const EnergyBreakdown &e, double iterations_per_sec);
+
+} // namespace sched
+} // namespace ganacc
+
+#endif // GANACC_SCHED_ENERGY_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Event-driven simulation of the time-multiplexed accelerator.
+ *
+ * The analytic model of design.hh treats one update as two bank
+ * totals (ST, W) that either serialize or fully overlap. This module
+ * refines that to *job granularity*: every (phase, layer) pass of
+ * every sample is a job with real dependencies — forward chains,
+ * per-sample loss points, the d^l / delta^l operands each W-CONV
+ * needs — list-scheduled onto the ST bank, the W bank and the shared
+ * DRAM channel. It answers the questions the coarse model cannot:
+ * how much of the ideal overlap the dependency structure actually
+ * permits, where the DRAM channel binds, and how big the Data/Error
+ * buffers really need to be (validating mem::planBuffers).
+ */
+
+#ifndef GANACC_SCHED_EVENT_SIM_HH
+#define GANACC_SCHED_EVENT_SIM_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gan/models.hh"
+#include "mem/offchip.hh"
+#include "sched/design.hh"
+#include "sched/pipeline.hh"
+
+namespace ganacc {
+namespace sched {
+
+/** Execution resources of the Fig. 14 organization. */
+enum class Resource
+{
+    StBank, ///< the ZFOST (ST-ARCH) bank
+    WBank,  ///< the ZFWST (W-ARCH) bank
+};
+
+/** One (phase, layer) pass of one sample. */
+struct Job
+{
+    std::string label;
+    Resource resource = Resource::StBank;
+    std::uint64_t computeCycles = 0;
+    /// Off-chip traffic this job must move (weight fetch, ∇W
+    /// read+write stream); occupies the DRAM channel concurrently.
+    std::uint64_t dramBytes = 0;
+    /// Indices of jobs that must finish first.
+    std::vector<std::size_t> deps;
+};
+
+/** A buffered tensor's lifetime: produced by one job, freed when its
+ *  last consumer finishes. */
+struct BufferClaim
+{
+    std::size_t producer = 0;
+    std::size_t consumer = 0;
+    std::uint64_t bytes = 0;
+    std::string buffer; ///< "data" or "error"
+};
+
+/** A scheduled job instance. */
+struct Span
+{
+    std::size_t job = 0;
+    std::uint64_t start = 0;
+    std::uint64_t end = 0;
+};
+
+/** Result of one event-driven run. */
+struct EventTrace
+{
+    std::vector<Span> spans; ///< same order as the job list
+    std::vector<Span> dramSpans; ///< serialized gradient streams
+    std::uint64_t makespan = 0;
+    double stBusyFraction = 0.0;
+    double wBusyFraction = 0.0;
+    double dramBusyFraction = 0.0;
+    std::uint64_t peakDataBytes = 0;  ///< Data-buffer high-water mark
+    std::uint64_t peakErrorBytes = 0; ///< Error-buffer high-water mark
+};
+
+/** The job DAG of one update for one sample (pair). */
+struct UpdateDag
+{
+    std::vector<Job> jobs;
+    std::vector<BufferClaim> claims;
+};
+
+/**
+ * Build the per-sample job DAG of one update on a combination design:
+ * per-layer cycles come from the bank architectures with their
+ * Table V unrollings; DRAM bytes model the single-fetch weight stream
+ * (ST jobs) and the ∇W read+write stream (W jobs, the eq. 7 traffic).
+ */
+UpdateDag buildUpdateDag(const Design &design,
+                         const gan::GanModel &model, UpdateKind kind,
+                         int bytes_per_elem = 2);
+
+/**
+ * List-schedule a DAG (replicated for `samples` independent samples,
+ * which is what lets the W bank overlap across the per-sample loops
+ * of Fig. 8) onto the two banks and the DRAM channel.
+ */
+EventTrace simulateEvents(const UpdateDag &dag, int samples,
+                          const mem::OffChipConfig &offchip);
+
+/**
+ * Convenience: event-driven per-sample cycles of a full update in
+ * steady state (makespan / samples for a multi-sample run).
+ */
+std::uint64_t eventCyclesPerSample(const Design &design,
+                                   const gan::GanModel &model,
+                                   UpdateKind kind, int samples = 8);
+
+/**
+ * Render an ASCII Gantt chart of a trace: one row per resource
+ * (ST bank, W bank, DRAM gradient streams), time bucketed into
+ * `width` columns; '#' marks majority-busy buckets, '-' partial,
+ * '.' idle. Per-sample boundaries are drawn on a ruler row.
+ */
+std::string renderGantt(const UpdateDag &dag, const EventTrace &trace,
+                        int samples, int width = 100);
+
+/**
+ * Write the trace in Chrome tracing (chrome://tracing / Perfetto)
+ * JSON format: one lane per resource, one complete event per job
+ * span, timestamps in cycles. Lets a schedule be inspected
+ * interactively in a browser.
+ */
+void writeChromeTrace(const UpdateDag &dag, const EventTrace &trace,
+                      int samples, std::ostream &os);
+
+} // namespace sched
+} // namespace ganacc
+
+#endif // GANACC_SCHED_EVENT_SIM_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Pipeline organization models.
+ */
+
+#include "sched/pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace sched {
+
+using sim::Phase;
+
+std::string
+updateKindName(UpdateKind k)
+{
+    return k == UpdateKind::Discriminator ? "D-update" : "G-update";
+}
+
+std::vector<Phase>
+updatePhaseSequence(UpdateKind k)
+{
+    if (k == UpdateKind::Discriminator) {
+        // Fig. 8(a): generate fake, forward real+fake, backward
+        // real+fake errors, two weight-gradient passes.
+        return {Phase::GenForward,  Phase::DiscForward,
+                Phase::DiscForward, Phase::DiscBackward,
+                Phase::DiscBackward, Phase::DiscWeight,
+                Phase::DiscWeight};
+    }
+    // Fig. 8(b).
+    return {Phase::GenForward, Phase::DiscForward, Phase::DiscBackward,
+            Phase::GenBackward, Phase::GenWeight};
+}
+
+namespace {
+
+/** The per-phase resource of Fig. 9: T-ARCH, S-ARCH or W-ARCH. */
+std::string
+resourceOf(Phase p)
+{
+    switch (sim::familyOf(p)) {
+      case sim::PhaseFamily::G:
+        return "T-ARCH"; // T-CONV phases
+      case sim::PhaseFamily::D:
+        return "S-ARCH"; // S-CONV phases
+      case sim::PhaseFamily::Dw:
+      case sim::PhaseFamily::Gw:
+        return "W-ARCH";
+    }
+    util::panic("unknown family");
+}
+
+} // namespace
+
+double
+PipelineReport::utilizationOf(const std::string &resource) const
+{
+    for (const auto &r : resources)
+        if (r.resource == resource)
+            return r.utilization();
+    util::panic("no such pipeline resource: ", resource);
+}
+
+PipelineReport
+perPhasePipeline(UpdateKind k)
+{
+    PipelineReport rep;
+    int t = 0, s = 0, w = 0;
+    for (Phase p : updatePhaseSequence(k)) {
+        std::string r = resourceOf(p);
+        if (r == "T-ARCH")
+            ++t;
+        else if (r == "S-ARCH")
+            ++s;
+        else
+            ++w;
+    }
+    // In steady state each loop iteration occupies max(t, s, w) slots
+    // on every resource; the difference is bubbles.
+    rep.slotsPerLoop = std::max({t, s, w});
+    double total = double(rep.slotsPerLoop);
+    rep.resources = {{"T-ARCH", double(t), total},
+                     {"S-ARCH", double(s), total},
+                     {"W-ARCH", double(w), total}};
+    return rep;
+}
+
+PipelineReport
+timeMultiplexed(UpdateKind k, double w_speed_ratio)
+{
+    GANACC_ASSERT(w_speed_ratio > 0.0 && w_speed_ratio <= 1.0,
+                  "W-ARCH speed ratio must be in (0, 1]");
+    PipelineReport rep;
+    int st = 0, w = 0;
+    for (Phase p : updatePhaseSequence(k)) {
+        if (resourceOf(p) == "W-ARCH")
+            ++w;
+        else
+            ++st;
+    }
+    // ST-ARCH paces the loop: `st` full-speed slots. The slowed
+    // W-ARCH needs w / ratio slot-equivalents; buffering (Fig. 10
+    // dashed lines) lets it spread that work across the loop.
+    double w_busy = double(w) / w_speed_ratio;
+    double loop = std::max(double(st), w_busy);
+    rep.slotsPerLoop = int(std::ceil(loop));
+    rep.resources = {
+        {"ST-ARCH", double(st), loop},
+        {"W-ARCH", std::min(w_busy, loop), loop},
+    };
+    return rep;
+}
+
+} // namespace sched
+} // namespace ganacc

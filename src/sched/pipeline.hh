@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The per-phase pipeline of Fig. 9 versus the time-multiplexed design
+ * of Fig. 10.
+ *
+ * A naive per-phase design instantiates T-ARCH, S-ARCH and W-ARCH and
+ * pipelines samples through them; because the phase counts per loop
+ * iteration are unequal (T runs 3 of the 7 discriminator-update
+ * passes, S only 2), the slower resource paces the pipeline and the
+ * others stall — the "B" bubbles of Fig. 9. Merging T and S into one
+ * time-multiplexed ST-ARCH removes those bubbles, and slowing W-ARCH
+ * to 2/5 of ST speed (by giving it 2/7 of the PEs) keeps it fully
+ * busy during discriminator updates (Fig. 10).
+ */
+
+#ifndef GANACC_SCHED_PIPELINE_HH
+#define GANACC_SCHED_PIPELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/phase.hh"
+
+namespace ganacc {
+namespace sched {
+
+/** Which network is being updated (the two halves of Fig. 8). */
+enum class UpdateKind
+{
+    Discriminator,
+    Generator,
+};
+
+std::string updateKindName(UpdateKind k);
+
+/** Per-sample phase passes of one update, in execution order. */
+std::vector<sim::Phase> updatePhaseSequence(UpdateKind k);
+
+/** Utilization of one pipeline resource (slot-equivalents; fractional
+ *  for the deliberately slowed W-ARCH). */
+struct ResourceUtilization
+{
+    std::string resource;
+    double busySlots = 0.0;
+    double totalSlots = 0.0;
+
+    double
+    utilization() const
+    {
+        return totalSlots > 0.0 ? busySlots / totalSlots : 0.0;
+    }
+};
+
+/** Report for one pipeline organization. */
+struct PipelineReport
+{
+    std::vector<ResourceUtilization> resources;
+    int slotsPerLoop = 0; ///< pipeline initiation interval (slots)
+
+    /** Utilization of a named resource; panics if absent. */
+    double utilizationOf(const std::string &resource) const;
+};
+
+/**
+ * The Fig. 9 per-phase pipeline: T-ARCH runs the T-CONV phases
+ * (G→, D←), S-ARCH the S-CONV phases (D→, G←), W-ARCH the W-CONV
+ * phases. Each phase pass occupies one slot on its resource; the
+ * busiest resource sets the initiation interval and the others carry
+ * bubbles. Reproduces the paper's 66.7% / 50% W-ARCH utilization.
+ */
+PipelineReport perPhasePipeline(UpdateKind k);
+
+/**
+ * The Fig. 10 time-multiplexed organization: one ST-ARCH absorbs the
+ * T and S phases (no bubbles possible between them) and W-ARCH runs
+ * at `w_speed_ratio` of ST speed (2/5 with the eq. 8 split), its
+ * work buffered through the Data/Error buffers.
+ */
+PipelineReport timeMultiplexed(UpdateKind k, double w_speed_ratio = 0.4);
+
+} // namespace sched
+} // namespace ganacc
+
+#endif // GANACC_SCHED_PIPELINE_HH

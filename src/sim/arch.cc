@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Architecture base implementation: validation and invariant checks
+ * shared by every microarchitecture.
+ */
+
+#include "sim/arch.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace sim {
+
+std::string
+Unroll::str() const
+{
+    std::ostringstream os;
+    os << "Pif=" << pIf << " Pof=" << pOf << " Pk=" << pKy << "x" << pKx
+       << " Po=" << pOy << "x" << pOx;
+    return os.str();
+}
+
+RunStats
+Architecture::run(const ConvSpec &spec, const tensor::Tensor *in,
+                  const tensor::Tensor *w, tensor::Tensor *out) const
+{
+    spec.validate();
+    const bool functional = in != nullptr;
+    GANACC_ASSERT((in != nullptr) == (w != nullptr) &&
+                      (in != nullptr) == (out != nullptr),
+                  "run() operands must be all null or all non-null");
+    if (functional) {
+        GANACC_ASSERT(in->shape() ==
+                          tensor::Shape4(1, spec.nif, spec.ih, spec.iw),
+                      name_, ": bad streamed input shape");
+        out->fill(0.0f);
+    }
+    RunStats stats = doRun(spec, in, w, out);
+    stats.nPes = std::uint64_t(numPes());
+    // Conservation: every PE slot of every cycle is classified exactly
+    // once as effective, ineffectual or idle.
+    GANACC_ASSERT(stats.effectiveMacs + stats.ineffectualMacs +
+                          stats.idlePeSlots ==
+                      stats.totalSlots(),
+                  name_, " on ", spec.describe(),
+                  ": PE-slot conservation violated: ", stats.str());
+    // An architecture can never do more useful work than exists.
+    GANACC_ASSERT(stats.effectiveMacs <= spec.denseMacs(),
+                  name_, ": more effective MACs than the job contains");
+    return stats;
+}
+
+} // namespace sim
+} // namespace ganacc

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Abstract microarchitecture interface.
+ *
+ * Every architecture (the traditional NLR/WST/OST baselines and the
+ * paper's ZFOST/ZFWST) is a PE array with a fixed unrolling and an
+ * explicit per-cycle control schedule. run() is functional *and*
+ * timing: when operand tensors are supplied the modeled dataflow
+ * computes the real output (checked against the golden model by the
+ * tests) while counting cycles, PE-slot occupancy and on-chip buffer
+ * accesses; with null operands only the counts are produced.
+ */
+
+#ifndef GANACC_SIM_ARCH_HH
+#define GANACC_SIM_ARCH_HH
+
+#include <memory>
+#include <string>
+
+#include "sim/conv_spec.hh"
+#include "sim/stats.hh"
+#include "tensor/tensor.hh"
+
+namespace ganacc {
+namespace sim {
+
+/**
+ * Loop-unrolling factors (Table II notation). Each architecture reads
+ * the fields relevant to its dataflow and ignores the rest.
+ */
+struct Unroll
+{
+    int pIf = 1; ///< parallel input feature maps (NLR)
+    int pOf = 1; ///< parallel output feature maps (all)
+    int pKx = 1; ///< parallel kernel columns (WST/ZFWST)
+    int pKy = 1; ///< parallel kernel rows (WST/ZFWST)
+    int pOx = 1; ///< parallel output columns (OST/ZFOST)
+    int pOy = 1; ///< parallel output rows (OST/ZFOST)
+
+    std::string str() const;
+};
+
+/** A PE-array microarchitecture executing ConvSpec jobs. */
+class Architecture
+{
+  public:
+    Architecture(std::string name, Unroll unroll)
+        : name_(std::move(name)), unroll_(unroll) {}
+    virtual ~Architecture() = default;
+
+    const std::string &name() const { return name_; }
+    const Unroll &unroll() const { return unroll_; }
+
+    /** Number of PEs in the array. */
+    virtual int numPes() const = 0;
+
+    /**
+     * Execute one job.
+     *
+     * @param spec the streamed convolution job.
+     * @param in   streamed input (1,nif,ih,iw), or nullptr for
+     *             timing-only.
+     * @param w    streamed kernel, or nullptr for timing-only.
+     * @param out  output tensor to fill (allocated by the caller via
+     *             makeOutputTensor), or nullptr for timing-only.
+     *
+     * in/w/out must be all null or all non-null.
+     */
+    RunStats run(const ConvSpec &spec, const tensor::Tensor *in,
+                 const tensor::Tensor *w, tensor::Tensor *out) const;
+
+    /** Timing-only convenience. */
+    RunStats
+    run(const ConvSpec &spec) const
+    {
+        return run(spec, nullptr, nullptr, nullptr);
+    }
+
+  protected:
+    virtual RunStats doRun(const ConvSpec &spec, const tensor::Tensor *in,
+                           const tensor::Tensor *w,
+                           tensor::Tensor *out) const = 0;
+
+    std::string name_;
+    Unroll unroll_;
+};
+
+} // namespace sim
+} // namespace ganacc
+
+#endif // GANACC_SIM_ARCH_HH

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * ConvSpec implementation.
+ */
+
+#include "sim/conv_spec.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace sim {
+
+using tensor::Shape4;
+using tensor::Tensor;
+
+namespace {
+
+/** Structural-zero test along one axis. */
+bool
+axisIsZero(int c, int zero_stride, int orig)
+{
+    if (zero_stride <= 1)
+        return false;
+    if (c % zero_stride != 0)
+        return true;
+    if (orig >= 0 && c / zero_stride >= orig)
+        return true; // trailing output-padding rows
+    return false;
+}
+
+} // namespace
+
+bool
+ConvSpec::inputIsZero(int y, int x) const
+{
+    return inputRowZero(y) || inputColZero(x);
+}
+
+bool
+ConvSpec::kernelIsZero(int ky, int kx) const
+{
+    return kernelRowZero(ky) || kernelColZero(kx);
+}
+
+bool
+ConvSpec::inputRowZero(int y) const
+{
+    return axisIsZero(y, inZeroStride, inOrigH);
+}
+
+bool
+ConvSpec::inputColZero(int x) const
+{
+    return axisIsZero(x, inZeroStride, inOrigW);
+}
+
+bool
+ConvSpec::kernelRowZero(int ky) const
+{
+    return axisIsZero(ky, kZeroStride, kOrigH);
+}
+
+bool
+ConvSpec::kernelColZero(int kx) const
+{
+    return axisIsZero(kx, kZeroStride, kOrigW);
+}
+
+std::uint64_t
+ConvSpec::denseMacs() const
+{
+    return std::uint64_t(nof) * nif * oh * ow * kh * kw;
+}
+
+std::uint64_t
+ConvSpec::effectiveMacs() const
+{
+    // For each kernel position, count output positions whose input
+    // coordinate is in-bounds and non-zero; separable per axis.
+    std::uint64_t total = 0;
+    for (int ky = 0; ky < kh; ++ky) {
+        for (int kx = 0; kx < kw; ++kx) {
+            if (kernelIsZero(ky, kx))
+                continue;
+            int rows = countNonzeroCoords(0, oh, stride, ky, pad, ih,
+                                          inZeroStride, inOrigH);
+            int cols = countNonzeroCoords(0, ow, stride, kx, pad, iw,
+                                          inZeroStride, inOrigW);
+            total += std::uint64_t(rows) * cols;
+        }
+    }
+    return total * std::uint64_t(nof) * nif;
+}
+
+void
+ConvSpec::validate() const
+{
+    GANACC_ASSERT(nif > 0 && nof > 0 && ih > 0 && iw > 0 && kh > 0 &&
+                      kw > 0 && oh > 0 && ow > 0 && stride > 0 &&
+                      pad >= 0,
+                  "malformed spec ", describe());
+    GANACC_ASSERT(inZeroStride >= 1 && kZeroStride >= 1,
+                  "bad zero strides in ", describe());
+    // The last output's receptive field must still overlap the input
+    // (cropping below the natural extent is allowed for W-CONV).
+    GANACC_ASSERT((oh - 1) * stride - pad < ih,
+                  "output taller than the input supports: ", describe());
+    GANACC_ASSERT((ow - 1) * stride - pad < iw,
+                  "output wider than the input supports: ", describe());
+}
+
+std::string
+ConvSpec::describe() const
+{
+    std::ostringstream os;
+    os << label << " [in " << nif << "x" << ih << "x" << iw;
+    if (inZeroStride > 1)
+        os << " (z" << inZeroStride << ")";
+    os << ", k " << kh << "x" << kw;
+    if (kZeroStride > 1)
+        os << " (z" << kZeroStride << ")";
+    os << ", out " << nof << "x" << oh << "x" << ow << ", s" << stride
+       << " p" << pad << (fourDimOutput ? ", 4D" : "") << "]";
+    return os.str();
+}
+
+int
+countNonzeroCoords(int t0, int len, int stride, int k, int pad, int extent,
+                   int zero_stride, int orig)
+{
+    int count = 0;
+    for (int t = t0; t < t0 + len; ++t) {
+        int c = t * stride + k - pad;
+        if (c < 0 || c >= extent)
+            continue;
+        if (!axisIsZero(c, zero_stride, orig))
+            ++count;
+    }
+    return count;
+}
+
+Tensor
+makeStreamedInput(const ConvSpec &spec, util::Rng &rng)
+{
+    Tensor in(Shape4(1, spec.nif, spec.ih, spec.iw), 0.0f);
+    for (int c = 0; c < spec.nif; ++c)
+        for (int y = 0; y < spec.ih; ++y)
+            for (int x = 0; x < spec.iw; ++x)
+                if (!spec.inputIsZero(y, x))
+                    in.ref(0, c, y, x) = rng.uniformf(-1.0f, 1.0f);
+    return in;
+}
+
+Tensor
+makeStreamedKernel(const ConvSpec &spec, util::Rng &rng)
+{
+    int kif = spec.fourDimOutput ? 1 : spec.nif;
+    Tensor w(Shape4(spec.nof, kif, spec.kh, spec.kw), 0.0f);
+    for (int of = 0; of < spec.nof; ++of)
+        for (int c = 0; c < kif; ++c)
+            for (int ky = 0; ky < spec.kh; ++ky)
+                for (int kx = 0; kx < spec.kw; ++kx)
+                    if (!spec.kernelIsZero(ky, kx))
+                        w.ref(of, c, ky, kx) = rng.uniformf(-1.0f, 1.0f);
+    return w;
+}
+
+Tensor
+makeOutputTensor(const ConvSpec &spec)
+{
+    if (spec.fourDimOutput)
+        return Tensor(Shape4(spec.nof, spec.nif, spec.oh, spec.ow), 0.0f);
+    return Tensor(Shape4(1, spec.nof, spec.oh, spec.ow), 0.0f);
+}
+
+Tensor
+genericConvRef(const ConvSpec &spec, const Tensor &in, const Tensor &w)
+{
+    spec.validate();
+    GANACC_ASSERT(in.shape() == Shape4(1, spec.nif, spec.ih, spec.iw),
+                  "streamed input shape mismatch for ", spec.describe());
+    Tensor out = makeOutputTensor(spec);
+    for (int of = 0; of < spec.nof; ++of) {
+        for (int c = 0; c < spec.nif; ++c) {
+            int wc = spec.fourDimOutput ? 0 : c;
+            for (int oy = 0; oy < spec.oh; ++oy)
+                for (int ox = 0; ox < spec.ow; ++ox) {
+                    double acc = 0.0;
+                    for (int ky = 0; ky < spec.kh; ++ky)
+                        for (int kx = 0; kx < spec.kw; ++kx) {
+                            int iy = oy * spec.stride + ky - spec.pad;
+                            int ix = ox * spec.stride + kx - spec.pad;
+                            acc += double(in.getPadded(0, c, iy, ix)) *
+                                   w.get(of, wc, ky, kx);
+                        }
+                    if (spec.fourDimOutput)
+                        out.ref(of, c, oy, ox) = float(acc);
+                    else
+                        out.ref(0, of, oy, ox) += float(acc);
+                }
+        }
+    }
+    return out;
+}
+
+} // namespace sim
+} // namespace ganacc

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The unified convolution-job description every microarchitecture
+ * executes.
+ *
+ * All six GAN computing phases reduce to one generalized convolution
+ * over *streamed* operands — the tensors exactly as the hardware sees
+ * them, with T-CONV zero-insertion already applied to the input sizes
+ * and W-CONV dilation already applied to the kernel sizes:
+ *
+ *   out(of[,if],oy,ox) = sum_{[if],ky,kx}
+ *       in(if, oy*stride+ky-pad, ox*stride+kx-pad) * w(of[,if],ky,kx)
+ *
+ * The structural-zero patterns (inZeroStride / kZeroStride plus the
+ * original dense extents) describe which operand positions are known
+ * zeros from the layer geometry alone; the zero-free architectures
+ * skip them through address generation, never by inspecting data.
+ *
+ * fourDimOutput marks W-CONV jobs (Fig. 3): no accumulation across
+ * input feature maps, one output plane per (of, if) pair, and the
+ * "kernel" is the back-propagated error map (indexed by `of` only).
+ */
+
+#ifndef GANACC_SIM_CONV_SPEC_HH
+#define GANACC_SIM_CONV_SPEC_HH
+
+#include <string>
+
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+
+namespace ganacc {
+namespace sim {
+
+/** A generalized convolution job in streamed form. */
+struct ConvSpec
+{
+    std::string label;
+
+    int nif = 1; ///< input feature maps
+    int nof = 1; ///< output feature maps (error maps for W-CONV)
+    int ih = 1;  ///< streamed input rows (zero-stuffed size for T-CONV)
+    int iw = 1;  ///< streamed input columns
+    int kh = 1;  ///< streamed kernel rows (dilated size for W-CONV-D)
+    int kw = 1;  ///< streamed kernel columns
+    int oh = 1;  ///< output rows (cropped to the true extent)
+    int ow = 1;  ///< output columns
+    int stride = 1;
+    int pad = 0;
+
+    /// Input non-zero only at coordinates that are multiples of this.
+    int inZeroStride = 1;
+    /// Dense extent of the input before stuffing (rows/cols); -1 if dense.
+    int inOrigH = -1;
+    int inOrigW = -1;
+
+    /// Kernel non-zero only at coordinates that are multiples of this.
+    int kZeroStride = 1;
+    int kOrigH = -1;
+    int kOrigW = -1;
+
+    /// W-CONV: no accumulation across nif; output is (nof, nif, oh, ow).
+    bool fourDimOutput = false;
+
+    /** True when the input at streamed coordinate (y, x) is a
+     *  structural zero (stuffing pattern or trailing rows). Does not
+     *  include padding (callers bound-check separately). */
+    bool inputIsZero(int y, int x) const;
+
+    /** True when kernel position (ky, kx) is a structural zero. */
+    bool kernelIsZero(int ky, int kx) const;
+
+    /** Separable per-axis structural-zero tests (the zero patterns of
+     *  Fig. 6 are products of per-axis patterns, which is what makes
+     *  the parity-class reordering of Fig. 12 possible). */
+    bool inputRowZero(int y) const;
+    bool inputColZero(int x) const;
+    bool kernelRowZero(int ky) const;
+    bool kernelColZero(int kx) const;
+
+    /** Dense multiply count if nothing were skipped:
+     *  nof * [nif] * oh * ow * kh * kw (always includes nif). */
+    std::uint64_t denseMacs() const;
+
+    /** Multiplies with both operands structurally non-zero
+     *  (in-bounds); the work an ideal zero-free machine performs. */
+    std::uint64_t effectiveMacs() const;
+
+    /** Validate internal consistency; panics on malformed specs. */
+    void validate() const;
+
+    std::string describe() const;
+};
+
+/**
+ * Count output indices t in [t0, t0 + len) whose input coordinate
+ * c = t*stride + k - pad is inside [0, extent) and structurally
+ * non-zero for the given zero-stride/orig pattern.
+ */
+int countNonzeroCoords(int t0, int len, int stride, int k, int pad,
+                       int extent, int zero_stride, int orig);
+
+/** Random streamed input honouring the spec's zero structure,
+ *  shaped (1, nif, ih, iw). */
+tensor::Tensor makeStreamedInput(const ConvSpec &spec, util::Rng &rng);
+
+/** Random streamed kernel honouring the zero structure; shaped
+ *  (nof, nif, kh, kw), or (nof, 1, kh, kw) for four-dim jobs. */
+tensor::Tensor makeStreamedKernel(const ConvSpec &spec, util::Rng &rng);
+
+/**
+ * Golden-model execution of a spec: direct nested loops. Output is
+ * (1, nof, oh, ow), or (nof, nif, oh, ow) for four-dim jobs.
+ */
+tensor::Tensor genericConvRef(const ConvSpec &spec,
+                              const tensor::Tensor &in,
+                              const tensor::Tensor &w);
+
+/** Shape the output tensor for a spec. */
+tensor::Tensor makeOutputTensor(const ConvSpec &spec);
+
+} // namespace sim
+} // namespace ganacc
+
+#endif // GANACC_SIM_CONV_SPEC_HH

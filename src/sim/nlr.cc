@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Improved-NLR cycle-level model.
+ */
+
+#include "sim/nlr.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace sim {
+
+using tensor::Tensor;
+
+namespace {
+
+/** Structural-zero test for a streamed input coordinate pair, pattern
+ *  only (out-of-bounds padding is NOT skippable). */
+bool
+patternZero(const ConvSpec &spec, int iy, int ix)
+{
+    if (iy < 0 || iy >= spec.ih || ix < 0 || ix >= spec.iw)
+        return false; // padding: burns the cycle like any dense operand
+    return spec.inputIsZero(iy, ix);
+}
+
+} // namespace
+
+RunStats
+Nlr::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
+           Tensor *out) const
+{
+    const bool functional = in != nullptr;
+    const int n_pes = numPes();
+    RunStats st;
+
+    for (int of0 = 0; of0 < spec.nof; of0 += unroll_.pOf) {
+        const int of_cnt = std::min(unroll_.pOf, spec.nof - of0);
+        for (int oy = 0; oy < spec.oh; ++oy) {
+            for (int ox = 0; ox < spec.ow; ++ox) {
+                for (int ky = 0; ky < spec.kh; ++ky) {
+                    for (int kx = 0; kx < spec.kw; ++kx) {
+                        // Address-generation zero skipping: structurally
+                        // zero kernel positions and zero-stuffed input
+                        // positions never get scheduled (improved NLR);
+                        // the vanilla dataflow executes them as wasted
+                        // cycles.
+                        const int iy = oy * spec.stride + ky - spec.pad;
+                        const int ix = ox * spec.stride + kx - spec.pad;
+                        const bool structural_zero =
+                            spec.kernelIsZero(ky, kx) ||
+                            patternZero(spec, iy, ix);
+                        if (structural_zero &&
+                            policy_ == ZeroPolicy::Skip)
+                            continue;
+                        const bool in_bounds =
+                            !structural_zero && iy >= 0 &&
+                            iy < spec.ih && ix >= 0 && ix < spec.iw;
+
+                        if (!spec.fourDimOutput) {
+                            // Input lanes feed the adder tree.
+                            for (int c0 = 0; c0 < spec.nif;
+                                 c0 += unroll_.pIf) {
+                                const int if_cnt = std::min(
+                                    unroll_.pIf, spec.nif - c0);
+                                st.cycles += 1;
+                                st.weightLoads +=
+                                    std::uint64_t(if_cnt) * of_cnt;
+                                st.inputLoads += std::uint64_t(if_cnt);
+                                // Partial sums live in the buffer: one
+                                // read-modify-write per channel/cycle.
+                                st.outputReads += std::uint64_t(of_cnt);
+                                st.outputWrites += std::uint64_t(of_cnt);
+                                const std::uint64_t active =
+                                    std::uint64_t(if_cnt) * of_cnt;
+                                if (in_bounds)
+                                    st.effectiveMacs += active;
+                                else
+                                    st.ineffectualMacs += active;
+                                st.idlePeSlots +=
+                                    std::uint64_t(n_pes) - active;
+                                if (functional && in_bounds) {
+                                    for (int c = c0; c < c0 + if_cnt;
+                                         ++c) {
+                                        float v = in->get(0, c, iy, ix);
+                                        for (int f = 0; f < of_cnt; ++f)
+                                            out->ref(0, of0 + f, oy,
+                                                     ox) +=
+                                                v * w->get(of0 + f, c,
+                                                           ky, kx);
+                                    }
+                                }
+                            }
+                        } else {
+                            // Four-dimension outputs: nothing to
+                            // accumulate across input maps, so the
+                            // adder tree idles P_of*(P_if-1) PEs and
+                            // input maps go through sequentially.
+                            for (int c = 0; c < spec.nif; ++c) {
+                                st.cycles += 1;
+                                st.weightLoads += std::uint64_t(of_cnt);
+                                st.inputLoads += 1;
+                                st.outputReads += std::uint64_t(of_cnt);
+                                st.outputWrites += std::uint64_t(of_cnt);
+                                const std::uint64_t active =
+                                    std::uint64_t(of_cnt);
+                                if (in_bounds)
+                                    st.effectiveMacs += active;
+                                else
+                                    st.ineffectualMacs += active;
+                                st.idlePeSlots +=
+                                    std::uint64_t(n_pes) - active;
+                                if (functional && in_bounds) {
+                                    float v = in->get(0, c, iy, ix);
+                                    for (int f = 0; f < of_cnt; ++f)
+                                        out->ref(of0 + f, c, oy, ox) +=
+                                            v * w->get(of0 + f, 0, ky,
+                                                       kx);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return st;
+}
+
+} // namespace sim
+} // namespace ganacc

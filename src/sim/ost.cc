@@ -1,0 +1,118 @@
+/**
+ * @file
+ * OST cycle-level model.
+ */
+
+#include "sim/ost.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace sim {
+
+using tensor::Tensor;
+
+RunStats
+Ost::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
+           Tensor *out) const
+{
+    const bool functional = in != nullptr;
+    const int n_pes = numPes();
+    RunStats st;
+
+    for (int of0 = 0; of0 < spec.nof; of0 += unroll_.pOf) {
+        const int of_cnt = std::min(unroll_.pOf, spec.nof - of0);
+        for (int ty = 0; ty < spec.oh; ty += unroll_.pOy) {
+            const int ty_cnt = std::min(unroll_.pOy, spec.oh - ty);
+            for (int tx = 0; tx < spec.ow; tx += unroll_.pOx) {
+                const int tx_cnt = std::min(unroll_.pOx, spec.ow - tx);
+                const int tile = ty_cnt * tx_cnt;
+                for (int c = 0; c < spec.nif; ++c) {
+                    bool first_kpos = true;
+                    for (int ky = 0; ky < spec.kh; ++ky) {
+                        for (int kx = 0; kx < spec.kw; ++kx) {
+                            // ---- one cycle ----
+                            st.cycles += 1;
+                            st.weightLoads += std::uint64_t(of_cnt);
+                            // Raster-order weights: with stride 1 the
+                            // register array shifts (one new column or
+                            // row); with stride > 1 adjacent cycles
+                            // share nothing and the tile reloads.
+                            if (first_kpos) {
+                                st.inputLoads += std::uint64_t(tile);
+                                first_kpos = false;
+                            } else if (spec.stride == 1) {
+                                st.inputLoads += std::uint64_t(
+                                    kx == 0 ? tx_cnt : ty_cnt);
+                            } else {
+                                st.inputLoads += std::uint64_t(tile);
+                            }
+
+                            int eff_pos = 0;
+                            if (!spec.kernelIsZero(ky, kx)) {
+                                int rows = countNonzeroCoords(
+                                    ty, ty_cnt, spec.stride, ky,
+                                    spec.pad, spec.ih, spec.inZeroStride,
+                                    spec.inOrigH);
+                                int cols = countNonzeroCoords(
+                                    tx, tx_cnt, spec.stride, kx,
+                                    spec.pad, spec.iw, spec.inZeroStride,
+                                    spec.inOrigW);
+                                eff_pos = rows * cols;
+                            }
+                            st.effectiveMacs +=
+                                std::uint64_t(eff_pos) * of_cnt;
+                            st.ineffectualMacs +=
+                                std::uint64_t(tile - eff_pos) * of_cnt;
+                            st.idlePeSlots += std::uint64_t(n_pes) -
+                                              std::uint64_t(tile) * of_cnt;
+
+                            if (functional) {
+                                for (int dy = 0; dy < ty_cnt; ++dy)
+                                    for (int dx = 0; dx < tx_cnt; ++dx) {
+                                        int oy = ty + dy, ox = tx + dx;
+                                        int iy = oy * spec.stride + ky -
+                                                 spec.pad;
+                                        int ix = ox * spec.stride + kx -
+                                                 spec.pad;
+                                        float v =
+                                            in->getPadded(0, c, iy, ix);
+                                        if (v == 0.0f)
+                                            continue;
+                                        for (int f = 0; f < of_cnt; ++f) {
+                                            int of = of0 + f;
+                                            int wc = spec.fourDimOutput
+                                                         ? 0
+                                                         : c;
+                                            float ww =
+                                                w->get(of, wc, ky, kx);
+                                            if (spec.fourDimOutput)
+                                                out->ref(of, c, oy, ox) +=
+                                                    v * ww;
+                                            else
+                                                out->ref(0, of, oy, ox) +=
+                                                    v * ww;
+                                        }
+                                    }
+                            }
+                        }
+                    }
+                    // Four-dimension outputs leave the array per input
+                    // feature map (a fresh (of, if) plane each time).
+                    if (spec.fourDimOutput)
+                        st.outputWrites += std::uint64_t(tile) * of_cnt;
+                }
+                // Accumulating convs keep partial sums in the PE
+                // registers across the whole nif loop and write once.
+                if (!spec.fourDimOutput)
+                    st.outputWrites += std::uint64_t(tile) * of_cnt;
+            }
+        }
+    }
+    return st;
+}
+
+} // namespace sim
+} // namespace ganacc

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * RunStats implementation.
+ */
+
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace sim {
+
+RunStats &
+RunStats::operator+=(const RunStats &o)
+{
+    // Accumulation across phases may mix slightly different channel
+    // roundings of the same bank (e.g. 1197- vs 1200-PE unrollings of
+    // a 1200-PE budget); keep the widest array for utilization.
+    nPes = std::max(nPes, o.nPes);
+    cycles += o.cycles;
+    effectiveMacs += o.effectiveMacs;
+    ineffectualMacs += o.ineffectualMacs;
+    idlePeSlots += o.idlePeSlots;
+    weightLoads += o.weightLoads;
+    inputLoads += o.inputLoads;
+    outputReads += o.outputReads;
+    outputWrites += o.outputWrites;
+    return *this;
+}
+
+std::string
+RunStats::str() const
+{
+    std::ostringstream os;
+    os << "cycles=" << cycles << " pes=" << nPes << " eff=" << effectiveMacs
+       << " ineff=" << ineffectualMacs << " idle=" << idlePeSlots
+       << " util=" << utilization() << " wld=" << weightLoads << " ild="
+       << inputLoads << " ord=" << outputReads << " owr=" << outputWrites;
+    return os.str();
+}
+
+} // namespace sim
+} // namespace ganacc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Statistics gathered by one microarchitecture run.
+ *
+ * These are the quantities the paper's evaluation plots: cycles and
+ * PE-slot occupancy (Figs. 15, 17, 18) and on-chip buffer accesses
+ * broken into weight loads, input loads and output reads/writes
+ * (Fig. 16). The conservation invariant
+ *   effectiveMacs + ineffectualMacs + idlePeSlots = cycles * nPes
+ * is asserted by the property tests.
+ */
+
+#ifndef GANACC_SIM_STATS_HH
+#define GANACC_SIM_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ganacc {
+namespace sim {
+
+/** Counters for one convolution job on one architecture. */
+struct RunStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t nPes = 0; ///< PEs of the array that ran the job
+
+    /// MACs whose operands are both structurally non-zero.
+    std::uint64_t effectiveMacs = 0;
+    /// PE slots that multiplied a structural zero (wasted work).
+    std::uint64_t ineffectualMacs = 0;
+    /// PE slots with nothing scheduled at all.
+    std::uint64_t idlePeSlots = 0;
+
+    /// On-chip buffer accesses (Fig. 16 categories).
+    std::uint64_t weightLoads = 0;
+    std::uint64_t inputLoads = 0;
+    std::uint64_t outputReads = 0;
+    std::uint64_t outputWrites = 0;
+
+    /** Total PE slots offered: cycles * nPes. */
+    std::uint64_t
+    totalSlots() const
+    {
+        return cycles * nPes;
+    }
+
+    /** Fraction of PE slots doing useful work. */
+    double
+    utilization() const
+    {
+        return totalSlots() ? double(effectiveMacs) / double(totalSlots())
+                            : 0.0;
+    }
+
+    /** Total on-chip accesses. */
+    std::uint64_t
+    totalAccesses() const
+    {
+        return weightLoads + inputLoads + outputReads + outputWrites;
+    }
+
+    /** Accumulate another job's stats (same array: nPes must match,
+     *  or be unset). Cycles add (jobs run back-to-back). */
+    RunStats &operator+=(const RunStats &o);
+
+    std::string str() const;
+};
+
+} // namespace sim
+} // namespace ganacc
+
+#endif // GANACC_SIM_STATS_HH

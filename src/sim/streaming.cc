@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Operand-streaming implementation.
+ */
+
+#include "sim/streaming.hh"
+
+#include "nn/zero_insert.hh"
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace sim {
+
+using gan::LayerSpec;
+using tensor::Shape4;
+using tensor::Tensor;
+
+namespace {
+
+/** Trailing-zero rows a layer's inverse map needs (its outPad, or
+ *  the mismatch between natural and actual output for backward). */
+int
+extraRowsFor(int dense, int out, int kernel, int stride, int pad)
+{
+    int natural = (dense - 1) * stride + kernel - 2 * pad;
+    int extra = out - natural;
+    GANACC_ASSERT(extra >= 0 && extra < stride,
+                  "inconsistent stuffing geometry");
+    return extra;
+}
+
+/** Spread an error map into per-output-channel kernel planes of the
+ *  (nof, 1, kh, kw) streamed-kernel layout. */
+Tensor
+asKernelPlanes(const Tensor &map)
+{
+    const Shape4 &s = map.shape();
+    GANACC_ASSERT(s.d0 == 1, "kernel planes expect a single sample");
+    Tensor w(Shape4(s.d1, 1, s.d2, s.d3));
+    for (int of = 0; of < s.d1; ++of)
+        for (int y = 0; y < s.d2; ++y)
+            for (int x = 0; x < s.d3; ++x)
+                w.ref(of, 0, y, x) = map.get(0, of, y, x);
+    return w;
+}
+
+} // namespace
+
+StreamedOperands
+streamDiscForward(const LayerSpec &layer, const Tensor &dense_in,
+                  const Tensor &weights)
+{
+    GANACC_ASSERT(dense_in.shape() == Shape4(1, layer.inChannels,
+                                             layer.inH, layer.inW),
+                  "D-fwd input shape mismatch");
+    return {dense_in, weights};
+}
+
+StreamedOperands
+streamGenForward(const LayerSpec &layer, const Tensor &dense_in,
+                 const Tensor &weights)
+{
+    GANACC_ASSERT(weights.shape() ==
+                      Shape4(layer.inChannels, layer.outChannels,
+                             layer.geom.kernel, layer.geom.kernel),
+                  "G-fwd weights must be (IF, OF, k, k)");
+    Tensor stuffed = nn::zeroInsertSpatial(dense_in, layer.geom.stride,
+                                           layer.geom.outPad);
+    Tensor streamed_w =
+        nn::flipKernelSpatial(nn::swapLeadingAxes(weights));
+    return {std::move(stuffed), std::move(streamed_w)};
+}
+
+StreamedOperands
+streamDiscBackward(const LayerSpec &layer, const Tensor &derr_out,
+                   const Tensor &weights)
+{
+    GANACC_ASSERT(derr_out.shape() ==
+                      Shape4(1, layer.outChannels, layer.outH(),
+                             layer.outW()),
+                  "D-bwd error shape mismatch");
+    int extra = extraRowsFor(layer.outH(), layer.inH,
+                             layer.geom.kernel, layer.geom.stride,
+                             layer.geom.pad);
+    Tensor stuffed =
+        nn::zeroInsertSpatial(derr_out, layer.geom.stride, extra);
+    Tensor streamed_w =
+        nn::flipKernelSpatial(nn::swapLeadingAxes(weights));
+    return {std::move(stuffed), std::move(streamed_w)};
+}
+
+StreamedOperands
+streamGenBackward(const LayerSpec &layer, const Tensor &derr_out,
+                  const Tensor &weights)
+{
+    GANACC_ASSERT(derr_out.shape() ==
+                      Shape4(1, layer.outChannels, layer.outH(),
+                             layer.outW()),
+                  "G-bwd error shape mismatch");
+    GANACC_ASSERT(weights.shape().d0 == layer.inChannels,
+                  "G-bwd weights must be (IF, OF, k, k)");
+    // The adjoint of the T-CONV is a plain strided convolution of the
+    // output-side error; the (IF, OF) kernel layout is exactly the
+    // (nof, nif) the job wants.
+    return {derr_out, weights};
+}
+
+StreamedOperands
+streamDiscWeight(const LayerSpec &layer, const Tensor &dense_in,
+                 const Tensor &derr_out)
+{
+    Tensor dil = nn::zeroInsertSpatial(derr_out, layer.geom.stride);
+    return {dense_in, asKernelPlanes(dil)};
+}
+
+StreamedOperands
+streamGenWeight(const LayerSpec &layer, const Tensor &dense_in,
+                const Tensor &derr_out)
+{
+    int extra = extraRowsFor(layer.inH, layer.outH(),
+                             layer.geom.kernel, layer.geom.stride,
+                             layer.geom.pad);
+    Tensor stuffed = nn::zeroInsertSpatial(dense_in, layer.geom.stride,
+                                           extra);
+    return {std::move(stuffed), asKernelPlanes(derr_out)};
+}
+
+Tensor
+unflipGenWeightGrad(const Tensor &raw)
+{
+    // raw is (OF, IF, k, k) w.r.t. the flipped kernel; the layer's
+    // gradient is (IF, OF, k, k) w.r.t. the original.
+    return nn::swapLeadingAxes(nn::flipKernelSpatial(raw));
+}
+
+StreamedOperands
+streamForward(const LayerSpec &layer, const Tensor &dense_in,
+              const Tensor &weights)
+{
+    return layer.kind == nn::ConvKind::Strided
+               ? streamDiscForward(layer, dense_in, weights)
+               : streamGenForward(layer, dense_in, weights);
+}
+
+StreamedOperands
+streamBackwardData(const LayerSpec &layer, const Tensor &derr_out,
+                   const Tensor &weights)
+{
+    return layer.kind == nn::ConvKind::Strided
+               ? streamDiscBackward(layer, derr_out, weights)
+               : streamGenBackward(layer, derr_out, weights);
+}
+
+StreamedOperands
+streamWeightGrad(const LayerSpec &layer, const Tensor &dense_in,
+                 const Tensor &derr_out)
+{
+    return layer.kind == nn::ConvKind::Strided
+               ? streamDiscWeight(layer, dense_in, derr_out)
+               : streamGenWeight(layer, dense_in, derr_out);
+}
+
+Tensor
+finishWeightGrad(const LayerSpec &layer, const Tensor &raw)
+{
+    return layer.kind == nn::ConvKind::Strided
+               ? raw
+               : unflipGenWeightGrad(raw);
+}
+
+} // namespace sim
+} // namespace ganacc

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Operand streaming: how software lays tensors out for the
+ * accelerator.
+ *
+ * Each phase's ConvSpec (phase.hh) describes streamed *geometry*;
+ * this module produces the streamed *contents* from the dense
+ * layer-level tensors — zero-insertion for T-CONV inputs, the
+ * flip+swap that turns a transposed convolution into a plain
+ * convolution over the stuffed map, stride-dilation of error maps for
+ * W-CONV kernels — and converts raw job outputs back to layer-level
+ * tensors (e.g. un-flipping the generator's weight gradient).
+ *
+ * With these, a whole training pass can be chained job-by-job through
+ * the microarchitecture models and compared against the reference
+ * trainer (tests/test_accel_functional.cc) — proving the phase
+ * mapping end to end, not just per job.
+ */
+
+#ifndef GANACC_SIM_STREAMING_HH
+#define GANACC_SIM_STREAMING_HH
+
+#include "gan/models.hh"
+#include "sim/conv_spec.hh"
+#include "tensor/tensor.hh"
+
+namespace ganacc {
+namespace sim {
+
+/** Streamed operands of one job. */
+struct StreamedOperands
+{
+    tensor::Tensor input;  ///< (1, nif, ih, iw)
+    tensor::Tensor kernel; ///< (nof, nif or 1, kh, kw)
+};
+
+/** D→: dense activations and the layer's weights, as-is. */
+StreamedOperands streamDiscForward(const gan::LayerSpec &layer,
+                                   const tensor::Tensor &dense_in,
+                                   const tensor::Tensor &weights);
+
+/** G→: zero-inserted input; flipped, axis-swapped kernel. */
+StreamedOperands streamGenForward(const gan::LayerSpec &layer,
+                                  const tensor::Tensor &dense_in,
+                                  const tensor::Tensor &weights);
+
+/** D←: zero-inserted output-side error; flipped, swapped kernel. */
+StreamedOperands streamDiscBackward(const gan::LayerSpec &layer,
+                                    const tensor::Tensor &derr_out,
+                                    const tensor::Tensor &weights);
+
+/** G←: dense output-side error; the (IF,OF) kernel streams as-is. */
+StreamedOperands streamGenBackward(const gan::LayerSpec &layer,
+                                   const tensor::Tensor &derr_out,
+                                   const tensor::Tensor &weights);
+
+/** Dw: dense input data; the stride-dilated error map as per-channel
+ *  kernel planes. */
+StreamedOperands streamDiscWeight(const gan::LayerSpec &layer,
+                                  const tensor::Tensor &dense_in,
+                                  const tensor::Tensor &derr_out);
+
+/** Gw: zero-inserted input; the dense error map as kernel planes. */
+StreamedOperands streamGenWeight(const gan::LayerSpec &layer,
+                                 const tensor::Tensor &dense_in,
+                                 const tensor::Tensor &derr_out);
+
+/**
+ * Convert a Gw job's raw (OF, IF, k, k) output — the gradient of the
+ * *flipped* kernel the stuffed convolution used — back to the
+ * transposed-conv layer's (IF, OF, k, k) weight-gradient layout.
+ */
+tensor::Tensor unflipGenWeightGrad(const tensor::Tensor &raw);
+
+/** @name Kind-generic dispatch
+ * Encoder-decoder generators (Context Encoders) mix strided and
+ * transposed layers; these wrappers pick the right streaming
+ * transform from the layer's kind so callers can chain any stack.
+ * @{ */
+StreamedOperands streamForward(const gan::LayerSpec &layer,
+                               const tensor::Tensor &dense_in,
+                               const tensor::Tensor &weights);
+StreamedOperands streamBackwardData(const gan::LayerSpec &layer,
+                                    const tensor::Tensor &derr_out,
+                                    const tensor::Tensor &weights);
+StreamedOperands streamWeightGrad(const gan::LayerSpec &layer,
+                                  const tensor::Tensor &dense_in,
+                                  const tensor::Tensor &derr_out);
+/** Convert a raw weight-gradient job output to the layer's weight
+ *  layout (identity for strided, unflip+swap for transposed). */
+tensor::Tensor finishWeightGrad(const gan::LayerSpec &layer,
+                                const tensor::Tensor &raw);
+/** @} */
+
+} // namespace sim
+} // namespace ganacc
+
+#endif // GANACC_SIM_STREAMING_HH

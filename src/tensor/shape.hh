@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shape algebra for the 4-D tensors used throughout ganacc.
+ *
+ * Convolution feature maps are indexed (channel, y, x) inside a
+ * 4-D container whose leading axis is either the batch index (data
+ * tensors) or the output-feature index (weight tensors). The same
+ * Shape4 type also describes the four-dimension W-CONV outputs
+ * (of, if, ky, kx) from Fig. 3 of the paper.
+ */
+
+#ifndef GANACC_TENSOR_SHAPE_HH
+#define GANACC_TENSOR_SHAPE_HH
+
+#include <array>
+#include <cstddef>
+#include <ostream>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace tensor {
+
+/** Dimensions of a rank-4 tensor; axes are (d0, d1, d2, d3). */
+struct Shape4
+{
+    int d0 = 1; ///< batch or output-feature axis
+    int d1 = 1; ///< channel or input-feature axis
+    int d2 = 1; ///< rows (y)
+    int d3 = 1; ///< columns (x)
+
+    constexpr Shape4() = default;
+    constexpr Shape4(int a, int b, int c, int d)
+        : d0(a), d1(b), d2(c), d3(d) {}
+
+    /** Total number of elements. */
+    std::size_t
+    numel() const
+    {
+        return std::size_t(d0) * d1 * d2 * d3;
+    }
+
+    /** Row-major linear offset of (i0, i1, i2, i3). */
+    std::size_t
+    offset(int i0, int i1, int i2, int i3) const
+    {
+        return ((std::size_t(i0) * d1 + i1) * d2 + i2) * d3 + i3;
+    }
+
+    bool operator==(const Shape4 &) const = default;
+
+    std::string
+    str() const
+    {
+        return std::to_string(d0) + "x" + std::to_string(d1) + "x" +
+               std::to_string(d2) + "x" + std::to_string(d3);
+    }
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, const Shape4 &s)
+{
+    return os << s.str();
+}
+
+/**
+ * Output spatial extent of a strided convolution:
+ * floor((in + 2*pad - kernel) / stride) + 1.
+ */
+inline int
+convOutDim(int in, int kernel, int stride, int pad)
+{
+    GANACC_ASSERT(in > 0 && kernel > 0 && stride > 0 && pad >= 0,
+                  "conv dims must be positive: in=", in, " k=", kernel,
+                  " s=", stride, " p=", pad);
+    int span = in + 2 * pad - kernel;
+    GANACC_ASSERT(span >= 0, "kernel larger than padded input");
+    return span / stride + 1;
+}
+
+/**
+ * Output spatial extent of a transposed convolution (the inverse map):
+ * (in - 1) * stride - 2*pad + kernel + out_pad.
+ *
+ * out_pad adds extra zero rows/columns on the bottom-right of the
+ * zero-inserted map, resolving the ambiguity of inverting a strided
+ * convolution whose sliding window did not cover the last input rows
+ * (e.g. 28 -> 14 with k=5, s=2, p=2 inverts to 14 only with out_pad=1).
+ */
+inline int
+tconvOutDim(int in, int kernel, int stride, int pad, int out_pad = 0)
+{
+    GANACC_ASSERT(out_pad >= 0 && out_pad < stride,
+                  "out_pad must be in [0, stride)");
+    int out = (in - 1) * stride - 2 * pad + kernel + out_pad;
+    GANACC_ASSERT(out > 0, "transposed conv produces empty output");
+    return out;
+}
+
+} // namespace tensor
+} // namespace ganacc
+
+#endif // GANACC_TENSOR_SHAPE_HH

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Anchor translation unit for the tensor library.
+ */
+
+#include "tensor/tensor.hh"
+
+namespace ganacc {
+namespace tensor {
+
+// Tensor is header-only for inlining in simulator hot loops.
+
+} // namespace tensor
+} // namespace ganacc

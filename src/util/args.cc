@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Argument-parser implementation.
+ */
+
+#include "util/args.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace util {
+
+ArgParser::ArgParser(int argc, const char *const *argv)
+{
+    GANACC_ASSERT(argc >= 1, "argv must contain the program name");
+    program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        std::string token = argv[i];
+        if (token.rfind("--", 0) != 0)
+            fatal("unexpected positional argument '", token,
+                  "' (flags are --name [value])");
+        std::string name = token.substr(2);
+        auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            values_[name.substr(0, eq)] = name.substr(eq + 1);
+            continue;
+        }
+        // "--name value" unless the next token is another flag or the
+        // end of the line (then it's boolean).
+        if (i + 1 < argc &&
+            std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            values_[name] = argv[i + 1];
+            ++i;
+        } else {
+            values_[name] = "";
+        }
+    }
+}
+
+std::optional<std::string>
+ArgParser::rawValue(const std::string &name) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+ArgParser::registerFlag(const std::string &name,
+                        const std::string &default_text,
+                        const std::string &help)
+{
+    for (const auto &r : registered_)
+        if (r.name == name)
+            return;
+    registered_.push_back({name, default_text, help});
+}
+
+int
+ArgParser::getInt(const std::string &name, int def,
+                  const std::string &help)
+{
+    registerFlag(name, std::to_string(def), help);
+    auto raw = rawValue(name);
+    if (!raw)
+        return def;
+    char *end = nullptr;
+    long v = std::strtol(raw->c_str(), &end, 10);
+    if (raw->empty() || *end != '\0')
+        fatal("--", name, " expects an integer, got '", *raw, "'");
+    return int(v);
+}
+
+double
+ArgParser::getDouble(const std::string &name, double def,
+                     const std::string &help)
+{
+    registerFlag(name, std::to_string(def), help);
+    auto raw = rawValue(name);
+    if (!raw)
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(raw->c_str(), &end);
+    if (raw->empty() || *end != '\0')
+        fatal("--", name, " expects a number, got '", *raw, "'");
+    return v;
+}
+
+std::string
+ArgParser::getString(const std::string &name, const std::string &def,
+                     const std::string &help)
+{
+    registerFlag(name, def, help);
+    auto raw = rawValue(name);
+    return raw ? *raw : def;
+}
+
+bool
+ArgParser::getFlag(const std::string &name, const std::string &help)
+{
+    registerFlag(name, "off", help);
+    return values_.count(name) > 0;
+}
+
+bool
+ArgParser::helpRequested() const
+{
+    return values_.count("help") > 0;
+}
+
+void
+ArgParser::usage(std::ostream &os) const
+{
+    os << "usage: " << program_ << " [flags]\n";
+    for (const auto &r : registered_)
+        os << "  --" << r.name << " (default " << r.defaultText
+           << "): " << r.help << "\n";
+}
+
+void
+ArgParser::finish() const
+{
+    for (const auto &[name, value] : values_) {
+        if (name == "help")
+            continue;
+        bool known = false;
+        for (const auto &r : registered_)
+            known |= r.name == name;
+        if (!known)
+            fatal("unknown flag --", name, " (try --help)");
+    }
+}
+
+} // namespace util
+} // namespace ganacc

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * 16-bit fixed-point arithmetic matching the accelerator datapath.
+ *
+ * The paper's FPGA implementation computes in 16-bit fixed point
+ * ("the width of data is 16 in our system", Section V-C). This type
+ * models a Qm.n two's-complement format with saturating conversion so
+ * the functional simulator can quantify fixed-vs-float error.
+ */
+
+#ifndef GANACC_UTIL_FIXED_POINT_HH
+#define GANACC_UTIL_FIXED_POINT_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace ganacc {
+namespace util {
+
+/**
+ * Signed fixed-point value with FracBits fractional bits in a 16-bit
+ * container. Multiplication accumulates in 32 bits (the DSP-slice
+ * behaviour) before renormalizing.
+ */
+template <int FracBits>
+class Fixed16
+{
+    static_assert(FracBits > 0 && FracBits < 16,
+                  "FracBits must leave at least one integer bit");
+
+  public:
+    static constexpr int fracBits = FracBits;
+    static constexpr double scale = double(1 << FracBits);
+
+    constexpr Fixed16() = default;
+
+    /** Quantize a double with round-to-nearest and saturation. */
+    static Fixed16
+    fromDouble(double v)
+    {
+        double scaled = std::nearbyint(v * scale);
+        scaled = std::clamp(scaled,
+                            double(std::numeric_limits<int16_t>::min()),
+                            double(std::numeric_limits<int16_t>::max()));
+        Fixed16 f;
+        f.raw_ = static_cast<int16_t>(scaled);
+        return f;
+    }
+
+    /** Construct directly from a raw two's-complement pattern. */
+    static constexpr Fixed16
+    fromRaw(int16_t raw)
+    {
+        Fixed16 f;
+        f.raw_ = raw;
+        return f;
+    }
+
+    double toDouble() const { return double(raw_) / scale; }
+    int16_t raw() const { return raw_; }
+
+    Fixed16
+    operator+(Fixed16 o) const
+    {
+        return fromSaturated32(int32_t(raw_) + int32_t(o.raw_));
+    }
+
+    Fixed16
+    operator-(Fixed16 o) const
+    {
+        return fromSaturated32(int32_t(raw_) - int32_t(o.raw_));
+    }
+
+    Fixed16
+    operator*(Fixed16 o) const
+    {
+        int32_t prod = int32_t(raw_) * int32_t(o.raw_);
+        // Round-to-nearest on the renormalizing shift.
+        prod += (1 << (FracBits - 1));
+        return fromSaturated32(prod >> FracBits);
+    }
+
+    bool operator==(const Fixed16 &) const = default;
+
+    /** Largest representable quantization step. */
+    static constexpr double epsilon() { return 1.0 / scale; }
+
+  private:
+    static Fixed16
+    fromSaturated32(int32_t v)
+    {
+        v = std::clamp(v, int32_t(std::numeric_limits<int16_t>::min()),
+                       int32_t(std::numeric_limits<int16_t>::max()));
+        Fixed16 f;
+        f.raw_ = static_cast<int16_t>(v);
+        return f;
+    }
+
+    int16_t raw_ = 0;
+};
+
+/** The datapath format used throughout the accelerator model: Q7.8. */
+using AccelFixed = Fixed16<8>;
+
+} // namespace util
+} // namespace ganacc
+
+#endif // GANACC_UTIL_FIXED_POINT_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: fatal() reports unrecoverable *user*
+ * errors (bad configuration, invalid arguments) and exits cleanly;
+ * panic() reports *internal* invariant violations (simulator bugs) and
+ * aborts; warn()/inform() print status without stopping.
+ */
+
+#ifndef GANACC_UTIL_LOGGING_HH
+#define GANACC_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ganacc {
+namespace util {
+
+/** Exception carrying a fatal (user-caused) error message. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/** Exception carrying a panic (internal-bug) error message. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+inline void
+appendAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream &os, const T &head, const Rest &...rest)
+{
+    os << head;
+    appendAll(os, rest...);
+}
+
+template <typename... Args>
+std::string
+format(const Args &...args)
+{
+    std::ostringstream os;
+    appendAll(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an unrecoverable user/configuration error.
+ *
+ * Throws FatalError so library consumers (and tests) can catch it;
+ * an uncaught FatalError terminates with a clean message.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError(detail::format("fatal: ", args...));
+}
+
+/**
+ * Report an internal invariant violation (a bug in ganacc itself).
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw PanicError(detail::format("panic: ", args...));
+}
+
+/** Print a warning; simulation continues. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::cerr << "warn: " << detail::format(args...) << "\n";
+}
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::cout << "info: " << detail::format(args...) << "\n";
+}
+
+/**
+ * Assert an internal invariant; panics with the given message when the
+ * condition does not hold. Always enabled (not compiled out) because
+ * the simulator's correctness claims depend on these checks.
+ */
+#define GANACC_ASSERT(cond, ...)                                           \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::ganacc::util::panic("assertion '", #cond, "' failed at ",    \
+                                  __FILE__, ":", __LINE__, ": ",           \
+                                  ##__VA_ARGS__);                          \
+        }                                                                  \
+    } while (0)
+
+} // namespace util
+} // namespace ganacc
+
+#endif // GANACC_UTIL_LOGGING_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Aligned plain-text table printer used by the bench harnesses so every
+ * reproduced table/figure prints in a consistent, diffable format.
+ */
+
+#ifndef GANACC_UTIL_TABLE_HH
+#define GANACC_UTIL_TABLE_HH
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ganacc {
+namespace util {
+
+/** Collects rows of cells and prints them with aligned columns. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header)
+        : header_(std::move(header)) {}
+
+    /** Append a row; cells are converted with operator<<. */
+    template <typename... Cells>
+    void
+    addRow(const Cells &...cells)
+    {
+        std::vector<std::string> row;
+        (row.push_back(toCell(cells)), ...);
+        rows_.push_back(std::move(row));
+    }
+
+    /** Render with a separator line under the header. */
+    void
+    print(std::ostream &os) const
+    {
+        std::vector<std::size_t> widths(header_.size(), 0);
+        for (std::size_t c = 0; c < header_.size(); ++c)
+            widths[c] = header_[c].size();
+        for (const auto &row : rows_)
+            for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+                widths[c] = std::max(widths[c], row[c].size());
+
+        printRow(os, header_, widths);
+        std::size_t total = 0;
+        for (auto w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+        for (const auto &row : rows_)
+            printRow(os, row, widths);
+    }
+
+  private:
+    template <typename T>
+    static std::string
+    toCell(const T &v)
+    {
+        std::ostringstream os;
+        if constexpr (std::is_floating_point_v<T>)
+            os << std::fixed << std::setprecision(3) << v;
+        else
+            os << v;
+        return os.str();
+    }
+
+    static void
+    printRow(std::ostream &os, const std::vector<std::string> &row,
+             const std::vector<std::size_t> &widths)
+    {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << std::left << std::setw(int(widths[c]) + 2) << row[c];
+        os << "\n";
+    }
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace util
+} // namespace ganacc
+
+#endif // GANACC_UTIL_TABLE_HH

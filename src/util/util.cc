@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Anchor translation unit for the header-only util library.
+ */
+
+#include "util/fixed_point.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+
+namespace ganacc {
+namespace util {
+
+// All util facilities are header-only templates/inlines; this TU exists
+// so the library has an archive member and the headers stay compiled.
+
+} // namespace util
+} // namespace ganacc

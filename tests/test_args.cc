@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Command-line parser tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/args.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using ganacc::util::ArgParser;
+using ganacc::util::FatalError;
+
+ArgParser
+parse(std::initializer_list<const char *> args)
+{
+    std::vector<const char *> argv{"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return ArgParser(int(argv.size()), argv.data());
+}
+
+TEST(Args, DefaultsWhenAbsent)
+{
+    ArgParser p = parse({});
+    EXPECT_EQ(p.getInt("pes", 1680, "PE count"), 1680);
+    EXPECT_DOUBLE_EQ(p.getDouble("gbps", 192.0, "bandwidth"), 192.0);
+    EXPECT_EQ(p.getString("model", "dcgan", "network"), "dcgan");
+    EXPECT_FALSE(p.getFlag("verbose", "chatty output"));
+    EXPECT_NO_THROW(p.finish());
+}
+
+TEST(Args, SpaceAndEqualsForms)
+{
+    ArgParser p = parse({"--pes", "512", "--gbps=96.5", "--verbose"});
+    EXPECT_EQ(p.getInt("pes", 1680, "h"), 512);
+    EXPECT_DOUBLE_EQ(p.getDouble("gbps", 192.0, "h"), 96.5);
+    EXPECT_TRUE(p.getFlag("verbose", "h"));
+    EXPECT_NO_THROW(p.finish());
+}
+
+TEST(Args, StringValues)
+{
+    ArgParser p = parse({"--model", "cgan"});
+    EXPECT_EQ(p.getString("model", "dcgan", "h"), "cgan");
+}
+
+TEST(Args, BadIntegerRejected)
+{
+    ArgParser p = parse({"--pes", "abc"});
+    EXPECT_THROW(p.getInt("pes", 0, "h"), FatalError);
+}
+
+TEST(Args, UnknownFlagRejectedByFinish)
+{
+    ArgParser p = parse({"--tyop", "5"});
+    p.getInt("typo", 1, "the real flag");
+    EXPECT_THROW(p.finish(), FatalError);
+}
+
+TEST(Args, PositionalArgumentsRejected)
+{
+    EXPECT_THROW(parse({"positional"}), FatalError);
+}
+
+TEST(Args, HelpDetectedAndUsagePrints)
+{
+    ArgParser p = parse({"--help"});
+    EXPECT_TRUE(p.helpRequested());
+    p.getInt("pes", 1680, "PE count");
+    std::ostringstream os;
+    p.usage(os);
+    EXPECT_NE(os.str().find("--pes"), std::string::npos);
+    EXPECT_NE(os.str().find("PE count"), std::string::npos);
+    EXPECT_NO_THROW(p.finish()); // --help is always known
+}
+
+TEST(Args, NegativeNumbersParse)
+{
+    ArgParser p = parse({"--shift=-3"});
+    EXPECT_EQ(p.getInt("shift", 0, "h"), -3);
+}
+
+} // namespace

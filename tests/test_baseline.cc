@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the CPU/GPU roofline baselines and the Fig. 19
+ * comparison's shape: the accelerator beats the CPU by ~8x in
+ * throughput and every baseline in energy efficiency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/cpu_gpu_model.hh"
+#include "core/accelerator.hh"
+#include "gan/models.hh"
+
+namespace {
+
+using namespace ganacc;
+using baseline::DeviceModel;
+
+TEST(Baseline, DeviceCatalog)
+{
+    auto devices = baseline::allDevices();
+    ASSERT_EQ(devices.size(), 3u);
+    EXPECT_EQ(devices[0].name, "CPU i7-6850K");
+    for (const auto &d : devices) {
+        EXPECT_GT(d.peakGops, 0.0);
+        EXPECT_GT(d.powerWatts, 0.0);
+        EXPECT_GT(d.convEfficiency, d.tconvEfficiency)
+            << d.name << ": zero-inserted phases must be less "
+                          "efficient";
+    }
+}
+
+TEST(Baseline, GpusOutrunCpu)
+{
+    gan::GanModel m = gan::makeDcgan();
+    double cpu = baseline::iterationGops(baseline::intelI7_6850K(), m);
+    double k20 = baseline::iterationGops(baseline::nvidiaK20(), m);
+    double tx = baseline::iterationGops(baseline::nvidiaTitanX(), m);
+    EXPECT_GT(k20, cpu);
+    EXPECT_GT(tx, k20);
+}
+
+TEST(Baseline, TimeEnergyConsistency)
+{
+    gan::GanModel m = gan::makeMnistGan();
+    DeviceModel cpu = baseline::intelI7_6850K();
+    double secs = baseline::iterationSeconds(cpu, m);
+    EXPECT_GT(secs, 0.0);
+    EXPECT_NEAR(baseline::iterationJoules(cpu, m),
+                cpu.powerWatts * secs, 1e-9);
+    EXPECT_NEAR(baseline::gopsPerWatt(cpu, m) * cpu.powerWatts,
+                baseline::iterationGops(cpu, m), 1e-6);
+}
+
+TEST(Baseline, EffectiveGopsNeverExceedsDensePeak)
+{
+    for (const auto &m : gan::allModels())
+        for (const auto &d : baseline::allDevices())
+            EXPECT_LT(baseline::iterationGops(d, m), d.peakGops)
+                << d.name << " on " << m.name;
+}
+
+TEST(Baseline, UsefulOpsMatchPhaseArithmetic)
+{
+    gan::GanModel m = gan::makeMnistGan();
+    double ops = baseline::iterationUsefulOps(m);
+    // 2 G-fwd + 3 D-fwd + 3 D-bwd + 1 G-bwd + 2 Dw + 1 Gw passes,
+    // all positive and bigger than a single forward pass.
+    double one_fwd = 2.0 * double(sim::totalEffectiveMacs(
+                               sim::phaseJobs(m, sim::Phase::DiscForward)));
+    EXPECT_GT(ops, 5 * one_fwd);
+}
+
+TEST(Fig19, SpeedupAndEnergyShapeMatchesPaper)
+{
+    // Paper: average 8.3x speedup over CPU, 45.2x CPU energy
+    // efficiency, 7.1x over K20 and 5.2x over Titan X.
+    core::GanAccelerator acc;
+    double fpga_power = baseline::fpgaBoardPowerWatts();
+    double cpu_speedup = 0, cpu_energy = 0, k20_energy = 0,
+           tx_energy = 0;
+    for (const auto &m : gan::allModels()) {
+        double fpga_gops = acc.evaluate(m).gopsDeferred;
+        double fpga_gpw = fpga_gops / fpga_power;
+        cpu_speedup +=
+            fpga_gops /
+            baseline::iterationGops(baseline::intelI7_6850K(), m);
+        cpu_energy +=
+            fpga_gpw /
+            baseline::gopsPerWatt(baseline::intelI7_6850K(), m);
+        k20_energy +=
+            fpga_gpw / baseline::gopsPerWatt(baseline::nvidiaK20(), m);
+        tx_energy +=
+            fpga_gpw /
+            baseline::gopsPerWatt(baseline::nvidiaTitanX(), m);
+    }
+    cpu_speedup /= 3;
+    cpu_energy /= 3;
+    k20_energy /= 3;
+    tx_energy /= 3;
+    EXPECT_NEAR(cpu_speedup, 8.3, 1.5);
+    EXPECT_NEAR(cpu_energy, 45.2, 8.0);
+    EXPECT_NEAR(k20_energy, 7.1, 1.5);
+    EXPECT_NEAR(tx_energy, 5.2, 1.2);
+}
+
+TEST(Fig19, GpusWinThroughputButLoseEfficiencyOnBigNets)
+{
+    // The Fig. 19 story: the Titan X out-runs the FPGA in raw GOPS
+    // but burns ~10x its power doing it.
+    core::GanAccelerator acc;
+    gan::GanModel m = gan::makeDcgan();
+    double fpga_gops = acc.evaluate(m).gopsDeferred;
+    double tx_gops =
+        baseline::iterationGops(baseline::nvidiaTitanX(), m);
+    EXPECT_GT(tx_gops, 0.5 * fpga_gops); // GPUs are fast...
+    EXPECT_GT(fpga_gops / baseline::fpgaBoardPowerWatts(),
+              baseline::gopsPerWatt(baseline::nvidiaTitanX(), m));
+}
+
+} // namespace

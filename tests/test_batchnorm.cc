@@ -1,0 +1,253 @@
+/**
+ * @file
+ * BatchNorm tests: normalization semantics, full gradient checks in
+ * both modes, and the deferred-synchronization interaction — batch
+ * statistics couple samples (per-sample loops diverge), frozen
+ * statistics restore the independence the paper's algorithm needs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/batchnorm.hh"
+#include "nn/optimizer.hh"
+#include "tensor/tensor.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace ganacc;
+using nn::BatchNormLayer;
+using tensor::Shape4;
+using tensor::Tensor;
+using util::Rng;
+
+double
+dot(const Tensor &a, const Tensor &b)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        s += double(a.data()[i]) * b.data()[i];
+    return s;
+}
+
+TEST(BatchNorm, NormalizesToZeroMeanUnitVariance)
+{
+    Rng rng(1);
+    Tensor in(4, 3, 5, 5);
+    in.fillGaussian(rng, 2.0f, 3.0f);
+    BatchNormLayer bn(3);
+    Tensor out = bn.forward(in, BatchNormLayer::Mode::Batch);
+    for (int c = 0; c < 3; ++c) {
+        double m = 0.0, v = 0.0;
+        const double n_elems = 4.0 * 25.0;
+        for (int n = 0; n < 4; ++n)
+            for (int y = 0; y < 5; ++y)
+                for (int x = 0; x < 5; ++x)
+                    m += out.get(n, c, y, x);
+        m /= n_elems;
+        for (int n = 0; n < 4; ++n)
+            for (int y = 0; y < 5; ++y)
+                for (int x = 0; x < 5; ++x) {
+                    double d = out.get(n, c, y, x) - m;
+                    v += d * d;
+                }
+        v /= n_elems;
+        EXPECT_NEAR(m, 0.0, 1e-4);
+        EXPECT_NEAR(v, 1.0, 1e-2);
+    }
+}
+
+TEST(BatchNorm, GammaBetaScaleAndShift)
+{
+    Rng rng(2);
+    Tensor in(2, 2, 3, 3);
+    in.fillGaussian(rng);
+    BatchNormLayer bn(2);
+    bn.gamma().fill(2.0f);
+    bn.beta().fill(-1.0f);
+    Tensor out = bn.forward(in, BatchNormLayer::Mode::Batch);
+    // Mean of out should be beta, std should be ~gamma.
+    double m = out.sum() / double(out.numel());
+    EXPECT_NEAR(m, -1.0, 1e-4);
+}
+
+TEST(BatchNorm, RunningStatsConvergeToDataStats)
+{
+    Rng rng(3);
+    BatchNormLayer bn(1, 1e-5f, 0.2f);
+    for (int it = 0; it < 60; ++it) {
+        Tensor in(8, 1, 4, 4);
+        in.fillGaussian(rng, 5.0f, 2.0f);
+        bn.forward(in, BatchNormLayer::Mode::Batch);
+    }
+    EXPECT_NEAR(bn.runningMean().get(0, 0, 0, 0), 5.0, 0.3);
+    EXPECT_NEAR(bn.runningVar().get(0, 0, 0, 0), 4.0, 0.8);
+}
+
+TEST(BatchNorm, FrozenModeUsesRunningStats)
+{
+    Rng rng(4);
+    BatchNormLayer bn(1);
+    // Prime the running stats.
+    for (int it = 0; it < 30; ++it) {
+        Tensor in(8, 1, 4, 4);
+        in.fillGaussian(rng, 3.0f, 1.5f);
+        bn.forward(in, BatchNormLayer::Mode::Batch);
+    }
+    // A single constant sample in frozen mode is mapped by the fixed
+    // affine transform — no dependence on the sample itself.
+    Tensor probe(1, 1, 4, 4, 3.0f);
+    Tensor out = bn.forward(probe, BatchNormLayer::Mode::Frozen);
+    float expect =
+        (3.0f - bn.runningMean().get(0, 0, 0, 0)) /
+        std::sqrt(bn.runningVar().get(0, 0, 0, 0) + 1e-5f);
+    EXPECT_NEAR(out.get(0, 0, 2, 2), expect, 1e-4);
+}
+
+class BnGradCheck
+    : public ::testing::TestWithParam<BatchNormLayer::Mode>
+{
+};
+
+TEST_P(BnGradCheck, NumericalGradientsMatch)
+{
+    const auto mode = GetParam();
+    Rng rng(5);
+    Tensor in(3, 2, 3, 3);
+    in.fillGaussian(rng);
+    BatchNormLayer bn(2);
+    bn.gamma().fillUniform(rng, 0.5f, 1.5f);
+    bn.beta().fillUniform(rng, -0.5f, 0.5f);
+    if (mode == BatchNormLayer::Mode::Frozen) {
+        // Prime non-trivial running stats.
+        Tensor warm(6, 2, 3, 3);
+        warm.fillGaussian(rng, 1.0f, 2.0f);
+        bn.forward(warm, BatchNormLayer::Mode::Batch);
+    }
+    Tensor out = bn.forward(in, mode);
+    Tensor mask(out.shape());
+    mask.fillUniform(rng);
+    Tensor din = bn.backward(mask);
+    Tensor dgamma = bn.gradGamma();
+    Tensor dbeta = bn.gradBeta();
+
+    const float eps = 1e-3f;
+    Rng pick(6);
+    for (int trial = 0; trial < 12; ++trial) {
+        int n = pick.uniformInt(0, 2), c = pick.uniformInt(0, 1);
+        int y = pick.uniformInt(0, 2), x = pick.uniformInt(0, 2);
+        Tensor ip = in, im = in;
+        ip.at(n, c, y, x) += eps;
+        im.at(n, c, y, x) -= eps;
+        double fp = dot(bn.forward(ip, mode), mask);
+        double fm = dot(bn.forward(im, mode), mask);
+        EXPECT_NEAR((fp - fm) / (2 * eps), din.get(n, c, y, x), 2e-2)
+            << "din at " << n << c << y << x;
+    }
+    for (int c = 0; c < 2; ++c) {
+        float orig = bn.gamma().get(0, c, 0, 0);
+        bn.gamma().at(0, c, 0, 0) = orig + eps;
+        double fp = dot(bn.forward(in, mode), mask);
+        bn.gamma().at(0, c, 0, 0) = orig - eps;
+        double fm = dot(bn.forward(in, mode), mask);
+        bn.gamma().at(0, c, 0, 0) = orig;
+        EXPECT_NEAR((fp - fm) / (2 * eps), dgamma.get(0, c, 0, 0),
+                    2e-2);
+
+        orig = bn.beta().get(0, c, 0, 0);
+        bn.beta().at(0, c, 0, 0) = orig + eps;
+        fp = dot(bn.forward(in, mode), mask);
+        bn.beta().at(0, c, 0, 0) = orig - eps;
+        fm = dot(bn.forward(in, mode), mask);
+        bn.beta().at(0, c, 0, 0) = orig;
+        EXPECT_NEAR((fp - fm) / (2 * eps), dbeta.get(0, c, 0, 0),
+                    2e-2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, BnGradCheck,
+                         ::testing::Values(BatchNormLayer::Mode::Batch,
+                                           BatchNormLayer::Mode::Frozen),
+                         [](const auto &info) {
+                             return info.param ==
+                                            BatchNormLayer::Mode::Batch
+                                        ? std::string("Batch")
+                                        : std::string("Frozen");
+                         });
+
+TEST(BatchNorm, BatchModeCouplesSamplesFrozenModeDoesNot)
+{
+    // THE deferred-synchronization interaction: in Batch mode a
+    // sample's output depends on the other samples in the batch, so
+    // per-sample processing cannot reproduce the mini-batch result;
+    // Frozen mode restores independence.
+    Rng rng(7);
+    Tensor batch(4, 1, 3, 3);
+    batch.fillGaussian(rng);
+
+    for (auto mode : {BatchNormLayer::Mode::Batch,
+                      BatchNormLayer::Mode::Frozen}) {
+        BatchNormLayer bn_batchwise(1);
+        BatchNormLayer bn_samplewise(1);
+        // Prime both with identical running stats.
+        Tensor warm(8, 1, 3, 3);
+        warm.fillGaussian(rng, 0.5f, 1.2f);
+        bn_batchwise.forward(warm, BatchNormLayer::Mode::Batch);
+        bn_samplewise.forward(warm, BatchNormLayer::Mode::Batch);
+
+        Tensor whole = bn_batchwise.forward(batch, mode);
+        float max_diff = 0.0f;
+        for (int n = 0; n < 4; ++n) {
+            Tensor one(1, 1, 3, 3);
+            for (int y = 0; y < 3; ++y)
+                for (int x = 0; x < 3; ++x)
+                    one.ref(0, 0, y, x) = batch.get(n, 0, y, x);
+            Tensor out = bn_samplewise.forward(one, mode);
+            for (int y = 0; y < 3; ++y)
+                for (int x = 0; x < 3; ++x)
+                    max_diff = std::max(
+                        max_diff, std::abs(out.get(0, 0, y, x) -
+                                           whole.get(n, 0, y, x)));
+        }
+        if (mode == BatchNormLayer::Mode::Batch) {
+            EXPECT_GT(max_diff, 0.05f)
+                << "batch stats should couple samples";
+        } else {
+            EXPECT_LT(max_diff, 1e-5f)
+                << "frozen stats must be per-sample independent";
+        }
+    }
+}
+
+TEST(BatchNorm, ApplyUpdateMovesParameters)
+{
+    Rng rng(8);
+    Tensor in(2, 2, 3, 3);
+    in.fillGaussian(rng);
+    BatchNormLayer bn(2);
+    bn.forward(in, BatchNormLayer::Mode::Batch);
+    // A constant upstream gradient gives dgamma = sum(xhat) = 0 by
+    // construction; use a random one.
+    Tensor mask(Shape4(2, 2, 3, 3));
+    mask.fillUniform(rng);
+    bn.backward(mask);
+    nn::Sgd opt(0.1f);
+    Tensor g_before = bn.gamma();
+    bn.applyUpdate(opt);
+    EXPECT_GT(tensor::maxAbsDiff(g_before, bn.gamma()), 0.0f);
+    EXPECT_FLOAT_EQ(bn.gradGamma().absMax(), 0.0f);
+}
+
+TEST(BatchNorm, RejectsMismatchedShapes)
+{
+    BatchNormLayer bn(3);
+    EXPECT_THROW(bn.forward(Tensor(1, 2, 3, 3),
+                            BatchNormLayer::Mode::Batch),
+                 util::PanicError);
+    BatchNormLayer fresh(2);
+    EXPECT_THROW(fresh.backward(Tensor(1, 2, 3, 3)),
+                 util::PanicError);
+}
+
+} // namespace

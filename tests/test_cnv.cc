@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the Cnvlutin-style dynamic zero-skipping baseline:
+ * functional equivalence, dynamic-vs-structural skipping behaviour,
+ * lane imbalance, and the Section VII critique (zero-inserted kernels
+ * defeat activation-side skipping).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/zfost.hh"
+#include "sim/cnv.hh"
+#include "sim/conv_spec.hh"
+#include "sim/nlr.hh"
+#include "tensor/tensor.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace ganacc;
+using core::Zfost;
+using sim::Cnv;
+using sim::ConvSpec;
+using sim::Nlr;
+using sim::RunStats;
+using sim::Unroll;
+using tensor::approxEqual;
+using tensor::Tensor;
+using util::Rng;
+
+ConvSpec
+denseSpec()
+{
+    ConvSpec s;
+    s.label = "dense";
+    s.nif = 4;
+    s.nof = 3;
+    s.ih = s.iw = 10;
+    s.kh = s.kw = 3;
+    s.stride = 1;
+    s.pad = 1;
+    s.oh = s.ow = 10;
+    return s;
+}
+
+ConvSpec
+stuffedSpec()
+{
+    ConvSpec s;
+    s.label = "stuffed";
+    s.nif = 2;
+    s.nof = 2;
+    s.inZeroStride = 2;
+    s.inOrigH = s.inOrigW = 5;
+    s.ih = s.iw = 9;
+    s.kh = s.kw = 3;
+    s.stride = 1;
+    s.pad = 1;
+    s.oh = s.ow = 9;
+    return s;
+}
+
+TEST(Cnv, MatchesGoldenOnDenseAndStuffedInputs)
+{
+    Rng rng(1);
+    Cnv cnv(Unroll{.pIf = 2, .pOf = 2});
+    for (const ConvSpec &s : {denseSpec(), stuffedSpec()}) {
+        Tensor in = sim::makeStreamedInput(s, rng);
+        Tensor w = sim::makeStreamedKernel(s, rng);
+        Tensor golden = sim::genericConvRef(s, in, w);
+        Tensor out = sim::makeOutputTensor(s);
+        cnv.run(s, &in, &w, &out);
+        EXPECT_TRUE(approxEqual(golden, out, 1e-3f)) << s.describe();
+    }
+}
+
+TEST(Cnv, RefusesTimingOnlyRuns)
+{
+    Cnv cnv(Unroll{.pIf = 2, .pOf = 2});
+    EXPECT_THROW(cnv.run(denseSpec()), util::PanicError);
+}
+
+TEST(Cnv, HarvestsDynamicReluSparsity)
+{
+    // Structural designs cannot see data zeros in a dense map; CNV
+    // can. Make 70% of a dense input zero (post-ReLU style) and CNV's
+    // cycles should drop roughly proportionally.
+    ConvSpec s = denseSpec();
+    Rng rng(2);
+    Tensor dense_in = sim::makeStreamedInput(s, rng);
+    Tensor w = sim::makeStreamedKernel(s, rng);
+    Tensor sparse_in = dense_in;
+    Rng kill(3);
+    for (std::size_t i = 0; i < sparse_in.numel(); ++i)
+        if (kill.bernoulli(0.7))
+            sparse_in.data()[i] = 0.0f;
+
+    Cnv cnv(Unroll{.pIf = 2, .pOf = 3});
+    Tensor out = sim::makeOutputTensor(s);
+    RunStats on_dense = cnv.run(s, &dense_in, &w, &out);
+    RunStats on_sparse = cnv.run(s, &sparse_in, &w, &out);
+    double ratio =
+        double(on_sparse.cycles) / double(on_dense.cycles);
+    EXPECT_LT(ratio, 0.5);
+    EXPECT_GT(ratio, 0.15);
+
+    // The structural skipper is oblivious: same cycles either way.
+    Zfost zfost(Unroll{.pOf = 3, .pOx = 2, .pOy = 2});
+    Tensor out2 = sim::makeOutputTensor(s);
+    EXPECT_EQ(zfost.run(s, &dense_in, &w, &out2).cycles,
+              zfost.run(s, &sparse_in, &w, &out2).cycles);
+}
+
+TEST(Cnv, SkipsStructuralStuffingLikeZfost)
+{
+    // On T-CONV inputs the inserted zeros are data zeros too, so CNV
+    // gets the same ~4x skip the structural design engineered.
+    ConvSpec s = stuffedSpec();
+    Rng rng(4);
+    Tensor in = sim::makeStreamedInput(s, rng);
+    Tensor w = sim::makeStreamedKernel(s, rng);
+    Cnv cnv(Unroll{.pIf = 2, .pOf = 2});
+    Tensor out = sim::makeOutputTensor(s);
+    RunStats st = cnv.run(s, &in, &w, &out);
+    // Effective MACs equal the structural count (all dense values are
+    // non-zero in this input).
+    EXPECT_EQ(st.effectiveMacs, s.effectiveMacs());
+    EXPECT_EQ(st.ineffectualMacs, 0u);
+}
+
+TEST(Cnv, LaneImbalanceCostsIdleSlots)
+{
+    // Put all the non-zeros in channel 0's lane: the other lane
+    // idles while the loaded lane streams — window cycles follow the
+    // max lane, not the mean.
+    ConvSpec s = denseSpec();
+    s.nif = 2;
+    Rng rng(5);
+    Tensor in(tensor::Shape4(1, 2, s.ih, s.iw), 0.0f);
+    for (int y = 0; y < s.ih; ++y)
+        for (int x = 0; x < s.iw; ++x)
+            in.ref(0, 0, y, x) = rng.uniformf(0.1f, 1.0f);
+    Tensor w = sim::makeStreamedKernel(s, rng);
+    Cnv cnv(Unroll{.pIf = 2, .pOf = 1});
+    Tensor out = sim::makeOutputTensor(s);
+    RunStats st = cnv.run(s, &in, &w, &out);
+    // Half the lane-slots are idle (plus edge effects).
+    EXPECT_GT(st.idlePeSlots, st.totalSlots() / 3);
+}
+
+TEST(Cnv, ZeroInsertedKernelStillBurnsCycles)
+{
+    // Dw-style job: dense input, dilated kernel. CNV skips none of
+    // the kernel zeros — the Section VII critique.
+    ConvSpec dw;
+    dw.label = "wconv-D";
+    dw.nif = 2;
+    dw.nof = 2;
+    dw.ih = dw.iw = 10;
+    dw.kZeroStride = 2;
+    dw.kOrigH = dw.kOrigW = 4;
+    dw.kh = dw.kw = 7;
+    dw.stride = 1;
+    dw.pad = 0;
+    dw.oh = dw.ow = 4;
+    dw.fourDimOutput = true;
+    Rng rng(6);
+    Tensor in = sim::makeStreamedInput(dw, rng);
+    Tensor w = sim::makeStreamedKernel(dw, rng);
+    Tensor golden = sim::genericConvRef(dw, in, w);
+    Cnv cnv(Unroll{.pIf = 2, .pOf = 2});
+    Tensor out = sim::makeOutputTensor(dw);
+    RunStats st = cnv.run(dw, &in, &w, &out);
+    EXPECT_TRUE(approxEqual(golden, out, 1e-3f));
+    // ~3/4 of the executed products hit inserted kernel zeros.
+    EXPECT_GT(st.ineffectualMacs, 2 * st.effectiveMacs);
+}
+
+} // namespace

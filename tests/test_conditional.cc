@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Conditional (Context-Encoder-style) trainer tests: joint-objective
+ * bookkeeping, gradient hygiene between the two networks, and
+ * learning progress on masked reconstruction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gan/conditional.hh"
+#include "gan/data.hh"
+#include "gan/models.hh"
+#include "nn/optimizer.hh"
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace ganacc;
+using tensor::Tensor;
+using util::Rng;
+
+/** A small encoder-decoder conditional model on 8x8 images. */
+gan::GanModel
+miniModel()
+{
+    std::vector<gan::LayerSpec> gen;
+    gan::LayerSpec e;
+    e.kind = nn::ConvKind::Strided;
+    e.act = nn::Activation::LeakyReLU;
+    e.inChannels = 1;
+    e.outChannels = 8;
+    e.inH = e.inW = 8;
+    e.geom = nn::Conv2dGeom{4, 2, 1, 0};
+    gen.push_back(e);
+    gan::LayerSpec d;
+    d.kind = nn::ConvKind::Transposed;
+    d.act = nn::Activation::Tanh;
+    d.inChannels = 8;
+    d.outChannels = 1;
+    d.inH = d.inW = 4;
+    d.geom = nn::Conv2dGeom{4, 2, 1, 0};
+    gen.push_back(d);
+
+    std::vector<gan::LayerSpec> disc;
+    gan::LayerSpec l1;
+    l1.kind = nn::ConvKind::Strided;
+    l1.act = nn::Activation::LeakyReLU;
+    l1.inChannels = 1;
+    l1.outChannels = 6;
+    l1.inH = l1.inW = 8;
+    l1.geom = nn::Conv2dGeom{4, 2, 1, 0};
+    disc.push_back(l1);
+    gan::LayerSpec head;
+    head.kind = nn::ConvKind::Strided;
+    head.act = nn::Activation::None;
+    head.inChannels = 6;
+    head.outChannels = 1;
+    head.inH = head.inW = 4;
+    head.geom = nn::Conv2dGeom{4, 1, 0, 0};
+    disc.push_back(head);
+    return gan::makeModelWithGenerator("mini-cond", disc, gen);
+}
+
+Tensor
+mask(const Tensor &batch)
+{
+    Tensor out = batch;
+    const auto &s = batch.shape();
+    for (int n = 0; n < s.d0; ++n)
+        for (int y = 2; y < 6; ++y)
+            for (int x = 2; x < 6; ++x)
+                out.ref(n, 0, y, x) = 0.0f;
+    return out;
+}
+
+TEST(Conditional, InpaintShapesAndBounds)
+{
+    gan::ConditionalTrainer t(miniModel(), 1);
+    Rng rng(1);
+    Tensor cond(3, 1, 8, 8);
+    cond.fillUniform(rng);
+    Tensor rec = t.inpaint(cond);
+    EXPECT_EQ(rec.shape(), cond.shape());
+    EXPECT_LE(rec.absMax(), 1.0f);
+}
+
+TEST(Conditional, StepsProduceFiniteLossesAndClipCritic)
+{
+    gan::ConditionalTrainer t(miniModel(), 2, 5.0f, 0.02f);
+    Rng rng(2);
+    Tensor real = gan::makeBlobImages(4, 1, 8, 8, rng);
+    Tensor cond = mask(real);
+    nn::RmsProp d_opt(1e-3f), g_opt(1e-3f);
+    double d_loss = t.discriminatorStep(real, cond, d_opt);
+    auto g_losses = t.generatorStep(real, cond, g_opt);
+    EXPECT_TRUE(std::isfinite(d_loss));
+    EXPECT_TRUE(std::isfinite(g_losses.adversarial));
+    EXPECT_GT(g_losses.reconstruction, 0.0);
+    for (auto &layer : t.discriminator().layers())
+        EXPECT_LE(layer->weights().absMax(), 0.02f);
+}
+
+TEST(Conditional, GeneratorStepLeavesCriticGradientsClean)
+{
+    gan::ConditionalTrainer t(miniModel(), 3);
+    Rng rng(3);
+    Tensor real = gan::makeBlobImages(3, 1, 8, 8, rng);
+    Tensor cond = mask(real);
+    nn::Sgd g_opt(1e-3f);
+    t.generatorStep(real, cond, g_opt);
+    for (auto &layer : t.discriminator().layers())
+        EXPECT_FLOAT_EQ(layer->gradAccum().absMax(), 0.0f);
+}
+
+TEST(Conditional, ReconstructionImprovesWithTraining)
+{
+    gan::ConditionalTrainer t(miniModel(), 4, /*recon=*/20.0f,
+                              /*clip=*/0.02f);
+    Rng rng(4);
+    nn::Adam d_opt(1e-3f), g_opt(2e-3f);
+    Rng probe_rng(5);
+    Tensor probe = gan::makeBlobImages(8, 1, 8, 8, probe_rng);
+    Tensor probe_cond = mask(probe);
+
+    auto mse = [&]() {
+        Tensor rec = t.inpaint(probe_cond);
+        double acc = 0.0;
+        for (std::size_t i = 0; i < rec.numel(); ++i) {
+            double d = double(rec.data()[i]) - probe.data()[i];
+            acc += d * d;
+        }
+        return acc / double(rec.numel());
+    };
+    double before = mse();
+    for (int it = 0; it < 25; ++it) {
+        Tensor real = gan::makeBlobImages(6, 1, 8, 8, rng);
+        Tensor cond = mask(real);
+        t.discriminatorStep(real, cond, d_opt);
+        t.generatorStep(real, cond, g_opt);
+    }
+    double after = mse();
+    EXPECT_LT(after, before);
+}
+
+TEST(Conditional, ZeroReconWeightIsPureAdversarial)
+{
+    gan::ConditionalTrainer t(miniModel(), 6, 0.0f);
+    Rng rng(6);
+    Tensor real = gan::makeBlobImages(2, 1, 8, 8, rng);
+    Tensor cond = mask(real);
+    nn::Sgd g_opt(1e-3f);
+    auto losses = t.generatorStep(real, cond, g_opt);
+    // Reconstruction is still reported, just unweighted in the grad.
+    EXPECT_GT(losses.reconstruction, 0.0);
+    EXPECT_EQ(t.reconWeight(), 0.0f);
+}
+
+TEST(Conditional, MismatchedBatchesRejected)
+{
+    gan::ConditionalTrainer t(miniModel(), 7);
+    Rng rng(7);
+    Tensor real = gan::makeBlobImages(3, 1, 8, 8, rng);
+    Tensor cond = gan::makeBlobImages(2, 1, 8, 8, rng);
+    nn::Sgd opt(1e-3f);
+    EXPECT_THROW(t.discriminatorStep(real, cond, opt),
+                 util::PanicError);
+    EXPECT_THROW(t.generatorStep(real, cond, opt), util::PanicError);
+}
+
+} // namespace

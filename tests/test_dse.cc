@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Design-space-exploration tests: the optimizer's optimum must land
+ * on (or immediately beside) the paper's eq. (7)/(8) configuration
+ * under the paper's constraints, and the feasibility laws must cut
+ * the space the way Sections V-B/V-C describe.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dse.hh"
+#include "gan/models.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ganacc;
+using core::DseConstraints;
+using core::DsePoint;
+
+DseConstraints
+paperConstraints()
+{
+    DseConstraints c;
+    c.budget = core::vcu9pBudget();
+    // Cap the sweep at 45 channels: enough to expose the eq. (7) cut
+    // at 30 and the beyond-30 region, while keeping the test quick.
+    c.maxWPof = 45;
+    return c; // defaults: 192 Gbps, 200 MHz, 16-bit, 16 PEs/channel
+}
+
+TEST(Dse, OptimumLandsOnThePaperConfiguration)
+{
+    DseConstraints cons = paperConstraints();
+    gan::GanModel dcgan = gan::makeDcgan();
+    auto pts = core::sweepFrontier(cons, dcgan);
+    auto best = core::bestFeasible(pts);
+    ASSERT_TRUE(best.has_value());
+    // Eq. (7) caps W_Pof at 30; throughput is monotone in width up to
+    // that cap, so the optimizer should pick exactly the paper point.
+    EXPECT_EQ(best->wPof, 30);
+    EXPECT_EQ(best->stPof, 75);
+    EXPECT_EQ(best->totalPes, 1680);
+}
+
+TEST(Dse, BandwidthCutsTheFrontierAtEq7)
+{
+    DseConstraints cons = paperConstraints();
+    gan::GanModel m = gan::makeMnistGan();
+    auto pts = core::sweepFrontier(cons, m);
+    for (const DsePoint &p : pts) {
+        if (p.wPof <= 30)
+            EXPECT_TRUE(p.bandwidthFeasible) << p.wPof;
+        else
+            EXPECT_FALSE(p.bandwidthFeasible) << p.wPof;
+    }
+}
+
+TEST(Dse, MoreBandwidthMovesTheOptimumUp)
+{
+    DseConstraints cons = paperConstraints();
+    cons.offchip.bandwidthBitsPerSec = 384e9;
+    gan::GanModel dcgan = gan::makeDcgan();
+    auto best = core::bestFeasible(core::sweepFrontier(cons, dcgan));
+    ASSERT_TRUE(best.has_value());
+    EXPECT_GT(best->wPof, 30);
+    // At 384 Gbps the DSP/LUT budget is the next wall, not DRAM.
+    EXPECT_TRUE(best->fitsDevice);
+}
+
+TEST(Dse, TinyDeviceForcesASmallerDesign)
+{
+    DseConstraints cons = paperConstraints();
+    cons.budget.dsp = 600; // a much smaller part
+    gan::GanModel dcgan = gan::makeDcgan();
+    auto best = core::bestFeasible(core::sweepFrontier(cons, dcgan));
+    ASSERT_TRUE(best.has_value());
+    EXPECT_LE(best->resources.dsp, 600);
+    EXPECT_LT(best->totalPes, 600);
+}
+
+TEST(Dse, InfeasibleSpaceYieldsNothing)
+{
+    DseConstraints cons = paperConstraints();
+    cons.budget.bram36 = 10; // no buffers fit
+    gan::GanModel dcgan = gan::makeDcgan();
+    auto best = core::bestFeasible(core::sweepFrontier(cons, dcgan));
+    EXPECT_FALSE(best.has_value());
+}
+
+TEST(Dse, ThroughputMonotoneInWidthWhileFeasible)
+{
+    DseConstraints cons = paperConstraints();
+    gan::GanModel m = gan::makeCgan();
+    auto pts = core::sweepFrontier(cons, m);
+    double prev = 0.0;
+    for (const DsePoint &p : pts) {
+        if (!p.feasible())
+            continue;
+        EXPECT_GE(p.samplesPerSecond + 1e-9, prev) << p.wPof;
+        prev = p.samplesPerSecond;
+    }
+}
+
+TEST(Dse, RejectsDegeneratePoints)
+{
+    DseConstraints cons = paperConstraints();
+    gan::GanModel m = gan::makeMnistGan();
+    EXPECT_THROW(core::evaluatePoint(cons, m, 0, 10),
+                 util::PanicError);
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Energy-model tests: accounting identities, design rankings implied
+ * by the access counts, and plausibility of the implied power.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/unrolling.hh"
+#include "gan/models.hh"
+#include "sched/design.hh"
+#include "sched/energy.hh"
+#include "sim/rst.hh"
+
+namespace {
+
+using namespace ganacc;
+using core::ArchKind;
+using sched::Design;
+using sched::EnergyBreakdown;
+using sched::EnergyCoefficients;
+
+TEST(Energy, RunEnergyAccountingIdentity)
+{
+    sim::RunStats st;
+    st.cycles = 100;
+    st.nPes = 10;
+    st.effectiveMacs = 600;
+    st.ineffectualMacs = 200;
+    st.idlePeSlots = 200;
+    st.weightLoads = 50;
+    st.inputLoads = 30;
+    st.outputReads = 10;
+    st.outputWrites = 10;
+    EnergyCoefficients c;
+    EnergyBreakdown e = sched::runEnergy(st, c);
+    EXPECT_DOUBLE_EQ(e.computePj, 800 * (c.macPj + c.registerPj));
+    EXPECT_DOUBLE_EQ(e.onChipPj, 100 * c.sramPj);
+    EXPECT_DOUBLE_EQ(e.idlePj, 200 * c.idlePj);
+    EXPECT_DOUBLE_EQ(e.totalPj(),
+                     e.computePj + e.onChipPj + e.idlePj + e.dramPj);
+}
+
+TEST(Energy, GatedSlotsCostIdleNotMacEnergy)
+{
+    sim::RunStats st;
+    st.cycles = 10;
+    st.nPes = 10;
+    st.effectiveMacs = 40;
+    st.ineffectualMacs = 60;
+    st.idlePeSlots = 0;
+    EnergyCoefficients c;
+    EnergyBreakdown hot = sched::runEnergy(st, c, 0);
+    EnergyBreakdown gated = sched::runEnergy(st, c, 60);
+    EXPECT_LT(gated.totalPj(), hot.totalPj());
+    EXPECT_DOUBLE_EQ(gated.computePj, 40 * (c.macPj + c.registerPj));
+    // Cannot gate more than the ineffectual work.
+    EXPECT_THROW(sched::runEnergy(st, c, 61), util::PanicError);
+}
+
+TEST(Energy, ZeroFreeComboIsTheMostEfficientDesign)
+{
+    // The Fig. 16 argument in joules: ZFOST-ZFWST spends the least
+    // per iteration on every network.
+    for (const auto &m : gan::allModels()) {
+        double zz = sched::iterationEnergy(
+                        Design::combo(ArchKind::ZFOST,
+                                      ArchKind::ZFWST, 1680),
+                        m)
+                        .totalPj();
+        double no = sched::iterationEnergy(
+                        Design::combo(ArchKind::NLR, ArchKind::OST,
+                                      1680),
+                        m)
+                        .totalPj();
+        double ost = sched::iterationEnergy(
+                         Design::unique(ArchKind::OST, 1680), m)
+                         .totalPj();
+        EXPECT_LT(zz, no) << m.name;
+        EXPECT_LT(zz, ost) << m.name;
+    }
+}
+
+TEST(Energy, NlrPaysForItsStreamingAccesses)
+{
+    // NLR matches the zero-free designs in cycles on the G phases but
+    // must pay heavily in on-chip access energy.
+    gan::GanModel m = gan::makeDcgan();
+    auto no = sched::iterationEnergy(
+        Design::combo(ArchKind::NLR, ArchKind::OST, 1680), m);
+    auto zz = sched::iterationEnergy(
+        Design::combo(ArchKind::ZFOST, ArchKind::ZFWST, 1680), m);
+    EXPECT_GT(no.onChipPj, 3.0 * zz.onChipPj);
+}
+
+TEST(Energy, ImpliedPowerIsInTheFpgaClass)
+{
+    // The dynamic power implied by the model at the achieved
+    // throughput must sit in single-digit-to-tens watts — consistent
+    // with the 22 W board figure (which adds static/IO overheads),
+    // nowhere near the CPU/GPU class.
+    gan::GanModel m = gan::makeDcgan();
+    Design d = Design::combo(ArchKind::ZFOST, ArchKind::ZFWST, 1680);
+    auto e = sched::iterationEnergy(d, m);
+    double rate = 200e6 / double(sched::iterationCycles(
+                              d, m, sched::SyncPolicy::Deferred));
+    double watts = sched::impliedWatts(e, rate);
+    EXPECT_GT(watts, 0.5);
+    EXPECT_LT(watts, 25.0);
+}
+
+TEST(Energy, DramDominatesWhenTrafficIsHeavy)
+{
+    // The weight-gradient streams make DRAM a first-order term for
+    // the weight-heavy networks.
+    gan::GanModel m = gan::makeDcgan();
+    auto e = sched::iterationEnergy(
+        Design::combo(ArchKind::ZFOST, ArchKind::ZFWST, 1680), m);
+    EXPECT_GT(e.dramPj, 0.2 * e.totalPj());
+}
+
+TEST(Energy, BreakdownAccumulates)
+{
+    EnergyBreakdown a{1.0, 2.0, 3.0, 4.0};
+    EnergyBreakdown b{10.0, 20.0, 30.0, 40.0};
+    a += b;
+    EXPECT_DOUBLE_EQ(a.totalPj(), 110.0);
+}
+
+} // namespace

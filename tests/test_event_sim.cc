@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests for the event-driven accelerator simulation: DAG structure,
+ * scheduling invariants, agreement with the analytic bank model, and
+ * buffer high-water marks versus the Fig. 14 plan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/unrolling.hh"
+#include "gan/models.hh"
+#include "mem/onchip_buffer.hh"
+#include "sched/design.hh"
+#include "sched/event_sim.hh"
+
+namespace {
+
+using namespace ganacc;
+using core::ArchKind;
+using sched::Design;
+using sched::Resource;
+using sched::UpdateKind;
+
+Design
+paperDesign()
+{
+    return Design::combo(ArchKind::ZFOST, ArchKind::ZFWST, 1680);
+}
+
+TEST(EventSim, DagHasExpectedJobCounts)
+{
+    gan::GanModel m = gan::makeDcgan(); // 5 disc / 5 gen layers
+    auto d_dag = sched::buildUpdateDag(paperDesign(), m,
+                                       UpdateKind::Discriminator);
+    // G-fwd 5 + D-fwd 2x5 + D-bwd 2x4 + Dw 2x5 = 33 jobs.
+    EXPECT_EQ(d_dag.jobs.size(), 33u);
+    auto g_dag =
+        sched::buildUpdateDag(paperDesign(), m, UpdateKind::Generator);
+    // G-fwd 5 + D-fwd 5 + D-bwd 4 + G-bwd 4 + Gw 5 = 23 jobs.
+    EXPECT_EQ(g_dag.jobs.size(), 23u);
+    // Every W-CONV job moves gradient traffic; forward jobs with
+    // fresh weights move weight traffic.
+    for (const auto &j : d_dag.jobs)
+        if (j.resource == Resource::WBank) {
+            EXPECT_GT(j.dramBytes, 0u) << j.label;
+        }
+}
+
+TEST(EventSim, DepsAreTopologicalAndSpansRespectThem)
+{
+    gan::GanModel m = gan::makeMnistGan();
+    auto dag = sched::buildUpdateDag(paperDesign(), m,
+                                     UpdateKind::Discriminator);
+    for (std::size_t i = 0; i < dag.jobs.size(); ++i)
+        for (auto d : dag.jobs[i].deps)
+            EXPECT_LT(d, i) << dag.jobs[i].label;
+
+    mem::OffChipConfig offchip;
+    auto trace = sched::simulateEvents(dag, 3, offchip);
+    ASSERT_EQ(trace.spans.size(), 3 * dag.jobs.size());
+    for (std::size_t s = 0; s < 3; ++s)
+        for (std::size_t i = 0; i < dag.jobs.size(); ++i) {
+            const auto &span = trace.spans[s * dag.jobs.size() + i];
+            EXPECT_LE(span.start, span.end);
+            for (auto d : dag.jobs[i].deps)
+                EXPECT_GE(span.start,
+                          trace.spans[s * dag.jobs.size() + d].end);
+        }
+}
+
+TEST(EventSim, NoResourceOverlap)
+{
+    gan::GanModel m = gan::makeMnistGan();
+    auto dag = sched::buildUpdateDag(paperDesign(), m,
+                                     UpdateKind::Generator);
+    mem::OffChipConfig offchip;
+    auto trace = sched::simulateEvents(dag, 4, offchip);
+    // Jobs on the same bank must not overlap in time.
+    for (Resource r : {Resource::StBank, Resource::WBank}) {
+        std::uint64_t last_end = 0;
+        for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+            const auto &job = dag.jobs[i % dag.jobs.size()];
+            if (job.resource != r)
+                continue;
+            EXPECT_GE(trace.spans[i].start, last_end) << job.label;
+            last_end = trace.spans[i].end;
+        }
+    }
+}
+
+TEST(EventSim, MakespanBoundedByAnalyticModel)
+{
+    // The event simulation can never beat the analytic lower bound
+    // max(ST, W) per sample, and must stay within the serial upper
+    // bound ST + W (it schedules the same work).
+    for (const auto &m : gan::allModels()) {
+        Design d = paperDesign();
+        auto t = sched::discriminatorUpdateTiming(d, m);
+        std::uint64_t per_sample = sched::eventCyclesPerSample(
+            d, m, UpdateKind::Discriminator, 8);
+        EXPECT_GE(per_sample + per_sample / 10,
+                  t.bank.overlapped())
+            << m.name;
+        EXPECT_LE(per_sample, t.bank.serial() + t.bank.serial() / 10)
+            << m.name;
+    }
+}
+
+TEST(EventSim, MoreSamplesAmortizePipelineFill)
+{
+    gan::GanModel m = gan::makeMnistGan();
+    Design d = paperDesign();
+    auto dag =
+        sched::buildUpdateDag(d, m, UpdateKind::Discriminator);
+    mem::OffChipConfig offchip;
+    auto t1 = sched::simulateEvents(dag, 1, offchip);
+    auto t8 = sched::simulateEvents(dag, 8, offchip);
+    // Per-sample cost shrinks as the per-sample loops overlap.
+    EXPECT_LT(t8.makespan / 8, t1.makespan);
+    // And busy fractions rise.
+    EXPECT_GE(t8.stBusyFraction + 1e-9, t1.stBusyFraction);
+}
+
+TEST(EventSim, BusyFractionsAreSane)
+{
+    gan::GanModel m = gan::makeDcgan();
+    auto dag = sched::buildUpdateDag(paperDesign(), m,
+                                     UpdateKind::Discriminator);
+    mem::OffChipConfig offchip;
+    auto trace = sched::simulateEvents(dag, 8, offchip);
+    EXPECT_GT(trace.stBusyFraction, 0.5);
+    EXPECT_LE(trace.stBusyFraction, 1.0 + 1e-9);
+    EXPECT_GT(trace.wBusyFraction, 0.2);
+    EXPECT_LE(trace.wBusyFraction, 1.0 + 1e-9);
+    EXPECT_LE(trace.dramBusyFraction, 1.0 + 1e-9);
+}
+
+TEST(EventSim, BufferHighWaterWithinPlannedCapacity)
+{
+    // The Data/Error buffers sized by mem::planBuffers must cover the
+    // worst-case lifetimes the event simulation observes.
+    for (const auto &m : gan::allModels()) {
+        auto plan = mem::planBuffers(m, 30, 2);
+        mem::OffChipConfig offchip;
+        for (UpdateKind k :
+             {UpdateKind::Discriminator, UpdateKind::Generator}) {
+            auto dag = sched::buildUpdateDag(paperDesign(), m, k);
+            auto trace = sched::simulateEvents(dag, 4, offchip);
+            EXPECT_LE(trace.peakDataBytes, plan.dataBytes * 4)
+                << m.name << " " << sched::updateKindName(k);
+            EXPECT_GT(trace.peakDataBytes, 0u);
+            EXPECT_GT(trace.peakErrorBytes, 0u);
+        }
+    }
+}
+
+TEST(EventSim, StarvedBandwidthStretchesTheSchedule)
+{
+    gan::GanModel m = gan::makeDcgan();
+    auto dag = sched::buildUpdateDag(paperDesign(), m,
+                                     UpdateKind::Discriminator);
+    mem::OffChipConfig fast;
+    mem::OffChipConfig slow;
+    slow.bandwidthBitsPerSec = 4e9; // 2% of the paper's DDR4
+    auto t_fast = sched::simulateEvents(dag, 4, fast);
+    auto t_slow = sched::simulateEvents(dag, 4, slow);
+    EXPECT_GT(t_slow.makespan, t_fast.makespan);
+    EXPECT_GT(t_slow.dramBusyFraction, t_fast.dramBusyFraction);
+}
+
+TEST(EventSim, EachWeightFetchedFromDramExactlyOncePerPass)
+{
+    // Section V-B3: "for each weight, only one off-chip data access
+    // is demanded". In the D-update DAG the ST-bank traffic must be
+    // exactly one fetch of the generator weights (G-fwd) plus one of
+    // the discriminator weights (D-fwd real); the fake forward and
+    // the backward passes reuse the Weight buffer.
+    gan::GanModel m = gan::makeDcgan();
+    auto dag = sched::buildUpdateDag(paperDesign(), m,
+                                     UpdateKind::Discriminator);
+    std::uint64_t st_bytes = 0;
+    for (const auto &j : dag.jobs)
+        if (j.resource == Resource::StBank)
+            st_bytes += j.dramBytes;
+    std::uint64_t weights = 0;
+    for (const auto &l : m.disc)
+        weights += l.numWeights();
+    for (const auto &l : m.gen)
+        weights += l.numWeights();
+    EXPECT_EQ(st_bytes, weights * 2); // 16-bit words
+    // And the W bank moves exactly the read+write gradient stream
+    // for the discriminator, twice (real + fake).
+    std::uint64_t w_bytes = 0;
+    for (const auto &j : dag.jobs)
+        if (j.resource == Resource::WBank)
+            w_bytes += j.dramBytes;
+    std::uint64_t disc_weights = 0;
+    for (const auto &l : m.disc)
+        disc_weights += l.numWeights();
+    EXPECT_EQ(w_bytes, 2 * (2 * disc_weights * 2));
+}
+
+TEST(EventSim, GanttRendersAllRowsAndMarkers)
+{
+    gan::GanModel m = gan::makeMnistGan();
+    auto dag = sched::buildUpdateDag(paperDesign(), m,
+                                     UpdateKind::Discriminator);
+    mem::OffChipConfig offchip;
+    auto trace = sched::simulateEvents(dag, 4, offchip);
+    std::string g = sched::renderGantt(dag, trace, 4, 80);
+    EXPECT_NE(g.find("ST bank"), std::string::npos);
+    EXPECT_NE(g.find("W  bank"), std::string::npos);
+    EXPECT_NE(g.find("DRAM dW"), std::string::npos);
+    // Four sample-completion markers on the ruler.
+    int markers = 0;
+    for (char c : g.substr(g.find("samples")))
+        markers += c == '|';
+    EXPECT_GE(markers, 2); // adjacent samples may share a bucket
+    EXPECT_LE(markers, 4);
+    // Both banks show busy buckets.
+    EXPECT_NE(g.find('#'), std::string::npos);
+    EXPECT_THROW(sched::renderGantt(dag, trace, 4, 3),
+                 util::PanicError);
+}
+
+TEST(EventSim, ChromeTraceIsWellFormedJson)
+{
+    gan::GanModel m = gan::makeMnistGan();
+    auto dag = sched::buildUpdateDag(paperDesign(), m,
+                                     UpdateKind::Generator);
+    mem::OffChipConfig offchip;
+    auto trace = sched::simulateEvents(dag, 2, offchip);
+    std::ostringstream os;
+    sched::writeChromeTrace(dag, trace, 2, os);
+    std::string json = os.str();
+    // Structural sanity: balanced braces/brackets, the expected
+    // fields, one complete event per job span.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("G-fwd L0"), std::string::npos);
+    std::size_t events = 0, pos = 0;
+    while ((pos = json.find("\"name\"", pos)) != std::string::npos) {
+        ++events;
+        pos += 6;
+    }
+    EXPECT_GE(events, 2 * dag.jobs.size());
+    // Sample count mismatch is caught.
+    EXPECT_THROW(sched::writeChromeTrace(dag, trace, 3, os),
+                 util::PanicError);
+}
+
+TEST(EventSim, MixedGeneratorModelSchedulesCleanly)
+{
+    // The Context-Encoder's mixed strided/transposed generator flows
+    // through the same DAG builder; per-layer cycles come from the
+    // generalized phase mapping.
+    gan::GanModel ce = gan::makeContextEncoder();
+    for (UpdateKind k :
+         {UpdateKind::Discriminator, UpdateKind::Generator}) {
+        auto dag = sched::buildUpdateDag(paperDesign(), ce, k);
+        mem::OffChipConfig offchip;
+        auto trace = sched::simulateEvents(dag, 4, offchip);
+        EXPECT_GT(trace.makespan, 0u);
+        EXPECT_GT(trace.stBusyFraction, 0.3);
+        EXPECT_GT(trace.wBusyFraction, 0.2);
+    }
+    // 8 generator layers: G-update = 8 gf + 5 df + 4 db + 7 gb + 8 gw.
+    auto g_dag =
+        sched::buildUpdateDag(paperDesign(), ce, UpdateKind::Generator);
+    EXPECT_EQ(g_dag.jobs.size(), 8u + 5 + 4 + 7 + 8);
+}
+
+TEST(EventSim, RejectsUniqueDesigns)
+{
+    gan::GanModel m = gan::makeMnistGan();
+    EXPECT_THROW(sched::buildUpdateDag(
+                     Design::unique(ArchKind::ZFOST, 1680), m,
+                     UpdateKind::Discriminator),
+                 util::PanicError);
+}
+
+} // namespace

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Tests for activations, optimizers, losses and trainable layers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.hh"
+#include "nn/layers.hh"
+#include "nn/loss.hh"
+#include "nn/optimizer.hh"
+#include "tensor/tensor.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace ganacc;
+using nn::Activation;
+using nn::Conv2dGeom;
+using tensor::Shape4;
+using tensor::Tensor;
+using util::PanicError;
+using util::Rng;
+
+double
+dot(const Tensor &a, const Tensor &b)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        s += double(a.data()[i]) * b.data()[i];
+    return s;
+}
+
+// ---------------------------------------------------------------------
+// Activations
+// ---------------------------------------------------------------------
+
+TEST(Activations, ForwardValues)
+{
+    Tensor x(1, 1, 1, 4);
+    x.at(0, 0, 0, 0) = -2.0f;
+    x.at(0, 0, 0, 1) = -0.5f;
+    x.at(0, 0, 0, 2) = 0.0f;
+    x.at(0, 0, 0, 3) = 3.0f;
+
+    Tensor relu = nn::activationForward(x, Activation::ReLU);
+    EXPECT_FLOAT_EQ(relu.get(0, 0, 0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(relu.get(0, 0, 0, 3), 3.0f);
+
+    Tensor lrelu = nn::activationForward(x, Activation::LeakyReLU);
+    EXPECT_FLOAT_EQ(lrelu.get(0, 0, 0, 0), -0.4f);
+    EXPECT_FLOAT_EQ(lrelu.get(0, 0, 0, 3), 3.0f);
+
+    Tensor tanh = nn::activationForward(x, Activation::Tanh);
+    EXPECT_NEAR(tanh.get(0, 0, 0, 3), std::tanh(3.0f), 1e-6);
+
+    Tensor none = nn::activationForward(x, Activation::None);
+    EXPECT_FLOAT_EQ(none.get(0, 0, 0, 1), -0.5f);
+}
+
+class ActivationGradTest : public ::testing::TestWithParam<Activation>
+{
+};
+
+TEST_P(ActivationGradTest, NumericalDerivativeMatches)
+{
+    Activation a = GetParam();
+    Rng rng(61);
+    Tensor pre(1, 1, 3, 3);
+    pre.fillUniform(rng, -2.0f, 2.0f);
+    Tensor mask(pre.shape());
+    mask.fillUniform(rng);
+    Tensor analytic = nn::activationBackward(mask, pre, a);
+    const float eps = 1e-3f;
+    for (int y = 0; y < 3; ++y)
+        for (int x = 0; x < 3; ++x) {
+            Tensor p = pre, m = pre;
+            p.at(0, 0, y, x) += eps;
+            m.at(0, 0, y, x) -= eps;
+            double fp = dot(nn::activationForward(p, a), mask);
+            double fm = dot(nn::activationForward(m, a), mask);
+            EXPECT_NEAR((fp - fm) / (2 * eps), analytic.get(0, 0, y, x),
+                        1e-2);
+        }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ActivationGradTest,
+                         ::testing::Values(Activation::None,
+                                           Activation::ReLU,
+                                           Activation::LeakyReLU,
+                                           Activation::Tanh));
+
+// ---------------------------------------------------------------------
+// Losses
+// ---------------------------------------------------------------------
+
+TEST(Loss, CriticLossIsNegativeWassersteinGap)
+{
+    double loss = nn::wassersteinCriticLoss({2.0, 4.0}, {1.0, 1.0});
+    EXPECT_DOUBLE_EQ(loss, -2.0);
+}
+
+TEST(Loss, GeneratorLossIsNegativeMeanScore)
+{
+    EXPECT_DOUBLE_EQ(nn::wassersteinGeneratorLoss({1.0, 3.0}), -2.0);
+}
+
+TEST(Loss, PerSampleErrorsAreConstants)
+{
+    // Eq. (6): the error is +-1/m regardless of other samples — the
+    // fact that enables deferred synchronization.
+    EXPECT_DOUBLE_EQ(nn::criticOutputErrorReal(4), -0.25);
+    EXPECT_DOUBLE_EQ(nn::criticOutputErrorFake(4), 0.25);
+    EXPECT_DOUBLE_EQ(nn::generatorOutputError(4), -0.25);
+}
+
+TEST(Loss, ErrorsAreExactGradientOfLoss)
+{
+    // d(critic loss)/d D(x_i) computed numerically.
+    std::vector<double> real{1.0, -2.0, 0.5};
+    std::vector<double> fake{0.3, 0.7, -1.1};
+    const double eps = 1e-6;
+    for (std::size_t i = 0; i < real.size(); ++i) {
+        auto rp = real, rm = real;
+        rp[i] += eps;
+        rm[i] -= eps;
+        double g = (nn::wassersteinCriticLoss(rp, fake) -
+                    nn::wassersteinCriticLoss(rm, fake)) /
+                   (2 * eps);
+        EXPECT_NEAR(g, nn::criticOutputErrorReal(3), 1e-6);
+    }
+    for (std::size_t i = 0; i < fake.size(); ++i) {
+        auto fp = fake, fm = fake;
+        fp[i] += eps;
+        fm[i] -= eps;
+        double g = (nn::wassersteinCriticLoss(real, fp) -
+                    nn::wassersteinCriticLoss(real, fm)) /
+                   (2 * eps);
+        EXPECT_NEAR(g, nn::criticOutputErrorFake(3), 1e-6);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Optimizers
+// ---------------------------------------------------------------------
+
+TEST(Optimizer, SgdStepsAgainstGradient)
+{
+    Tensor p(1, 1, 1, 2, 1.0f);
+    Tensor g(1, 1, 1, 2, 0.5f);
+    nn::Sgd opt(0.1f);
+    opt.step(1, p, g);
+    EXPECT_FLOAT_EQ(p.get(0, 0, 0, 0), 0.95f);
+}
+
+TEST(Optimizer, RmsPropNormalizesStepSize)
+{
+    // With a constant gradient, RMSProp's effective step approaches
+    // lr / sqrt(1) regardless of gradient magnitude.
+    Tensor p_small(1, 1, 1, 1, 0.0f), p_big(1, 1, 1, 1, 0.0f);
+    Tensor g_small(1, 1, 1, 1, 0.01f), g_big(1, 1, 1, 1, 100.0f);
+    nn::RmsProp opt(0.1f);
+    for (int i = 0; i < 200; ++i) {
+        opt.step(1, p_small, g_small);
+        opt.step(2, p_big, g_big);
+    }
+    // Both should have moved a comparable distance despite the 1e4x
+    // gradient-scale difference.
+    double ratio = p_big.get(0, 0, 0, 0) / p_small.get(0, 0, 0, 0);
+    EXPECT_GT(ratio, 0.5);
+    EXPECT_LT(ratio, 2.0);
+}
+
+TEST(Optimizer, RmsPropKeepsPerParamState)
+{
+    Tensor p1(1, 1, 1, 1, 0.0f), p2(1, 1, 1, 1, 0.0f);
+    Tensor g1(1, 1, 1, 1, 1.0f), g2(1, 1, 1, 1, 1e-3f);
+    nn::RmsProp opt(0.1f);
+    opt.step(1, p1, g1);
+    opt.step(2, p2, g2);
+    // First steps are lr/sqrt((1-decay)) * sign-ish for both — state
+    // must not leak between parameter ids.
+    EXPECT_NEAR(p1.get(0, 0, 0, 0), p2.get(0, 0, 0, 0), 1e-3);
+}
+
+TEST(Optimizer, AdamTakesBiasCorrectedFirstStep)
+{
+    // With bias correction, the first Adam step is ~lr in the
+    // gradient's direction regardless of gradient magnitude.
+    Tensor p1(1, 1, 1, 1, 0.0f), p2(1, 1, 1, 1, 0.0f);
+    Tensor g1(1, 1, 1, 1, 10.0f), g2(1, 1, 1, 1, 1e-3f);
+    nn::Adam opt(0.01f);
+    opt.step(1, p1, g1);
+    opt.step(2, p2, g2);
+    EXPECT_NEAR(p1.get(0, 0, 0, 0), -0.01f, 1e-4);
+    EXPECT_NEAR(p2.get(0, 0, 0, 0), -0.01f, 1e-4);
+}
+
+TEST(Optimizer, AdamConvergesOnAQuadratic)
+{
+    // Minimize (x - 3)^2: gradient 2(x-3).
+    Tensor x(1, 1, 1, 1, 0.0f);
+    nn::Adam opt(0.1f);
+    for (int i = 0; i < 300; ++i) {
+        Tensor g(1, 1, 1, 1, 2.0f * (x.get(0, 0, 0, 0) - 3.0f));
+        opt.step(1, x, g);
+    }
+    EXPECT_NEAR(x.get(0, 0, 0, 0), 3.0f, 0.05f);
+}
+
+TEST(Optimizer, AdamStatePerParamId)
+{
+    Tensor pa(1, 1, 1, 1, 0.0f), pb(1, 1, 1, 1, 0.0f);
+    Tensor g(1, 1, 1, 1, 1.0f);
+    nn::Adam opt(0.01f);
+    for (int i = 0; i < 5; ++i)
+        opt.step(1, pa, g);
+    opt.step(2, pb, g);
+    // Fresh state: pb's single step equals the bias-corrected first
+    // step, not pa's warmed-up trajectory.
+    EXPECT_NEAR(pb.get(0, 0, 0, 0), -0.01f, 1e-4);
+    EXPECT_LT(pa.get(0, 0, 0, 0), pb.get(0, 0, 0, 0));
+}
+
+TEST(Optimizer, ClipWeightsBoundsEveryElement)
+{
+    Rng rng(71);
+    Tensor t(1, 2, 4, 4);
+    t.fillUniform(rng, -3.0f, 3.0f);
+    nn::clipWeights(t, 0.01f);
+    EXPECT_LE(t.absMax(), 0.01f);
+}
+
+// ---------------------------------------------------------------------
+// Layers
+// ---------------------------------------------------------------------
+
+TEST(ConvLayer, ForwardShapeAndBackwardBeforeForwardPanics)
+{
+    nn::ConvLayer layer(3, 8, Conv2dGeom{5, 2, 2, 0},
+                        Activation::LeakyReLU);
+    Rng rng(73);
+    layer.initWeights(rng);
+    EXPECT_THROW(layer.backward(Tensor(1, 8, 8, 8)), PanicError);
+    Tensor in(1, 3, 16, 16);
+    in.fillUniform(rng);
+    Tensor out = layer.forward(in);
+    EXPECT_EQ(out.shape(), Shape4(1, 8, 8, 8));
+    EXPECT_EQ(layer.outDim(16), 8);
+}
+
+TEST(ConvLayer, EndToEndGradientCheck)
+{
+    Rng rng(79);
+    nn::ConvLayer layer(2, 3, Conv2dGeom{3, 2, 1, 0},
+                        Activation::LeakyReLU);
+    layer.initWeights(rng);
+    Tensor in(1, 2, 6, 6);
+    in.fillUniform(rng);
+    Tensor out = layer.forward(in);
+    Tensor mask(out.shape());
+    mask.fillUniform(rng);
+    Tensor din = layer.backward(mask);
+    const Tensor dw = layer.gradAccum();
+
+    const float eps = 1e-3f;
+    Rng pick(17);
+    for (int trial = 0; trial < 15; ++trial) {
+        int of = pick.uniformInt(0, 2), c = pick.uniformInt(0, 1);
+        int ky = pick.uniformInt(0, 2), kx = pick.uniformInt(0, 2);
+        float orig = layer.weights().get(of, c, ky, kx);
+        layer.weights().at(of, c, ky, kx) = orig + eps;
+        double fp = dot(layer.forward(in), mask);
+        layer.weights().at(of, c, ky, kx) = orig - eps;
+        double fm = dot(layer.forward(in), mask);
+        layer.weights().at(of, c, ky, kx) = orig;
+        EXPECT_NEAR((fp - fm) / (2 * eps), dw.get(of, c, ky, kx), 2e-2);
+
+        int y = pick.uniformInt(0, 5), x = pick.uniformInt(0, 5);
+        Tensor ip = in, im = in;
+        ip.at(0, c, y, x) += eps;
+        im.at(0, c, y, x) -= eps;
+        fp = dot(layer.forward(ip), mask);
+        fm = dot(layer.forward(im), mask);
+        EXPECT_NEAR((fp - fm) / (2 * eps), din.get(0, c, y, x), 2e-2);
+    }
+}
+
+TEST(TransposedConvLayer, EndToEndGradientCheck)
+{
+    Rng rng(83);
+    nn::TransposedConvLayer layer(3, 2, Conv2dGeom{4, 2, 1, 0},
+                                  Activation::Tanh);
+    layer.initWeights(rng);
+    Tensor in(1, 3, 4, 4);
+    in.fillUniform(rng);
+    Tensor out = layer.forward(in);
+    EXPECT_EQ(out.shape(), Shape4(1, 2, 8, 8));
+    Tensor mask(out.shape());
+    mask.fillUniform(rng);
+    Tensor din = layer.backward(mask);
+    const Tensor dw = layer.gradAccum();
+
+    const float eps = 1e-3f;
+    Rng pick(19);
+    for (int trial = 0; trial < 15; ++trial) {
+        int c = pick.uniformInt(0, 2), of = pick.uniformInt(0, 1);
+        int ky = pick.uniformInt(0, 3), kx = pick.uniformInt(0, 3);
+        float orig = layer.weights().get(c, of, ky, kx);
+        layer.weights().at(c, of, ky, kx) = orig + eps;
+        double fp = dot(layer.forward(in), mask);
+        layer.weights().at(c, of, ky, kx) = orig - eps;
+        double fm = dot(layer.forward(in), mask);
+        layer.weights().at(c, of, ky, kx) = orig;
+        EXPECT_NEAR((fp - fm) / (2 * eps), dw.get(c, of, ky, kx), 2e-2);
+
+        int y = pick.uniformInt(0, 3), x = pick.uniformInt(0, 3);
+        Tensor ip = in, im = in;
+        ip.at(0, c, y, x) += eps;
+        im.at(0, c, y, x) -= eps;
+        fp = dot(layer.forward(ip), mask);
+        fm = dot(layer.forward(im), mask);
+        EXPECT_NEAR((fp - fm) / (2 * eps), din.get(0, c, y, x), 2e-2);
+    }
+}
+
+TEST(ConvLayer, GradientAccumulatesAcrossBackwardCalls)
+{
+    Rng rng(89);
+    nn::ConvLayer layer(1, 2, Conv2dGeom{3, 1, 1, 0}, Activation::None);
+    layer.initWeights(rng);
+    Tensor in(1, 1, 5, 5);
+    in.fillUniform(rng);
+    Tensor mask(1, 2, 5, 5);
+    mask.fillUniform(rng);
+
+    layer.forward(in);
+    layer.backward(mask);
+    Tensor once = layer.gradAccum();
+    layer.forward(in);
+    layer.backward(mask);
+    EXPECT_EQ(layer.gradSamples(), 2);
+    Tensor twice = layer.gradAccum();
+    Tensor expected = once;
+    expected.scale(2.0f);
+    EXPECT_TRUE(tensor::approxEqual(twice, expected, 1e-4f));
+    layer.zeroGrad();
+    EXPECT_EQ(layer.gradSamples(), 0);
+    EXPECT_FLOAT_EQ(layer.gradAccum().absMax(), 0.0f);
+}
+
+TEST(ConvLayer, ApplyUpdateChangesWeightsAndClearsGrads)
+{
+    Rng rng(97);
+    nn::ConvLayer layer(1, 1, Conv2dGeom{3, 1, 1, 0}, Activation::None);
+    layer.initWeights(rng);
+    Tensor in(1, 1, 4, 4);
+    in.fillUniform(rng);
+    layer.forward(in);
+    layer.backward(Tensor(1, 1, 4, 4, 1.0f));
+    Tensor before = layer.weights();
+    nn::Sgd opt(0.1f);
+    layer.applyUpdate(opt);
+    EXPECT_GT(tensor::maxAbsDiff(before, layer.weights()), 0.0f);
+    EXPECT_EQ(layer.gradSamples(), 0);
+    // A second applyUpdate with no gradient is a bug.
+    EXPECT_THROW(layer.applyUpdate(opt), PanicError);
+}
+
+TEST(ConvLayer, DescribeMentionsGeometry)
+{
+    nn::ConvLayer layer(3, 64, Conv2dGeom{5, 2, 2, 0},
+                        Activation::LeakyReLU);
+    std::string d = layer.describe();
+    EXPECT_NE(d.find("S-CONV"), std::string::npos);
+    EXPECT_NE(d.find("3->64"), std::string::npos);
+    EXPECT_NE(d.find("k5"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the memory substrates: off-chip bandwidth derivations
+ * (eqs. 7-8) and the Fig. 14 on-chip buffer plan.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gan/models.hh"
+#include "mem/offchip.hh"
+#include "mem/onchip_buffer.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ganacc;
+using mem::OffChipConfig;
+
+TEST(OffChip, Eq7ReproducesPaperWPof)
+{
+    // Section V-C: 192 Gbps, 200 MHz, 16-bit data -> W_Pof = 30.
+    OffChipConfig cfg;
+    EXPECT_EQ(mem::deriveWPof(cfg), 30);
+}
+
+TEST(OffChip, Eq8ReproducesPaperStPof)
+{
+    // ST_Pof = 2.5 x W_Pof = 75.
+    EXPECT_EQ(mem::deriveStPof(30), 75);
+    EXPECT_EQ(mem::deriveStPof(4), 10);
+}
+
+TEST(OffChip, WPofScalesWithBandwidth)
+{
+    OffChipConfig half;
+    half.bandwidthBitsPerSec = 96e9;
+    EXPECT_EQ(mem::deriveWPof(half), 15);
+    OffChipConfig slow;
+    slow.frequencyHz = 100e6;
+    EXPECT_EQ(mem::deriveWPof(slow), 60);
+}
+
+TEST(OffChip, RejectsInfeasibleConfigs)
+{
+    OffChipConfig tiny;
+    tiny.bandwidthBitsPerSec = 1e6; // cannot feed one channel
+    EXPECT_THROW(mem::deriveWPof(tiny), util::PanicError);
+}
+
+TEST(OffChip, BandwidthDemandMatchesWorstCaseFormula)
+{
+    // With the kernel fully resident (one pass), demand is
+    // 2 * f * W_Pof * bits — the bound that produced eq. (7).
+    OffChipConfig cfg;
+    double demand = mem::zfwstBandwidthDemand(cfg, 30, 16, 16);
+    EXPECT_NEAR(demand, 2.0 * 200e6 * 30 * 16, 1.0);
+    EXPECT_LE(demand, cfg.bandwidthBitsPerSec);
+    // More passes per result -> proportionally less traffic.
+    EXPECT_NEAR(mem::zfwstBandwidthDemand(cfg, 30, 64, 16),
+                demand / 4.0, 1.0);
+}
+
+TEST(OffChip, TrafficMeterConvertsToCycles)
+{
+    OffChipConfig cfg;
+    mem::OffChipMemory dram(cfg);
+    dram.read(1200);
+    dram.write(1200);
+    EXPECT_EQ(dram.bytesRead(), 1200u);
+    // 2400 B = 19200 bits at 192 Gbps = 100 ns = 20 cycles @200 MHz.
+    EXPECT_NEAR(dram.transferSeconds(), 100e-9, 1e-12);
+    EXPECT_EQ(dram.transferCycles(), 20u);
+    dram.reset();
+    EXPECT_EQ(dram.bytesWritten(), 0u);
+}
+
+TEST(OnChip, OccupancyTrackingAndOverflow)
+{
+    mem::OnChipBuffer buf("test", 1000);
+    buf.occupy(600);
+    EXPECT_EQ(buf.occupiedBytes(), 600u);
+    buf.occupy(400);
+    EXPECT_EQ(buf.peakOccupied(), 1000u);
+    EXPECT_THROW(buf.occupy(1), util::PanicError);
+    buf.release(500);
+    EXPECT_EQ(buf.occupiedBytes(), 500u);
+    EXPECT_THROW(buf.release(501), util::PanicError);
+}
+
+TEST(OnChip, AccessCounters)
+{
+    mem::OnChipBuffer buf("test", 100);
+    buf.read(10);
+    buf.read(5);
+    buf.write(7);
+    EXPECT_EQ(buf.bytesRead(), 15u);
+    EXPECT_EQ(buf.bytesWritten(), 7u);
+    buf.resetCounters();
+    EXPECT_EQ(buf.bytesRead(), 0u);
+}
+
+TEST(OnChip, PingPongSwapsRoles)
+{
+    mem::PingPongBuffer pp("inout", 128);
+    pp.active().write(64);
+    EXPECT_EQ(pp.active().bytesWritten(), 64u);
+    pp.swap();
+    EXPECT_EQ(pp.active().bytesWritten(), 0u);
+    EXPECT_EQ(pp.shadow().bytesWritten(), 64u);
+    EXPECT_EQ(pp.swapCount(), 1);
+    EXPECT_EQ(pp.totalCapacityBytes(), 256u);
+}
+
+TEST(BufferPlan, DcganPlanMatchesSectionVB)
+{
+    gan::GanModel m = gan::makeDcgan();
+    mem::BufferPlan plan = mem::planBuffers(m, 30, 2);
+    // In&Out half = largest layer output: 64x32x32 @2B = 128 KiB.
+    EXPECT_EQ(plan.inOutBytes, 65536u * 2);
+    // Weight buffer = largest kernel set: 512x256x5x5 @2B.
+    EXPECT_EQ(plan.weightBytes, 512u * 256 * 25 * 2);
+    // Data buffer holds a full per-sample intermediate set + image.
+    EXPECT_GT(plan.dataBytes, 2 * 135168u);
+    EXPECT_EQ(plan.dataBytes, plan.errorBytes);
+}
+
+TEST(BufferPlan, AllModelsFitTheVcu9pBram)
+{
+    for (const auto &m : gan::allModels()) {
+        mem::BufferPlan plan = mem::planBuffers(m, 30, 2);
+        EXPECT_TRUE(mem::fitsBram(plan, 2160)) << m.name;
+    }
+}
+
+TEST(BufferPlan, DcganBramCountNearTable3)
+{
+    // Table III reports 2008 BRAM-36 blocks for the full design; the
+    // analytic plan must land in the same regime.
+    gan::GanModel m = gan::makeDcgan();
+    mem::BufferPlan plan = mem::planBuffers(m, 30, 2);
+    EXPECT_GT(plan.bram36Count(), 1500);
+    EXPECT_LE(plan.bram36Count(), 2160);
+}
+
+TEST(BufferPlan, TotalsAreConsistent)
+{
+    gan::GanModel m = gan::makeMnistGan();
+    mem::BufferPlan plan = mem::planBuffers(m, 30, 2);
+    EXPECT_EQ(plan.totalBytes(),
+              2 * plan.inOutBytes + plan.dataBytes + plan.errorBytes +
+                  plan.weightBytes + 2 * plan.gradWBytes);
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the distribution metrics: MMD^2 and moment distance must
+ * behave as two-sample statistics — near zero for same-distribution
+ * batches, clearly positive across distributions, and monotone in
+ * distribution distance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gan/data.hh"
+#include "gan/metrics.hh"
+#include "tensor/tensor.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace ganacc;
+using tensor::Tensor;
+using util::Rng;
+
+TEST(Metrics, MomentDistanceZeroForIdenticalBatches)
+{
+    Rng rng(1);
+    Tensor a = gan::makeBlobImages(8, 1, 8, 8, rng);
+    EXPECT_DOUBLE_EQ(gan::momentDistance(a, a), 0.0);
+}
+
+TEST(Metrics, MomentDistanceSeparatesDistributions)
+{
+    Rng r1(2), r2(3), r3(4);
+    Tensor blobs_a = gan::makeBlobImages(32, 1, 8, 8, r1);
+    Tensor blobs_b = gan::makeBlobImages(32, 1, 8, 8, r2);
+    Tensor stripes = gan::makeStripeImages(32, 1, 8, 8, r3);
+    double same = gan::momentDistance(blobs_a, blobs_b);
+    double cross = gan::momentDistance(blobs_a, stripes);
+    EXPECT_GT(cross, 2.0 * same);
+}
+
+TEST(Metrics, MmdNearZeroForSameDistribution)
+{
+    Rng r1(5), r2(6);
+    Tensor a = gan::makeBlobImages(24, 1, 8, 8, r1);
+    Tensor b = gan::makeBlobImages(24, 1, 8, 8, r2);
+    double v = gan::mmd2(a, b);
+    // The unbiased estimator fluctuates around zero for matched
+    // distributions.
+    EXPECT_LT(std::abs(v), 0.05);
+}
+
+TEST(Metrics, MmdLargeAcrossDistributions)
+{
+    Rng r1(7), r2(8);
+    Tensor blobs = gan::makeBlobImages(24, 1, 8, 8, r1);
+    Tensor stripes = gan::makeStripeImages(24, 1, 8, 8, r2);
+    double same_scale = std::abs(
+        gan::mmd2(blobs, gan::makeBlobImages(24, 1, 8, 8, r2)));
+    double cross = gan::mmd2(blobs, stripes);
+    EXPECT_GT(cross, 5.0 * same_scale);
+    EXPECT_GT(cross, 0.05);
+}
+
+TEST(Metrics, MmdMonotoneInMeanShift)
+{
+    // Shifting one batch's pixels monotonically increases MMD^2.
+    Rng rng(9);
+    Tensor base = gan::makeBlobImages(20, 1, 6, 6, rng);
+    double bw = gan::medianBandwidth(base, base);
+    double prev = -1.0;
+    for (float shift : {0.0f, 0.3f, 0.8f}) {
+        Tensor moved = base;
+        for (std::size_t i = 0; i < moved.numel(); ++i)
+            moved.data()[i] += shift;
+        double v = gan::mmd2(base, moved, bw);
+        EXPECT_GT(v, prev) << "shift " << shift;
+        prev = v;
+    }
+}
+
+TEST(Metrics, MedianBandwidthPositiveAndScales)
+{
+    Rng rng(10);
+    Tensor a = gan::makeBlobImages(12, 1, 8, 8, rng);
+    Tensor b = gan::makeBlobImages(12, 1, 8, 8, rng);
+    double bw = gan::medianBandwidth(a, b);
+    EXPECT_GT(bw, 0.0);
+    // Scaling the data scales the median bandwidth.
+    Tensor a2 = a, b2 = b;
+    a2.scale(3.0f);
+    b2.scale(3.0f);
+    EXPECT_NEAR(gan::medianBandwidth(a2, b2), 3.0 * bw, 0.3 * bw);
+}
+
+TEST(Metrics, RejectsDegenerateInputs)
+{
+    Rng rng(11);
+    Tensor a = gan::makeBlobImages(4, 1, 4, 4, rng);
+    Tensor wrong(4, 2, 4, 4);
+    EXPECT_THROW(gan::mmd2(a, wrong), util::PanicError);
+    Tensor one(1, 1, 4, 4);
+    EXPECT_THROW(gan::mmd2(one, one), util::PanicError);
+}
+
+} // namespace

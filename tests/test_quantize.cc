@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the 16-bit fixed-point datapath: the quantized
+ * convolutions must track the float reference within the error bound
+ * the Q7.8 format implies, and the wide-accumulator modeling must be
+ * exact for representable inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gan/models.hh"
+#include "gan/network.hh"
+#include "nn/conv_ref.hh"
+#include "nn/quantize.hh"
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace ganacc;
+using nn::Conv2dGeom;
+using tensor::Tensor;
+using util::Rng;
+
+TEST(Quantize, TensorSnapToGrid)
+{
+    Tensor t(1, 1, 1, 3);
+    t.at(0, 0, 0, 0) = 0.126f;  // nearest Q7.8 grid point: 32/256
+    t.at(0, 0, 0, 1) = -1.0f;
+    t.at(0, 0, 0, 2) = 300.0f;  // saturates at ~127.996
+    Tensor q = nn::quantizeTensor(t);
+    EXPECT_FLOAT_EQ(q.get(0, 0, 0, 0), 32.0f / 256.0f);
+    EXPECT_FLOAT_EQ(q.get(0, 0, 0, 1), -1.0f);
+    EXPECT_NEAR(q.get(0, 0, 0, 2), 127.996f, 0.01f);
+}
+
+TEST(Quantize, ExactOnGridAlignedOperands)
+{
+    // Inputs already on the Q7.8 grid with small magnitudes: the
+    // fixed conv must be *bit-exact* against the float conv because
+    // products and sums stay inside the wide accumulator.
+    Rng rng(3);
+    Tensor in(1, 2, 6, 6), w(3, 2, 3, 3);
+    for (std::size_t i = 0; i < in.numel(); ++i)
+        in.data()[i] = float(rng.uniformInt(-64, 64)) / 256.0f;
+    for (std::size_t i = 0; i < w.numel(); ++i)
+        w.data()[i] = float(rng.uniformInt(-64, 64)) / 256.0f;
+    Conv2dGeom g{3, 1, 1, 0};
+    Tensor ref = nn::sconvForward(in, w, g);
+    Tensor fx = nn::sconvForwardFixed(in, w, g);
+    auto e = nn::quantError(ref, fx);
+    // Only the single writeback rounding applies.
+    EXPECT_LE(e.maxAbs, 1.0 / 256.0 + 1e-6);
+}
+
+TEST(Quantize, SconvErrorBoundedByQuantNoise)
+{
+    Rng rng(5);
+    Tensor in(1, 3, 12, 12), w(8, 3, 5, 5);
+    in.fillUniform(rng, -1.0f, 1.0f);
+    w.fillUniform(rng, -0.2f, 0.2f);
+    Conv2dGeom g{5, 2, 2, 0};
+    Tensor ref = nn::sconvForward(in, w, g);
+    Tensor fx = nn::sconvForwardFixed(in, w, g);
+    auto e = nn::quantError(ref, fx);
+    // 75 products, each with ~2^-9 operand noise on ~unit operands:
+    // error stays far below the signal.
+    EXPECT_LT(e.maxAbs, 0.05);
+    EXPECT_LT(e.rms, 0.02);
+    EXPECT_GT(e.refScale, 0.2);
+}
+
+TEST(Quantize, TconvErrorBounded)
+{
+    Rng rng(7);
+    Tensor in(1, 4, 4, 4), w(4, 2, 5, 5);
+    in.fillUniform(rng, -1.0f, 1.0f);
+    w.fillUniform(rng, -0.2f, 0.2f);
+    Conv2dGeom g{5, 2, 2, 1};
+    Tensor ref = nn::tconvForward(in, w, g);
+    Tensor fx = nn::tconvForwardFixed(in, w, g);
+    auto e = nn::quantError(ref, fx);
+    EXPECT_LT(e.maxAbs, 0.05);
+    EXPECT_EQ(ref.shape(), fx.shape());
+}
+
+TEST(Quantize, ErrorGrowsWithAccumulationDepth)
+{
+    // More products per output accumulate more operand noise — a
+    // sanity property of the noise model.
+    Rng rng(9);
+    Conv2dGeom g{3, 1, 1, 0};
+    auto rms_for_channels = [&](int c) {
+        Tensor in(1, c, 8, 8), w(4, c, 3, 3);
+        in.fillUniform(rng, -1.0f, 1.0f);
+        w.fillUniform(rng, -0.2f, 0.2f);
+        Tensor ref = nn::sconvForward(in, w, g);
+        Tensor fx = nn::sconvForwardFixed(in, w, g);
+        return nn::quantError(ref, fx).rms;
+    };
+    double narrow = rms_for_channels(2);
+    double wide = rms_for_channels(32);
+    EXPECT_GT(wide, narrow);
+}
+
+class QuantizeSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(QuantizeSweep, ErrorBoundedByAccumulationNoise)
+{
+    // Property: for operands in [-1, 1], the fixed result differs
+    // from float by at most ~(products + 1) quantization steps (each
+    // operand's rounding is <= eps/2, products |.| <= 1, plus one
+    // writeback rounding) — a loose analytic envelope.
+    Rng rng(4000 + GetParam());
+    int c = rng.uniformInt(1, 4);
+    int k = rng.uniformInt(2, 5);
+    int hw = rng.uniformInt(k, 10);
+    int s = rng.uniformInt(1, 2);
+    int p = rng.uniformInt(0, k / 2);
+    Tensor in(1, c, hw, hw), w(3, c, k, k);
+    in.fillUniform(rng, -1.0f, 1.0f);
+    w.fillUniform(rng, -1.0f, 1.0f);
+    Conv2dGeom g{k, s, p, 0};
+    Tensor ref = nn::sconvForward(in, w, g);
+    Tensor fx = nn::sconvForwardFixed(in, w, g);
+    auto e = nn::quantError(ref, fx);
+    double eps = 1.0 / 256.0;
+    double products = double(c) * k * k;
+    // Saturation can only trigger if the true value nears the Q7.8
+    // ceiling; bound the non-saturated case.
+    if (e.refScale < 120.0) {
+        EXPECT_LE(e.maxAbs, (products + 1.0) * eps)
+            << "c=" << c << " k=" << k << " hw=" << hw;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, QuantizeSweep,
+                         ::testing::Range(0, 15));
+
+TEST(Quantize, CriticScoresSurviveQuantization)
+{
+    // End-to-end: quantizing a small critic's weights and inputs must
+    // perturb the per-sample scores only slightly — supporting the
+    // paper's 16-bit datapath choice.
+    std::vector<gan::LayerSpec> disc;
+    gan::LayerSpec l1;
+    l1.kind = nn::ConvKind::Strided;
+    l1.act = nn::Activation::LeakyReLU;
+    l1.inChannels = 1;
+    l1.outChannels = 8;
+    l1.inH = l1.inW = 8;
+    l1.geom = nn::Conv2dGeom{4, 2, 1, 0};
+    disc.push_back(l1);
+    gan::LayerSpec head;
+    head.kind = nn::ConvKind::Strided;
+    head.act = nn::Activation::None;
+    head.inChannels = 8;
+    head.outChannels = 1;
+    head.inH = head.inW = 4;
+    head.geom = nn::Conv2dGeom{4, 1, 0, 0};
+    disc.push_back(head);
+    gan::GanModel m = gan::makeModel("q", std::move(disc), 8);
+
+    Rng rng(11);
+    gan::Network critic(m.disc, rng);
+    Tensor img(4, 1, 8, 8);
+    img.fillUniform(rng, -1.0f, 1.0f);
+    auto ref_scores = gan::Network::scores(critic.forward(img));
+
+    // Quantize weights in place and the input.
+    for (auto &layer : critic.layers())
+        layer->weights() = nn::quantizeTensor(layer->weights());
+    Tensor qimg = nn::quantizeTensor(img);
+    auto q_scores = gan::Network::scores(critic.forward(qimg));
+    for (std::size_t i = 0; i < ref_scores.size(); ++i)
+        EXPECT_NEAR(q_scores[i], ref_scores[i],
+                    0.05 * (1.0 + std::abs(ref_scores[i])));
+}
+
+} // namespace

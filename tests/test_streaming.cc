@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Property sweep of the operand-streaming layer: for random layer
+ * geometries of both kinds, every phase's (job geometry, streamed
+ * operands) pair fed to the golden generic convolution must equal the
+ * layer-level reference math. This pins the phase mapping and the
+ * streaming transforms against each other across the whole geometry
+ * space (kernels 2-5, strides 1-2, every padding, output padding).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gan/models.hh"
+#include "nn/conv_ref.hh"
+#include "sim/phase.hh"
+#include "sim/streaming.hh"
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace ganacc;
+using gan::LayerSpec;
+using sim::Phase;
+using tensor::approxEqual;
+using tensor::Tensor;
+using util::Rng;
+
+/** Random layer of the given kind with consistent geometry. */
+LayerSpec
+randomLayer(nn::ConvKind kind, Rng &rng)
+{
+    LayerSpec l;
+    l.kind = kind;
+    l.act = nn::Activation::None; // activations are host-side anyway
+    l.inChannels = rng.uniformInt(1, 3);
+    l.outChannels = rng.uniformInt(1, 4);
+    for (int attempt = 0; attempt < 100; ++attempt) {
+        l.geom.kernel = rng.uniformInt(2, 5);
+        l.geom.stride = rng.uniformInt(1, 2);
+        l.geom.pad = rng.uniformInt(0, l.geom.kernel - 1);
+        l.geom.outPad =
+            kind == nn::ConvKind::Transposed
+                ? rng.uniformInt(0, l.geom.stride - 1)
+                : 0;
+        l.inH = l.inW = rng.uniformInt(4, 9);
+        // Geometry must be realizable (positive output, invertible
+        // for the backward mapping).
+        if (kind == nn::ConvKind::Strided) {
+            if (l.inH + 2 * l.geom.pad < l.geom.kernel)
+                continue;
+            int out = tensor::convOutDim(l.inH, l.geom.kernel,
+                                         l.geom.stride, l.geom.pad);
+            // Backward needs the stuffing geometry to invert.
+            int natural = (out - 1) * l.geom.stride + l.geom.kernel -
+                          2 * l.geom.pad;
+            int extra = l.inH - natural;
+            if (extra < 0 || extra >= l.geom.stride)
+                continue;
+            return l;
+        }
+        if (l.geom.pad > l.geom.kernel - 1)
+            continue;
+        int out = (l.inH - 1) * l.geom.stride - 2 * l.geom.pad +
+                  l.geom.kernel + l.geom.outPad;
+        if (out < 1)
+            continue;
+        return l;
+    }
+    GANACC_ASSERT(false, "could not draw a consistent layer");
+    return l;
+}
+
+/** Build a single-layer model around the layer (head added so the
+ *  discriminator chain is valid). */
+gan::GanModel
+wrap(const LayerSpec &l)
+{
+    // A one-layer "discriminator" wouldn't matter: we call phaseJobs
+    // on a model whose gen (or disc) stack is just this layer plus a
+    // compatible pairing. Easiest: use makeModelWithGenerator with
+    // the layer in the generator and a trivial head as discriminator.
+    LayerSpec head;
+    head.kind = nn::ConvKind::Strided;
+    head.act = nn::Activation::None;
+    head.inChannels = l.outChannels;
+    head.inH = l.outH();
+    head.inW = l.outW();
+    head.outChannels = 1;
+    head.geom = nn::Conv2dGeom{l.outH(), 1, 0, 0};
+    return gan::makeModelWithGenerator("sweep", {head}, {l});
+}
+
+/** A shape-preserving 1x1 layer feeding `l`, so a two-layer stack
+ *  chains and GenBackward emits a job for `l`. */
+LayerSpec
+randomFrontFor(const LayerSpec &l)
+{
+    LayerSpec f;
+    f.kind = nn::ConvKind::Transposed;
+    f.act = nn::Activation::None;
+    f.inChannels = 2;
+    f.outChannels = l.inChannels;
+    f.inH = l.inH;
+    f.inW = l.inW;
+    f.geom = nn::Conv2dGeom{1, 1, 0, 0};
+    return f;
+}
+
+class StreamingSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StreamingSweep, AllGenPhasesMatchLayerReference)
+{
+    Rng rng(7000 + GetParam());
+    nn::ConvKind kind = GetParam() % 2 == 0
+                            ? nn::ConvKind::Strided
+                            : nn::ConvKind::Transposed;
+    LayerSpec l = randomLayer(kind, rng);
+    gan::GanModel m = wrap(l);
+
+    // Dense layer tensors.
+    Tensor in(1, l.inChannels, l.inH, l.inW);
+    in.fillUniform(rng);
+    Tensor w = kind == nn::ConvKind::Strided
+                   ? Tensor(l.outChannels, l.inChannels, l.geom.kernel,
+                            l.geom.kernel)
+                   : Tensor(l.inChannels, l.outChannels, l.geom.kernel,
+                            l.geom.kernel);
+    w.fillUniform(rng);
+    Tensor derr(1, l.outChannels, l.outH(), l.outW());
+    derr.fillUniform(rng);
+
+    // Forward.
+    Tensor ref_fwd = kind == nn::ConvKind::Strided
+                         ? nn::sconvForward(in, w, l.geom)
+                         : nn::tconvForward(in, w, l.geom);
+    auto fwd_job = sim::phaseJobs(m, Phase::GenForward)[0];
+    auto fwd_ops = sim::streamForward(l, in, w);
+    Tensor got_fwd =
+        sim::genericConvRef(fwd_job, fwd_ops.input, fwd_ops.kernel);
+    EXPECT_TRUE(approxEqual(ref_fwd, got_fwd, 1e-3f))
+        << l.describe() << " forward";
+
+    // Weight gradient.
+    Tensor ref_dw =
+        kind == nn::ConvKind::Strided
+            ? nn::sconvBackwardWeights(in, derr, l.geom,
+                                       l.geom.kernel, l.geom.kernel)
+            : nn::tconvBackwardWeights(in, derr, l.geom,
+                                       l.geom.kernel, l.geom.kernel);
+    auto gw_job = sim::phaseJobs(m, Phase::GenWeight)[0];
+    auto gw_ops = sim::streamWeightGrad(l, in, derr);
+    Tensor raw =
+        sim::genericConvRef(gw_job, gw_ops.input, gw_ops.kernel);
+    Tensor got_dw = sim::finishWeightGrad(l, raw);
+    EXPECT_TRUE(approxEqual(ref_dw, got_dw, 1e-3f))
+        << l.describe() << " weight grad";
+
+    // Backward data (needs a two-layer stack so the phase emits a
+    // job; check the transform directly instead).
+    Tensor ref_din =
+        kind == nn::ConvKind::Strided
+            ? nn::sconvBackwardData(derr, w, l.geom, l.inH, l.inW)
+            : nn::tconvBackwardData(derr, w, l.geom, l.inH, l.inW);
+    // Build the backward job geometry the way phaseJobs would.
+    gan::GanModel two = gan::makeModelWithGenerator(
+        "sweep2", m.disc, {randomFrontFor(l), l});
+    auto bwd_job = sim::phaseJobs(two, Phase::GenBackward)[0];
+    auto bwd_ops = sim::streamBackwardData(l, derr, w);
+    Tensor got_din =
+        sim::genericConvRef(bwd_job, bwd_ops.input, bwd_ops.kernel);
+    EXPECT_TRUE(approxEqual(ref_din, got_din, 1e-3f))
+        << l.describe() << " backward data";
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, StreamingSweep,
+                         ::testing::Range(0, 30));
+
+} // namespace

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the tensor substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/shape.hh"
+#include "tensor/tensor.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace {
+
+using ganacc::tensor::convOutDim;
+using ganacc::tensor::maxAbsDiff;
+using ganacc::tensor::approxEqual;
+using ganacc::tensor::Shape4;
+using ganacc::tensor::tconvOutDim;
+using ganacc::tensor::Tensor;
+using ganacc::util::PanicError;
+using ganacc::util::Rng;
+
+TEST(Shape, NumelAndOffset)
+{
+    Shape4 s(2, 3, 4, 5);
+    EXPECT_EQ(s.numel(), 120u);
+    EXPECT_EQ(s.offset(0, 0, 0, 0), 0u);
+    EXPECT_EQ(s.offset(0, 0, 0, 1), 1u);
+    EXPECT_EQ(s.offset(0, 0, 1, 0), 5u);
+    EXPECT_EQ(s.offset(0, 1, 0, 0), 20u);
+    EXPECT_EQ(s.offset(1, 0, 0, 0), 60u);
+    EXPECT_EQ(s.offset(1, 2, 3, 4), 119u);
+}
+
+TEST(Shape, ConvOutDimMatchesKnownCases)
+{
+    // DCGAN discriminator: 64 -> 32 with k5 s2 p2.
+    EXPECT_EQ(convOutDim(64, 5, 2, 2), 32);
+    // MNIST-GAN: 28 -> 14 with k5 s2 p2.
+    EXPECT_EQ(convOutDim(28, 5, 2, 2), 14);
+    // cGAN: 64 -> 32 with k4 s2 p1.
+    EXPECT_EQ(convOutDim(64, 4, 2, 1), 32);
+    // Critic head: 4 -> 1 with k4 s1 p0.
+    EXPECT_EQ(convOutDim(4, 4, 1, 0), 1);
+}
+
+TEST(Shape, TconvOutDimInvertsConvOutDim)
+{
+    // Every (in, k, s, p) the models use must be invertible with some
+    // out_pad in [0, s).
+    const int cases[][4] = {
+        {64, 5, 2, 2}, {32, 5, 2, 2}, {16, 5, 2, 2}, {8, 5, 2, 2},
+        {28, 5, 2, 2}, {14, 5, 2, 2}, {64, 4, 2, 1}, {4, 4, 1, 0},
+        {7, 7, 1, 0},
+    };
+    for (auto &c : cases) {
+        int in = c[0], k = c[1], s = c[2], p = c[3];
+        int out = convOutDim(in, k, s, p);
+        bool invertible = false;
+        for (int op = 0; op < s; ++op)
+            if (tconvOutDim(out, k, s, p, op) == in)
+                invertible = true;
+        EXPECT_TRUE(invertible) << "in=" << in << " k=" << k;
+    }
+}
+
+TEST(Shape, RejectsBadGeometry)
+{
+    EXPECT_THROW(convOutDim(0, 3, 1, 0), PanicError);
+    EXPECT_THROW(convOutDim(2, 5, 1, 0), PanicError); // kernel > input
+    EXPECT_THROW(tconvOutDim(4, 3, 2, 0, 2), PanicError); // out_pad >= s
+}
+
+TEST(Tensor, FillAndAccess)
+{
+    Tensor t(2, 3, 4, 5, 1.5f);
+    EXPECT_EQ(t.numel(), 120u);
+    EXPECT_FLOAT_EQ(t.at(1, 2, 3, 4), 1.5f);
+    t.at(1, 2, 3, 4) = 7.0f;
+    EXPECT_FLOAT_EQ(t.get(1, 2, 3, 4), 7.0f);
+    EXPECT_FLOAT_EQ(t.sum(), 1.5f * 119 + 7.0f);
+}
+
+TEST(Tensor, BoundsCheckedAccessPanics)
+{
+    Tensor t(1, 1, 2, 2);
+    EXPECT_THROW(t.at(0, 0, 2, 0), PanicError);
+    EXPECT_THROW(t.at(0, 1, 0, 0), PanicError);
+    EXPECT_THROW(t.at(-1, 0, 0, 0), PanicError);
+}
+
+TEST(Tensor, GetPaddedReturnsZeroOutside)
+{
+    Tensor t(1, 1, 2, 2, 3.0f);
+    EXPECT_FLOAT_EQ(t.getPadded(0, 0, -1, 0), 0.0f);
+    EXPECT_FLOAT_EQ(t.getPadded(0, 0, 0, 2), 0.0f);
+    EXPECT_FLOAT_EQ(t.getPadded(0, 0, 1, 1), 3.0f);
+}
+
+TEST(Tensor, AddAndAxpy)
+{
+    Tensor a(1, 1, 2, 2, 1.0f);
+    Tensor b(1, 1, 2, 2, 2.0f);
+    a.add(b);
+    EXPECT_FLOAT_EQ(a.get(0, 0, 0, 0), 3.0f);
+    a.axpy(-0.5f, b);
+    EXPECT_FLOAT_EQ(a.get(0, 0, 1, 1), 2.0f);
+}
+
+TEST(Tensor, AddShapeMismatchPanics)
+{
+    Tensor a(1, 1, 2, 2);
+    Tensor b(1, 1, 2, 3);
+    EXPECT_THROW(a.add(b), PanicError);
+}
+
+TEST(Tensor, CountZerosAndAbsMax)
+{
+    Tensor t(1, 1, 2, 2, 0.0f);
+    t.at(0, 0, 0, 1) = -4.0f;
+    EXPECT_EQ(t.countZeros(), 3u);
+    EXPECT_FLOAT_EQ(t.absMax(), 4.0f);
+}
+
+TEST(Tensor, FillRandomDeterministic)
+{
+    Rng r1(42), r2(42);
+    Tensor a(1, 2, 3, 3), b(1, 2, 3, 3);
+    a.fillUniform(r1);
+    b.fillUniform(r2);
+    EXPECT_EQ(maxAbsDiff(a, b), 0.0f);
+}
+
+TEST(Tensor, ApproxEqualTolerance)
+{
+    Tensor a(1, 1, 1, 2, 1.0f);
+    Tensor b = a;
+    b.at(0, 0, 0, 0) = 1.0f + 1e-6f;
+    EXPECT_TRUE(approxEqual(a, b, 1e-4f));
+    b.at(0, 0, 0, 0) = 1.01f;
+    EXPECT_FALSE(approxEqual(a, b, 1e-4f));
+}
+
+TEST(Tensor, ScaleInPlace)
+{
+    Tensor t(1, 1, 1, 3, 2.0f);
+    t.scale(2.5f);
+    EXPECT_FLOAT_EQ(t.get(0, 0, 0, 2), 5.0f);
+}
+
+} // namespace

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Tests for the GAN networks and the two training algorithms,
+ * including the paper's central algorithmic claim: deferred
+ * synchronization computes the exact same mini-batch gradient as the
+ * original synchronized algorithm (Section IV-A, eq. 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gan/data.hh"
+#include "gan/models.hh"
+#include "gan/network.hh"
+#include "gan/trainer.hh"
+#include "nn/optimizer.hh"
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace ganacc;
+using gan::GanModel;
+using gan::LayerSpec;
+using gan::SyncMode;
+using gan::Trainer;
+using tensor::approxEqual;
+using tensor::maxAbsDiff;
+using tensor::Shape4;
+using tensor::Tensor;
+using util::Rng;
+
+/** A small two-layer GAN so training tests run fast. */
+GanModel
+tinyModel()
+{
+    std::vector<LayerSpec> disc;
+    LayerSpec l1;
+    l1.kind = nn::ConvKind::Strided;
+    l1.act = nn::Activation::LeakyReLU;
+    l1.inChannels = 1;
+    l1.outChannels = 8;
+    l1.inH = l1.inW = 8;
+    l1.geom = nn::Conv2dGeom{4, 2, 1, 0};
+    disc.push_back(l1);
+    LayerSpec l2;
+    l2.kind = nn::ConvKind::Strided;
+    l2.act = nn::Activation::None;
+    l2.inChannels = 8;
+    l2.outChannels = 1;
+    l2.inH = l2.inW = 4;
+    l2.geom = nn::Conv2dGeom{4, 1, 0, 0};
+    disc.push_back(l2);
+    return gan::makeModel("tiny", std::move(disc), 16);
+}
+
+TEST(Network, ForwardProducesScalarScore)
+{
+    GanModel m = tinyModel();
+    Rng rng(1);
+    gan::Network disc(m.disc, rng);
+    Tensor img(2, 1, 8, 8);
+    img.fillUniform(rng);
+    Tensor out = disc.forward(img);
+    EXPECT_EQ(out.shape(), Shape4(2, 1, 1, 1));
+    auto scores = gan::Network::scores(out);
+    EXPECT_EQ(scores.size(), 2u);
+}
+
+TEST(Network, GeneratorMapsNoiseToImage)
+{
+    GanModel m = tinyModel();
+    Rng rng(2);
+    gan::Network gen(m.gen, rng);
+    Tensor z(3, 16, 1, 1);
+    z.fillGaussian(rng);
+    Tensor img = gen.forward(z);
+    EXPECT_EQ(img.shape(), Shape4(3, 1, 8, 8));
+    // Tanh output is bounded.
+    EXPECT_LE(img.absMax(), 1.0f);
+}
+
+TEST(Network, BackwardErrorLeavesGradientsUntouched)
+{
+    GanModel m = tinyModel();
+    Rng rng(3);
+    gan::Network disc(m.disc, rng);
+    Tensor img(1, 1, 8, 8);
+    img.fillUniform(rng);
+    disc.forward(img);
+    disc.backward(Tensor(1, 1, 1, 1, 0.5f));
+    Tensor grad_before = disc.layers()[0]->gradAccum();
+    int samples_before = disc.layers()[0]->gradSamples();
+
+    disc.forward(img);
+    disc.backwardError(Tensor(1, 1, 1, 1, 0.5f));
+    EXPECT_EQ(maxAbsDiff(disc.layers()[0]->gradAccum(), grad_before),
+              0.0f);
+    EXPECT_EQ(disc.layers()[0]->gradSamples(), samples_before);
+}
+
+TEST(Network, BackwardErrorReturnsSameErrorAsBackward)
+{
+    GanModel m = tinyModel();
+    Rng rng(4);
+    gan::Network disc(m.disc, rng);
+    Tensor img(1, 1, 8, 8);
+    img.fillUniform(rng);
+    disc.forward(img);
+    Tensor derr(1, 1, 1, 1, -0.25f);
+    Tensor e1 = disc.backward(derr);
+    disc.forward(img);
+    Tensor e2 = disc.backwardError(derr);
+    EXPECT_TRUE(approxEqual(e1, e2, 1e-6f));
+}
+
+TEST(Trainer, DeferredEqualsSynchronizedDiscriminatorGradient)
+{
+    // The paper's key algorithmic equivalence (Section IV-A): the m
+    // independent per-sample loops accumulate exactly the synchronized
+    // mini-batch gradient.
+    GanModel m = tinyModel();
+    const int batch = 6;
+    Trainer sync(m, 42, SyncMode::Synchronized);
+    Trainer defer(m, 42, SyncMode::Deferred);
+
+    Rng data_rng(100);
+    Tensor real = gan::makeBlobImages(batch, 1, 8, 8, data_rng);
+    Rng noise_rng(200);
+    Tensor noise = sync.sampleNoise(batch, noise_rng);
+
+    double loss_s = sync.accumulateDiscriminatorGradients(real, noise);
+    double loss_d = defer.accumulateDiscriminatorGradients(real, noise);
+    EXPECT_NEAR(loss_s, loss_d, 1e-5);
+
+    for (std::size_t i = 0; i < m.disc.size(); ++i) {
+        const Tensor &gs =
+            sync.discriminator().layers()[i]->gradAccum();
+        const Tensor &gd =
+            defer.discriminator().layers()[i]->gradAccum();
+        EXPECT_TRUE(approxEqual(gs, gd, 1e-4f))
+            << "disc layer " << i << " diff " << maxAbsDiff(gs, gd);
+    }
+}
+
+TEST(Trainer, DeferredEqualsSynchronizedGeneratorGradient)
+{
+    GanModel m = tinyModel();
+    const int batch = 5;
+    Trainer sync(m, 7, SyncMode::Synchronized);
+    Trainer defer(m, 7, SyncMode::Deferred);
+
+    Rng noise_rng(300);
+    Tensor noise = sync.sampleNoise(batch, noise_rng);
+
+    double loss_s = sync.accumulateGeneratorGradients(noise);
+    double loss_d = defer.accumulateGeneratorGradients(noise);
+    EXPECT_NEAR(loss_s, loss_d, 1e-5);
+
+    for (std::size_t i = 0; i < m.gen.size(); ++i) {
+        const Tensor &gs = sync.generator().layers()[i]->gradAccum();
+        const Tensor &gd = defer.generator().layers()[i]->gradAccum();
+        EXPECT_TRUE(approxEqual(gs, gd, 1e-4f))
+            << "gen layer " << i << " diff " << maxAbsDiff(gs, gd);
+    }
+    // The generator update must not have polluted the discriminator's
+    // gradients (its backward is error-relay only, Fig. 8(b)).
+    for (std::size_t i = 0; i < m.disc.size(); ++i) {
+        EXPECT_FLOAT_EQ(
+            sync.discriminator().layers()[i]->gradAccum().absMax(),
+            0.0f);
+        EXPECT_FLOAT_EQ(
+            defer.discriminator().layers()[i]->gradAccum().absMax(),
+            0.0f);
+    }
+}
+
+TEST(Trainer, SameSeedSameWeights)
+{
+    GanModel m = tinyModel();
+    Trainer a(m, 11, SyncMode::Synchronized);
+    Trainer b(m, 11, SyncMode::Deferred);
+    for (std::size_t i = 0; i < m.disc.size(); ++i)
+        EXPECT_EQ(maxAbsDiff(a.discriminator().layers()[i]->weights(),
+                             b.discriminator().layers()[i]->weights()),
+                  0.0f);
+}
+
+TEST(Trainer, ClippingBoundsCriticWeights)
+{
+    GanModel m = tinyModel();
+    Trainer t(m, 13, SyncMode::Deferred, 0.01f);
+    Rng rng(400);
+    Tensor real = gan::makeBlobImages(4, 1, 8, 8, rng);
+    Tensor noise = t.sampleNoise(4, rng);
+    t.accumulateDiscriminatorGradients(real, noise);
+    nn::RmsProp opt(5e-3f);
+    t.applyDiscriminatorUpdate(opt);
+    for (auto &layer : t.discriminator().layers())
+        EXPECT_LE(layer->weights().absMax(), 0.01f);
+}
+
+TEST(Trainer, CriticLearnsToSeparateRealFromFake)
+{
+    // A few critic-only updates must grow the Wasserstein gap
+    // D(real) - D(fake) — the loss (eq. 1) must fall.
+    // With fixed real data, fixed noise, no clipping and a small SGD
+    // step, each discriminator update is exact gradient descent on
+    // eq. (1), so the Wasserstein gap D(real)-D(fake) must grow.
+    GanModel m = tinyModel();
+    Trainer t(m, 21, SyncMode::Deferred, /*clip=*/0.0f);
+    Rng rng(500);
+    nn::Sgd opt(1e-2f);
+    const int batch = 8;
+
+    Tensor real = gan::makeBlobImages(batch, 1, 8, 8, rng);
+    Tensor noise = t.sampleNoise(batch, rng);
+    auto gap = [&]() {
+        Tensor fake = t.generate(noise);
+        auto real_s =
+            gan::Network::scores(t.discriminator().forward(real));
+        auto fake_s =
+            gan::Network::scores(t.discriminator().forward(fake));
+        double g = 0.0;
+        for (int i = 0; i < batch; ++i)
+            g += real_s[i] - fake_s[i];
+        return g / batch;
+    };
+
+    double gap_before = gap();
+    for (int it = 0; it < 10; ++it) {
+        t.accumulateDiscriminatorGradients(real, noise);
+        t.applyDiscriminatorUpdate(opt);
+    }
+    double gap_after = gap();
+    EXPECT_GT(gap_after, gap_before);
+}
+
+TEST(Trainer, FullIterationRunsAndReportsLosses)
+{
+    GanModel m = tinyModel();
+    Trainer t(m, 31, SyncMode::Deferred);
+    Rng rng(600);
+    Tensor real = gan::makeBlobImages(3, 1, 8, 8, rng);
+    nn::RmsProp d_opt(1e-3f), g_opt(1e-3f);
+    auto losses = t.trainIteration(real, d_opt, g_opt, rng, 2);
+    EXPECT_TRUE(std::isfinite(losses.discLoss));
+    EXPECT_TRUE(std::isfinite(losses.genLoss));
+}
+
+TEST(Trainer, BatchNormBreaksDeferredEquivalenceUnlessFrozen)
+{
+    // The deferred-synchronization proof (eq. 6) needs per-sample
+    // independence; batch-statistics BN violates it, frozen-statistics
+    // BN restores it. This is the assumption behind the paper's
+    // algorithm, made testable.
+    GanModel m = tinyModel();
+    m.disc[0].batchNorm = true;
+
+    for (bool frozen : {false, true}) {
+        Trainer sync(m, 77, SyncMode::Synchronized);
+        Trainer defer(m, 77, SyncMode::Deferred);
+        if (frozen) {
+            sync.discriminator().setBnMode(
+                nn::BatchNormLayer::Mode::Frozen);
+            defer.discriminator().setBnMode(
+                nn::BatchNormLayer::Mode::Frozen);
+        }
+        Rng data_rng(800);
+        Tensor real = gan::makeBlobImages(5, 1, 8, 8, data_rng);
+        Tensor noise = sync.sampleNoise(5, data_rng);
+        sync.accumulateDiscriminatorGradients(real, noise);
+        defer.accumulateDiscriminatorGradients(real, noise);
+        float diff = maxAbsDiff(
+            sync.discriminator().layers()[0]->gradAccum(),
+            defer.discriminator().layers()[0]->gradAccum());
+        if (frozen) {
+            EXPECT_LT(diff, 1e-4f)
+                << "frozen BN must keep deferred == synchronized";
+        } else {
+            EXPECT_GT(diff, 1e-3f)
+                << "batch BN couples samples and must diverge";
+        }
+    }
+}
+
+TEST(Trainer, BackwardErrorPreservesBnGradients)
+{
+    GanModel m = tinyModel();
+    m.disc[0].batchNorm = true;
+    Trainer t(m, 91, SyncMode::Synchronized);
+    Rng rng(900);
+    Tensor img = gan::makeBlobImages(2, 1, 8, 8, rng);
+    auto &layer = *t.discriminator().layers()[0];
+    ASSERT_TRUE(layer.hasBatchNorm());
+
+    t.discriminator().forward(img);
+    t.discriminator().backward(Tensor(2, 1, 1, 1, 0.5f));
+    Tensor g_before = layer.batchNorm()->gradGamma();
+
+    t.discriminator().forward(img);
+    t.discriminator().backwardError(Tensor(2, 1, 1, 1, 0.5f));
+    EXPECT_EQ(maxAbsDiff(layer.batchNorm()->gradGamma(), g_before),
+              0.0f);
+}
+
+TEST(TrainerHelpers, ExtractAndConcat)
+{
+    Rng rng(700);
+    Tensor a(2, 3, 4, 4), b(3, 3, 4, 4);
+    a.fillUniform(rng);
+    b.fillUniform(rng);
+    Tensor s = gan::extractSample(a, 1);
+    EXPECT_EQ(s.shape(), Shape4(1, 3, 4, 4));
+    EXPECT_FLOAT_EQ(s.get(0, 2, 3, 3), a.get(1, 2, 3, 3));
+    Tensor c = gan::concatBatch(a, b);
+    EXPECT_EQ(c.shape(), Shape4(5, 3, 4, 4));
+    EXPECT_FLOAT_EQ(c.get(0, 0, 0, 0), a.get(0, 0, 0, 0));
+    EXPECT_FLOAT_EQ(c.get(2, 1, 2, 2), b.get(0, 1, 2, 2));
+}
+
+TEST(Data, BlobAndStripeImagesAreBoundedAndDeterministic)
+{
+    Rng r1(1), r2(1);
+    Tensor a = gan::makeBlobImages(4, 1, 8, 8, r1);
+    Tensor b = gan::makeBlobImages(4, 1, 8, 8, r2);
+    EXPECT_EQ(maxAbsDiff(a, b), 0.0f);
+    EXPECT_LE(a.absMax(), 1.0f);
+    Tensor s = gan::makeStripeImages(4, 3, 8, 8, r1);
+    EXPECT_LE(s.absMax(), 1.0f);
+    EXPECT_EQ(s.shape(), Shape4(4, 3, 8, 8));
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the util substrate: logging, RNG, fixed point, table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/fixed_point.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ganacc::util;
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config value ", 42), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("invariant broken"), PanicError);
+}
+
+TEST(Logging, MessagesCarryFormattedContent)
+{
+    try {
+        fatal("expected ", 3, " got ", 4);
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "fatal: expected 3 got 4");
+    }
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(GANACC_ASSERT(1 + 1 == 2, "math"));
+}
+
+TEST(Logging, AssertPanicsOnFalse)
+{
+    EXPECT_THROW(GANACC_ASSERT(false, "should fire"), PanicError);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i)
+        any_diff |= a.uniform() != b.uniform();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        int v = rng.uniformInt(-3, 5);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, GaussianMomentsRoughlyCorrect)
+{
+    Rng rng(99);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.gaussian(2.0, 3.0);
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.1);
+    EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Fixed16, RoundTripSmallValues)
+{
+    for (double v : {0.0, 1.0, -1.0, 0.5, -0.25, 3.125, -7.875}) {
+        auto f = AccelFixed::fromDouble(v);
+        EXPECT_DOUBLE_EQ(f.toDouble(), v) << "value " << v;
+    }
+}
+
+TEST(Fixed16, QuantizationErrorBounded)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform(-100.0, 100.0);
+        auto f = AccelFixed::fromDouble(v);
+        EXPECT_LE(std::fabs(f.toDouble() - v), AccelFixed::epsilon());
+    }
+}
+
+TEST(Fixed16, SaturatesInsteadOfWrapping)
+{
+    auto big = AccelFixed::fromDouble(1e6);
+    EXPECT_NEAR(big.toDouble(), 127.996, 0.01);
+    auto neg = AccelFixed::fromDouble(-1e6);
+    EXPECT_NEAR(neg.toDouble(), -128.0, 0.01);
+    // Addition saturates too.
+    auto sum = big + big;
+    EXPECT_NEAR(sum.toDouble(), 127.996, 0.01);
+}
+
+TEST(Fixed16, MultiplicationMatchesDouble)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        double a = rng.uniform(-8.0, 8.0);
+        double b = rng.uniform(-8.0, 8.0);
+        auto fa = AccelFixed::fromDouble(a);
+        auto fb = AccelFixed::fromDouble(b);
+        double prod = (fa * fb).toDouble();
+        // Error: operand quantization plus one rounding step.
+        EXPECT_NEAR(prod, fa.toDouble() * fb.toDouble(),
+                    AccelFixed::epsilon());
+    }
+}
+
+TEST(Fixed16, RawAccessorsConsistent)
+{
+    auto f = AccelFixed::fromRaw(256);
+    EXPECT_DOUBLE_EQ(f.toDouble(), 1.0);
+    EXPECT_EQ(f.raw(), 256);
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow("x", 1);
+    t.addRow("longer", 23.5);
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    EXPECT_NE(s.find("23.5"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+} // namespace
