@@ -6,29 +6,93 @@
  * channels). Demonstrates which constraint binds where: DRAM cuts the
  * frontier at eq. (7)'s W_Pof = 30; the DSP/LUT budget would not bind
  * until far later.
+ *
+ * Also exercises the parallel sweep engine: the frontier is evaluated
+ * serially and on --jobs workers from a cold cycle cache, the results
+ * are checked bit-identical, and the wall-clock speedup is printed.
  */
 
+#include <chrono>
 #include <iostream>
 
 #include "bench/bench_common.hh"
+#include "core/cycle_cache.hh"
 #include "core/dse.hh"
 #include "gan/models.hh"
+#include "util/args.hh"
 #include "util/table.hh"
 
+namespace {
+
+double
+seconds(std::chrono::steady_clock::time_point t0,
+        std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+bool
+identical(const std::vector<ganacc::core::DsePoint> &a,
+          const std::vector<ganacc::core::DsePoint> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].wPof != b[i].wPof || a[i].stPof != b[i].stPof ||
+            a[i].totalPes != b[i].totalPes ||
+            a[i].iterationCycles != b[i].iterationCycles ||
+            a[i].samplesPerSecond != b[i].samplesPerSecond ||
+            a[i].fitsDevice != b[i].fitsDevice ||
+            a[i].bandwidthFeasible != b[i].bandwidthFeasible)
+            return false;
+    return true;
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ganacc;
+    util::ArgParser args(argc, argv);
+    const int jobs = args.getJobs();
+    const int max_wpof = args.getInt(
+        "max-wpof", 60, "widest W bank (channels) to sweep");
+    if (args.helpRequested()) {
+        args.usage(std::cout);
+        return 0;
+    }
+    args.finish();
+
     bench::banner("Design-space frontier (ZFOST-ZFWST on the VCU9P)",
                   "the feasible optimum is the paper's 30+75-channel "
                   "point; DRAM bandwidth is the binding constraint");
 
     core::DseConstraints cons;
     cons.budget = core::vcu9pBudget();
-    cons.maxWPof = 60;
+    cons.maxWPof = max_wpof;
     gan::GanModel dcgan = gan::makeDcgan();
 
-    auto pts = core::sweepFrontier(cons, dcgan);
+    // Cold-cache timing of both sweep paths, then the parity check
+    // the parallel engine promises.
+    auto &cache = core::CycleCache::instance();
+    cache.clear();
+    auto t0 = std::chrono::steady_clock::now();
+    auto serial_pts = core::sweepFrontier(cons, dcgan);
+    auto t1 = std::chrono::steady_clock::now();
+    cache.clear();
+    auto t2 = std::chrono::steady_clock::now();
+    auto pts = core::sweepFrontierParallel(cons, dcgan, jobs);
+    auto t3 = std::chrono::steady_clock::now();
+    const double serial_s = seconds(t0, t1);
+    const double parallel_s = seconds(t2, t3);
+    std::cout << "sweep timing: serial " << serial_s << " s, parallel "
+              << parallel_s << " s on " << jobs << " jobs ("
+              << serial_s / parallel_s << "x), results "
+              << (identical(serial_pts, pts) ? "bit-identical"
+                                             : "DIVERGED (bug!)")
+              << ", cycle cache " << cache.size() << " entries\n\n";
+
     util::Table t({"W_Pof", "ST_Pof", "PEs", "samples/s", "DSP",
                    "BRAM", "fits", "bandwidth ok"});
     for (const auto &p : pts) {
@@ -53,7 +117,7 @@ main()
     // What a bigger memory system would buy.
     std::cout << "\nIf the DRAM doubled (384 Gbps):\n";
     cons.offchip.bandwidthBitsPerSec = 384e9;
-    auto pts2 = core::sweepFrontier(cons, dcgan);
+    auto pts2 = core::sweepFrontierParallel(cons, dcgan, jobs);
     auto best2 = core::bestFeasible(pts2);
     if (best2)
         std::cout << "  optimum moves to W_Pof=" << best2->wPof

@@ -8,21 +8,32 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_common.hh"
 #include "core/unrolling.hh"
 #include "gan/models.hh"
 #include "sched/design.hh"
 #include "sched/pipeline.hh"
+#include "util/args.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ganacc;
     using core::ArchKind;
     using sched::Design;
     using sched::SyncPolicy;
+
+    util::ArgParser args(argc, argv);
+    const int jobs = args.getJobs();
+    if (args.helpRequested()) {
+        args.usage(std::cout);
+        return 0;
+    }
+    args.finish();
 
     bench::banner(
         "Fig. 17 — overall performance (1680 PEs)",
@@ -45,17 +56,35 @@ main()
                      "original synchronized algorithm)\n";
         double base = double(sched::iterationCycles(
             designs[3], m, SyncPolicy::Synchronized));
+        double base_d = double(
+            sched::discriminatorUpdateTiming(designs[3], m)
+                .syncCycles);
+        double base_g = double(
+            sched::generatorUpdateTiming(designs[3], m).syncCycles);
         util::Table t({"design", "D-upd sync", "D-upd deferred",
                        "G-upd sync", "G-upd deferred", "iter sync",
                        "iter deferred"});
-        for (const Design &d : designs) {
-            auto du = sched::discriminatorUpdateTiming(d, m);
-            auto gu = sched::generatorUpdateTiming(d, m);
-            double base_d = double(
-                sched::discriminatorUpdateTiming(designs[3], m)
-                    .syncCycles);
-            double base_g = double(
-                sched::generatorUpdateTiming(designs[3], m).syncCycles);
+        // The five design evaluations are independent; map them in
+        // parallel and print rows in design order.
+        std::vector<const Design *> items;
+        for (const Design &d : designs)
+            items.push_back(&d);
+        struct Timings
+        {
+            sched::UpdateTiming du, gu;
+        };
+        auto timings = util::parallelMap(
+            items,
+            [&](const Design *d) {
+                return Timings{
+                    sched::discriminatorUpdateTiming(*d, m),
+                    sched::generatorUpdateTiming(*d, m)};
+            },
+            jobs);
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            const Design &d = *items[i];
+            const auto &du = timings[i].du;
+            const auto &gu = timings[i].gu;
             double iter_sync = base / double(du.syncCycles +
                                              gu.syncCycles);
             double iter_def = base / double(du.deferredCycles +

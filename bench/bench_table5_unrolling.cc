@@ -8,12 +8,16 @@
  */
 
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_common.hh"
 #include "core/unrolling.hh"
 #include "gan/models.hh"
 #include "sim/phase.hh"
+#include "util/args.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace {
 
@@ -41,9 +45,17 @@ unrollStr(core::ArchKind kind, const sim::Unroll &u)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ganacc;
+    util::ArgParser args(argc, argv);
+    const int jobs = args.getJobs();
+    if (args.helpRequested()) {
+        args.usage(std::cout);
+        return 0;
+    }
+    args.finish();
+
     bench::banner("Table V — unrolling strategy",
                   "ST-ARCH (1200 PEs) e.g. OST Po=4x4 Pof=75; "
                   "W-ARCH (480 PEs) e.g. ZFWST Pk=4x4 Pof=30");
@@ -65,26 +77,56 @@ main()
         {sim::PhaseFamily::Gw, core::BankRole::W, 480},
     };
 
+    // One work item per (bank row, architecture): the exhaustive
+    // solver dominates the runtime, so the parallel map spreads the
+    // 20 searches across the workers; results land by index and print
+    // in the original deterministic order.
+    struct Cell
+    {
+        std::string paperUnroll, solverUnroll;
+        std::uint64_t paperCycles = 0, solverCycles = 0;
+        int solverPes = 0;
+    };
+    const auto kinds = core::allArchKinds();
+    std::vector<std::pair<const Row *, core::ArchKind>> work;
+    for (const Row &row : rows)
+        for (core::ArchKind kind : kinds)
+            work.emplace_back(&row, kind);
+
+    auto cells = util::parallelMap(
+        work,
+        [&](const std::pair<const Row *, core::ArchKind> &w) {
+            const Row &row = *w.first;
+            core::ArchKind kind = w.second;
+            auto probe = sim::familyJobs(dcgan, row.family);
+            auto paper =
+                core::paperUnroll(kind, row.role, row.family, row.pes);
+            auto paper_arch = core::makeArch(kind, paper);
+            Cell c;
+            for (const auto &j : probe)
+                c.paperCycles += paper_arch->run(j).cycles;
+            auto solved = core::solveUnrolling(kind, row.pes, probe, 8);
+            c.paperUnroll = unrollStr(kind, paper);
+            c.solverUnroll = unrollStr(kind, solved.unroll);
+            c.solverCycles = solved.cycles;
+            c.solverPes = solved.pes;
+            return c;
+        },
+        jobs);
+
+    std::size_t idx = 0;
     for (const Row &row : rows) {
-        auto jobs = sim::familyJobs(dcgan, row.family);
         std::cout << "\nPhase family " << sim::phaseFamilyName(row.family)
                   << " on the "
                   << (row.role == core::BankRole::ST ? "ST" : "W")
                   << " bank (" << row.pes << " PEs):\n";
         util::Table t({"arch", "paper unrolling", "paper cycles",
                        "solver unrolling", "solver cycles", "solver PEs"});
-        for (core::ArchKind kind : core::allArchKinds()) {
-            auto paper =
-                core::paperUnroll(kind, row.role, row.family, row.pes);
-            auto paper_arch = core::makeArch(kind, paper);
-            std::uint64_t paper_cycles = 0;
-            for (const auto &j : jobs)
-                paper_cycles += paper_arch->run(j).cycles;
-            auto solved =
-                core::solveUnrolling(kind, row.pes, jobs, 8);
-            t.addRow(core::archKindName(kind), unrollStr(kind, paper),
-                     paper_cycles, unrollStr(kind, solved.unroll),
-                     solved.cycles, solved.pes);
+        for (core::ArchKind kind : kinds) {
+            const Cell &c = cells[idx++];
+            t.addRow(core::archKindName(kind), c.paperUnroll,
+                     c.paperCycles, c.solverUnroll, c.solverCycles,
+                     c.solverPes);
         }
         t.print(std::cout);
     }

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Cycle-cache implementation.
+ */
+
+#include "core/cycle_cache.hh"
+
+#include <mutex>
+#include <sstream>
+
+namespace ganacc {
+namespace core {
+
+namespace {
+
+/** Every field that shapes a timing-only run, label excluded. */
+std::string
+keyOf(ArchKind kind, const sim::Unroll &u, const sim::ConvSpec &s)
+{
+    std::ostringstream os;
+    os << int(kind) << '|' << u.pIf << ',' << u.pOf << ',' << u.pKx
+       << ',' << u.pKy << ',' << u.pOx << ',' << u.pOy << '|' << s.nif
+       << ',' << s.nof << ',' << s.ih << ',' << s.iw << ',' << s.kh
+       << ',' << s.kw << ',' << s.oh << ',' << s.ow << ',' << s.stride
+       << ',' << s.pad << ',' << s.inZeroStride << ',' << s.inOrigH
+       << ',' << s.inOrigW << ',' << s.kZeroStride << ',' << s.kOrigH
+       << ',' << s.kOrigW << ',' << int(s.fourDimOutput);
+    return os.str();
+}
+
+} // namespace
+
+CycleCache &
+CycleCache::instance()
+{
+    static CycleCache cache;
+    return cache;
+}
+
+sim::RunStats
+CycleCache::stats(ArchKind kind, const sim::Unroll &u,
+                  const sim::ConvSpec &spec)
+{
+    const std::string key = keyOf(kind, u, spec);
+    {
+        std::shared_lock<std::shared_mutex> lk(m_);
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    sim::RunStats st = makeArch(kind, u)->run(spec);
+    {
+        std::unique_lock<std::shared_mutex> lk(m_);
+        map_.emplace(key, st);
+    }
+    return st;
+}
+
+void
+CycleCache::clear()
+{
+    std::unique_lock<std::shared_mutex> lk(m_);
+    map_.clear();
+    hits_.store(0);
+    misses_.store(0);
+}
+
+std::size_t
+CycleCache::size() const
+{
+    std::shared_lock<std::shared_mutex> lk(m_);
+    return map_.size();
+}
+
+sim::RunStats
+cachedRun(ArchKind kind, const sim::Unroll &u,
+          const sim::ConvSpec &spec)
+{
+    return CycleCache::instance().stats(kind, u, spec);
+}
+
+} // namespace core
+} // namespace ganacc

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Memoized per-job cycle/stats cache for the sweep engine.
+ *
+ * A timing-only Architecture::run() is a pure function of the
+ * (architecture kind, unrolling, conv shape) triple, and the DSE
+ * sweeps evaluate the same layer shapes hundreds of times: every
+ * (W_Pof, ST_Pof) point re-times the same networks, and the four
+ * phase families share layers. This cache keys RunStats on the full
+ * triple (the job label is deliberately excluded — it names, it does
+ * not shape) so each distinct layer geometry is simulated exactly
+ * once per unrolling, no matter how many design points or threads ask
+ * for it. All methods are thread-safe; concurrent misses on the same
+ * key may both simulate, but they compute identical values so the
+ * second insert is a harmless no-op.
+ */
+
+#ifndef GANACC_CORE_CYCLE_CACHE_HH
+#define GANACC_CORE_CYCLE_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/unrolling.hh"
+#include "sim/conv_spec.hh"
+#include "sim/stats.hh"
+
+namespace ganacc {
+namespace core {
+
+/** Process-wide memo of timing-only runs. */
+class CycleCache
+{
+  public:
+    static CycleCache &instance();
+
+    /**
+     * The RunStats of a timing-only run of `spec` on `kind` with
+     * unrolling `u`, simulating on a miss.
+     */
+    sim::RunStats stats(ArchKind kind, const sim::Unroll &u,
+                        const sim::ConvSpec &spec);
+
+    /** Drop every entry (for cold-cache timing comparisons). */
+    void clear();
+
+    std::size_t size() const;
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+
+  private:
+    CycleCache() = default;
+
+    mutable std::shared_mutex m_;
+    std::unordered_map<std::string, sim::RunStats> map_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+/** Convenience: CycleCache::instance().stats(...). */
+sim::RunStats cachedRun(ArchKind kind, const sim::Unroll &u,
+                        const sim::ConvSpec &spec);
+
+} // namespace core
+} // namespace ganacc
+
+#endif // GANACC_CORE_CYCLE_CACHE_HH

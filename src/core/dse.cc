@@ -9,6 +9,7 @@
 
 #include "core/unrolling.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace ganacc {
 namespace core {
@@ -55,6 +56,19 @@ sweepFrontier(const DseConstraints &cons, const GanModel &model)
         int st = mem::deriveStPof(w);
         pts.push_back(evaluatePoint(cons, model, w, st));
     }
+    return pts;
+}
+
+std::vector<DsePoint>
+sweepFrontierParallel(const DseConstraints &cons, const GanModel &model,
+                      int jobs)
+{
+    GANACC_ASSERT(cons.maxWPof >= 1, "empty sweep range");
+    std::vector<DsePoint> pts(std::size_t(cons.maxWPof));
+    util::parallelFor(pts.size(), jobs, [&](std::size_t i) {
+        int w = int(i) + 1;
+        pts[i] = evaluatePoint(cons, model, w, mem::deriveStPof(w));
+    });
     return pts;
 }
 

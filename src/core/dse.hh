@@ -67,10 +67,23 @@ DsePoint evaluatePoint(const DseConstraints &cons,
 
 /**
  * Sweep W_Pof (with ST_Pof following eq. 8) and return every point,
- * feasible or not, in increasing W_Pof order.
+ * feasible or not, in increasing W_Pof order. Serial reference
+ * implementation.
  */
 std::vector<DsePoint> sweepFrontier(const DseConstraints &cons,
                                     const gan::GanModel &model);
+
+/**
+ * The same sweep evaluated on `jobs` worker threads (0 resolves via
+ * util::resolveJobs: GANACC_JOBS, then hardware concurrency). Each
+ * point is an independent pure evaluation and results are stored by
+ * point index, so the returned vector is bit-identical to
+ * sweepFrontier — same points, same order — only faster. Per-layer
+ * cycle counts are shared through the memoizing CycleCache.
+ */
+std::vector<DsePoint> sweepFrontierParallel(const DseConstraints &cons,
+                                            const gan::GanModel &model,
+                                            int jobs = 0);
 
 /** The fastest feasible point of the frontier, if any. */
 std::optional<DsePoint> bestFeasible(const std::vector<DsePoint> &pts);

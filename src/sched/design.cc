@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/cycle_cache.hh"
 #include "util/logging.hh"
 
 namespace ganacc {
@@ -80,14 +81,18 @@ phaseStats(const sim::Architecture &arch, const GanModel &model, Phase p)
 namespace {
 
 /** Run one phase on the bank owning it, with the Table V unrolling
- *  for that (architecture, role, family). */
+ *  for that (architecture, role, family). Per-job stats come from the
+ *  memoizing CycleCache, so layers repeated across phases, designs
+ *  and sweep points simulate once. */
 RunStats
 runPhaseOnBank(ArchKind kind, BankRole role, int pes,
                const GanModel &model, Phase p)
 {
     sim::Unroll u = core::paperUnroll(kind, role, sim::familyOf(p), pes);
-    auto arch = core::makeArch(kind, u);
-    return phaseStats(*arch, model, p);
+    RunStats total;
+    for (const sim::ConvSpec &job : sim::phaseJobs(model, p))
+        total += core::cachedRun(kind, u, job);
+    return total;
 }
 
 /** One update's bank cycles given per-phase multiplicities. */

@@ -9,9 +9,11 @@
 #include <cmath>
 #include <ostream>
 
+#include "core/cycle_cache.hh"
 #include "core/unrolling.hh"
 #include "sim/phase.hh"
 #include "util/logging.hh"
+#include "util/strings.hh"
 
 namespace ganacc {
 namespace sched {
@@ -34,11 +36,11 @@ perLayerCycles(const Design &design, const GanModel &model, Phase p)
     core::ArchKind kind =
         role == BankRole::W ? design.wKind() : design.stKind();
     int pes = role == BankRole::W ? design.wPes() : design.stPes();
-    auto arch = core::makeArch(
-        kind, core::paperUnroll(kind, role, sim::familyOf(p), pes));
+    sim::Unroll u =
+        core::paperUnroll(kind, role, sim::familyOf(p), pes);
     std::vector<std::uint64_t> cycles;
     for (const auto &job : sim::phaseJobs(model, p))
-        cycles.push_back(arch->run(job).cycles);
+        cycles.push_back(core::cachedRun(kind, u, job).cycles);
     return cycles;
 }
 
@@ -351,7 +353,8 @@ writeChromeTrace(const UpdateDag &dag, const EventTrace &trace,
         if (!first)
             os << ",\n";
         first = false;
-        os << "{\"name\":\"" << name << "\",\"ph\":\"X\",\"pid\":0,"
+        os << "{\"name\":\"" << util::escapeJson(name)
+           << "\",\"ph\":\"X\",\"pid\":0,"
            << "\"tid\":" << tid << ",\"ts\":" << s << ",\"dur\":"
            << (e - s) << ",\"args\":{\"sample\":" << sample << "}}";
     };
@@ -374,7 +377,15 @@ renderGantt(const UpdateDag &dag, const EventTrace &trace, int samples,
             int width)
 {
     GANACC_ASSERT(width >= 10, "gantt too narrow");
-    GANACC_ASSERT(trace.makespan > 0, "empty trace");
+    // Degenerate trace (empty DAG or zero-sample run): render a stub
+    // instead of dividing by a zero makespan.
+    if (trace.makespan == 0) {
+        std::string idle(std::size_t(width), '.');
+        return "ST bank " + idle + "\nW  bank " + idle +
+               "\nDRAM dW " + idle + "\nsamples " +
+               std::string(std::size_t(width), ' ') +
+               "  (empty trace)\n";
+    }
     const double per_col = double(trace.makespan) / width;
     const std::size_t per_sample = dag.jobs.size();
 
@@ -384,8 +395,11 @@ renderGantt(const UpdateDag &dag, const EventTrace &trace, int samples,
     auto charge = [&](int row, std::uint64_t s, std::uint64_t e) {
         if (e <= s)
             return;
-        int c0 = int(double(s) / per_col);
-        int c1 = std::min(width - 1, int(double(e - 1) / per_col));
+        // Clamp both bucket indices: with width > makespan, per_col
+        // drops below 1 and the float division can land on `width`.
+        int c0 = std::clamp(int(double(s) / per_col), 0, width - 1);
+        int c1 = std::clamp(int(double(e - 1) / per_col), c0,
+                            width - 1);
         for (int c = c0; c <= c1; ++c) {
             double lo = std::max(double(s), c * per_col);
             double hi = std::min(double(e), (c + 1) * per_col);
@@ -418,7 +432,10 @@ renderGantt(const UpdateDag &dag, const EventTrace &trace, int samples,
             end = std::max(
                 end,
                 trace.spans[std::size_t(s) * per_sample + i].end);
-        int c = std::min(width - 1, int(double(end - 1) / per_col));
+        if (end == 0)
+            continue; // all-zero-length sample: no marker, no underflow
+        int c = std::clamp(int(double(end - 1) / per_col), 0,
+                           width - 1);
         ruler[std::size_t(c)] = '|';
     }
     std::string out;

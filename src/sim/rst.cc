@@ -21,7 +21,6 @@ Rst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
     const bool functional = in != nullptr;
     const int n_pes = numPes();
     RunStats st;
-    gated_ = 0;
 
     const int ktiles = (spec.kh + unroll_.pKy - 1) / unroll_.pKy;
 
@@ -97,7 +96,7 @@ Rst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                             // Gated slots: scheduled but zero-operand.
                             const std::uint64_t gated =
                                 std::uint64_t(grid - eff) * of_cnt;
-                            gated_ += gated;
+                            st.gatedSlots += gated;
                             st.effectiveMacs +=
                                 std::uint64_t(eff) * of_cnt;
                             st.ineffectualMacs += gated;

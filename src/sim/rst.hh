@@ -35,17 +35,13 @@ class Rst : public Architecture
         return unroll_.pKy * unroll_.pOy * unroll_.pOf;
     }
 
-    /** PE slots whose operands were zero-gated (energy saved while
-     *  the cycle elapsed); a subset of ineffectualMacs. */
-    std::uint64_t gatedSlots() const { return gated_; }
-
   protected:
+    /** Gated slots (energy saved while the cycle elapsed) are
+     *  reported in RunStats::gatedSlots; run() stays reentrant — no
+     *  state survives on the architecture object. */
     RunStats doRun(const ConvSpec &spec, const tensor::Tensor *in,
                    const tensor::Tensor *w,
                    tensor::Tensor *out) const override;
-
-  private:
-    mutable std::uint64_t gated_ = 0;
 };
 
 } // namespace sim

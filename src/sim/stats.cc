@@ -24,6 +24,7 @@ RunStats::operator+=(const RunStats &o)
     effectiveMacs += o.effectiveMacs;
     ineffectualMacs += o.ineffectualMacs;
     idlePeSlots += o.idlePeSlots;
+    gatedSlots += o.gatedSlots;
     weightLoads += o.weightLoads;
     inputLoads += o.inputLoads;
     outputReads += o.outputReads;
@@ -39,6 +40,8 @@ RunStats::str() const
        << " ineff=" << ineffectualMacs << " idle=" << idlePeSlots
        << " util=" << utilization() << " wld=" << weightLoads << " ild="
        << inputLoads << " ord=" << outputReads << " owr=" << outputWrites;
+    if (gatedSlots)
+        os << " gated=" << gatedSlots;
     return os.str();
 }
 

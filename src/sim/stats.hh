@@ -31,6 +31,10 @@ struct RunStats
     std::uint64_t ineffectualMacs = 0;
     /// PE slots with nothing scheduled at all.
     std::uint64_t idlePeSlots = 0;
+    /// Ineffectual slots whose operands were clock-gated (energy
+    /// saved while the cycle elapsed); a subset of ineffectualMacs,
+    /// only counted by gating architectures (RST).
+    std::uint64_t gatedSlots = 0;
 
     /// On-chip buffer accesses (Fig. 16 categories).
     std::uint64_t weightLoads = 0;

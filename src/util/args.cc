@@ -8,6 +8,7 @@
 #include <cstdlib>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace ganacc {
 namespace util {
@@ -103,6 +104,18 @@ ArgParser::getFlag(const std::string &name, const std::string &help)
 {
     registerFlag(name, "off", help);
     return values_.count(name) > 0;
+}
+
+int
+ArgParser::getJobs()
+{
+    int requested = getInt(
+        "jobs", 0,
+        "worker threads for parallel sweeps (0 = GANACC_JOBS env or "
+        "hardware concurrency)");
+    if (requested < 0)
+        fatal("--jobs expects a non-negative count, got ", requested);
+    return resolveJobs(requested);
 }
 
 bool

@@ -43,6 +43,14 @@ class ArgParser
     /** Boolean flag (present => true). */
     bool getFlag(const std::string &name, const std::string &help);
 
+    /**
+     * Worker-count flag for the parallel sweep engine: registers
+     * "--jobs N" and resolves it through util::resolveJobs — an
+     * explicit N wins, then the GANACC_JOBS environment variable,
+     * then std::thread::hardware_concurrency(). Always >= 1.
+     */
+    int getJobs();
+
     /** True when --help was passed. */
     bool helpRequested() const;
 

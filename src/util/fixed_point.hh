@@ -36,16 +36,30 @@ class Fixed16
 
     constexpr Fixed16() = default;
 
-    /** Quantize a double with round-to-nearest and saturation. */
+    /** Quantize a double with round-to-nearest and saturation.
+     *  NaN quantizes to zero. */
     static Fixed16
     fromDouble(double v)
     {
-        double scaled = std::nearbyint(v * scale);
-        scaled = std::clamp(scaled,
-                            double(std::numeric_limits<int16_t>::min()),
-                            double(std::numeric_limits<int16_t>::max()));
         Fixed16 f;
-        f.raw_ = static_cast<int16_t>(scaled);
+        if (std::isnan(v))
+            return f;
+        // Round in a wide integer *before* clamping: rounding a value
+        // that a floating-point clamp already pinned to INT16_MAX can
+        // land past the bound and make the narrowing cast
+        // implementation-defined.
+        double scaled = v * scale;
+        std::int64_t r;
+        if (scaled >= 2e18)
+            r = std::numeric_limits<std::int64_t>::max();
+        else if (scaled <= -2e18)
+            r = std::numeric_limits<std::int64_t>::min();
+        else
+            r = std::llrint(scaled);
+        r = std::clamp(r,
+                       std::int64_t(std::numeric_limits<int16_t>::min()),
+                       std::int64_t(std::numeric_limits<int16_t>::max()));
+        f.raw_ = static_cast<int16_t>(r);
         return f;
     }
 

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small string helpers shared by the text emitters.
+ */
+
+#ifndef GANACC_UTIL_STRINGS_HH
+#define GANACC_UTIL_STRINGS_HH
+
+#include <cstdio>
+#include <string>
+
+namespace ganacc {
+namespace util {
+
+/**
+ * Escape a string for inclusion inside a JSON string literal:
+ * backslash, double quote and every control character below 0x20
+ * (named escapes where JSON has them, \u00XX otherwise). Bytes above
+ * 0x7f pass through untouched — JSON permits raw UTF-8.
+ */
+inline std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        unsigned char c = static_cast<unsigned char>(ch);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace util
+} // namespace ganacc
+
+#endif // GANACC_UTIL_STRINGS_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Thread-pool implementation.
+ */
+
+#include "util/thread_pool.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace util {
+
+int
+hardwareJobs()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? int(n) : 1;
+}
+
+int
+resolveJobs(int requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("GANACC_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return int(v);
+    }
+    return hardwareJobs();
+}
+
+ThreadPool::ThreadPool(int jobs)
+{
+    const int n = resolveJobs(jobs);
+    queues_.reserve(std::size_t(n));
+    for (int i = 0; i < n; ++i)
+        queues_.push_back(std::make_unique<Queue>());
+    workers_.reserve(std::size_t(n));
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back(
+            [this, i] { workerLoop(std::size_t(i)); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    GANACC_ASSERT(task != nullptr, "null task submitted");
+    std::size_t target;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        GANACC_ASSERT(!stop_, "submit on a stopping pool");
+        target = nextQueue_;
+        nextQueue_ = (nextQueue_ + 1) % queues_.size();
+        ++queued_;
+        ++pending_;
+    }
+    {
+        std::lock_guard<std::mutex> lk(queues_[target]->m);
+        queues_[target]->tasks.push_back(std::move(task));
+    }
+    workCv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(m_);
+    idleCv_.wait(lk, [this] { return pending_ == 0; });
+}
+
+bool
+ThreadPool::tryPop(std::size_t self, std::function<void()> &task)
+{
+    // Own queue first (front: LIFO locality does not matter here, the
+    // deque front is the submission order), then steal from the back
+    // of the others.
+    {
+        Queue &q = *queues_[self];
+        std::lock_guard<std::mutex> lk(q.m);
+        if (!q.tasks.empty()) {
+            task = std::move(q.tasks.front());
+            q.tasks.pop_front();
+            return true;
+        }
+    }
+    for (std::size_t k = 1; k < queues_.size(); ++k) {
+        Queue &q = *queues_[(self + k) % queues_.size()];
+        std::lock_guard<std::mutex> lk(q.m);
+        if (!q.tasks.empty()) {
+            task = std::move(q.tasks.back());
+            q.tasks.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    for (;;) {
+        std::function<void()> task;
+        if (tryPop(self, task)) {
+            {
+                std::lock_guard<std::mutex> lk(m_);
+                --queued_;
+            }
+            task();
+            bool drained;
+            {
+                std::lock_guard<std::mutex> lk(m_);
+                drained = --pending_ == 0;
+            }
+            if (drained)
+                idleCv_.notify_all();
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(m_);
+        workCv_.wait(lk, [this] { return stop_ || queued_ > 0; });
+        if (stop_ && queued_ == 0)
+            return;
+    }
+}
+
+} // namespace util
+} // namespace ganacc

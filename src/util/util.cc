@@ -6,6 +6,7 @@
 #include "util/fixed_point.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
+#include "util/strings.hh"
 #include "util/table.hh"
 
 namespace ganacc {

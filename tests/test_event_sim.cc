@@ -277,6 +277,82 @@ TEST(EventSim, MixedGeneratorModelSchedulesCleanly)
     EXPECT_EQ(g_dag.jobs.size(), 8u + 5 + 4 + 7 + 8);
 }
 
+TEST(EventSim, ChromeTraceEscapesHostileJobLabels)
+{
+    // A label with quotes, backslashes and control characters must
+    // not leak into the JSON unescaped (chrome://tracing rejects the
+    // whole file otherwise).
+    sched::UpdateDag dag;
+    dag.jobs.push_back({"evil \"label\"\\ with\nnewline\tand \x01",
+                        Resource::StBank, 10, 0, {}});
+    dag.jobs.push_back({"Dw \"real\" L0", Resource::WBank, 5, 64,
+                        std::vector<std::size_t>{0}});
+    mem::OffChipConfig offchip;
+    auto trace = sched::simulateEvents(dag, 1, offchip);
+    std::ostringstream os;
+    sched::writeChromeTrace(dag, trace, 1, os);
+    std::string json = os.str();
+    // The escaped forms are present...
+    EXPECT_NE(json.find("evil \\\"label\\\"\\\\ with\\nnewline"),
+              std::string::npos);
+    EXPECT_NE(json.find("\\u0001"), std::string::npos);
+    // ...and no raw control characters survive anywhere.
+    for (char c : json)
+        EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 ||
+                    c == '\n')
+            << "raw control char in JSON output";
+    // Quote count stays even (every string literal closes).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '"') % 2, 0);
+}
+
+TEST(EventSim, GanttRendersStubOnEmptyTrace)
+{
+    // Empty DAG: zero makespan must render a stub, not divide by
+    // zero.
+    sched::UpdateDag empty;
+    mem::OffChipConfig offchip;
+    auto trace = sched::simulateEvents(empty, 1, offchip);
+    EXPECT_EQ(trace.makespan, 0u);
+    std::string g = sched::renderGantt(empty, trace, 1, 40);
+    EXPECT_NE(g.find("ST bank"), std::string::npos);
+    EXPECT_NE(g.find("W  bank"), std::string::npos);
+    EXPECT_NE(g.find("DRAM dW"), std::string::npos);
+    EXPECT_NE(g.find("empty trace"), std::string::npos);
+    // Zero-compute jobs also yield a zero makespan.
+    sched::UpdateDag zero;
+    zero.jobs.push_back({"noop", Resource::StBank, 0, 0, {}});
+    auto ztrace = sched::simulateEvents(zero, 1, offchip);
+    EXPECT_EQ(ztrace.makespan, 0u);
+    EXPECT_NE(sched::renderGantt(zero, ztrace, 1, 40)
+                  .find("empty trace"),
+              std::string::npos);
+    // Width narrower than the minimum still panics loudly.
+    EXPECT_THROW(sched::renderGantt(empty, trace, 1, 3),
+                 util::PanicError);
+}
+
+TEST(EventSim, GanttHandlesWidthWiderThanMakespan)
+{
+    // width > makespan drives per_col below one; bucket indices must
+    // stay clamped and the ruler must not underflow on end == 0.
+    sched::UpdateDag dag;
+    dag.jobs.push_back({"tiny", Resource::StBank, 3, 0, {}});
+    mem::OffChipConfig offchip;
+    auto trace = sched::simulateEvents(dag, 1, offchip);
+    ASSERT_EQ(trace.makespan, 3u);
+    std::string g = sched::renderGantt(dag, trace, 1, 120);
+    // Four rows, each 120 columns wide after its 8-char prefix.
+    std::istringstream is(g);
+    std::string line;
+    int rows = 0;
+    while (std::getline(is, line)) {
+        ++rows;
+        EXPECT_GE(line.size(), std::size_t(8 + 120)) << line;
+    }
+    EXPECT_EQ(rows, 4);
+    EXPECT_NE(g.find('|'), std::string::npos);
+}
+
 TEST(EventSim, RejectsUniqueDesigns)
 {
     gan::GanModel m = gan::makeMnistGan();

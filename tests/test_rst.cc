@@ -113,7 +113,7 @@ TEST(Rst, GatingSavesNoCyclesOnStuffedInputs)
     EXPECT_LT(r.utilization(), 0.45);
     EXPECT_GT(z.utilization(), 2.0 * r.utilization());
     // The gated slots are exactly the ineffectual ones.
-    EXPECT_EQ(rst.gatedSlots(), r.ineffectualMacs);
+    EXPECT_EQ(r.gatedSlots, r.ineffectualMacs);
 }
 
 TEST(Rst, DilatedKernelRowsWasteHalfTheGrid)

@@ -5,12 +5,20 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "util/fixed_point.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
+#include "util/strings.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace {
 
@@ -137,6 +145,131 @@ TEST(Fixed16, RawAccessorsConsistent)
     auto f = AccelFixed::fromRaw(256);
     EXPECT_DOUBLE_EQ(f.toDouble(), 1.0);
     EXPECT_EQ(f.raw(), 256);
+}
+
+TEST(Fixed16, RoundingAtTheSaturationBoundary)
+{
+    // The largest representable value is (2^15 - 1) / 2^n. A double
+    // just below it must round *to* it, and anything at or beyond it
+    // must saturate — never wrap or invoke an out-of-range narrowing
+    // cast (rounding must happen in a wide integer before clamping).
+    const double top = 32767.0 / AccelFixed::scale;
+    EXPECT_EQ(AccelFixed::fromDouble(top).raw(), 32767);
+    // Just below the bound: rounds up to the bound, stays in range.
+    EXPECT_EQ(AccelFixed::fromDouble(top - 0.4 / AccelFixed::scale)
+                  .raw(),
+              32767);
+    // Just past the bound: round-to-nearest lands on 32768;
+    // saturation must win.
+    EXPECT_EQ(AccelFixed::fromDouble(top + 0.6 / AccelFixed::scale)
+                  .raw(),
+              32767);
+    EXPECT_EQ(AccelFixed::fromDouble(top + 1.0).raw(), 32767);
+    const double bottom = -32768.0 / AccelFixed::scale;
+    EXPECT_EQ(AccelFixed::fromDouble(bottom).raw(), -32768);
+    EXPECT_EQ(AccelFixed::fromDouble(bottom - 1.0).raw(), -32768);
+}
+
+TEST(Fixed16, NonFiniteInputsSaturateOrZero)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(AccelFixed::fromDouble(inf).raw(), 32767);
+    EXPECT_EQ(AccelFixed::fromDouble(-inf).raw(), -32768);
+    EXPECT_EQ(AccelFixed::fromDouble(
+                  std::numeric_limits<double>::quiet_NaN())
+                  .raw(),
+              0);
+    // Finite but astronomically large values saturate too.
+    EXPECT_EQ(AccelFixed::fromDouble(1e300).raw(), 32767);
+    EXPECT_EQ(AccelFixed::fromDouble(-1e300).raw(), -32768);
+}
+
+TEST(EscapeJson, PassesCleanStringsThrough)
+{
+    EXPECT_EQ(escapeJson("G-fwd L0"), "G-fwd L0");
+    EXPECT_EQ(escapeJson(""), "");
+}
+
+TEST(EscapeJson, EscapesQuotesBackslashesAndControls)
+{
+    EXPECT_EQ(escapeJson("a\"b"), "a\\\"b");
+    EXPECT_EQ(escapeJson("a\\b"), "a\\\\b");
+    EXPECT_EQ(escapeJson("a\nb\tc\rd\be\ff"),
+              "a\\nb\\tc\\rd\\be\\ff");
+    EXPECT_EQ(escapeJson(std::string("a\x01z", 3)), "a\\u0001z");
+    EXPECT_EQ(escapeJson(std::string(1, '\x1f')), "\\u001f");
+    // UTF-8 passes through untouched.
+    EXPECT_EQ(escapeJson("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(4);
+        EXPECT_EQ(pool.jobs(), 4);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), 100);
+    }
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ParallelMap, PreservesInputOrder)
+{
+    std::vector<int> items(257);
+    for (std::size_t i = 0; i < items.size(); ++i)
+        items[i] = int(i);
+    for (int jobs : {1, 3, 8}) {
+        auto out = parallelMap(
+            items, [](int v) { return v * v; }, jobs);
+        ASSERT_EQ(out.size(), items.size());
+        for (std::size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out[i], int(i) * int(i));
+    }
+}
+
+TEST(ParallelMap, PropagatesTheFirstException)
+{
+    std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_THROW(parallelMap(
+                     items,
+                     [](int v) -> int {
+                         if (v == 5)
+                             throw std::runtime_error("boom");
+                         return v;
+                     },
+                     4),
+                 std::runtime_error);
+}
+
+TEST(ResolveJobs, ExplicitRequestWins)
+{
+    EXPECT_EQ(resolveJobs(3), 3);
+    EXPECT_GE(resolveJobs(0), 1);
+    EXPECT_GE(hardwareJobs(), 1);
+}
+
+TEST(ResolveJobs, EnvFallbackParsesGanaccJobs)
+{
+    ::setenv("GANACC_JOBS", "5", 1);
+    EXPECT_EQ(resolveJobs(0), 5);
+    EXPECT_EQ(resolveJobs(2), 2); // explicit still wins
+    ::setenv("GANACC_JOBS", "garbage", 1);
+    EXPECT_GE(resolveJobs(0), 1); // malformed env falls through
+    ::unsetenv("GANACC_JOBS");
 }
 
 TEST(Table, AlignsColumns)
