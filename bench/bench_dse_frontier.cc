@@ -43,7 +43,9 @@ identical(const std::vector<ganacc::core::DsePoint> &a,
             a[i].iterationCycles != b[i].iterationCycles ||
             a[i].samplesPerSecond != b[i].samplesPerSecond ||
             a[i].fitsDevice != b[i].fitsDevice ||
-            a[i].bandwidthFeasible != b[i].bandwidthFeasible)
+            a[i].bandwidthFeasible != b[i].bandwidthFeasible ||
+            a[i].verifierRejected != b[i].verifierRejected ||
+            a[i].verifierCode != b[i].verifierCode)
             return false;
     return true;
 }
@@ -58,6 +60,8 @@ main(int argc, char **argv)
     const int jobs = args.getJobs();
     const int max_wpof = args.getInt(
         "max-wpof", 60, "widest W bank (channels) to sweep");
+    const bool no_verify = args.getFlag(
+        "no-verify", "skip the static verifier pre-filter");
     if (args.helpRequested()) {
         args.usage(std::cout);
         return 0;
@@ -71,6 +75,7 @@ main(int argc, char **argv)
     core::DseConstraints cons;
     cons.budget = core::vcu9pBudget();
     cons.maxWPof = max_wpof;
+    cons.verify = !no_verify;
     gan::GanModel dcgan = gan::makeDcgan();
 
     // Cold-cache timing of both sweep paths, then the parity check
@@ -91,7 +96,10 @@ main(int argc, char **argv)
               << serial_s / parallel_s << "x), results "
               << (identical(serial_pts, pts) ? "bit-identical"
                                              : "DIVERGED (bug!)")
-              << ", cycle cache " << cache.size() << " entries\n\n";
+              << ", cycle cache " << cache.size() << " entries, "
+              << core::verifierRejectedCount(pts)
+              << " points verifier-rejected"
+              << (cons.verify ? "" : " (pre-filter off)") << "\n\n";
 
     util::Table t({"W_Pof", "ST_Pof", "PEs", "samples/s", "DSP",
                    "BRAM", "fits", "bandwidth ok"});

@@ -28,6 +28,9 @@ main(int argc, char **argv)
     using namespace ganacc;
     util::ArgParser args(argc, argv);
     const int jobs = args.getJobs();
+    const bool no_verify = args.getFlag(
+        "no-verify",
+        "skip the static verifier pre-filter on frontier sweeps");
     if (args.helpRequested()) {
         args.usage(std::cout);
         return 0;
@@ -103,14 +106,18 @@ main(int argc, char **argv)
     core::DseConstraints cons;
     cons.budget = core::vcu9pBudget();
     cons.maxWPof = 45;
+    cons.verify = !no_verify;
     auto pts = core::sweepFrontierParallel(cons, dcgan, jobs);
     auto best = core::bestFeasible(pts);
     if (best)
-        std::cout << "  " << pts.size()
-                  << " points evaluated; best feasible: W_Pof="
-                  << best->wPof << ", ST_Pof=" << best->stPof << " ("
-                  << best->totalPes << " PEs, "
-                  << best->samplesPerSecond << " samples/s)\n";
+        std::cout << "  " << pts.size() << " points evaluated ("
+                  << core::verifierRejectedCount(pts)
+                  << " rejected by the verifier"
+                  << (cons.verify ? "" : ", pre-filter off")
+                  << "); best feasible: W_Pof=" << best->wPof
+                  << ", ST_Pof=" << best->stPof << " (" << best->totalPes
+                  << " PEs, " << best->samplesPerSecond
+                  << " samples/s)\n";
 
     // 4. Let the solver re-derive the ST-bank unrolling for each
     //    network — Table V, but computed rather than copied.

@@ -10,11 +10,52 @@
 #include "core/unrolling.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
+#include "verify/legality.hh"
 
 namespace ganacc {
 namespace core {
 
 using gan::GanModel;
+
+namespace {
+
+/** Placeholder for a point the verifier refused to simulate. */
+DsePoint
+rejectedPoint(const DseConstraints &cons, int w_pof, int st_pof,
+              const verify::Report &report)
+{
+    DsePoint p;
+    p.wPof = w_pof;
+    p.stPof = st_pof;
+    p.totalPes = (w_pof + st_pof) * cons.pesPerChannel;
+    p.verifierRejected = true;
+    for (const verify::Diagnostic &d : report.diagnostics()) {
+        if (d.severity != verify::Severity::Error)
+            continue;
+        p.verifierCode = d.code;
+        p.verifierMessage = d.message;
+        break;
+    }
+    return p;
+}
+
+/** Pre-filter one point; true when it must be skipped. */
+bool
+prefilter(const DseConstraints &cons, const verify::Report &model_report,
+          int w_pof, int st_pof, DsePoint &out)
+{
+    if (!cons.verify)
+        return false;
+    verify::Report pr;
+    verify::checkDesignPoint(model_report, w_pof, st_pof,
+                             cons.pesPerChannel, pr);
+    if (pr.ok())
+        return false;
+    out = rejectedPoint(cons, w_pof, st_pof, pr);
+    return true;
+}
+
+} // namespace
 
 DsePoint
 evaluatePoint(const DseConstraints &cons, const GanModel &model,
@@ -51,10 +92,16 @@ evaluatePoint(const DseConstraints &cons, const GanModel &model,
 std::vector<DsePoint>
 sweepFrontier(const DseConstraints &cons, const GanModel &model)
 {
+    verify::Report model_report;
+    if (cons.verify)
+        verify::checkModel(model, model_report);
     std::vector<DsePoint> pts;
     for (int w = 1; w <= cons.maxWPof; ++w) {
         int st = mem::deriveStPof(w);
-        pts.push_back(evaluatePoint(cons, model, w, st));
+        DsePoint rejected;
+        pts.push_back(prefilter(cons, model_report, w, st, rejected)
+                          ? rejected
+                          : evaluatePoint(cons, model, w, st));
     }
     return pts;
 }
@@ -64,12 +111,29 @@ sweepFrontierParallel(const DseConstraints &cons, const GanModel &model,
                       int jobs)
 {
     GANACC_ASSERT(cons.maxWPof >= 1, "empty sweep range");
+    // The network is validated once, not once per point; each worker
+    // only runs the cheap per-point checks against the cached report.
+    verify::Report model_report;
+    if (cons.verify)
+        verify::checkModel(model, model_report);
     std::vector<DsePoint> pts(std::size_t(cons.maxWPof));
     util::parallelFor(pts.size(), jobs, [&](std::size_t i) {
         int w = int(i) + 1;
-        pts[i] = evaluatePoint(cons, model, w, mem::deriveStPof(w));
+        int st = mem::deriveStPof(w);
+        DsePoint rejected;
+        pts[i] = prefilter(cons, model_report, w, st, rejected)
+                     ? rejected
+                     : evaluatePoint(cons, model, w, st);
     });
     return pts;
+}
+
+int
+verifierRejectedCount(const std::vector<DsePoint> &pts)
+{
+    return int(std::count_if(
+        pts.begin(), pts.end(),
+        [](const DsePoint &p) { return p.verifierRejected; }));
 }
 
 std::optional<DsePoint>

@@ -35,6 +35,11 @@ struct DseConstraints
     FpgaResources budget;             ///< device limits
     int maxWPof = 120;                ///< W-bank channel ceiling
     int pesPerChannel = 16;           ///< 4x4 arrays per channel
+    /// Run the static verifier as a frontier pre-filter: illegal
+    /// points are rejected with a diagnostic code instead of being
+    /// simulated (or panicking the cycle models). Opt out with
+    /// --no-verify in the example/bench drivers.
+    bool verify = true;
 };
 
 /** One evaluated configuration. */
@@ -48,11 +53,16 @@ struct DsePoint
     FpgaResources resources;
     bool fitsDevice = false;
     bool bandwidthFeasible = false;
+    /// Set when the static verifier rejected the point before
+    /// simulation; verifierCode/verifierMessage carry the first error.
+    bool verifierRejected = false;
+    std::string verifierCode;
+    std::string verifierMessage;
 
     bool
     feasible() const
     {
-        return fitsDevice && bandwidthFeasible;
+        return !verifierRejected && fitsDevice && bandwidthFeasible;
     }
 };
 
@@ -87,6 +97,9 @@ std::vector<DsePoint> sweepFrontierParallel(const DseConstraints &cons,
 
 /** The fastest feasible point of the frontier, if any. */
 std::optional<DsePoint> bestFeasible(const std::vector<DsePoint> &pts);
+
+/** How many frontier points the static verifier rejected. */
+int verifierRejectedCount(const std::vector<DsePoint> &pts);
 
 } // namespace core
 } // namespace ganacc

@@ -116,7 +116,7 @@ void
 ConvLayerBase::initWeights(util::Rng &rng)
 {
     float fan_in =
-        float(inChannels_) * geom_.kernel * geom_.kernel;
+        float(inChannels_) * float(geom_.kernel) * float(geom_.kernel);
     float stddev = std::sqrt(2.0f / fan_in);
     weights_.fillGaussian(rng, 0.0f, stddev);
 }

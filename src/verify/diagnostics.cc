@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Diagnostic report implementation.
+ */
+
+#include "verify/diagnostics.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace ganacc {
+namespace verify {
+
+std::string
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Note:
+        return "note";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Error:
+        return "error";
+    }
+    util::panic("unknown severity");
+}
+
+void
+Report::add(Diagnostic d)
+{
+    diags_.push_back(std::move(d));
+}
+
+void
+Report::error(const std::string &code, const std::string &where,
+              const std::string &message)
+{
+    add({code, Severity::Error, where, message});
+}
+
+void
+Report::warning(const std::string &code, const std::string &where,
+                const std::string &message)
+{
+    add({code, Severity::Warning, where, message});
+}
+
+void
+Report::note(const std::string &code, const std::string &where,
+             const std::string &message)
+{
+    add({code, Severity::Note, where, message});
+}
+
+void
+Report::merge(const Report &other)
+{
+    diags_.insert(diags_.end(), other.diags_.begin(),
+                  other.diags_.end());
+}
+
+namespace {
+
+int
+countSeverity(const std::vector<Diagnostic> &diags, Severity s)
+{
+    return int(std::count_if(
+        diags.begin(), diags.end(),
+        [s](const Diagnostic &d) { return d.severity == s; }));
+}
+
+} // namespace
+
+int
+Report::errorCount() const
+{
+    return countSeverity(diags_, Severity::Error);
+}
+
+int
+Report::warningCount() const
+{
+    return countSeverity(diags_, Severity::Warning);
+}
+
+int
+Report::noteCount() const
+{
+    return countSeverity(diags_, Severity::Note);
+}
+
+bool
+Report::has(const std::string &code) const
+{
+    return find(code) != nullptr;
+}
+
+const Diagnostic *
+Report::find(const std::string &code) const
+{
+    for (const Diagnostic &d : diags_)
+        if (d.code == code)
+            return &d;
+    return nullptr;
+}
+
+void
+Report::renderText(std::ostream &os) const
+{
+    for (const Diagnostic &d : diags_) {
+        os << severityName(d.severity) << " " << d.code;
+        if (!d.where.empty())
+            os << " [" << d.where << "]";
+        os << ": " << d.message << "\n";
+    }
+}
+
+void
+Report::renderJson(std::ostream &os) const
+{
+    os << "{\"errors\":" << errorCount()
+       << ",\"warnings\":" << warningCount()
+       << ",\"notes\":" << noteCount() << ",\"diagnostics\":[";
+    for (std::size_t i = 0; i < diags_.size(); ++i) {
+        const Diagnostic &d = diags_[i];
+        if (i)
+            os << ",";
+        os << "{\"code\":\"" << util::escapeJson(d.code)
+           << "\",\"severity\":\"" << severityName(d.severity)
+           << "\",\"where\":\"" << util::escapeJson(d.where)
+           << "\",\"message\":\"" << util::escapeJson(d.message)
+           << "\"}";
+    }
+    os << "]}";
+}
+
+} // namespace verify
+} // namespace ganacc

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Diagnostic records produced by the static verifier.
+ *
+ * Every finding carries a *stable* code (documented in
+ * docs/static_analysis.md and asserted by the negative-path tests), a
+ * severity, and the spec location it refers to, so both humans and the
+ * DSE frontier pre-filter can act on reports without parsing prose.
+ * Reports render as text for the terminal or as JSON
+ * (`ganacc-lint --format=json`) for machine consumers.
+ */
+
+#ifndef GANACC_VERIFY_DIAGNOSTICS_HH
+#define GANACC_VERIFY_DIAGNOSTICS_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ganacc {
+namespace verify {
+
+/** How bad a finding is. */
+enum class Severity
+{
+    Note,    ///< informative (e.g. boundary under-utilization figures)
+    Warning, ///< legal but suspicious; simulation results may mislead
+    Error,   ///< illegal: simulating this spec is meaningless or panics
+};
+
+std::string severityName(Severity s);
+
+/** Stable diagnostic codes. Append-only: codes are a public contract
+ *  (tests and DSE match on them), so never renumber or reuse one. */
+namespace codes {
+
+// Spec-level (ConvSpec) legality.
+inline constexpr const char *kSpecField = "GA-SPEC-FIELD";
+inline constexpr const char *kSpecExtent = "GA-SPEC-EXTENT";
+inline constexpr const char *kSpecZeroInsertStride = "GA-SPEC-ZI-STRIDE";
+inline constexpr const char *kSpecZeroInsertGeom = "GA-SPEC-ZI-GEOM";
+inline constexpr const char *kSpecKernelZeroGeom = "GA-SPEC-KZ-GEOM";
+
+// Network-level (LayerSpec graph) legality.
+inline constexpr const char *kNetEmpty = "GA-NET-EMPTY";
+inline constexpr const char *kNetShape = "GA-NET-SHAPE";
+inline constexpr const char *kNetChain = "GA-NET-CHAIN";
+inline constexpr const char *kNetHead = "GA-NET-HEAD";
+inline constexpr const char *kNetImage = "GA-NET-IMAGE";
+
+// Unrolling legality against a dataflow.
+inline constexpr const char *kUnrollPositive = "GA-UNROLL-POSITIVE";
+inline constexpr const char *kUnrollUnused = "GA-UNROLL-UNUSED";
+inline constexpr const char *kUnrollDivide = "GA-UNROLL-DIVIDE";
+inline constexpr const char *kUnrollWaste = "GA-UNROLL-WASTE";
+
+// On-chip buffer capacity.
+inline constexpr const char *kBufCapacity = "GA-BUF-CAPACITY";
+inline constexpr const char *kBufWorkset = "GA-BUF-WORKSET";
+
+// Fixed-point range analysis.
+inline constexpr const char *kRangeSaturate = "GA-RANGE-SAT";
+inline constexpr const char *kRangeGradient = "GA-RANGE-GRAD";
+inline constexpr const char *kRangeWorstCase = "GA-RANGE-WC";
+
+// Static-vs-simulated bounds cross-check.
+inline constexpr const char *kBoundsDiverge = "GA-BOUNDS-DIVERGE";
+
+// DSE point pre-filter.
+inline constexpr const char *kDsePoint = "GA-DSE-POINT";
+
+} // namespace codes
+
+/** One verifier finding. */
+struct Diagnostic
+{
+    std::string code;    ///< stable code from verify::codes
+    Severity severity = Severity::Error;
+    std::string where;   ///< spec location, e.g. "DCGAN disc L2"
+    std::string message; ///< human-readable explanation
+};
+
+/** An ordered collection of findings for one verification run. */
+class Report
+{
+  public:
+    void add(Diagnostic d);
+
+    void error(const std::string &code, const std::string &where,
+               const std::string &message);
+    void warning(const std::string &code, const std::string &where,
+                 const std::string &message);
+    void note(const std::string &code, const std::string &where,
+              const std::string &message);
+
+    /** Append every diagnostic of another report. */
+    void merge(const Report &other);
+
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+
+    int errorCount() const;
+    int warningCount() const;
+    int noteCount() const;
+
+    /** No errors: the design may be simulated. */
+    bool ok() const { return errorCount() == 0; }
+
+    /** Nothing at all to report. */
+    bool empty() const { return diags_.empty(); }
+
+    /** True when any diagnostic carries the given code. */
+    bool has(const std::string &code) const;
+
+    /** First diagnostic with the given code, or nullptr. */
+    const Diagnostic *find(const std::string &code) const;
+
+    /** One line per diagnostic: "severity code where: message". */
+    void renderText(std::ostream &os) const;
+
+    /** Deterministic JSON (schema in docs/static_analysis.md). */
+    void renderJson(std::ostream &os) const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+};
+
+} // namespace verify
+} // namespace ganacc
+
+#endif // GANACC_VERIFY_DIAGNOSTICS_HH

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Fixed-point range analysis implementation.
+ */
+
+#include "verify/range_analysis.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "nn/activations.hh"
+
+namespace ganacc {
+namespace verify {
+
+using gan::GanModel;
+using gan::LayerSpec;
+
+namespace {
+
+/** Maximum taps any single output accumulates from one input map. */
+int
+tapsPerOutput(const LayerSpec &l)
+{
+    if (l.kind == nn::ConvKind::Strided)
+        return l.geom.kernel * l.geom.kernel;
+    // T-CONV: the zero-stuffed input hits at most ceil(k/s) kernel
+    // positions per axis for any output.
+    int per_axis =
+        (l.geom.kernel + l.geom.stride - 1) / l.geom.stride;
+    return per_axis * per_axis;
+}
+
+/** Taps of the *backward* (error) convolution of a layer. */
+int
+tapsPerOutputBackward(const LayerSpec &l)
+{
+    // Backward of S-CONV is a T-CONV with the same stride; backward of
+    // T-CONV is a plain S-CONV.
+    if (l.kind == nn::ConvKind::Strided) {
+        int per_axis =
+            (l.geom.kernel + l.geom.stride - 1) / l.geom.stride;
+        return per_axis * per_axis;
+    }
+    return l.geom.kernel * l.geom.kernel;
+}
+
+/** The initializer's weight standard deviation (Kaiming). */
+double
+weightSigma(const LayerSpec &l)
+{
+    double fan_in =
+        double(l.inChannels) * l.geom.kernel * l.geom.kernel;
+    return std::sqrt(2.0 / fan_in);
+}
+
+/** RMS shrink factor of an activation applied to a ~symmetric input. */
+double
+activationRmsFactor(nn::Activation act)
+{
+    switch (act) {
+      case nn::Activation::ReLU:
+        return std::sqrt(0.5); // half the power survives
+      case nn::Activation::LeakyReLU: {
+        double s = double(nn::kLeakySlope);
+        return std::sqrt((1.0 + s * s) / 2.0);
+      }
+      default:
+        return 1.0;
+    }
+}
+
+/** RMS factor of an activation's derivative gating the backward pass. */
+double
+activationDerivFactor(nn::Activation act)
+{
+    switch (act) {
+      case nn::Activation::ReLU:
+        return std::sqrt(0.5);
+      case nn::Activation::LeakyReLU: {
+        double s = double(nn::kLeakySlope);
+        return std::sqrt((1.0 + s * s) / 2.0);
+      }
+      default:
+        return 1.0; // tanh' <= 1: keep the conservative bound
+    }
+}
+
+/** One magnitude value flowing through the graph. */
+struct Mag
+{
+    double rms = 0.0;
+    double peak = 0.0;
+};
+
+class Analyzer
+{
+  public:
+    Analyzer(const GanModel &model, const RangeOptions &opts,
+             Report &report)
+        : model_(model), opts_(opts), report_(report)
+    {
+        max_rep_ = double((1 << 15) - 1) /
+                   double(std::int64_t(1) << opts.fracBits);
+    }
+
+    RangeAnalysis run();
+
+  private:
+    bool interval() const
+    {
+        return opts_.weights == RangeOptions::WeightModel::FixedBound;
+    }
+
+    std::string where(const char *which, std::size_t i,
+                      const char *stage) const
+    {
+        std::ostringstream os;
+        os << model_.name << " " << which << " L" << i << " " << stage;
+        return os.str();
+    }
+
+    /** Magnitude of a sum of `taps` products of weight x value. */
+    Mag accumulate(const LayerSpec &l, int channels, int taps,
+                   const Mag &in) const
+    {
+        Mag out;
+        if (interval()) {
+            double gain = double(channels) * taps * opts_.weightBound;
+            out.peak = gain * in.peak;
+            out.rms = out.peak;
+        } else {
+            double gain =
+                std::sqrt(double(channels) * taps) * weightSigma(l);
+            out.rms = gain * in.rms;
+            out.peak = opts_.sigmaK * out.rms;
+        }
+        return out;
+    }
+
+    Mag applyActivation(const LayerSpec &l, Mag m) const
+    {
+        if (l.batchNorm) {
+            // Normalized to unit variance; peaks follow the sigma rule
+            // again (interval mode cannot bound BN output, keep peak).
+            m.rms = 1.0;
+            if (!interval())
+                m.peak = opts_.sigmaK;
+            return m;
+        }
+        m.rms *= activationRmsFactor(l.act);
+        if (l.act == nn::Activation::Tanh) {
+            m.rms = std::min(m.rms, 1.0);
+            m.peak = std::min(m.peak, 1.0);
+        }
+        return m;
+    }
+
+    void record(std::vector<RangeEstimate> &dst, const std::string &loc,
+                const Mag &m)
+    {
+        dst.push_back({loc, m.rms, m.peak});
+        result_.worstPeak = std::max(result_.worstPeak, m.peak);
+    }
+
+    /** Report saturation once per chain (`first` flips to false). */
+    void checkSaturation(const std::string &loc, const Mag &m,
+                         const char *code, bool &first)
+    {
+        if (m.peak <= max_rep_ || !first)
+            return;
+        first = false;
+        std::ostringstream os;
+        int bits = requiredIntBits(m.peak);
+        os << (interval() ? "worst-case magnitude "
+                          : "estimated peak magnitude ")
+           << m.peak << " exceeds Q" << (15 - opts_.fracBits) << "."
+           << opts_.fracBits << " max " << max_rep_ << "; needs ";
+        if (bits < 0)
+            os << "more than 16 bits";
+        else
+            os << "Q" << bits << "." << (15 - bits);
+        report_.error(code, loc, os.str());
+    }
+
+    /** Forward pass over one stack; returns per-layer input
+     *  activation magnitudes (index i = input of layer i). */
+    std::vector<Mag> forward(const std::vector<LayerSpec> &layers,
+                             const char *which);
+
+    /** Backward pass; returns per-layer error-at-output magnitudes
+     *  (after the activation derivative) and the error magnitude at
+     *  the stack's input. */
+    std::vector<Mag> backward(const std::vector<LayerSpec> &layers,
+                              const char *which, Mag err_out,
+                              Mag &err_in);
+
+    void gradients(const std::vector<LayerSpec> &layers,
+                   const char *which, const std::vector<Mag> &acts_in,
+                   const std::vector<Mag> &errs_out);
+
+    const GanModel &model_;
+    const RangeOptions &opts_;
+    Report &report_;
+    RangeAnalysis result_;
+    double max_rep_ = 0.0;
+};
+
+std::vector<Mag>
+Analyzer::forward(const std::vector<LayerSpec> &layers, const char *which)
+{
+    std::vector<Mag> acts_in;
+    Mag act{opts_.inputAmp,
+            interval() ? opts_.inputAmp : opts_.sigmaK * opts_.inputAmp};
+    bool first = true;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const LayerSpec &l = layers[i];
+        acts_in.push_back(act);
+        Mag pre =
+            accumulate(l, l.inChannels, tapsPerOutput(l), act);
+        std::string loc = where(which, i, "fwd");
+        record(result_.activations, loc, pre);
+        checkSaturation(loc, pre, codes::kRangeSaturate, first);
+        act = applyActivation(l, pre);
+    }
+    return acts_in;
+}
+
+std::vector<Mag>
+Analyzer::backward(const std::vector<LayerSpec> &layers, const char *which,
+                   Mag err_out, Mag &err_in)
+{
+    std::vector<Mag> errs_out(layers.size());
+    bool first = true;
+    for (std::size_t n = layers.size(); n-- > 0;) {
+        const LayerSpec &l = layers[n];
+        // Through the activation derivative to the pre-activation
+        // error, ...
+        double d = activationDerivFactor(l.act);
+        Mag pre_err{err_out.rms * d, err_out.peak * d};
+        errs_out[n] = pre_err;
+        // ... then through the transposed weights to the layer input.
+        Mag next = accumulate(l, l.outChannels, tapsPerOutputBackward(l),
+                              pre_err);
+        std::string loc = where(which, n, "bwd");
+        record(result_.errors, loc, next);
+        checkSaturation(loc, next, codes::kRangeSaturate, first);
+        err_out = next;
+    }
+    err_in = err_out;
+    return errs_out;
+}
+
+void
+Analyzer::gradients(const std::vector<LayerSpec> &layers, const char *which,
+                    const std::vector<Mag> &acts_in,
+                    const std::vector<Mag> &errs_out)
+{
+    bool first = true;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const LayerSpec &l = layers[i];
+        double positions = double(l.outH()) * l.outW();
+        Mag g;
+        if (interval()) {
+            g.peak = acts_in[i].peak * errs_out[i].peak * positions;
+            g.rms = g.peak;
+        } else {
+            g.rms = acts_in[i].rms * errs_out[i].rms *
+                    std::sqrt(positions);
+            g.peak = opts_.sigmaK * g.rms;
+        }
+        std::string loc = where(which, i, "gradW");
+        record(result_.gradients, loc, g);
+        checkSaturation(loc, g, codes::kRangeGradient, first);
+    }
+}
+
+RangeAnalysis
+Analyzer::run()
+{
+    result_.maxRepresentable = max_rep_;
+
+    std::vector<Mag> disc_acts = forward(model_.disc, "disc");
+    std::vector<Mag> gen_acts = forward(model_.gen, "gen");
+
+    Mag head_err{opts_.errorAmp,
+                 interval() ? opts_.errorAmp
+                            : opts_.sigmaK * opts_.errorAmp};
+    Mag image_err;
+    std::vector<Mag> disc_errs =
+        backward(model_.disc, "disc", head_err, image_err);
+    // The generator trains through the whole discriminator: its output
+    // error is the error at the discriminator's input.
+    Mag latent_err;
+    std::vector<Mag> gen_errs =
+        backward(model_.gen, "gen", image_err, latent_err);
+
+    gradients(model_.disc, "disc", disc_acts, disc_errs);
+    gradients(model_.gen, "gen", gen_acts, gen_errs);
+
+    if (interval()) {
+        std::ostringstream os;
+        os << "worst-case interval bound over all accumulators is "
+           << result_.worstPeak << " (|w| <= " << opts_.weightBound
+           << "); ";
+        int bits = requiredIntBits(result_.worstPeak);
+        if (bits < 0)
+            os << "no 16-bit format provably avoids saturation";
+        else
+            os << "Q" << bits << "." << (15 - bits)
+               << " provably avoids saturation";
+        report_.note(codes::kRangeWorstCase, model_.name, os.str());
+    }
+    return result_;
+}
+
+} // namespace
+
+int
+requiredIntBits(double peak)
+{
+    for (int m = 0; m <= 15; ++m) {
+        double max_rep =
+            double((1 << 15) - 1) / double(std::int64_t(1) << (15 - m));
+        if (peak <= max_rep)
+            return m;
+    }
+    return -1;
+}
+
+RangeAnalysis
+analyzeRanges(const GanModel &model, const RangeOptions &opts,
+              Report &report)
+{
+    Analyzer a(model, opts, report);
+    return a.run();
+}
+
+} // namespace verify
+} // namespace ganacc

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fixed-point range analysis over the layer graph.
+ *
+ * The accelerator datapath accumulates wide but writes back saturating
+ * Fixed16 (Q7.8 by default), so a layer whose accumulator outgrows the
+ * representable range silently clips — functionally plausible, numerically
+ * wrong. This pass propagates value-magnitude estimates through all
+ * six GAN phases (forward activations, back-propagated errors and
+ * weight gradients for both networks) and flags the first layer of
+ * each chain whose writeback can saturate, together with the Q-format
+ * that would contain it.
+ *
+ * Two weight models:
+ *
+ *  - Kaiming (default): weights follow the initializer's distribution
+ *    (sigma = sqrt(2 / fan_in)); magnitudes propagate as RMS values
+ *    under independence assumptions and "peak" is sigmaK standard
+ *    deviations. This is the calibrated estimate the bundled networks
+ *    are checked against.
+ *  - FixedBound: every weight magnitude is bounded by weightBound;
+ *    peaks propagate as worst-case intervals. Sound but loose — a
+ *    guarantee, not an estimate — reported via GA-RANGE-WC.
+ */
+
+#ifndef GANACC_VERIFY_RANGE_ANALYSIS_HH
+#define GANACC_VERIFY_RANGE_ANALYSIS_HH
+
+#include <string>
+#include <vector>
+
+#include "gan/models.hh"
+#include "verify/diagnostics.hh"
+
+namespace ganacc {
+namespace verify {
+
+/** Knobs of the range analysis. */
+struct RangeOptions
+{
+    /** How weight magnitudes are modelled. */
+    enum class WeightModel
+    {
+        Kaiming,    ///< initializer statistics, RMS propagation
+        FixedBound, ///< |w| <= weightBound, worst-case intervals
+    };
+
+    WeightModel weights = WeightModel::Kaiming;
+    double weightBound = 0.25; ///< |w| bound in FixedBound mode
+    double inputAmp = 1.0;     ///< RMS (or bound) of image / latent input
+    double errorAmp = 1.0;     ///< RMS (or bound) of the head loss gradient
+    double sigmaK = 6.0;       ///< peak = sigmaK * RMS in Kaiming mode
+    int fracBits = 8;          ///< writeback format Q(15-fracBits).fracBits
+};
+
+/** Magnitude estimate for one accumulator writeback site. */
+struct RangeEstimate
+{
+    std::string where; ///< e.g. "DCGAN disc L2 fwd"
+    double rms = 0.0;  ///< RMS estimate (equals peak in interval mode)
+    double peak = 0.0; ///< magnitude the writeback must represent
+};
+
+/** Everything the analysis derived. */
+struct RangeAnalysis
+{
+    std::vector<RangeEstimate> activations; ///< fwd pre-activation sums
+    std::vector<RangeEstimate> errors;      ///< bwd error accumulators
+    std::vector<RangeEstimate> gradients;   ///< weight-gradient sums
+    double maxRepresentable = 0.0; ///< of the configured Q format
+    double worstPeak = 0.0;        ///< max over every estimate
+};
+
+/**
+ * Integer bits m of the tightest Q(m).(15-m) format representing
+ * `peak`, or -1 when even Q15.0 overflows (16 bits cannot hold it).
+ */
+int requiredIntBits(double peak);
+
+/**
+ * Run the analysis over a (shape-legal) model, appending GA-RANGE-SAT
+ * for the first saturating layer of each forward/backward chain,
+ * GA-RANGE-GRAD for the first saturating weight gradient per network,
+ * and (FixedBound mode) a GA-RANGE-WC note with the proven bound.
+ */
+RangeAnalysis analyzeRanges(const gan::GanModel &model,
+                            const RangeOptions &opts, Report &report);
+
+} // namespace verify
+} // namespace ganacc
+
+#endif // GANACC_VERIFY_RANGE_ANALYSIS_HH

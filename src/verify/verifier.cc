@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Composed verification pipelines.
+ */
+
+#include "verify/verifier.hh"
+
+#include "core/resource_model.hh"
+#include "mem/offchip.hh"
+#include "mem/onchip_buffer.hh"
+#include "sim/phase.hh"
+
+namespace ganacc {
+namespace verify {
+
+Report
+verifyModel(const gan::GanModel &model, const VerifyOptions &opts)
+{
+    Report report;
+    checkModel(model, report);
+    if (!report.ok())
+        return report; // shape info unreliable: stop here
+
+    if (opts.checkRanges)
+        analyzeRanges(model, opts.range, report);
+
+    if (opts.checkBuffers) {
+        int w_pof =
+            opts.wPof > 0 ? opts.wPof : mem::deriveWPof(mem::OffChipConfig{});
+        int budget = opts.bram36Budget > 0 ? opts.bram36Budget
+                                           : core::vcu9pBudget().bram36;
+        mem::BufferPlan plan =
+            mem::planBuffers(model, w_pof, opts.bytesPerElem);
+        checkBramBudget(plan, budget, report);
+        checkBufferWorkingSets(model, plan, w_pof, opts.bytesPerElem,
+                               report);
+    }
+    return report;
+}
+
+Report
+verifySchedule(const gan::GanModel &model, core::ArchKind kind,
+               const sim::Unroll &unroll)
+{
+    Report report;
+    checkModel(model, report);
+    if (!report.ok())
+        return report;
+
+    std::vector<sim::ConvSpec> jobs;
+    for (sim::Phase p : sim::allPhases())
+        for (sim::ConvSpec &job : sim::phaseJobs(model, p))
+            jobs.push_back(std::move(job));
+    checkUnroll(kind, unroll, jobs, report);
+    return report;
+}
+
+} // namespace verify
+} // namespace ganacc

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Verifier front door: the composed check pipelines behind
+ * `ganacc-lint` and the DSE frontier pre-filter.
+ */
+
+#ifndef GANACC_VERIFY_VERIFIER_HH
+#define GANACC_VERIFY_VERIFIER_HH
+
+#include "core/unrolling.hh"
+#include "gan/models.hh"
+#include "verify/diagnostics.hh"
+#include "verify/legality.hh"
+#include "verify/range_analysis.hh"
+
+namespace ganacc {
+namespace verify {
+
+/** What verifyModel() runs and with which parameters. */
+struct VerifyOptions
+{
+    RangeOptions range;
+    bool checkRanges = true;
+    bool checkBuffers = true;
+    int wPof = 0;         ///< ∇W channel width; 0 derives eq. (7)
+    int bytesPerElem = 2; ///< Fixed16
+    int bram36Budget = 0; ///< 0 means the XCVU9P budget
+};
+
+/**
+ * The network-level pipeline: structural legality (shapes, chaining,
+ * every phase's streamed job), then — only on a legal graph —
+ * fixed-point range analysis and buffer capacity/working-set checks.
+ */
+Report verifyModel(const gan::GanModel &model,
+                   const VerifyOptions &opts = {});
+
+/**
+ * The schedule-level pipeline: model legality first, then the
+ * unrolling checked against every phase job of the model on the given
+ * dataflow (GA-UNROLL-*).
+ */
+Report verifySchedule(const gan::GanModel &model, core::ArchKind kind,
+                      const sim::Unroll &unroll);
+
+} // namespace verify
+} // namespace ganacc
+
+#endif // GANACC_VERIFY_VERIFIER_HH
