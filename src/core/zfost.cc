@@ -130,6 +130,11 @@ Zfost::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                         std::uint64_t(tile) * of_cnt;
 
                                     if (functional) {
+                                        // Scheduled-but-zero slots
+                                        // (padding / trailing rows) are
+                                        // visited for the fault hook.
+                                        const bool want_ineff =
+                                            faultVisitsIneffectual();
                                         for (int dy = 0; dy < ty_cnt;
                                              ++dy)
                                             for (int dx = 0; dx < tx_cnt;
@@ -148,7 +153,8 @@ Zfost::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                                          kx - spec.pad;
                                                 float v = in->getPadded(
                                                     0, c, iy, ix);
-                                                if (v == 0.0f)
+                                                if (v == 0.0f &&
+                                                    !want_ineff)
                                                     continue;
                                                 for (int f = 0;
                                                      f < of_cnt; ++f) {
@@ -159,16 +165,27 @@ Zfost::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                                             : c;
                                                     float ww = w->get(
                                                         of, wc, ky, kx);
+                                                    const sim::MacContext
+                                                        ctx{(dy * unroll_
+                                                                      .pOx +
+                                                             dx) *
+                                                                    unroll_
+                                                                        .pOf +
+                                                                f,
+                                                            of, c, oy,
+                                                            ox, ky, kx};
+                                                    float p = macProduct(
+                                                        v, ww, ctx);
                                                     if (spec.fourDimOutput)
                                                         out->ref(of, c,
                                                                  oy,
                                                                  ox) +=
-                                                            v * ww;
+                                                            p;
                                                     else
                                                         out->ref(0, of,
                                                                  oy,
                                                                  ox) +=
-                                                            v * ww;
+                                                            p;
                                                 }
                                             }
                                     }

@@ -87,29 +87,38 @@ Zfwst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                         iy >= 0 && iy < spec.ih &&
                                         ix >= 0 && ix < spec.iw &&
                                         !spec.inputIsZero(iy, ix);
-                                    if (useful) {
+                                    if (useful)
                                         ++eff_cnt;
-                                        if (functional) {
-                                            float v =
-                                                in->get(0, c, iy, ix);
-                                            for (int f = 0; f < of_cnt;
-                                                 ++f) {
-                                                int of = of0 + f;
-                                                int wc =
-                                                    spec.fourDimOutput
-                                                        ? 0
-                                                        : c;
-                                                float ww = w->get(
-                                                    of, wc, ky, kx);
-                                                if (spec.fourDimOutput)
-                                                    out->ref(of, c, oy,
-                                                             ox) +=
-                                                        v * ww;
-                                                else
-                                                    out->ref(0, of, oy,
-                                                             ox) +=
-                                                        v * ww;
-                                            }
+                                    // Residual padding/zero slots in a
+                                    // chunk still occupy multiplier
+                                    // lanes; the fault hook may visit
+                                    // them.
+                                    if (functional &&
+                                        (useful ||
+                                         faultVisitsIneffectual())) {
+                                        float v = in->getPadded(
+                                            0, c, iy, ix);
+                                        for (int f = 0; f < of_cnt;
+                                             ++f) {
+                                            int of = of0 + f;
+                                            int wc =
+                                                spec.fourDimOutput
+                                                    ? 0
+                                                    : c;
+                                            float ww = w->get(
+                                                of, wc, ky, kx);
+                                            const sim::MacContext ctx{
+                                                (e - e0) * unroll_.pOf +
+                                                    f,
+                                                of, c, oy, ox, ky, kx};
+                                            float p =
+                                                macProduct(v, ww, ctx);
+                                            if (spec.fourDimOutput)
+                                                out->ref(of, c, oy,
+                                                         ox) += p;
+                                            else
+                                                out->ref(0, of, oy,
+                                                         ox) += p;
                                         }
                                     }
                                 }

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fault-injection campaigns over the Table V architecture matrix.
+ *
+ * A resilience campaign drives one FaultPlan through every
+ * (phase-family row, architecture) cell of the paper's evaluation —
+ * {D, G} on the ST bank, {Dw, Gw} on the W bank — with identical
+ * operands, identical armed fault sites and identical seeds in every
+ * cell, so the only varying factor is the dataflow. Three observables
+ * per cell:
+ *
+ *  - masking rate: armed transient MAC upsets the dataflow never
+ *    scheduled (the zero-free designs skip structural zeros through
+ *    address generation, so upsets landing there die unobserved);
+ *  - output RMSE vs the fault-free reference under the plan's MAC
+ *    faults (stuck lanes + fired transients);
+ *  - storage-fault RMSE: bit flips drawn per buffer access from the
+ *    cell's own RunStats traffic — dataflows that re-fetch operands
+ *    (NLR's no-local-reuse streaming) absorb proportionally more.
+ *
+ * The NLR column is the *vanilla* (DianNao-style, zero-executing)
+ * dataflow: that is the physical machine the masking comparison needs,
+ * since the paper's "improved" NLR already skips the same structural
+ * zeros as ZFOST and is reported separately as an ablation column.
+ *
+ * A trainer campaign runs seeded twin gan::Trainer instances — one
+ * clean, one with per-iteration weight-storage flips — and reports the
+ * loss-trajectory divergence (end-to-end training degradation).
+ */
+
+#ifndef GANACC_FAULT_CAMPAIGN_HH
+#define GANACC_FAULT_CAMPAIGN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hh"
+#include "fault/injector.hh"
+#include "gan/models.hh"
+
+namespace ganacc {
+namespace fault {
+
+/** Knobs of a resilience campaign. */
+struct CampaignOptions
+{
+    std::uint64_t dataSeed = 0x5eedULL; ///< operand generation
+    int stBudget = 1200; ///< ST-bank PEs (Table V)
+    int wBudget = 480;   ///< W-bank PEs (Table V)
+    int jobs = 0;        ///< worker threads (0 = resolveJobs default)
+    /** Also run the paper's improved (zero-skipping) NLR as an extra
+     *  ablation column next to the physical vanilla-NLR baseline. */
+    bool nlrSkipAblation = true;
+};
+
+/** One (row, architecture) cell's measurements. */
+struct CellResult
+{
+    std::string arch; ///< column name (NLR, NLR-skip, WST, ...)
+    std::string row;  ///< "D/ST", "G/ST", "Dw/W", "Gw/W"
+    FaultInjector::Counters mac;
+    double outputRmse = 0.0; ///< MAC faults vs fault-free reference
+    std::uint64_t memFlips = 0;
+    double memRmse = 0.0; ///< storage flips alone vs reference
+};
+
+/** Per-architecture aggregate over all rows. */
+struct ArchSummary
+{
+    std::string arch;
+    std::uint64_t armed = 0;
+    std::uint64_t fired = 0;
+    double maskingRate = 0.0;
+    double outputRmse = 0.0; ///< RMS over all cells' outputs
+    std::uint64_t memFlips = 0;
+    double memRmse = 0.0;
+};
+
+/** Everything a resilience campaign produced. */
+struct CampaignResult
+{
+    std::vector<CellResult> cells; ///< row-major: rows x architectures
+    std::vector<ArchSummary> archs;
+};
+
+/**
+ * Run the (row x architecture) resilience matrix. Deterministic for a
+ * fixed (plan, options) under any worker count: all randomness is
+ * keyed on (seed, row, job, site) and results are written by index.
+ */
+CampaignResult runResilienceCampaign(const gan::GanModel &model,
+                                     const FaultPlan &plan,
+                                     const CampaignOptions &opt);
+
+/** Outcome of the twin-trainer degradation run. */
+struct TrainerDegradation
+{
+    int iterations = 0;
+    std::uint64_t weightFlips = 0; ///< total flips injected
+    double cleanFinalDiscLoss = 0.0;
+    double faultyFinalDiscLoss = 0.0;
+    double meanAbsDiscLossDelta = 0.0; ///< mean |clean - faulty|
+    double meanAbsGenLossDelta = 0.0;
+    double weightRmse = 0.0; ///< parameter divergence at the end
+};
+
+/**
+ * Train seeded twin models for `iterations` mini-batches of size
+ * `batch`; the faulty twin's weights absorb plan.memory flips (drawn
+ * binomially over the parameter words once per iteration) before every
+ * iteration. Identical seeds mean any divergence is the faults'.
+ */
+TrainerDegradation runTrainerDegradation(const gan::GanModel &model,
+                                         const FaultPlan &plan,
+                                         int iterations, int batch,
+                                         std::uint64_t seed);
+
+} // namespace fault
+} // namespace ganacc
+
+#endif // GANACC_FAULT_CAMPAIGN_HH

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * FaultPlan parsing: a minimal recursive-descent JSON reader covering
+ * exactly the subset the plan schema uses (objects, arrays, numbers,
+ * strings, booleans). No third-party JSON dependency exists in this
+ * repository, and the schema is small enough that a purpose-built
+ * parser with precise error positions beats a generic one.
+ */
+
+#include "fault/fault_plan.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace fault {
+
+namespace {
+
+/** Cursor over the JSON text with schema-aware helpers. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    FaultPlan
+    plan()
+    {
+        FaultPlan p;
+        expect('{');
+        if (!tryConsume('}')) {
+            do {
+                const std::string key = string();
+                expect(':');
+                if (key == "seed") {
+                    p.seed = std::uint64_t(number());
+                } else if (key == "pe") {
+                    peArray(p);
+                } else if (key == "transient") {
+                    transientObject(p);
+                } else if (key == "memory") {
+                    memoryObject(p);
+                } else if (key == "saturation") {
+                    saturationObject(p);
+                } else {
+                    fail("unknown plan key \"" + key + "\"");
+                }
+            } while (tryConsume(','));
+            expect('}');
+        }
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after the plan object");
+        return p;
+    }
+
+  private:
+    void
+    peArray(FaultPlan &p)
+    {
+        expect('[');
+        if (tryConsume(']'))
+            return;
+        do {
+            PeFault f;
+            bool have_kind = false;
+            expect('{');
+            do {
+                const std::string key = string();
+                expect(':');
+                if (key == "lane") {
+                    f.lane = int(number());
+                } else if (key == "kind") {
+                    const std::string kind = string();
+                    if (kind == "stuck0")
+                        f.kind = PeFault::Kind::StuckAtZero;
+                    else if (kind == "stuck")
+                        f.kind = PeFault::Kind::StuckAtValue;
+                    else
+                        fail("unknown PE fault kind \"" + kind + "\"");
+                    have_kind = true;
+                } else if (key == "value") {
+                    f.value = float(number());
+                } else {
+                    fail("unknown PE fault key \"" + key + "\"");
+                }
+            } while (tryConsume(','));
+            expect('}');
+            if (!have_kind)
+                fail("PE fault without a \"kind\"");
+            if (f.lane < 0)
+                fail("PE fault lane must be >= 0");
+            p.peFaults.push_back(f);
+        } while (tryConsume(','));
+        expect(']');
+    }
+
+    void
+    transientObject(FaultPlan &p)
+    {
+        expect('{');
+        do {
+            const std::string key = string();
+            expect(':');
+            if (key == "sitesPerJob")
+                p.transient.sitesPerJob = int(number());
+            else if (key == "bits")
+                p.transient.bits = int(number());
+            else
+                fail("unknown transient key \"" + key + "\"");
+        } while (tryConsume(','));
+        expect('}');
+        if (p.transient.sitesPerJob < 0)
+            fail("transient.sitesPerJob must be >= 0");
+        if (p.transient.bits < 1 || p.transient.bits > 16)
+            fail("transient.bits must be in [1, 16]");
+    }
+
+    void
+    memoryObject(FaultPlan &p)
+    {
+        expect('{');
+        do {
+            const std::string key = string();
+            expect(':');
+            if (key == "flipProbPerAccess")
+                p.memory.flipProbPerAccess = number();
+            else if (key == "bits")
+                p.memory.bits = int(number());
+            else
+                fail("unknown memory key \"" + key + "\"");
+        } while (tryConsume(','));
+        expect('}');
+        if (p.memory.flipProbPerAccess < 0.0 ||
+            p.memory.flipProbPerAccess > 1.0)
+            fail("memory.flipProbPerAccess must be in [0, 1]");
+        if (p.memory.bits < 1 || p.memory.bits > 16)
+            fail("memory.bits must be in [1, 16]");
+    }
+
+    void
+    saturationObject(FaultPlan &p)
+    {
+        expect('{');
+        do {
+            const std::string key = string();
+            expect(':');
+            if (key == "fracBits")
+                p.saturation.fracBits = int(number());
+            else
+                fail("unknown saturation key \"" + key + "\"");
+        } while (tryConsume(','));
+        expect('}');
+        if (p.saturation.fracBits != -1 &&
+            (p.saturation.fracBits < 1 || p.saturation.fracBits > 15))
+            fail("saturation.fracBits must be in [1, 15] or -1");
+    }
+
+    // ---- lexical layer ----
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    void
+    expect(char c)
+    {
+        skipWs();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    tryConsume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\')
+                fail("escape sequences are not supported");
+            out += text_[pos_++];
+        }
+        if (pos_ >= text_.size())
+            fail("unterminated string");
+        ++pos_; // closing quote
+        return out;
+    }
+
+    double
+    number()
+    {
+        skipWs();
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a number");
+        std::istringstream is(text_.substr(start, pos_ - start));
+        double v = 0.0;
+        is >> v;
+        if (is.fail())
+            fail("malformed number");
+        return v;
+    }
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        util::fatal("fault plan: ", what, " at offset ", pos_);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+FaultPlan::empty() const
+{
+    return peFaults.empty() && transient.sitesPerJob == 0 &&
+           memory.flipProbPerAccess == 0.0 && saturation.fracBits == -1;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::ostringstream os;
+    os << "seed=" << seed;
+    for (const auto &f : peFaults) {
+        os << " pe[" << f.lane << "]=";
+        if (f.kind == PeFault::Kind::StuckAtZero)
+            os << "stuck0";
+        else
+            os << "stuck(" << f.value << ")";
+    }
+    if (transient.sitesPerJob > 0)
+        os << " transient(sites=" << transient.sitesPerJob
+           << ",bits=" << transient.bits << ")";
+    if (memory.flipProbPerAccess > 0.0)
+        os << " memory(p=" << memory.flipProbPerAccess
+           << ",bits=" << memory.bits << ")";
+    if (saturation.fracBits != -1)
+        os << " saturation(fracBits=" << saturation.fracBits << ")";
+    if (empty())
+        os << " (empty)";
+    return os.str();
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &json)
+{
+    Parser p(json);
+    return p.plan();
+}
+
+FaultPlan
+FaultPlan::fromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("cannot open fault plan '", path, "'");
+    std::ostringstream os;
+    os << in.rdbuf();
+    return parse(os.str());
+}
+
+} // namespace fault
+} // namespace ganacc

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fault-campaign description.
+ *
+ * A FaultPlan is the single input of the fault-injection subsystem: it
+ * names which physical fault mechanisms are active and with what
+ * parameters, plus the seed every stochastic choice derives from. The
+ * same plan driven through different architectures is the resilience
+ * comparison of EXPERIMENTS.md — all randomness is keyed off
+ * (seed, job index, lattice site), never off visit order or thread
+ * scheduling, so a campaign is bit-reproducible under any GANACC_JOBS.
+ *
+ * Plans come from tool flags or from a small JSON file:
+ *
+ *   {
+ *     "seed": 7,
+ *     "pe": [ {"lane": 3, "kind": "stuck0"},
+ *             {"lane": 9, "kind": "stuck", "value": 0.5} ],
+ *     "transient": {"sitesPerJob": 256, "bits": 1},
+ *     "memory": {"flipProbPerAccess": 1e-7, "bits": 1},
+ *     "saturation": {"fracBits": 12}
+ *   }
+ *
+ * Every section is optional; an empty plan injects nothing and leaves
+ * the simulators bit-identical to their pre-fault behaviour.
+ */
+
+#ifndef GANACC_FAULT_FAULT_PLAN_HH
+#define GANACC_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ganacc {
+namespace fault {
+
+/** A permanent fault on one physical PE lane's multiplier. */
+struct PeFault
+{
+    enum class Kind
+    {
+        StuckAtZero,  ///< multiplier output wired to 0
+        StuckAtValue, ///< multiplier output wired to `value`
+    };
+
+    int lane = 0;
+    Kind kind = Kind::StuckAtZero;
+    float value = 0.0f; ///< forced product for StuckAtValue
+};
+
+/** Transient MAC-path upsets, armed on the dense MAC lattice. */
+struct TransientSpec
+{
+    /** Dense-lattice sites armed per job (0 disables). A site only
+     *  *fires* when the dataflow physically schedules its multiply;
+     *  armed-but-never-issued sites are masked. */
+    int sitesPerJob = 0;
+    int bits = 1; ///< Fixed16 bits flipped per fired site
+};
+
+/** Storage bit flips on Fixed16 words, per buffer/DRAM access. */
+struct MemorySpec
+{
+    double flipProbPerAccess = 0.0; ///< per 16-bit word access
+    int bits = 1;                   ///< bits flipped per corrupted word
+};
+
+/** Forced writeback-format narrowing (saturation stress). */
+struct SaturationSpec
+{
+    int fracBits = -1; ///< Q(15-fracBits).fracBits writeback; -1 off
+};
+
+/** Everything one campaign injects. */
+struct FaultPlan
+{
+    std::uint64_t seed = 0x5eedULL;
+    std::vector<PeFault> peFaults;
+    TransientSpec transient;
+    MemorySpec memory;
+    SaturationSpec saturation;
+
+    /** True when the plan injects nothing at all. */
+    bool empty() const;
+
+    /** One-line human-readable summary. */
+    std::string describe() const;
+
+    /** Parse the JSON schema above; throws util::FatalError with the
+     *  offending position on malformed input. */
+    static FaultPlan parse(const std::string &json);
+
+    /** parse() over a file's contents. */
+    static FaultPlan fromFile(const std::string &path);
+};
+
+/**
+ * SplitMix64 finalizer: the one hash every fault-site decision goes
+ * through. Statelessly mixing (seed, index) keys is what makes the
+ * subsystem order- and thread-independent.
+ */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace fault
+} // namespace ganacc
+
+#endif // GANACC_FAULT_FAULT_PLAN_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Storage-fault model implementation.
+ */
+
+#include "fault/mem_faults.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/fixed_point.hh"
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace fault {
+
+std::uint64_t
+sampleBinomial(util::Rng &rng, std::uint64_t n, double p)
+{
+    if (n == 0 || p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return n;
+    // Exact for small n; the regimes below only matter for the huge
+    // access counts, where the corrections are invisible.
+    if (n <= 4096) {
+        std::uint64_t k = 0;
+        for (std::uint64_t i = 0; i < n; ++i)
+            if (rng.bernoulli(p))
+                ++k;
+        return k;
+    }
+    const double lambda = double(n) * p;
+    if (lambda < 64.0) {
+        // Knuth's Poisson inversion: faithful for the rare-flip regime
+        // (the realistic one for soft errors).
+        const double limit = std::exp(-lambda);
+        double prod = rng.uniform();
+        std::uint64_t k = 0;
+        while (prod > limit) {
+            prod *= rng.uniform();
+            ++k;
+        }
+        return std::min(k, n);
+    }
+    // Normal approximation with continuity correction.
+    const double sigma = std::sqrt(lambda * (1.0 - p));
+    const double draw = rng.gaussian(lambda, sigma) + 0.5;
+    if (draw <= 0.0)
+        return 0;
+    if (draw >= double(n))
+        return n;
+    return std::uint64_t(draw);
+}
+
+FlipCounts
+drawFlips(const sim::RunStats &stats, double prob_per_access,
+          util::Rng &rng)
+{
+    FlipCounts f;
+    f.weightFlips = sampleBinomial(rng, stats.weightLoads,
+                                   prob_per_access);
+    f.inputFlips = sampleBinomial(rng, stats.inputLoads,
+                                  prob_per_access);
+    f.outputFlips = sampleBinomial(
+        rng, stats.outputReads + stats.outputWrites, prob_per_access);
+    return f;
+}
+
+std::uint64_t
+applyBitFlips(tensor::Tensor &t, std::uint64_t flips, int bits,
+              util::Rng &rng)
+{
+    GANACC_ASSERT(bits >= 1 && bits <= 16,
+                  "bit flip width must be in [1, 16]");
+    if (t.numel() == 0 || flips == 0)
+        return 0;
+    std::uniform_int_distribution<std::size_t> pick(0, t.numel() - 1);
+    for (std::uint64_t i = 0; i < flips; ++i) {
+        float &v = t.data()[pick(rng.engine())];
+        std::uint16_t raw = std::uint16_t(
+            util::AccelFixed::fromDouble(double(v)).raw());
+        std::uint16_t flipped = 0;
+        for (int b = 0; b < bits; ++b) {
+            std::uint16_t bit;
+            do {
+                bit = std::uint16_t(1u << rng.uniformInt(0, 15));
+            } while ((flipped & bit) != 0);
+            flipped = std::uint16_t(flipped | bit);
+        }
+        raw = std::uint16_t(raw ^ flipped);
+        v = float(
+            util::AccelFixed::fromRaw(std::int16_t(raw)).toDouble());
+    }
+    return flips;
+}
+
+double
+rmse(const tensor::Tensor &a, const tensor::Tensor &b)
+{
+    GANACC_ASSERT(a.shape() == b.shape(), "rmse shape mismatch ",
+                  a.shape().str(), " vs ", b.shape().str());
+    if (a.numel() == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+        const double d = double(a.data()[i]) - double(b.data()[i]);
+        acc += d * d;
+    }
+    return std::sqrt(acc / double(a.numel()));
+}
+
+SaturationStress
+stressSaturation(tensor::Tensor &t, int frac_bits)
+{
+    GANACC_ASSERT(frac_bits >= 1 && frac_bits <= 15,
+                  "saturation stress fracBits must be in [1, 15]");
+    SaturationStress out;
+    out.total = t.numel();
+    const double scale = double(std::int32_t(1) << frac_bits);
+    const double lo = double(std::numeric_limits<std::int16_t>::min());
+    const double hi = double(std::numeric_limits<std::int16_t>::max());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < t.numel(); ++i) {
+        const double v = double(t.data()[i]);
+        double r = std::nearbyint(v * scale);
+        if (r < lo || r > hi) {
+            ++out.saturated;
+            r = std::clamp(r, lo, hi);
+        }
+        const double q = r / scale;
+        const double d = q - v;
+        acc += d * d;
+        t.data()[i] = float(q);
+    }
+    if (out.total > 0)
+        out.rmseVsFloat = std::sqrt(acc / double(out.total));
+    return out;
+}
+
+} // namespace fault
+} // namespace ganacc

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Storage-fault models: transient bit flips on the Fixed16 words held
+ * in the on-chip buffers and off-chip DRAM, plus the fixed-point
+ * saturation-stress model (forced writeback narrowing).
+ *
+ * The flip model is access-driven: a word picks up a flip with
+ * probability `flipProbPerAccess` each time it crosses a buffer port,
+ * so the expected flip count of a run is (accesses x probability) —
+ * drawn binomially from the RunStats access counters the simulators
+ * already produce. An architecture that touches memory 10x more often
+ * (NLR's no-local-reuse streaming) therefore absorbs ~10x the
+ * corruptions of a register-reusing dataflow on the same job, which is
+ * exactly the resilience argument the campaign quantifies.
+ */
+
+#ifndef GANACC_FAULT_MEM_FAULTS_HH
+#define GANACC_FAULT_MEM_FAULTS_HH
+
+#include <cstdint>
+
+#include "mem/onchip_buffer.hh"
+#include "sim/stats.hh"
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+
+namespace ganacc {
+namespace fault {
+
+/**
+ * Deterministic binomial sample: exact Bernoulli convolution for small
+ * n, Poisson/normal approximations beyond. Draws only from `rng`.
+ */
+std::uint64_t sampleBinomial(util::Rng &rng, std::uint64_t n, double p);
+
+/** Flip counts one job's access streams produced. */
+struct FlipCounts
+{
+    std::uint64_t weightFlips = 0;
+    std::uint64_t inputFlips = 0;
+    std::uint64_t outputFlips = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return weightFlips + inputFlips + outputFlips;
+    }
+};
+
+/**
+ * Draw per-stream flip counts from a run's access counters at
+ * `prob_per_access` per word access (weight/input loads; output
+ * reads + writes).
+ */
+FlipCounts drawFlips(const sim::RunStats &stats, double prob_per_access,
+                     util::Rng &rng);
+
+/**
+ * Corrupt `flips` randomly chosen elements of t: each victim's
+ * Fixed16 image gets `bits` distinct bits flipped. @return elements
+ * actually corrupted (= flips; repeats may hit the same element).
+ */
+std::uint64_t applyBitFlips(tensor::Tensor &t, std::uint64_t flips,
+                            int bits, util::Rng &rng);
+
+/** Root-mean-square difference between same-shape tensors. */
+double rmse(const tensor::Tensor &a, const tensor::Tensor &b);
+
+/** Outcome of forcing a narrower writeback format onto a tensor. */
+struct SaturationStress
+{
+    std::uint64_t saturated = 0; ///< elements that clipped
+    std::uint64_t total = 0;     ///< elements examined
+    double rmseVsFloat = 0.0;    ///< quantization + clipping error
+
+    double
+    saturationRate() const
+    {
+        return total == 0 ? 0.0 : double(saturated) / double(total);
+    }
+};
+
+/**
+ * Re-quantize every element of t to the 16-bit Q(15-frac_bits)
+ * .frac_bits grid in place (round-to-nearest, saturating — the
+ * writeback path of util::Fixed16 with a runtime format), reporting
+ * how many elements the narrowed integer range clipped. Cross-check
+ * the result against verify::requiredIntBits: a format with at least
+ * that many integer bits must report zero saturated elements.
+ */
+SaturationStress stressSaturation(tensor::Tensor &t, int frac_bits);
+
+/**
+ * Access tap counting would-be word corruptions on a live
+ * mem::OnChipBuffer / DRAM access stream: every tapped access draws
+ * binomially at the configured probability. The accumulated count is
+ * then applied to the victim tensor with applyBitFlips().
+ */
+class FlipCountingTap final : public mem::AccessTap
+{
+  public:
+    FlipCountingTap(double prob_per_access, std::uint64_t seed)
+        : prob_(prob_per_access), rng_(seed) {}
+
+    void
+    onAccess(std::uint64_t bytes, bool is_write) override
+    {
+        (void)is_write;
+        pendingFlips_ += sampleBinomial(rng_, bytes / 2, prob_);
+    }
+
+    std::uint64_t pendingFlips() const { return pendingFlips_; }
+
+    /** Consume the accumulated count (after applying it). */
+    std::uint64_t
+    takeFlips()
+    {
+        const std::uint64_t n = pendingFlips_;
+        pendingFlips_ = 0;
+        return n;
+    }
+
+  private:
+    double prob_;
+    util::Rng rng_;
+    std::uint64_t pendingFlips_ = 0;
+};
+
+} // namespace fault
+} // namespace ganacc
+
+#endif // GANACC_FAULT_MEM_FAULTS_HH

@@ -92,6 +92,23 @@ class Trainer
     /** Generate images from noise (no caching side effects kept). */
     tensor::Tensor generate(const tensor::Tensor &noise);
 
+    /**
+     * Visit every trainable convolution-weight tensor of both
+     * networks (generator first, then discriminator, each in layer
+     * order). The stable order lets callers pair tensors across two
+     * same-topology trainers — the fault campaign corrupts weights
+     * through this, and the determinism tests hash them.
+     */
+    template <typename Fn>
+    void
+    forEachParameterTensor(Fn &&fn)
+    {
+        for (auto &layer : gen_->layers())
+            fn(layer->weights());
+        for (auto &layer : disc_->layers())
+            fn(layer->weights());
+    }
+
     Network &generator() { return *gen_; }
     Network &discriminator() { return *disc_; }
     const GanModel &model() const { return model_; }

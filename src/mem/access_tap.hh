@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Observer interface for memory port traffic.
+ *
+ * The on-chip buffers and the DRAM model are access *counters* — no
+ * data flows through them — but some clients need to see the access
+ * stream as it happens rather than the totals afterwards. The fault
+ * subsystem is one: it samples transient word corruptions per access
+ * (src/fault/mem_faults.hh). A null tap costs one pointer test per
+ * access.
+ */
+
+#ifndef GANACC_MEM_ACCESS_TAP_HH
+#define GANACC_MEM_ACCESS_TAP_HH
+
+#include <cstdint>
+
+namespace ganacc {
+namespace mem {
+
+/** Receives every read/write recorded by a tapped memory model. */
+class AccessTap
+{
+  public:
+    virtual ~AccessTap() = default;
+
+    /** One recorded access of `bytes` bytes. */
+    virtual void onAccess(std::uint64_t bytes, bool is_write) = 0;
+};
+
+} // namespace mem
+} // namespace ganacc
+
+#endif // GANACC_MEM_ACCESS_TAP_HH

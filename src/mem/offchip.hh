@@ -18,6 +18,8 @@
 
 #include <cstdint>
 
+#include "mem/access_tap.hh"
+
 namespace ganacc {
 namespace mem {
 
@@ -58,13 +60,20 @@ class OffChipMemory
     read(std::uint64_t bytes)
     {
         bytesRead_ += bytes;
+        if (tap_)
+            tap_->onAccess(bytes, false);
     }
 
     void
     write(std::uint64_t bytes)
     {
         bytesWritten_ += bytes;
+        if (tap_)
+            tap_->onAccess(bytes, true);
     }
+
+    /** Attach an access observer (nullptr detaches). Non-owning. */
+    void setAccessTap(AccessTap *tap) { tap_ = tap; }
 
     std::uint64_t bytesRead() const { return bytesRead_; }
     std::uint64_t bytesWritten() const { return bytesWritten_; }
@@ -96,6 +105,7 @@ class OffChipMemory
     OffChipConfig cfg_;
     std::uint64_t bytesRead_ = 0;
     std::uint64_t bytesWritten_ = 0;
+    AccessTap *tap_ = nullptr;
 };
 
 } // namespace mem

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "gan/models.hh"
+#include "mem/access_tap.hh"
 
 namespace ganacc {
 namespace mem {
@@ -34,13 +35,20 @@ class OnChipBuffer
     read(std::uint64_t bytes)
     {
         bytesRead_ += bytes;
+        if (tap_)
+            tap_->onAccess(bytes, false);
     }
 
     void
     write(std::uint64_t bytes)
     {
         bytesWritten_ += bytes;
+        if (tap_)
+            tap_->onAccess(bytes, true);
     }
+
+    /** Attach an access observer (nullptr detaches). Non-owning. */
+    void setAccessTap(AccessTap *tap) { tap_ = tap; }
 
     /** Claim space (a tensor made resident). */
     void occupy(std::uint64_t bytes);
@@ -66,6 +74,7 @@ class OnChipBuffer
     std::uint64_t peak_ = 0;
     std::uint64_t bytesRead_ = 0;
     std::uint64_t bytesWritten_ = 0;
+    AccessTap *tap_ = nullptr;
 };
 
 /** A ping-pong pair: compute reads one half while the other fills. */

@@ -31,6 +31,10 @@ Architecture::run(const ConvSpec &spec, const tensor::Tensor *in,
     GANACC_ASSERT((in != nullptr) == (w != nullptr) &&
                       (in != nullptr) == (out != nullptr),
                   "run() operands must be all null or all non-null");
+    GANACC_ASSERT(faultHook() == nullptr || functional,
+                  name_, ": fault injection corrupts the value path and "
+                         "needs functional operands (timing-only runs "
+                         "have no products to corrupt)");
     if (functional) {
         GANACC_ASSERT(in->shape() ==
                           tensor::Shape4(1, spec.nif, spec.ih, spec.iw),

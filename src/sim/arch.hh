@@ -18,6 +18,7 @@
 #include <string>
 
 #include "sim/conv_spec.hh"
+#include "sim/fault_hook.hh"
 #include "sim/stats.hh"
 #include "tensor/tensor.hh"
 
@@ -76,13 +77,44 @@ class Architecture
         return run(spec, nullptr, nullptr, nullptr);
     }
 
+    /**
+     * Install a fault hook on the shared MAC path (nullptr detaches).
+     * Non-owning; the hook must outlive every subsequent run(). Faults
+     * corrupt values, never schedules, so RunStats are unaffected.
+     */
+    void setFaultHook(MacFaultHook *hook) { fault_ = hook; }
+
+    MacFaultHook *faultHook() const { return fault_; }
+
   protected:
+    /**
+     * The shared functional MAC path: every dataflow's inner loop
+     * produces its products here. Without a hook this is exactly
+     * `a * b`.
+     */
+    float
+    macProduct(float a, float b, const MacContext &ctx) const
+    {
+        return fault_ ? fault_->onMac(ctx, a, b) : a * b;
+    }
+
+    /** True when the functional walk must visit ineffectual scheduled
+     *  slots so the hook can corrupt their (zero) products. */
+    bool
+    faultVisitsIneffectual() const
+    {
+        return fault_ != nullptr && fault_->visitIneffectual();
+    }
+
     virtual RunStats doRun(const ConvSpec &spec, const tensor::Tensor *in,
                            const tensor::Tensor *w,
                            tensor::Tensor *out) const = 0;
 
     std::string name_;
     Unroll unroll_;
+
+  private:
+    MacFaultHook *fault_ = nullptr;
 };
 
 } // namespace sim

@@ -50,9 +50,19 @@ Cnv::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                     continue;
                                 ++lane_nz[std::size_t(lane)];
                                 ++window_nz;
-                                for (int f = 0; f < of_cnt; ++f)
-                                    out->ref(0, of0 + f, oy, ox) +=
-                                        v * w->get(of0 + f, c, ky, kx);
+                                // Zero activations never reach the
+                                // array (the encoded stream drops
+                                // them), so only these products are
+                                // presented to the fault hook.
+                                for (int f = 0; f < of_cnt; ++f) {
+                                    const int of = of0 + f;
+                                    out->ref(0, of, oy, ox) +=
+                                        macProduct(
+                                            v, w->get(of, c, ky, kx),
+                                            MacContext{
+                                                lane * unroll_.pOf + f,
+                                                of, c, oy, ox, ky, kx});
+                                }
                             }
                     }
                     std::uint64_t window_cycles = 0;
@@ -87,14 +97,25 @@ Cnv::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                 float v = in->getPadded(0, c, iy, ix);
                                 if (v == 0.0f)
                                     continue;
-                                if (spec.kernelIsZero(ky, kx)) {
+                                const bool k_zero =
+                                    spec.kernelIsZero(ky, kx);
+                                if (k_zero)
                                     ++wasted;
+                                else
+                                    ++nz;
+                                // Kernel-zero steps still burn cycles
+                                // on the array (Section VII critique),
+                                // so the fault hook may visit them.
+                                if (k_zero && !faultVisitsIneffectual())
                                     continue;
+                                for (int f = 0; f < of_cnt; ++f) {
+                                    const int of = of0 + f;
+                                    out->ref(of, c, oy, ox) +=
+                                        macProduct(
+                                            v, w->get(of, 0, ky, kx),
+                                            MacContext{f, of, c, oy, ox,
+                                                       ky, kx});
                                 }
-                                ++nz;
-                                for (int f = 0; f < of_cnt; ++f)
-                                    out->ref(of0 + f, c, oy, ox) +=
-                                        v * w->get(of0 + f, 0, ky, kx);
                             }
                         const std::uint64_t steps = nz + wasted;
                         st.cycles += steps;

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The MAC-path fault-injection hook.
+ *
+ * Every dataflow's functional inner loop produces its products through
+ * Architecture::macProduct(), which forwards to an installed
+ * MacFaultHook (src/fault implements one). The hook sees the full
+ * logical coordinate of each *physically scheduled* multiply — the
+ * lattice point (of, c, oy, ox, ky, kx) plus the physical PE lane the
+ * dataflow maps it to — so one hook covers NLR/WST/OST/ZFOST/ZFWST
+ * (and CNV/RST) without per-dataflow fault logic.
+ *
+ * The masking contract: a dataflow calls the hook for every scheduled
+ * MAC, including ineffectual ones (structural-zero or padding
+ * operands) when visitIneffectual() asks for them — those slots are
+ * physically multiplied by the baselines, so a stuck-at or transient
+ * fault there corrupts the accumulator even though the fault-free
+ * product is zero. Lattice points a schedule never issues (the
+ * zero-free designs' skipped work, or RST's clock-gated slots, whose
+ * multiplier outputs never reach an accumulator) are never presented
+ * to the hook: a fault armed there is *masked*. With no hook
+ * installed the product path is exactly `a * b` — bit-identical to
+ * the pre-fault simulator, which tests/golden/runstats_table5.json
+ * guards.
+ */
+
+#ifndef GANACC_SIM_FAULT_HOOK_HH
+#define GANACC_SIM_FAULT_HOOK_HH
+
+namespace ganacc {
+namespace sim {
+
+/** Logical and physical coordinates of one scheduled MAC. */
+struct MacContext
+{
+    int lane = 0; ///< physical PE index in [0, numPes())
+    int of = 0;   ///< output feature map
+    int c = 0;    ///< input feature map
+    int oy = 0;   ///< output row
+    int ox = 0;   ///< output column
+    int ky = 0;   ///< kernel row (streamed coordinates)
+    int kx = 0;   ///< kernel column
+};
+
+/** Transforms scheduled products; installed via setFaultHook(). */
+class MacFaultHook
+{
+  public:
+    virtual ~MacFaultHook() = default;
+
+    /**
+     * One scheduled MAC. @return the (possibly corrupted) product;
+     * the fault-free value is a * b. Called once per lattice point.
+     */
+    virtual float onMac(const MacContext &ctx, float a, float b) = 0;
+
+    /**
+     * True when the hook needs to observe ineffectual scheduled slots
+     * (zero-operand multiplies the baselines still execute). The
+     * dataflows only walk those in functional mode when this is set,
+     * keeping the fault-free fast path untouched.
+     */
+    virtual bool visitIneffectual() const = 0;
+};
+
+} // namespace sim
+} // namespace ganacc
+
+#endif // GANACC_SIM_FAULT_HOOK_HH

@@ -81,15 +81,35 @@ Nlr::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                     st.ineffectualMacs += active;
                                 st.idlePeSlots +=
                                     std::uint64_t(n_pes) - active;
-                                if (functional && in_bounds) {
+                                // Ineffectual scheduled slots (padding,
+                                // or structural zeros under the vanilla
+                                // policy) still flow through the
+                                // multipliers, so the fault hook visits
+                                // them too; their fault-free product is
+                                // zero.
+                                if (functional &&
+                                    (in_bounds ||
+                                     faultVisitsIneffectual())) {
                                     for (int c = c0; c < c0 + if_cnt;
                                          ++c) {
-                                        float v = in->get(0, c, iy, ix);
-                                        for (int f = 0; f < of_cnt; ++f)
-                                            out->ref(0, of0 + f, oy,
-                                                     ox) +=
-                                                v * w->get(of0 + f, c,
-                                                           ky, kx);
+                                        float v =
+                                            in->getPadded(0, c, iy, ix);
+                                        for (int f = 0; f < of_cnt;
+                                             ++f) {
+                                            const int of = of0 + f;
+                                            out->ref(0, of, oy, ox) +=
+                                                macProduct(
+                                                    v,
+                                                    w->get(of, c, ky,
+                                                           kx),
+                                                    MacContext{
+                                                        (c - c0) *
+                                                                unroll_
+                                                                    .pOf +
+                                                            f,
+                                                        of, c, oy, ox,
+                                                        ky, kx});
+                                        }
                                     }
                                 }
                             }
@@ -112,12 +132,18 @@ Nlr::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                     st.ineffectualMacs += active;
                                 st.idlePeSlots +=
                                     std::uint64_t(n_pes) - active;
-                                if (functional && in_bounds) {
-                                    float v = in->get(0, c, iy, ix);
-                                    for (int f = 0; f < of_cnt; ++f)
-                                        out->ref(of0 + f, c, oy, ox) +=
-                                            v * w->get(of0 + f, 0, ky,
-                                                       kx);
+                                if (functional &&
+                                    (in_bounds ||
+                                     faultVisitsIneffectual())) {
+                                    float v = in->getPadded(0, c, iy, ix);
+                                    for (int f = 0; f < of_cnt; ++f) {
+                                        const int of = of0 + f;
+                                        out->ref(of, c, oy, ox) +=
+                                            macProduct(
+                                                v, w->get(of, 0, ky, kx),
+                                                MacContext{f, of, c, oy,
+                                                           ox, ky, kx});
+                                    }
                                 }
                             }
                         }

@@ -70,6 +70,12 @@ Ost::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                               std::uint64_t(tile) * of_cnt;
 
                             if (functional) {
+                                // Zero-valued inputs contribute nothing
+                                // but are still scheduled on the tile's
+                                // multipliers, so the fault hook may ask
+                                // to see them.
+                                const bool want_ineff =
+                                    faultVisitsIneffectual();
                                 for (int dy = 0; dy < ty_cnt; ++dy)
                                     for (int dx = 0; dx < tx_cnt; ++dx) {
                                         int oy = ty + dy, ox = tx + dx;
@@ -79,7 +85,7 @@ Ost::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                                  spec.pad;
                                         float v =
                                             in->getPadded(0, c, iy, ix);
-                                        if (v == 0.0f)
+                                        if (v == 0.0f && !want_ineff)
                                             continue;
                                         for (int f = 0; f < of_cnt; ++f) {
                                             int of = of0 + f;
@@ -88,12 +94,19 @@ Ost::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                                          : c;
                                             float ww =
                                                 w->get(of, wc, ky, kx);
+                                            const MacContext ctx{
+                                                (dy * unroll_.pOx + dx) *
+                                                        unroll_.pOf +
+                                                    f,
+                                                of, c, oy, ox, ky, kx};
+                                            float p =
+                                                macProduct(v, ww, ctx);
                                             if (spec.fourDimOutput)
                                                 out->ref(of, c, oy, ox) +=
-                                                    v * ww;
+                                                    p;
                                             else
                                                 out->ref(0, of, oy, ox) +=
-                                                    v * ww;
+                                                    p;
                                         }
                                     }
                             }

@@ -68,6 +68,11 @@ Rst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                         !spec.inputIsZero(iy, ix);
                                     if (in_ok && !krow_zero) {
                                         ++eff;
+                                        // Gated slots never reach the
+                                        // hook: clock gating keeps the
+                                        // multiplier output from the
+                                        // accumulator, so a fault there
+                                        // is masked by construction.
                                         if (functional) {
                                             float v =
                                                 in->get(0, c, iy, ix);
@@ -80,14 +85,21 @@ Rst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                                         : c;
                                                 float ww = w->get(
                                                     of, wc, ky, kx);
+                                                const MacContext ctx{
+                                                    (dk * unroll_.pOy +
+                                                     dy) *
+                                                            unroll_.pOf +
+                                                        f,
+                                                    of, c, oy, ox, ky,
+                                                    kx};
+                                                float p = macProduct(
+                                                    v, ww, ctx);
                                                 if (spec.fourDimOutput)
                                                     out->ref(of, c, oy,
-                                                             ox) +=
-                                                        v * ww;
+                                                             ox) += p;
                                                 else
                                                     out->ref(0, of, oy,
-                                                             ox) +=
-                                                        v * ww;
+                                                             ox) += p;
                                             }
                                         }
                                     }

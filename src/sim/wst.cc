@@ -70,7 +70,12 @@ Wst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                         ++eff;
                                     else
                                         ++ineff;
-                                    if (functional && useful) {
+                                    // Zero-operand slots still occupy
+                                    // the multipliers, so visit them
+                                    // for the fault hook on request.
+                                    if (functional &&
+                                        (useful ||
+                                         faultVisitsIneffectual())) {
                                         float v = in->get(0, c, iy, ix);
                                         for (int f = 0; f < of_cnt;
                                              ++f) {
@@ -80,12 +85,21 @@ Wst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                                                    : c;
                                             float ww = w->get(of, wc,
                                                               ky, kx);
+                                            const MacContext ctx{
+                                                ((ky - ky0) *
+                                                     unroll_.pKx +
+                                                 (kx - kx0)) *
+                                                        unroll_.pOf +
+                                                    f,
+                                                of, c, oy, ox, ky, kx};
+                                            float p =
+                                                macProduct(v, ww, ctx);
                                             if (spec.fourDimOutput)
                                                 out->ref(of, c, oy,
-                                                         ox) += v * ww;
+                                                         ox) += p;
                                             else
                                                 out->ref(0, of, oy,
-                                                         ox) += v * ww;
+                                                         ox) += p;
                                         }
                                     }
                                 }

@@ -1,0 +1,25 @@
+# CTest driver for the RunStats-golden check: dumps the Table V
+# (family x bank x architecture) RunStats matrix as JSON lines and
+# byte-compares it against the committed golden. Any unintended change
+# to a dataflow's schedule accounting — including a fault-injection
+# hook that perturbs the no-fault path — fails this test. Variables:
+# TOOL (ganacc-runstats binary), GOLDEN (committed dump), OUT (scratch
+# output path).
+
+execute_process(
+    COMMAND ${TOOL} --model dcgan
+    OUTPUT_FILE ${OUT}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ganacc-runstats exited with status ${rc}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "RunStats diverge from ${GOLDEN}; inspect ${OUT} and, if the "
+        "change is intended, regenerate the golden with: "
+        "ganacc-runstats --model dcgan")
+endif()

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared RunStats assertions for the dataflow tests.
+ *
+ * Every architecture test states the same two facts in its own words;
+ * this header states them once:
+ *
+ *  - conservation: each PE slot of each cycle is classified exactly
+ *    once as effective, ineffectual or idle (run() also asserts this
+ *    internally, but the tests re-check the returned struct so a
+ *    future accounting change cannot silently pass through a stale
+ *    assert), and gated slots are a subset of the ineffectual ones;
+ *  - exact equality: two runs that claim to be deterministic twins
+ *    must agree on every counter, not just on cycles.
+ */
+
+#ifndef GANACC_TESTS_STATS_HELPERS_HH
+#define GANACC_TESTS_STATS_HELPERS_HH
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/stats.hh"
+
+namespace ganacc {
+namespace tests {
+
+/** Assert the PE-slot conservation invariant on one run's stats. */
+inline void
+expectSlotConservation(const sim::RunStats &st, const std::string &context)
+{
+    EXPECT_EQ(st.effectiveMacs + st.ineffectualMacs + st.idlePeSlots,
+              st.totalSlots())
+        << context << ": " << st.str();
+    EXPECT_LE(st.gatedSlots, st.ineffectualMacs)
+        << context << ": gated slots are a subset of ineffectual slots";
+}
+
+/** Assert two RunStats agree on every counter. */
+inline void
+expectStatsEqual(const sim::RunStats &a, const sim::RunStats &b,
+                 const std::string &context)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << context;
+    EXPECT_EQ(a.nPes, b.nPes) << context;
+    EXPECT_EQ(a.effectiveMacs, b.effectiveMacs) << context;
+    EXPECT_EQ(a.ineffectualMacs, b.ineffectualMacs) << context;
+    EXPECT_EQ(a.idlePeSlots, b.idlePeSlots) << context;
+    EXPECT_EQ(a.gatedSlots, b.gatedSlots) << context;
+    EXPECT_EQ(a.weightLoads, b.weightLoads) << context;
+    EXPECT_EQ(a.inputLoads, b.inputLoads) << context;
+    EXPECT_EQ(a.outputReads, b.outputReads) << context;
+    EXPECT_EQ(a.outputWrites, b.outputWrites) << context;
+}
+
+} // namespace tests
+} // namespace ganacc
+
+#endif // GANACC_TESTS_STATS_HELPERS_HH

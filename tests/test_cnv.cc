@@ -12,6 +12,7 @@
 #include "sim/cnv.hh"
 #include "sim/conv_spec.hh"
 #include "sim/nlr.hh"
+#include "stats_helpers.hh"
 #include "tensor/tensor.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
@@ -100,6 +101,8 @@ TEST(Cnv, HarvestsDynamicReluSparsity)
     Tensor out = sim::makeOutputTensor(s);
     RunStats on_dense = cnv.run(s, &dense_in, &w, &out);
     RunStats on_sparse = cnv.run(s, &sparse_in, &w, &out);
+    tests::expectSlotConservation(on_dense, "cnv dense");
+    tests::expectSlotConservation(on_sparse, "cnv sparse");
     double ratio =
         double(on_sparse.cycles) / double(on_dense.cycles);
     EXPECT_LT(ratio, 0.5);
@@ -123,6 +126,7 @@ TEST(Cnv, SkipsStructuralStuffingLikeZfost)
     Cnv cnv(Unroll{.pIf = 2, .pOf = 2});
     Tensor out = sim::makeOutputTensor(s);
     RunStats st = cnv.run(s, &in, &w, &out);
+    tests::expectSlotConservation(st, "cnv stuffed");
     // Effective MACs equal the structural count (all dense values are
     // non-zero in this input).
     EXPECT_EQ(st.effectiveMacs, s.effectiveMacs());

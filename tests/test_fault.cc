@@ -1,0 +1,466 @@
+/**
+ * @file
+ * Fault-injection subsystem tests: FaultPlan JSON parsing, the
+ * no-fault bit-identity guarantee, the dense-lattice masking contract
+ * (a transient on a slot the dataflow never issues is masked), the
+ * analytically-predictable stuck-at-zero PE case, the storage-fault
+ * primitives, the saturation stress vs the static range analysis, and
+ * the headline resilience result: on the Table V matrix the zero-free
+ * dataflows mask strictly more transient upsets than the baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bitset>
+#include <cstring>
+#include <string>
+
+#include "core/zfost.hh"
+#include "fault/campaign.hh"
+#include "fault/fault_plan.hh"
+#include "fault/injector.hh"
+#include "fault/mem_faults.hh"
+#include "gan/models.hh"
+#include "mem/offchip.hh"
+#include "mem/onchip_buffer.hh"
+#include "sim/conv_spec.hh"
+#include "sim/ost.hh"
+#include "tensor/tensor.hh"
+#include "util/fixed_point.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "verify/range_analysis.hh"
+
+namespace {
+
+using namespace ganacc;
+using core::Zfost;
+using sim::ConvSpec;
+using sim::Ost;
+using sim::Unroll;
+using tensor::Tensor;
+using util::Rng;
+
+/** Zero-stuffed T-CONV job: 3/4 of the dense lattice lands on
+ *  structural zeros a zero-free dataflow never schedules. */
+ConvSpec
+stuffedSpec()
+{
+    ConvSpec s;
+    s.label = "stuffed";
+    s.nif = 2;
+    s.nof = 2;
+    s.inZeroStride = 2;
+    s.inOrigH = s.inOrigW = 5;
+    s.ih = s.iw = 9;
+    s.kh = s.kw = 3;
+    s.stride = 1;
+    s.pad = 1;
+    s.oh = s.ow = 9;
+    return s;
+}
+
+/** Same tiny GAN the determinism tests train (milliseconds/run). */
+gan::GanModel
+tinyModel()
+{
+    gan::LayerSpec l0;
+    l0.kind = nn::ConvKind::Strided;
+    l0.act = nn::Activation::LeakyReLU;
+    l0.inChannels = 1;
+    l0.outChannels = 4;
+    l0.inH = l0.inW = 8;
+    l0.geom = nn::Conv2dGeom{4, 2, 1, 0};
+
+    gan::LayerSpec head;
+    head.kind = nn::ConvKind::Strided;
+    head.act = nn::Activation::None;
+    head.inChannels = 4;
+    head.outChannels = 1;
+    head.inH = head.inW = 4;
+    head.geom = nn::Conv2dGeom{4, 1, 0, 0};
+
+    return gan::makeModel("tiny", {l0, head}, 8);
+}
+
+// ---------------------------------------------------------------------
+// FaultPlan parsing
+// ---------------------------------------------------------------------
+
+TEST(FaultPlan, ParsesTheFullSchema)
+{
+    const fault::FaultPlan plan = fault::FaultPlan::parse(R"({
+        "seed": 7,
+        "pe": [ {"lane": 3, "kind": "stuck0"},
+                {"lane": 9, "kind": "stuck", "value": 0.5} ],
+        "transient": {"sitesPerJob": 256, "bits": 2},
+        "memory": {"flipProbPerAccess": 1e-7, "bits": 1},
+        "saturation": {"fracBits": 12}
+    })");
+    EXPECT_EQ(plan.seed, 7u);
+    ASSERT_EQ(plan.peFaults.size(), 2u);
+    EXPECT_EQ(plan.peFaults[0].lane, 3);
+    EXPECT_EQ(plan.peFaults[0].kind, fault::PeFault::Kind::StuckAtZero);
+    EXPECT_EQ(plan.peFaults[1].lane, 9);
+    EXPECT_EQ(plan.peFaults[1].kind, fault::PeFault::Kind::StuckAtValue);
+    EXPECT_FLOAT_EQ(plan.peFaults[1].value, 0.5f);
+    EXPECT_EQ(plan.transient.sitesPerJob, 256);
+    EXPECT_EQ(plan.transient.bits, 2);
+    EXPECT_DOUBLE_EQ(plan.memory.flipProbPerAccess, 1e-7);
+    EXPECT_EQ(plan.saturation.fracBits, 12);
+    EXPECT_FALSE(plan.empty());
+    EXPECT_FALSE(plan.describe().empty());
+}
+
+TEST(FaultPlan, DefaultPlanIsEmpty)
+{
+    const fault::FaultPlan plan;
+    EXPECT_TRUE(plan.empty());
+    const fault::FaultPlan parsed = fault::FaultPlan::parse("{}");
+    EXPECT_TRUE(parsed.empty());
+}
+
+TEST(FaultPlan, RejectsMalformedInput)
+{
+    // Syntax errors.
+    EXPECT_THROW(fault::FaultPlan::parse(""), util::FatalError);
+    EXPECT_THROW(fault::FaultPlan::parse("{"), util::FatalError);
+    EXPECT_THROW(fault::FaultPlan::parse("{} trailing"),
+                 util::FatalError);
+    EXPECT_THROW(fault::FaultPlan::parse(R"({"unknown": 1})"),
+                 util::FatalError);
+    // Validation errors.
+    EXPECT_THROW(fault::FaultPlan::parse(R"({"pe": [{"lane": -1}]})"),
+                 util::FatalError);
+    EXPECT_THROW(
+        fault::FaultPlan::parse(R"({"transient": {"bits": 0}})"),
+        util::FatalError);
+    EXPECT_THROW(fault::FaultPlan::parse(
+                     R"({"memory": {"flipProbPerAccess": 2.0}})"),
+                 util::FatalError);
+    EXPECT_THROW(
+        fault::FaultPlan::parse(R"({"saturation": {"fracBits": 16}})"),
+        util::FatalError);
+    EXPECT_THROW(fault::FaultPlan::fromFile("/nonexistent/plan.json"),
+                 util::FatalError);
+}
+
+// ---------------------------------------------------------------------
+// The hook contract
+// ---------------------------------------------------------------------
+
+TEST(FaultInjector, EmptyPlanLeavesOutputsBitIdentical)
+{
+    const ConvSpec s = stuffedSpec();
+    Rng rng(11);
+    const Tensor in = sim::makeStreamedInput(s, rng);
+    const Tensor w = sim::makeStreamedKernel(s, rng);
+    Zfost zfost(Unroll{.pOf = 2, .pOx = 3, .pOy = 3});
+
+    Tensor bare = sim::makeOutputTensor(s);
+    zfost.run(s, &in, &w, &bare);
+
+    fault::FaultInjector injector((fault::FaultPlan()));
+    EXPECT_FALSE(injector.visitIneffectual());
+    injector.beginJob(s, 0);
+    zfost.setFaultHook(&injector);
+    Tensor hooked = sim::makeOutputTensor(s);
+    zfost.run(s, &in, &w, &hooked);
+    zfost.setFaultHook(nullptr);
+
+    EXPECT_EQ(0, std::memcmp(bare.data(), hooked.data(),
+                             bare.numel() * sizeof(float)));
+    EXPECT_EQ(injector.counters().armed, 0u);
+    EXPECT_EQ(injector.counters().fired, 0u);
+    EXPECT_GT(injector.counters().macsObserved, 0u);
+}
+
+TEST(FaultInjector, NeverIssuedSlotIsMasked)
+{
+    // The same plan armed on the same (seed, job) lattice: OST
+    // physically schedules every dense-lattice multiply, so every
+    // armed upset fires; ZFOST never issues the stuffing zeros, so the
+    // upsets landing there stay masked.
+    const ConvSpec s = stuffedSpec();
+    Rng rng(12);
+    const Tensor in = sim::makeStreamedInput(s, rng);
+    const Tensor w = sim::makeStreamedKernel(s, rng);
+
+    fault::FaultPlan plan;
+    plan.seed = 5;
+    plan.transient.sitesPerJob = 64;
+
+    fault::FaultInjector on_ost(plan);
+    on_ost.beginJob(s, 3);
+    Ost ost(Unroll{.pOf = 2, .pOx = 3, .pOy = 3});
+    ost.setFaultHook(&on_ost);
+    Tensor out = sim::makeOutputTensor(s);
+    ost.run(s, &in, &w, &out);
+
+    fault::FaultInjector on_zfost(plan);
+    on_zfost.beginJob(s, 3);
+    Zfost zfost(Unroll{.pOf = 2, .pOx = 3, .pOy = 3});
+    zfost.setFaultHook(&on_zfost);
+    Tensor out2 = sim::makeOutputTensor(s);
+    zfost.run(s, &in, &w, &out2);
+
+    // Identical arming is the precondition of the comparison.
+    EXPECT_EQ(on_ost.counters().armed, 64u);
+    EXPECT_EQ(on_zfost.counters().armed, 64u);
+    // OST samples every site; ZFOST leaves the structural-zero ones
+    // unobserved (~3/4 of this job's lattice is stuffing).
+    EXPECT_EQ(on_ost.counters().masked(), 0u);
+    EXPECT_GT(on_zfost.counters().masked(), 0u);
+    EXPECT_LT(on_zfost.counters().fired, on_zfost.counters().armed);
+}
+
+TEST(FaultInjector, StuckAtZeroPeMatchesAnalyticRmse)
+{
+    // 1x1 kernel, all-ones operands, 4x4 output on a 2x2x1 ZFOST
+    // tile: physical lane 0 owns exactly the outputs with even row
+    // and even column — 4 of the 16 — and each output is the single
+    // product 1*1. Wiring lane 0 to zero must therefore zero exactly
+    // those four outputs: RMSE = sqrt(4/16) = 0.5.
+    ConvSpec s;
+    s.label = "unit";
+    s.nif = 1;
+    s.nof = 1;
+    s.ih = s.iw = 4;
+    s.kh = s.kw = 1;
+    s.stride = 1;
+    s.pad = 0;
+    s.oh = s.ow = 4;
+
+    Tensor in(tensor::Shape4(1, 1, 4, 4), 1.0f);
+    Tensor w(tensor::Shape4(1, 1, 1, 1), 1.0f);
+    const Tensor ref = sim::genericConvRef(s, in, w);
+
+    fault::FaultPlan plan;
+    fault::PeFault pe;
+    pe.lane = 0;
+    pe.kind = fault::PeFault::Kind::StuckAtZero;
+    plan.peFaults.push_back(pe);
+
+    fault::FaultInjector injector(plan);
+    injector.beginJob(s, 0);
+    Zfost zfost(Unroll{.pOf = 1, .pOx = 2, .pOy = 2});
+    zfost.setFaultHook(&injector);
+    Tensor out = sim::makeOutputTensor(s);
+    zfost.run(s, &in, &w, &out);
+
+    EXPECT_NEAR(fault::rmse(out, ref), 0.5, 1e-6);
+    EXPECT_EQ(injector.counters().peHits, 4u);
+    int zeroed = 0;
+    for (int oy = 0; oy < 4; ++oy)
+        for (int ox = 0; ox < 4; ++ox)
+            if (out.ref(0, 0, oy, ox) == 0.0f) {
+                EXPECT_EQ(oy % 2, 0) << oy << "," << ox;
+                EXPECT_EQ(ox % 2, 0) << oy << "," << ox;
+                ++zeroed;
+            }
+    EXPECT_EQ(zeroed, 4);
+}
+
+// ---------------------------------------------------------------------
+// Storage-fault primitives
+// ---------------------------------------------------------------------
+
+TEST(MemFaults, SampleBinomialEdgesAndDeterminism)
+{
+    Rng rng(1);
+    EXPECT_EQ(fault::sampleBinomial(rng, 0, 0.5), 0u);
+    EXPECT_EQ(fault::sampleBinomial(rng, 1000, 0.0), 0u);
+    // p = 1 must return n in every regime: exact, Poisson, normal.
+    EXPECT_EQ(fault::sampleBinomial(rng, 100, 1.0), 100u);
+    EXPECT_EQ(fault::sampleBinomial(rng, 1u << 20, 1.0), 1u << 20);
+
+    Rng a(77), b(77);
+    for (int i = 0; i < 16; ++i) {
+        const std::uint64_t x = fault::sampleBinomial(a, 10000, 0.3);
+        EXPECT_EQ(x, fault::sampleBinomial(b, 10000, 0.3));
+        EXPECT_LE(x, 10000u);
+    }
+}
+
+TEST(MemFaults, SingleBitFlipIsOneFixed16Bit)
+{
+    Tensor t(tensor::Shape4(1, 1, 2, 2), 1.0f);
+    const Tensor orig = t;
+    Rng rng(9);
+    EXPECT_EQ(fault::applyBitFlips(t, 1, 1, rng), 1u);
+
+    int changed = 0;
+    for (std::size_t i = 0; i < t.numel(); ++i) {
+        if (t.data()[i] == orig.data()[i])
+            continue;
+        ++changed;
+        const std::uint16_t before = std::uint16_t(
+            util::AccelFixed::fromDouble(orig.data()[i]).raw());
+        const std::uint16_t after = std::uint16_t(
+            util::AccelFixed::fromDouble(t.data()[i]).raw());
+        EXPECT_EQ(std::bitset<16>(before ^ after).count(), 1u);
+    }
+    EXPECT_EQ(changed, 1);
+
+    // Zero flips must be a no-op.
+    Tensor u = orig;
+    EXPECT_EQ(fault::applyBitFlips(u, 0, 1, rng), 0u);
+    EXPECT_EQ(0, std::memcmp(u.data(), orig.data(),
+                             u.numel() * sizeof(float)));
+}
+
+TEST(MemFaults, FlipCountingTapObservesBufferTraffic)
+{
+    fault::FlipCountingTap tap(1.0, 42);
+
+    mem::OnChipBuffer buf("test", 1024);
+    buf.setAccessTap(&tap);
+    buf.read(64); // 32 words at p=1: all corrupt
+    buf.write(10);
+    EXPECT_EQ(tap.pendingFlips(), 37u);
+
+    mem::OffChipMemory dram((mem::OffChipConfig()));
+    dram.setAccessTap(&tap);
+    dram.read(6);
+    EXPECT_EQ(tap.pendingFlips(), 40u);
+    EXPECT_EQ(tap.takeFlips(), 40u);
+    EXPECT_EQ(tap.pendingFlips(), 0u);
+
+    // Detached taps see nothing.
+    buf.setAccessTap(nullptr);
+    dram.setAccessTap(nullptr);
+    buf.read(100);
+    dram.write(100);
+    EXPECT_EQ(tap.pendingFlips(), 0u);
+}
+
+TEST(MemFaults, SaturationStressAgreesWithRangeAnalysis)
+{
+    // 1.5 needs one integer bit: a Q1.14 writeback must not clip it.
+    Tensor fits(tensor::Shape4(1, 1, 1, 2));
+    fits.data()[0] = 1.5f;
+    fits.data()[1] = -0.3f;
+    EXPECT_LE(verify::requiredIntBits(1.5), 1);
+    const fault::SaturationStress ok = fault::stressSaturation(fits, 14);
+    EXPECT_EQ(ok.saturated, 0u);
+    EXPECT_EQ(ok.total, 2u);
+    EXPECT_GT(ok.rmseVsFloat, 0.0); // -0.3 is off-grid: rounding error
+    EXPECT_LT(ok.rmseVsFloat, 1e-3);
+
+    // 3.0 needs two integer bits: the same format must clip it, and
+    // the static analysis must predict that.
+    Tensor clips(tensor::Shape4(1, 1, 1, 1));
+    clips.data()[0] = 3.0f;
+    EXPECT_GT(verify::requiredIntBits(3.0), 1);
+    const fault::SaturationStress sat =
+        fault::stressSaturation(clips, 14);
+    EXPECT_EQ(sat.saturated, 1u);
+    EXPECT_NEAR(clips.data()[0], 2.0f, 1e-3);
+}
+
+// ---------------------------------------------------------------------
+// Campaigns
+// ---------------------------------------------------------------------
+
+TEST(FaultCampaign, EmptyPlanCampaignIsFaultFree)
+{
+    const fault::CampaignResult result = fault::runResilienceCampaign(
+        tinyModel(), fault::FaultPlan(), fault::CampaignOptions());
+    ASSERT_FALSE(result.cells.empty());
+    for (const auto &cell : result.cells) {
+        EXPECT_EQ(cell.mac.armed, 0u) << cell.row << " " << cell.arch;
+        // Not exactly zero: the cell RMSE is measured against the
+        // golden model, whose accumulation order differs from the
+        // dataflow's, so ~1e-8 float rounding noise remains. Anything
+        // above that would be an injected fault.
+        EXPECT_LT(cell.outputRmse, 1e-6) << cell.row << " " << cell.arch;
+        EXPECT_EQ(cell.memFlips, 0u);
+    }
+}
+
+const fault::ArchSummary &
+summaryFor(const fault::CampaignResult &result, const std::string &arch)
+{
+    for (const auto &s : result.archs)
+        if (s.arch == arch)
+            return s;
+    ADD_FAILURE() << "no summary for " << arch;
+    static const fault::ArchSummary none{};
+    return none;
+}
+
+TEST(FaultCampaign, ZeroFreeDataflowsMaskMoreTransients)
+{
+    // The acceptance result: on the paper's evaluation matrix
+    // (Table V rows, identical armed sites everywhere) the zero-free
+    // dataflows mask strictly more MAC-path transients than every
+    // baseline, *in aggregate* — per-row exceptions are real (WST
+    // out-masks ZFOST on D/ST, where its resident kernel never streams
+    // the padding ring), which is exactly why the claim is stated over
+    // the summed lattice.
+    fault::FaultPlan plan;
+    plan.seed = 1;
+    plan.transient.sitesPerJob = 256;
+
+    fault::CampaignOptions opt;
+    opt.dataSeed = plan.seed;
+    const fault::CampaignResult result = fault::runResilienceCampaign(
+        gan::makeMnistGan(), plan, opt);
+
+    const fault::ArchSummary &nlr = summaryFor(result, "NLR");
+    const fault::ArchSummary &wst = summaryFor(result, "WST");
+    const fault::ArchSummary &ost = summaryFor(result, "OST");
+    const fault::ArchSummary &zfost = summaryFor(result, "ZFOST");
+    const fault::ArchSummary &zfwst = summaryFor(result, "ZFWST");
+
+    // Like-for-like: every column sampled the identical armed set.
+    EXPECT_EQ(nlr.armed, zfost.armed);
+    EXPECT_EQ(wst.armed, zfost.armed);
+    EXPECT_EQ(ost.armed, zfost.armed);
+    EXPECT_GT(zfost.armed, 0u);
+
+    for (const fault::ArchSummary *zf : {&zfost, &zfwst}) {
+        EXPECT_GT(zf->maskingRate, nlr.maskingRate) << zf->arch;
+        EXPECT_GT(zf->maskingRate, wst.maskingRate) << zf->arch;
+        EXPECT_GT(zf->maskingRate, ost.maskingRate) << zf->arch;
+    }
+    // The zero-executing baselines sample every armed upset.
+    EXPECT_EQ(nlr.fired, nlr.armed);
+    EXPECT_EQ(ost.fired, ost.armed);
+    // Masking shows up as accuracy: fewer sampled upsets, lower RMSE.
+    EXPECT_LT(zfost.outputRmse, nlr.outputRmse);
+}
+
+TEST(FaultCampaign, TrainerDegradationIsDeterministicAndFaultDriven)
+{
+    const gan::GanModel model = tinyModel();
+
+    // No storage faults: the twins stay bit-identical.
+    fault::FaultPlan clean;
+    const fault::TrainerDegradation none =
+        fault::runTrainerDegradation(model, clean, 3, 2, 17);
+    EXPECT_EQ(none.weightFlips, 0u);
+    EXPECT_EQ(none.meanAbsDiscLossDelta, 0.0);
+    EXPECT_EQ(none.meanAbsGenLossDelta, 0.0);
+    EXPECT_EQ(none.weightRmse, 0.0);
+
+    // A heavy flip rate must corrupt weights, and two identical runs
+    // must agree bit for bit.
+    fault::FaultPlan faulty;
+    faulty.seed = 23;
+    faulty.memory.flipProbPerAccess = 0.01;
+    const fault::TrainerDegradation a =
+        fault::runTrainerDegradation(model, faulty, 3, 2, 17);
+    const fault::TrainerDegradation b =
+        fault::runTrainerDegradation(model, faulty, 3, 2, 17);
+    EXPECT_GT(a.weightFlips, 0u);
+    EXPECT_GT(a.weightRmse, 0.0);
+    EXPECT_EQ(a.weightFlips, b.weightFlips);
+    EXPECT_EQ(a.weightRmse, b.weightRmse);
+    EXPECT_EQ(a.meanAbsDiscLossDelta, b.meanAbsDiscLossDelta);
+    EXPECT_EQ(a.meanAbsGenLossDelta, b.meanAbsGenLossDelta);
+    EXPECT_EQ(a.cleanFinalDiscLoss, b.cleanFinalDiscLoss);
+    EXPECT_EQ(a.faultyFinalDiscLoss, b.faultyFinalDiscLoss);
+}
+
+} // namespace

@@ -13,6 +13,7 @@
 #include "sim/nlr.hh"
 #include "sim/ost.hh"
 #include "sim/rst.hh"
+#include "stats_helpers.hh"
 #include "tensor/tensor.hh"
 #include "util/random.hh"
 
@@ -154,9 +155,8 @@ TEST(Rst, TimingOnlyMatchesFunctionalCounters)
     Tensor out = sim::makeOutputTensor(s);
     RunStats f = rst.run(s, &in, &w, &out);
     RunStats t = rst.run(s);
-    EXPECT_EQ(f.cycles, t.cycles);
-    EXPECT_EQ(f.effectiveMacs, t.effectiveMacs);
-    EXPECT_EQ(f.totalAccesses(), t.totalAccesses());
+    tests::expectSlotConservation(f, "rst functional");
+    tests::expectStatsEqual(f, t, "rst timing vs functional");
 }
 
 TEST(Rst, StridedConvStillWorks)
