@@ -13,6 +13,9 @@
 #include <iostream>
 #include <string>
 
+#include "core/cycle_cache.hh"
+#include "serve/result_store.hh"
+#include "util/args.hh"
 #include "util/table.hh"
 
 namespace ganacc {
@@ -29,6 +32,37 @@ banner(const std::string &experiment, const std::string &paper_claim)
     std::cout << "==================================================="
                  "=====================\n";
 }
+
+/**
+ * Standard cache wiring for a bench binary: registers --cache-dir
+ * (falling back to GANACC_CACHE_DIR), attaches the persistent result
+ * store under the process-wide CycleCache when a directory is given,
+ * and prints the cache/store summary when the bench exits — so every
+ * figure report ends with its hit/miss accounting (and a warm rerun
+ * is visibly a stream of disk hits).
+ */
+class CacheScope
+{
+  public:
+    explicit CacheScope(util::ArgParser &args)
+        : disk_(args.getCacheDir())
+    {
+    }
+
+    ~CacheScope()
+    {
+        std::cout << "\n[" << core::CycleCache::instance().summary();
+        if (disk_.attached())
+            std::cout << "; " << disk_.store()->summary();
+        std::cout << "]\n";
+    }
+
+    CacheScope(const CacheScope &) = delete;
+    CacheScope &operator=(const CacheScope &) = delete;
+
+  private:
+    serve::ScopedDiskCache disk_;
+};
 
 } // namespace bench
 } // namespace ganacc

@@ -62,6 +62,7 @@ main(int argc, char **argv)
         "max-wpof", 60, "widest W bank (channels) to sweep");
     const bool no_verify = args.getFlag(
         "no-verify", "skip the static verifier pre-filter");
+    bench::CacheScope cache_scope(args);
     if (args.helpRequested()) {
         args.usage(std::cout);
         return 0;

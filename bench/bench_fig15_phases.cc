@@ -9,15 +9,24 @@
 #include <iostream>
 
 #include "bench/bench_common.hh"
+#include "core/cycle_cache.hh"
 #include "core/unrolling.hh"
 #include "gan/models.hh"
 #include "sim/phase.hh"
+#include "util/args.hh"
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ganacc;
+    util::ArgParser args(argc, argv);
+    bench::CacheScope cache(args);
+    if (args.helpRequested()) {
+        args.usage(std::cout);
+        return 0;
+    }
+    args.finish();
     bench::banner(
         "Fig. 15 — performance on the four computing phases",
         "ZFOST/ZFWST yield the optimal performance among all phases; "
@@ -46,11 +55,11 @@ main()
             std::string best_name;
             double best = 0.0;
             for (core::ArchKind kind : core::allArchKinds()) {
-                auto arch = core::makeArch(
-                    kind, core::paperUnroll(kind, role, f, pes));
+                const sim::Unroll u =
+                    core::paperUnroll(kind, role, f, pes);
                 std::uint64_t cycles = 0;
                 for (const auto &j : jobs)
-                    cycles += arch->run(j).cycles;
+                    cycles += core::cachedRun(kind, u, j).cycles;
                 if (kind == core::ArchKind::NLR)
                     nlr_cycles = cycles;
                 double speedup = double(nlr_cycles) / double(cycles);

@@ -10,15 +10,24 @@
 #include <iostream>
 
 #include "bench/bench_common.hh"
+#include "core/cycle_cache.hh"
 #include "core/unrolling.hh"
 #include "gan/models.hh"
 #include "sim/phase.hh"
+#include "util/args.hh"
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ganacc;
+    util::ArgParser args(argc, argv);
+    bench::CacheScope cache(args);
+    if (args.helpRequested()) {
+        args.usage(std::cout);
+        return 0;
+    }
+    args.finish();
     bench::banner("Fig. 16 — on-chip data accesses (DCGAN)",
                   "ZFOST/ZFWST have the lowest access counts; NLR "
                   "streams every operand every cycle");
@@ -41,11 +50,10 @@ main()
                        "out writes", "total", "vs NLR"});
         double nlr_total = 0.0;
         for (core::ArchKind kind : core::allArchKinds()) {
-            auto arch = core::makeArch(
-                kind, core::paperUnroll(kind, role, f, pes));
+            const sim::Unroll u = core::paperUnroll(kind, role, f, pes);
             sim::RunStats sum;
             for (const auto &j : jobs)
-                sum += arch->run(j);
+                sum += core::cachedRun(kind, u, j);
             double total = double(sum.totalAccesses());
             if (kind == core::ArchKind::NLR)
                 nlr_total = total;

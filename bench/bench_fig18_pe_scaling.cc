@@ -27,6 +27,7 @@ main(int argc, char **argv)
 
     util::ArgParser args(argc, argv);
     const int jobs = args.getJobs();
+    bench::CacheScope cache(args);
     if (args.helpRequested()) {
         args.usage(std::cout);
         return 0;

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Serving-throughput bench: requests/second of the simulation service
+ * across the three tiers (cold = cycle walk, warm disk = persistent
+ * result store, warm memory = in-process cycle cache), for one client
+ * and for eight concurrent clients driving the same engine.
+ *
+ * This is the quantitative case for the serving subsystem: once a
+ * figure's (arch, unrolling, layer) population is on disk, every
+ * later regeneration — same process or not — replays it at disk
+ * speed. The summary line reports the warm-over-cold speedup the
+ * subsystem is expected to keep above 5x.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "core/cycle_cache.hh"
+#include "core/unrolling.hh"
+#include "gan/models.hh"
+#include "serve/engine.hh"
+#include "sim/phase.hh"
+#include "util/args.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ganacc;
+
+/**
+ * The request population: every job of every Table V row of every
+ * model on every architecture, as individual spec requests — the same
+ * cycle walks the figure benches perform, phrased as service traffic.
+ */
+std::vector<serve::Request>
+makeRequests()
+{
+    struct Row
+    {
+        sim::PhaseFamily family;
+        core::BankRole role;
+        int pes;
+    };
+    const Row rows[] = {
+        {sim::PhaseFamily::D, core::BankRole::ST, 1200},
+        {sim::PhaseFamily::G, core::BankRole::ST, 1200},
+        {sim::PhaseFamily::Dw, core::BankRole::W, 480},
+        {sim::PhaseFamily::Gw, core::BankRole::W, 480},
+    };
+    std::vector<serve::Request> reqs;
+    std::uint64_t id = 1;
+    for (const auto &m : gan::allModels()) {
+        for (const Row &row : rows) {
+            for (core::ArchKind kind : core::allArchKinds()) {
+                const sim::Unroll u = core::paperUnroll(
+                    kind, row.role, row.family, row.pes);
+                for (const auto &job :
+                     sim::familyJobs(m, row.family)) {
+                    serve::Request req;
+                    req.id = id++;
+                    req.kind = kind;
+                    req.unroll = u;
+                    req.hasSpec = true;
+                    req.spec = job;
+                    reqs.push_back(req);
+                }
+            }
+        }
+    }
+    return reqs;
+}
+
+struct PhaseResult
+{
+    double seconds = 0.0;
+    double reqPerSec = 0.0;
+    serve::EngineCounters counters;
+};
+
+/**
+ * Drive `clients` threads against the engine, each pipelining its
+ * share of the request list with a bounded window of outstanding
+ * futures (a client library replaying a file behaves the same way).
+ */
+PhaseResult
+runPhase(serve::Engine &engine, const std::vector<serve::Request> &reqs,
+         int clients)
+{
+    const serve::EngineCounters before = engine.counters();
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            const std::size_t window = 32;
+            std::vector<std::future<serve::Response>> pending;
+            for (std::size_t i = std::size_t(c); i < reqs.size();
+                 i += std::size_t(clients)) {
+                pending.push_back(engine.submit(reqs[i]));
+                if (pending.size() >= window) {
+                    pending.front().get();
+                    pending.erase(pending.begin());
+                }
+            }
+            for (auto &f : pending)
+                f.get();
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    PhaseResult r;
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    r.reqPerSec = double(reqs.size()) / r.seconds;
+    const serve::EngineCounters after = engine.counters();
+    r.counters.memHits = after.memHits - before.memHits;
+    r.counters.diskHits = after.diskHits - before.diskHits;
+    r.counters.simulated = after.simulated - before.simulated;
+    r.counters.deduped = after.deduped - before.deduped;
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::ArgParser args(argc, argv);
+    const int jobs = args.getJobs();
+    std::string cache_dir = args.getCacheDir();
+    if (args.helpRequested()) {
+        args.usage(std::cout);
+        return 0;
+    }
+    args.finish();
+    if (cache_dir.empty())
+        cache_dir = (std::filesystem::temp_directory_path() /
+                     "ganacc-serve-bench")
+                        .string();
+
+    bench::banner(
+        "Serving throughput — cold vs warm, 1 vs 8 clients",
+        "a warm result store replays figure populations >= 5x faster "
+        "than cold simulation");
+
+    const auto reqs = makeRequests();
+    std::cout << "\n" << reqs.size() << " spec requests (3 models x 4 "
+              << "phase families x 5 architectures), " << jobs
+              << " engine workers, store at " << cache_dir << "\n\n";
+
+    util::Table t({"phase", "clients", "seconds", "req/s", "sim",
+                   "disk", "mem", "dup"});
+    auto addRow = [&](const std::string &name, int clients,
+                      const PhaseResult &r) {
+        t.addRow(name, clients, r.seconds, r.reqPerSec,
+                 r.counters.simulated, r.counters.diskHits,
+                 r.counters.memHits, r.counters.deduped);
+    };
+
+    double cold1 = 0, warm_disk1 = 0, warm_mem1 = 0;
+    for (int clients : {1, 8}) {
+        // Cold: empty store, empty memory cache — every request is a
+        // fresh cycle walk (concurrent duplicates may single-flight).
+        std::filesystem::remove_all(cache_dir);
+        core::CycleCache::instance().clear();
+        serve::EngineOptions opts;
+        opts.jobs = jobs;
+        opts.cacheDir = cache_dir;
+        PhaseResult cold;
+        {
+            serve::Engine engine(opts);
+            cold = runPhase(engine, reqs, clients);
+            engine.drain();
+        }
+        addRow("cold", clients, cold);
+
+        // Warm disk: a *new* engine (new process, morally) over the
+        // populated store, memory cache dropped.
+        core::CycleCache::instance().clear();
+        serve::Engine engine(opts);
+        const PhaseResult disk = runPhase(engine, reqs, clients);
+        addRow("warm disk", clients, disk);
+
+        // Warm memory: same engine again; everything is memoized.
+        const PhaseResult mem = runPhase(engine, reqs, clients);
+        addRow("warm mem", clients, mem);
+        engine.drain();
+
+        if (clients == 1) {
+            cold1 = cold.reqPerSec;
+            warm_disk1 = disk.reqPerSec;
+            warm_mem1 = mem.reqPerSec;
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nwarm-over-cold (1 client): disk "
+              << warm_disk1 / cold1 << "x, memory "
+              << warm_mem1 / cold1 << "x (target: >= 5x)\n";
+    return 0;
+}

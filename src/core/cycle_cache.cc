@@ -30,6 +30,17 @@ keyOf(ArchKind kind, const sim::Unroll &u, const sim::ConvSpec &s)
 
 } // namespace
 
+std::string
+cacheOutcomeName(CacheOutcome o)
+{
+    switch (o) {
+      case CacheOutcome::MemoryHit: return "mem";
+      case CacheOutcome::DiskHit: return "disk";
+      case CacheOutcome::Simulated: return "sim";
+    }
+    return "?";
+}
+
 CycleCache &
 CycleCache::instance()
 {
@@ -37,9 +48,15 @@ CycleCache::instance()
     return cache;
 }
 
+void
+CycleCache::attachDiskTier(StatsDiskTier *tier)
+{
+    disk_ = tier;
+}
+
 sim::RunStats
 CycleCache::stats(ArchKind kind, const sim::Unroll &u,
-                  const sim::ConvSpec &spec)
+                  const sim::ConvSpec &spec, CacheOutcome *outcome)
 {
     const std::string key = keyOf(kind, u, spec);
     {
@@ -47,15 +64,31 @@ CycleCache::stats(ArchKind kind, const sim::Unroll &u,
         auto it = map_.find(key);
         if (it != map_.end()) {
             hits_.fetch_add(1, std::memory_order_relaxed);
+            if (outcome)
+                *outcome = CacheOutcome::MemoryHit;
             return it->second;
         }
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
-    sim::RunStats st = makeArch(kind, u)->run(spec);
+    sim::RunStats st;
+    CacheOutcome got = CacheOutcome::Simulated;
+    std::optional<sim::RunStats> fromDisk =
+        disk_ ? disk_->load(kind, u, spec) : std::nullopt;
+    if (fromDisk) {
+        diskHits_.fetch_add(1, std::memory_order_relaxed);
+        got = CacheOutcome::DiskHit;
+        st = *fromDisk;
+    } else {
+        st = makeArch(kind, u)->run(spec);
+        if (disk_)
+            disk_->store(kind, u, spec, st);
+    }
     {
         std::unique_lock<std::shared_mutex> lk(m_);
         map_.emplace(key, st);
     }
+    if (outcome)
+        *outcome = got;
     return st;
 }
 
@@ -66,6 +99,7 @@ CycleCache::clear()
     map_.clear();
     hits_.store(0);
     misses_.store(0);
+    diskHits_.store(0);
 }
 
 std::size_t
@@ -73,6 +107,17 @@ CycleCache::size() const
 {
     std::shared_lock<std::shared_mutex> lk(m_);
     return map_.size();
+}
+
+std::string
+CycleCache::summary() const
+{
+    std::ostringstream os;
+    os << "cycle cache: " << size() << " entries, " << hits()
+       << " memory hits, " << misses() << " misses";
+    if (disk_)
+        os << " (" << diskHits() << " served by the disk tier)";
+    return os.str();
 }
 
 sim::RunStats

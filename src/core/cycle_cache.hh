@@ -13,6 +13,14 @@
  * for it. All methods are thread-safe; concurrent misses on the same
  * key may both simulate, but they compute identical values so the
  * second insert is a harmless no-op.
+ *
+ * The in-memory memo dies with the process, which used to make every
+ * figure regeneration start cold. An optional *disk tier* (the
+ * serving subsystem's content-addressed serve::ResultStore implements
+ * the StatsDiskTier interface) survives across processes: memory
+ * misses consult the tier before simulating, and simulated results
+ * are written through, so a repeated sweep becomes a stream of disk
+ * hits instead of a re-simulation.
  */
 
 #ifndef GANACC_CORE_CYCLE_CACHE_HH
@@ -20,6 +28,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -31,6 +40,38 @@
 namespace ganacc {
 namespace core {
 
+/** Where a cached lookup was satisfied. */
+enum class CacheOutcome
+{
+    MemoryHit, ///< found in the in-process memo
+    DiskHit,   ///< found in the attached persistent tier
+    Simulated, ///< missed everywhere; the cycle walk ran
+};
+
+std::string cacheOutcomeName(CacheOutcome o);
+
+/**
+ * Interface of a persistent second cache tier keyed on the same
+ * (kind, unrolling, spec) triple as the in-memory memo. Implementors
+ * must be safe for concurrent calls from sweep worker threads.
+ */
+class StatsDiskTier
+{
+  public:
+    virtual ~StatsDiskTier() = default;
+
+    /** The stored stats for the triple, or nullopt on a miss (absent,
+     *  stale simulator version, or corrupt entry). */
+    virtual std::optional<sim::RunStats>
+    load(ArchKind kind, const sim::Unroll &u,
+         const sim::ConvSpec &spec) = 0;
+
+    /** Persist the stats for the triple (write-through on simulate). */
+    virtual void store(ArchKind kind, const sim::Unroll &u,
+                       const sim::ConvSpec &spec,
+                       const sim::RunStats &stats) = 0;
+};
+
 /** Process-wide memo of timing-only runs. */
 class CycleCache
 {
@@ -39,25 +80,46 @@ class CycleCache
 
     /**
      * The RunStats of a timing-only run of `spec` on `kind` with
-     * unrolling `u`, simulating on a miss.
+     * unrolling `u`, simulating on a miss. When `outcome` is non-null
+     * it reports which tier satisfied the lookup.
      */
     sim::RunStats stats(ArchKind kind, const sim::Unroll &u,
-                        const sim::ConvSpec &spec);
+                        const sim::ConvSpec &spec,
+                        CacheOutcome *outcome = nullptr);
 
-    /** Drop every entry (for cold-cache timing comparisons). */
+    /**
+     * Attach (or with nullptr detach) the persistent tier. Non-owning;
+     * the tier must outlive every subsequent stats() call. Not
+     * thread-safe against concurrent stats() — attach before a sweep
+     * starts, detach after it drains.
+     */
+    void attachDiskTier(StatsDiskTier *tier);
+
+    StatsDiskTier *diskTier() const { return disk_; }
+
+    /** Drop every memory entry (for cold-cache timing comparisons);
+     *  the attached disk tier, being persistent, is untouched. */
     void clear();
 
     std::size_t size() const;
     std::uint64_t hits() const { return hits_.load(); }
     std::uint64_t misses() const { return misses_.load(); }
+    /** Memory misses satisfied by the disk tier (subset of misses). */
+    std::uint64_t diskHits() const { return diskHits_.load(); }
+
+    /** One-line "cycle cache: N entries, H hits, ..." summary for
+     *  sweep and bench reports. */
+    std::string summary() const;
 
   private:
     CycleCache() = default;
 
     mutable std::shared_mutex m_;
     std::unordered_map<std::string, sim::RunStats> map_;
+    StatsDiskTier *disk_ = nullptr;
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> diskHits_{0};
 };
 
 /** Convenience: CycleCache::instance().stats(...). */

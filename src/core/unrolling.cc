@@ -6,6 +6,7 @@
 #include "core/unrolling.hh"
 
 #include <algorithm>
+#include <cctype>
 
 #include "core/zfost.hh"
 #include "core/zfwst.hh"
@@ -45,6 +46,19 @@ archKindName(ArchKind k)
         return "ZFWST";
     }
     util::panic("unknown arch kind");
+}
+
+std::optional<ArchKind>
+archKindFromName(const std::string &name)
+{
+    std::string up;
+    up.reserve(name.size());
+    for (char c : name)
+        up += char(std::toupper(static_cast<unsigned char>(c)));
+    for (ArchKind k : allArchKinds())
+        if (archKindName(k) == up)
+            return k;
+    return std::nullopt;
 }
 
 std::unique_ptr<Architecture>

@@ -14,6 +14,7 @@
 #define GANACC_CORE_UNROLLING_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,9 @@ enum class ArchKind
 std::vector<ArchKind> allArchKinds();
 
 std::string archKindName(ArchKind k);
+
+/** Inverse of archKindName (case-insensitive); nullopt if unknown. */
+std::optional<ArchKind> archKindFromName(const std::string &name);
 
 /** Which PE bank a comparison runs on. */
 enum class BankRole

@@ -217,7 +217,7 @@ buildUpdateDag(const Design &design, const GanModel &model,
     return dag;
 }
 
-EventTrace
+EventRunStats
 simulateEvents(const UpdateDag &dag, int samples,
                const mem::OffChipConfig &offchip)
 {
@@ -239,7 +239,7 @@ simulateEvents(const UpdateDag &dag, int samples,
     const double cycles_per_byte =
         8.0 * offchip.frequencyHz / offchip.bandwidthBitsPerSec;
 
-    EventTrace trace;
+    EventRunStats trace;
     trace.spans.resize(jobs.size());
     std::uint64_t st_avail = 0, w_avail = 0, dram_avail = 0;
     std::uint64_t st_busy = 0, w_busy = 0, dram_busy = 0;
@@ -332,12 +332,12 @@ eventCyclesPerSample(const Design &design, const GanModel &model,
 {
     UpdateDag dag = buildUpdateDag(design, model, kind);
     mem::OffChipConfig offchip;
-    EventTrace trace = simulateEvents(dag, samples, offchip);
+    EventRunStats trace = simulateEvents(dag, samples, offchip);
     return trace.makespan / std::uint64_t(samples);
 }
 
 void
-writeChromeTrace(const UpdateDag &dag, const EventTrace &trace,
+writeChromeTrace(const UpdateDag &dag, const EventRunStats &trace,
                  int samples, std::ostream &os)
 {
     const std::size_t per_sample = dag.jobs.size();
@@ -373,7 +373,7 @@ writeChromeTrace(const UpdateDag &dag, const EventTrace &trace,
 }
 
 std::string
-renderGantt(const UpdateDag &dag, const EventTrace &trace, int samples,
+renderGantt(const UpdateDag &dag, const EventRunStats &trace, int samples,
             int width)
 {
     GANACC_ASSERT(width >= 10, "gantt too narrow");

@@ -68,8 +68,13 @@ struct Span
     std::uint64_t end = 0;
 };
 
-/** Result of one event-driven run. */
-struct EventTrace
+/**
+ * Result of one event-driven run. Named to keep it unmistakably
+ * distinct from sim::RunStats (the per-layer dataflow counters):
+ * these are schedule-level numbers — spans, makespan, busy
+ * fractions — not MAC/access tallies.
+ */
+struct EventRunStats
 {
     std::vector<Span> spans; ///< same order as the job list
     std::vector<Span> dramSpans; ///< serialized gradient streams
@@ -103,7 +108,7 @@ UpdateDag buildUpdateDag(const Design &design,
  * which is what lets the W bank overlap across the per-sample loops
  * of Fig. 8) onto the two banks and the DRAM channel.
  */
-EventTrace simulateEvents(const UpdateDag &dag, int samples,
+EventRunStats simulateEvents(const UpdateDag &dag, int samples,
                           const mem::OffChipConfig &offchip);
 
 /**
@@ -120,7 +125,7 @@ std::uint64_t eventCyclesPerSample(const Design &design,
  * `width` columns; '#' marks majority-busy buckets, '-' partial,
  * '.' idle. Per-sample boundaries are drawn on a ruler row.
  */
-std::string renderGantt(const UpdateDag &dag, const EventTrace &trace,
+std::string renderGantt(const UpdateDag &dag, const EventRunStats &trace,
                         int samples, int width = 100);
 
 /**
@@ -129,7 +134,7 @@ std::string renderGantt(const UpdateDag &dag, const EventTrace &trace,
  * span, timestamps in cycles. Lets a schedule be inspected
  * interactively in a browser.
  */
-void writeChromeTrace(const UpdateDag &dag, const EventTrace &trace,
+void writeChromeTrace(const UpdateDag &dag, const EventRunStats &trace,
                       int samples, std::ostream &os);
 
 } // namespace sched

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Client implementation.
+ */
+
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace serve {
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::connect(const std::string &socket_path)
+{
+    close();
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof addr.sun_path)
+        util::fatal("socket path too long: ", socket_path);
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        util::fatal("socket(AF_UNIX): ", std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        int err = errno;
+        ::close(fd);
+        util::fatal("connect(", socket_path, "): ",
+                    std::strerror(err),
+                    " (is ganacc-served running?)");
+    }
+    fd_ = fd;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buf_.clear();
+}
+
+void
+Client::sendLine(const std::string &line)
+{
+    GANACC_ASSERT(fd_ >= 0, "client not connected");
+    std::string wire = line;
+    wire += '\n';
+    std::size_t off = 0;
+    while (off < wire.size()) {
+        ssize_t n =
+            ::write(fd_, wire.data() + off, wire.size() - off);
+        if (n <= 0)
+            util::fatal("client write: ", std::strerror(errno));
+        off += std::size_t(n);
+    }
+}
+
+void
+Client::sendRequest(const Request &req)
+{
+    sendLine(encodeRequest(req));
+}
+
+std::string
+Client::recvLine()
+{
+    GANACC_ASSERT(fd_ >= 0, "client not connected");
+    while (true) {
+        auto nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buf_.substr(0, nl);
+            buf_.erase(0, nl + 1);
+            return line;
+        }
+        char chunk[4096];
+        ssize_t n = ::read(fd_, chunk, sizeof chunk);
+        if (n <= 0)
+            util::fatal("client read: connection closed by daemon");
+        buf_.append(chunk, std::size_t(n));
+    }
+}
+
+Response
+Client::recvResponse()
+{
+    return decodeResponse(recvLine());
+}
+
+Response
+Client::roundTrip(const Request &req)
+{
+    sendRequest(req);
+    return recvResponse();
+}
+
+std::vector<std::string>
+replayLines(Client &client,
+            const std::vector<std::string> &request_lines,
+            std::size_t window)
+{
+    std::vector<std::string> responses;
+    responses.reserve(request_lines.size());
+    std::size_t sent = 0, received = 0;
+    while (received < request_lines.size()) {
+        while (sent < request_lines.size() &&
+               sent - received < window) {
+            client.sendLine(request_lines[sent]);
+            ++sent;
+        }
+        responses.push_back(client.recvLine());
+        ++received;
+    }
+    return responses;
+}
+
+} // namespace serve
+} // namespace ganacc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Client side of the simulation service.
+ *
+ * A thin blocking client over the Unix-domain socket: send request
+ * lines, read response lines back in order. Requests can be pipelined
+ * (sendRequest N times, then recvResponse N times) — the daemon
+ * preserves per-connection ordering, which is what makes the batched
+ * replay of ganacc-client a single round of writes followed by a
+ * single round of reads.
+ */
+
+#ifndef GANACC_SERVE_CLIENT_HH
+#define GANACC_SERVE_CLIENT_HH
+
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+namespace ganacc {
+namespace serve {
+
+/** A blocking JSON-lines connection to a running ganacc-served. */
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to the daemon's socket; throws FatalError on failure. */
+    void connect(const std::string &socket_path);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** Queue one request onto the wire (pipelined). */
+    void sendRequest(const Request &req);
+
+    /** Send a raw pre-encoded line (replay of a request file). */
+    void sendLine(const std::string &line);
+
+    /** Next response line, in request order; throws on EOF. */
+    Response recvResponse();
+
+    /** Raw response line (for byte-exact golden replay). */
+    std::string recvLine();
+
+    /** Synchronous convenience: one request, one response. */
+    Response roundTrip(const Request &req);
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string buf_;
+};
+
+/**
+ * Replay every line of `request_lines` through a connected client
+ * (pipelined in windows of `window`) and return the raw response
+ * lines in order.
+ */
+std::vector<std::string> replayLines(
+    Client &client, const std::vector<std::string> &request_lines,
+    std::size_t window = 64);
+
+} // namespace serve
+} // namespace ganacc
+
+#endif // GANACC_SERVE_CLIENT_HH

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Daemon transport implementation.
+ */
+
+#include "serve/daemon.hh"
+
+#include <cerrno>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace serve {
+
+namespace {
+
+/**
+ * Submit one request line and return the response future. Decode
+ * errors resolve immediately: the protocol promises a response per
+ * line no matter how broken the line is.
+ */
+std::future<Response>
+submitLine(Engine &engine, const std::string &line)
+{
+    try {
+        return engine.submit(decodeRequest(line));
+    } catch (const std::exception &e) {
+        std::uint64_t id = 0;
+        // Best effort: salvage the id so the client can correlate.
+        try {
+            const auto doc = util::json::parse(line);
+            if (doc.isObject() && doc.asObject().contains("id"))
+                id = doc.asObject().at("id").asUint64();
+        } catch (...) {
+            // The line is not even JSON; scrape an "id":NNN textually
+            // so the error still lands on the right request.
+            const auto at = line.find("\"id\":");
+            if (at != std::string::npos) {
+                std::size_t p = at + 5;
+                while (p < line.size() && line[p] >= '0' &&
+                       line[p] <= '9')
+                    id = id * 10 + std::uint64_t(line[p++] - '0');
+            }
+        }
+        std::promise<Response> p;
+        p.set_value(errorResponse(id, e.what()));
+        return p.get_future();
+    }
+}
+
+/**
+ * Pump a line stream through the engine, writing responses in input
+ * order. A dedicated writer thread drains the in-order future queue,
+ * so responses go out the moment they resolve even while the reader
+ * is blocked waiting for the client's next line — an interactive
+ * client that pipelines a burst and then waits for replies before
+ * closing would deadlock otherwise. The window bounds this stream's
+ * in-flight requests on top of the engine's global queue bound.
+ */
+ServeTotals
+pumpOrderedStream(Engine &engine,
+                  const std::function<bool(std::string &)> &getLine,
+                  const std::function<bool(const std::string &)> &put)
+{
+    ServeTotals totals;
+    const std::size_t window = 64;
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<std::future<Response>> pending;
+    bool done = false;
+    std::uint64_t written = 0;
+
+    std::thread writer([&] {
+        std::unique_lock<std::mutex> lk(m);
+        while (true) {
+            cv.wait(lk, [&] { return done || !pending.empty(); });
+            if (pending.empty())
+                return; // done and nothing left to write
+            std::future<Response> fut = std::move(pending.front());
+            pending.pop_front();
+            cv.notify_all(); // a window slot freed up for the reader
+            lk.unlock();
+            const Response rsp = fut.get();
+            const bool ok = put(encodeResponse(rsp) + "\n");
+            lk.lock();
+            if (ok)
+                ++written;
+        }
+    });
+
+    std::string line;
+    while (getLine(line)) {
+        if (line.empty())
+            continue;
+        ++totals.lines;
+        std::future<Response> fut = submitLine(engine, line);
+        std::unique_lock<std::mutex> lk(m);
+        cv.wait(lk, [&] { return pending.size() < window; });
+        pending.push_back(std::move(fut));
+        cv.notify_all();
+    }
+    {
+        std::lock_guard<std::mutex> lk(m);
+        done = true;
+    }
+    cv.notify_all();
+    writer.join();
+    totals.responses = written;
+    return totals;
+}
+
+} // namespace
+
+ServeTotals
+runPipeServer(std::istream &in, std::ostream &out, Engine &engine)
+{
+    return pumpOrderedStream(
+        engine,
+        [&in](std::string &line) {
+            return bool(std::getline(in, line));
+        },
+        [&out](const std::string &bytes) {
+            out << bytes;
+            out.flush();
+            return bool(out);
+        });
+}
+
+namespace {
+
+std::atomic<bool> *g_stop_flag = nullptr;
+
+void
+onStopSignal(int)
+{
+    if (g_stop_flag)
+        g_stop_flag->store(true);
+}
+
+/** Line-buffered reader over a connected socket fd. */
+class FdLineReader
+{
+  public:
+    explicit FdLineReader(int fd) : fd_(fd) {}
+
+    /** Next full line (without '\n'); false on EOF/error. */
+    bool
+    getline(std::string &line)
+    {
+        while (true) {
+            auto nl = buf_.find('\n');
+            if (nl != std::string::npos) {
+                line = buf_.substr(0, nl);
+                buf_.erase(0, nl + 1);
+                return true;
+            }
+            char chunk[4096];
+            ssize_t n = ::read(fd_, chunk, sizeof chunk);
+            if (n <= 0) {
+                if (buf_.empty())
+                    return false;
+                line.swap(buf_);
+                buf_.clear();
+                return true;
+            }
+            buf_.append(chunk, std::size_t(n));
+        }
+    }
+
+  private:
+    int fd_;
+    std::string buf_;
+};
+
+bool
+writeAll(int fd, const std::string &bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n <= 0)
+            return false;
+        off += std::size_t(n);
+    }
+    return true;
+}
+
+/** Serve one accepted connection with the ordered pump loop. */
+void
+serveConnection(int fd, Engine &engine, std::atomic<std::uint64_t> &lines,
+                std::atomic<std::uint64_t> &responses)
+{
+    FdLineReader reader(fd);
+    const ServeTotals totals = pumpOrderedStream(
+        engine,
+        [&reader](std::string &line) { return reader.getline(line); },
+        [fd](const std::string &bytes) { return writeAll(fd, bytes); });
+    lines.fetch_add(totals.lines, std::memory_order_relaxed);
+    responses.fetch_add(totals.responses, std::memory_order_relaxed);
+    ::close(fd);
+}
+
+} // namespace
+
+void
+installStopHandlers(std::atomic<bool> &flag)
+{
+    g_stop_flag = &flag;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = onStopSignal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+}
+
+ServeTotals
+runSocketServer(const std::string &path, Engine &engine,
+                const std::atomic<bool> &stop)
+{
+    if (path.empty())
+        util::fatal("socket server needs a non-empty path");
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path)
+        util::fatal("socket path too long: ", path);
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof addr.sun_path - 1);
+
+    int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listener < 0)
+        util::fatal("socket(AF_UNIX): ", std::strerror(errno));
+    ::unlink(path.c_str()); // stale socket from a dead daemon
+    if (::bind(listener, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0)
+        util::fatal("bind(", path, "): ", std::strerror(errno));
+    if (::listen(listener, 64) != 0)
+        util::fatal("listen(", path, "): ", std::strerror(errno));
+
+    std::atomic<std::uint64_t> lines{0};
+    std::atomic<std::uint64_t> responses{0};
+    std::vector<std::thread> conns;
+    while (!stop.load()) {
+        pollfd pfd{listener, POLLIN, 0};
+        int r = ::poll(&pfd, 1, 200 /* ms: stop-flag latency */);
+        if (r < 0 && errno != EINTR)
+            break;
+        if (r <= 0 || !(pfd.revents & POLLIN))
+            continue;
+        int fd = ::accept(listener, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        conns.emplace_back([fd, &engine, &lines, &responses] {
+            serveConnection(fd, engine, lines, responses);
+        });
+    }
+    // Drain: no new connections; live ones finish their streams.
+    ::close(listener);
+    for (auto &t : conns)
+        t.join();
+    engine.drain();
+    ::unlink(path.c_str());
+
+    ServeTotals totals;
+    totals.lines = lines.load();
+    totals.responses = responses.load();
+    return totals;
+}
+
+} // namespace serve
+} // namespace ganacc

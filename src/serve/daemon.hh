@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Transports of the simulation service: a stdin/stdout pipe loop (CI
+ * and golden replay) and a Unix-domain-socket server (long-lived
+ * daemon, many clients).
+ *
+ * Both speak the JSON-lines protocol of serve/protocol.hh and drive a
+ * shared Engine. Responses to one connection are written in request
+ * order (the engine may execute out of order; the writer re-serializes)
+ * so a client can match responses to requests positionally as well as
+ * by id.
+ *
+ * Lifecycle: runSocketServer() polls the listening socket so it can
+ * observe the stop flag — the SIGTERM/SIGINT handler merely sets it —
+ * then stops accepting, lets every live connection finish its
+ * buffered requests, drains the engine, and returns. One malformed
+ * line yields one ok:false response; it never terminates the server.
+ */
+
+#ifndef GANACC_SERVE_DAEMON_HH
+#define GANACC_SERVE_DAEMON_HH
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "serve/engine.hh"
+
+namespace ganacc {
+namespace serve {
+
+/** Totals returned by a transport run. */
+struct ServeTotals
+{
+    std::uint64_t lines = 0;     ///< requests read
+    std::uint64_t responses = 0; ///< responses written
+};
+
+/**
+ * Pipe mode: read JSON-lines requests from `in` until EOF, write one
+ * response line per request to `out` in input order.
+ */
+ServeTotals runPipeServer(std::istream &in, std::ostream &out,
+                          Engine &engine);
+
+/**
+ * Socket mode: listen on the Unix-domain socket at `path` (unlinking
+ * a stale file first), serve every connection with the pipe loop,
+ * and return once `*stop` becomes true and live connections finish.
+ * Throws util::FatalError when the socket cannot be created.
+ */
+ServeTotals runSocketServer(const std::string &path, Engine &engine,
+                            const std::atomic<bool> &stop);
+
+/** Install SIGTERM/SIGINT handlers that set `flag`. */
+void installStopHandlers(std::atomic<bool> &flag);
+
+} // namespace serve
+} // namespace ganacc
+
+#endif // GANACC_SERVE_DAEMON_HH

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Engine implementation.
+ */
+
+#include "serve/engine.hh"
+
+#include <chrono>
+#include <exception>
+
+#include "core/cycle_cache.hh"
+#include "gan/models.hh"
+#include "sim/phase.hh"
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace serve {
+
+namespace {
+
+/** The dedupe key of a request: everything but the id. */
+std::string
+flightKey(const Request &req)
+{
+    if (req.hasSpec)
+        return contentKey(req.kind, req.unroll, req.spec);
+    return "net|" + core::archKindName(req.kind) + '|' +
+           sim::toJson(req.unroll) + '|' + req.model + '|' +
+           req.family;
+}
+
+gan::GanModel
+modelByName(const std::string &name)
+{
+    if (name == "dcgan")
+        return gan::makeDcgan();
+    if (name == "mnist-gan")
+        return gan::makeMnistGan();
+    if (name == "cgan")
+        return gan::makeCgan();
+    if (name == "context-encoder")
+        return gan::makeContextEncoder();
+    util::fatal("unknown model \"", name,
+                "\" (dcgan, mnist-gan, cgan, context-encoder)");
+}
+
+sim::PhaseFamily
+familyByName(const std::string &name)
+{
+    if (name == "D")
+        return sim::PhaseFamily::D;
+    if (name == "G")
+        return sim::PhaseFamily::G;
+    if (name == "Dw")
+        return sim::PhaseFamily::Dw;
+    if (name == "Gw")
+        return sim::PhaseFamily::Gw;
+    util::fatal("unknown phase family \"", name,
+                "\" (D, G, Dw, Gw)");
+}
+
+/** sim > disk > mem: an aggregate is only as warm as its coldest job. */
+int
+coldness(core::CacheOutcome o)
+{
+    switch (o) {
+      case core::CacheOutcome::MemoryHit: return 0;
+      case core::CacheOutcome::DiskHit: return 1;
+      case core::CacheOutcome::Simulated: return 2;
+    }
+    return 2;
+}
+
+} // namespace
+
+Engine::Engine(const EngineOptions &opts)
+    : opts_(opts), cache_(opts.cacheDir),
+      pool_(std::make_unique<util::ThreadPool>(opts.jobs))
+{
+    if (opts_.maxQueue == 0)
+        util::fatal("engine: maxQueue must be positive");
+}
+
+Engine::~Engine()
+{
+    try {
+        drain();
+    } catch (...) {
+        // Destruction during stack unwinding must not throw.
+    }
+}
+
+Response
+Engine::executeSpec(const Request &req)
+{
+    Response rsp;
+    rsp.id = req.id;
+    core::CacheOutcome worst = core::CacheOutcome::MemoryHit;
+    auto &cache = core::CycleCache::instance();
+    if (req.hasSpec) {
+        req.spec.validate();
+        rsp.stats = cache.stats(req.kind, req.unroll, req.spec, &worst);
+    } else {
+        const gan::GanModel model = modelByName(req.model);
+        const auto jobs =
+            sim::familyJobs(model, familyByName(req.family));
+        if (jobs.empty())
+            util::fatal("model \"", req.model, "\" family \"",
+                        req.family, "\" has no jobs");
+        for (const auto &job : jobs) {
+            core::CacheOutcome o = core::CacheOutcome::Simulated;
+            rsp.stats += cache.stats(req.kind, req.unroll, job, &o);
+            if (coldness(o) > coldness(worst))
+                worst = o;
+        }
+    }
+    rsp.ok = true;
+    rsp.simVersion = simulatorVersion();
+    rsp.arch = core::archKindName(req.kind);
+    rsp.unroll = req.unroll;
+    rsp.cache = core::cacheOutcomeName(worst);
+    return rsp;
+}
+
+Response
+Engine::execute(const Request &req)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    Response rsp;
+    try {
+        rsp = executeSpec(req);
+    } catch (const std::exception &e) {
+        rsp = errorResponse(req.id, e.what());
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    rsp.latencyUs =
+        opts_.deterministic
+            ? 0
+            : std::uint64_t(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      t1 - t0)
+                      .count());
+    {
+        std::lock_guard<std::mutex> lk(counters_m_);
+        ++counters_.requests;
+        if (!rsp.ok)
+            ++counters_.errors;
+        else if (rsp.cache == "mem")
+            ++counters_.memHits;
+        else if (rsp.cache == "disk")
+            ++counters_.diskHits;
+        else
+            ++counters_.simulated;
+    }
+    return rsp;
+}
+
+std::future<Response>
+Engine::submit(const Request &req)
+{
+    std::unique_lock<std::mutex> lk(m_);
+    queueCv_.wait(lk, [&] {
+        return draining_ || inFlight_ < opts_.maxQueue;
+    });
+    if (draining_)
+        util::fatal("engine: submit after drain");
+
+    // Single-flight: piggyback on an identical in-flight request.
+    // The follower future is deferred — it costs no worker and only
+    // re-labels the leader's response with its own id.
+    const std::string key = flightKey(req);
+    auto it = inflightByKey_.find(key);
+    if (it != inflightByKey_.end()) {
+        std::shared_future<Response> leader = it->second;
+        {
+            std::lock_guard<std::mutex> clk(counters_m_);
+            ++counters_.requests;
+            ++counters_.deduped;
+        }
+        const std::uint64_t id = req.id;
+        return std::async(std::launch::deferred,
+                          [leader, id]() mutable {
+                              Response rsp = leader.get();
+                              rsp.id = id;
+                              rsp.cache = "dup";
+                              rsp.latencyUs = 0;
+                              return rsp;
+                          });
+    }
+
+    ++inFlight_;
+    auto task = std::make_shared<std::packaged_task<Response()>>(
+        [this, req, key] {
+            const Response rsp = execute(req);
+            // Unregister before the future becomes ready: a caller
+            // that has already observed .get() must miss the flight
+            // table on its next submit, or an immediate resubmit
+            // dedupes against a finished request instead of hitting
+            // the memory tier.
+            std::lock_guard<std::mutex> glk(m_);
+            inflightByKey_.erase(key);
+            --inFlight_;
+            queueCv_.notify_all();
+            return rsp;
+        });
+    std::shared_future<Response> shared =
+        task->get_future().share();
+    inflightByKey_.emplace(key, shared);
+    lk.unlock();
+
+    pool_->submit([task] { (*task)(); });
+
+    // Adapt the shared_future back to the unique future the caller
+    // owns (deferred: just forwards the shared result).
+    return std::async(std::launch::deferred,
+                      [shared]() { return shared.get(); });
+}
+
+Response
+Engine::handle(const Request &req)
+{
+    return submit(req).get();
+}
+
+void
+Engine::drain()
+{
+    std::unique_lock<std::mutex> lk(m_);
+    draining_ = true;
+    queueCv_.notify_all();
+    queueCv_.wait(lk, [&] { return inFlight_ == 0; });
+    lk.unlock();
+    pool_->wait();
+}
+
+EngineCounters
+Engine::counters() const
+{
+    std::lock_guard<std::mutex> lk(counters_m_);
+    return counters_;
+}
+
+std::string
+Engine::summary() const
+{
+    const EngineCounters c = counters();
+    std::string out =
+        "served " + std::to_string(c.requests) + " requests: " +
+        std::to_string(c.memHits) + " mem, " +
+        std::to_string(c.diskHits) + " disk, " +
+        std::to_string(c.simulated) + " simulated, " +
+        std::to_string(c.deduped) + " deduped, " +
+        std::to_string(c.errors) + " errors";
+    if (cache_.store())
+        out += "; " + cache_.store()->summary();
+    return out;
+}
+
+} // namespace serve
+} // namespace ganacc

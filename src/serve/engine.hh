@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The request-execution engine behind the daemon.
+ *
+ * Separating execution from transport means the Unix-socket daemon,
+ * the CI pipe mode, the throughput bench and the bit-identity tests
+ * all drive the *same* object. The engine owns:
+ *
+ *  - a util::ThreadPool of workers executing requests,
+ *  - a bounded admission queue: submit() blocks once `maxQueue`
+ *    requests are in flight, which is the backpressure that keeps a
+ *    fast client from ballooning daemon memory,
+ *  - single-flight dedupe: identical requests (same content key)
+ *    that arrive while the first is still simulating share one
+ *    execution — followers wait on the leader's result and are
+ *    reported with cache status "dup",
+ *  - the lookup chain: CycleCache memory tier, then the optional
+ *    persistent ResultStore tier, then the cycle walk (write-through
+ *    both tiers),
+ *  - drain(): stop admitting, finish everything in flight — the
+ *    SIGTERM path.
+ *
+ * Determinism: the executed RunStats are a pure function of the
+ * request, so responses are bit-identical to direct in-process
+ * simulation no matter which tier serves them or how requests
+ * interleave (asserted by tests/test_serve_service.cc).
+ */
+
+#ifndef GANACC_SERVE_ENGINE_HH
+#define GANACC_SERVE_ENGINE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/protocol.hh"
+#include "serve/result_store.hh"
+#include "util/thread_pool.hh"
+
+namespace ganacc {
+namespace serve {
+
+/** Engine configuration. */
+struct EngineOptions
+{
+    int jobs = 0; ///< worker threads (0 = GANACC_JOBS / hardware)
+    std::size_t maxQueue = 256; ///< admission bound (backpressure)
+    std::string cacheDir;       ///< persistent tier; "" = memory only
+    /// Golden mode: report latencyUs as 0 so responses byte-compare.
+    bool deterministic = false;
+};
+
+/** Aggregate service counters. */
+struct EngineCounters
+{
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t memHits = 0;
+    std::uint64_t diskHits = 0;
+    std::uint64_t simulated = 0;
+    std::uint64_t deduped = 0; ///< single-flight followers
+};
+
+/** The long-lived execution core of the simulation service. */
+class Engine
+{
+  public:
+    explicit Engine(const EngineOptions &opts);
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /**
+     * Enqueue one request; the future resolves to its response.
+     * Blocks while `maxQueue` requests are already in flight; throws
+     * util::FatalError after drain() began.
+     */
+    std::future<Response> submit(const Request &req);
+
+    /** Synchronous convenience: submit and wait. */
+    Response handle(const Request &req);
+
+    /** Stop admitting and wait for every in-flight request. */
+    void drain();
+
+    EngineCounters counters() const;
+
+    /** One-line load/cache summary for logs and bench output. */
+    std::string summary() const;
+
+    ResultStore *store() const { return cache_.store(); }
+
+  private:
+    Response execute(const Request &req);
+    Response executeSpec(const Request &req);
+
+    EngineOptions opts_;
+    ScopedDiskCache cache_;
+    std::unique_ptr<util::ThreadPool> pool_;
+
+    mutable std::mutex m_;
+    std::condition_variable queueCv_; ///< wakes blocked submitters
+    std::size_t inFlight_ = 0;
+    bool draining_ = false;
+    /// content key -> leader's shared result (single-flight).
+    std::map<std::string, std::shared_future<Response>> inflightByKey_;
+
+    mutable std::mutex counters_m_;
+    EngineCounters counters_;
+};
+
+} // namespace serve
+} // namespace ganacc
+
+#endif // GANACC_SERVE_ENGINE_HH

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Wire-protocol implementation.
+ */
+
+#include "serve/protocol.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace ganacc {
+namespace serve {
+
+const std::string &
+simulatorVersion()
+{
+    // <project version>+<cycle-model generation>: regenerate
+    // tests/golden/serve_responses.jsonl when bumping.
+    static const std::string v = "ganacc-1.0.0+cycles1";
+    return v;
+}
+
+std::string
+encodeRequest(const Request &req)
+{
+    std::ostringstream os;
+    os << "{\"v\":" << kProtocolVersion << ",\"id\":" << req.id
+       << ",\"arch\":\"" << core::archKindName(req.kind) << "\""
+       << ",\"unroll\":" << sim::toJson(req.unroll);
+    if (req.hasSpec)
+        os << ",\"spec\":" << sim::toJson(req.spec);
+    else
+        os << ",\"model\":\"" << util::escapeJson(req.model) << "\""
+           << ",\"family\":\"" << util::escapeJson(req.family) << "\"";
+    os << "}";
+    return os.str();
+}
+
+Request
+decodeRequest(const std::string &line)
+{
+    const util::json::Value doc = util::json::parse(line);
+    const util::json::Object &o = doc.asObject();
+    const int v = o.at("v").asInt();
+    if (v != kProtocolVersion)
+        util::fatal("unsupported protocol version ", v, " (this "
+                    "daemon speaks v", kProtocolVersion, ")");
+    Request req;
+    req.id = o.at("id").asUint64();
+    const std::string arch = o.at("arch").asString();
+    auto kind = core::archKindFromName(arch);
+    if (!kind)
+        util::fatal("unknown architecture \"", arch,
+                    "\" (NLR, WST, OST, ZFOST, ZFWST)");
+    req.kind = *kind;
+    req.unroll = sim::unrollFromJson(o.at("unroll"));
+    const bool hasSpec = o.contains("spec");
+    const bool hasModel = o.contains("model") || o.contains("family");
+    if (hasSpec == hasModel)
+        util::fatal("request must carry exactly one of \"spec\" or "
+                    "\"model\"+\"family\"");
+    if (hasSpec) {
+        req.hasSpec = true;
+        req.spec = sim::convSpecFromJson(o.at("spec"));
+    } else {
+        req.model = o.at("model").asString();
+        req.family = o.at("family").asString();
+    }
+    return req;
+}
+
+std::string
+encodeResponse(const Response &rsp)
+{
+    std::ostringstream os;
+    os << "{\"v\":" << kProtocolVersion << ",\"id\":" << rsp.id
+       << ",\"ok\":" << (rsp.ok ? "true" : "false");
+    if (!rsp.ok) {
+        os << ",\"error\":\"" << util::escapeJson(rsp.error) << "\"}";
+        return os.str();
+    }
+    os << ",\"sim\":\"" << util::escapeJson(rsp.simVersion) << "\""
+       << ",\"arch\":\"" << util::escapeJson(rsp.arch) << "\""
+       << ",\"unroll\":" << sim::toJson(rsp.unroll) << ",\"cache\":\""
+       << util::escapeJson(rsp.cache) << "\",\"latencyUs\":"
+       << rsp.latencyUs << ",\"stats\":" << sim::toJson(rsp.stats)
+       << "}";
+    return os.str();
+}
+
+Response
+decodeResponse(const std::string &line)
+{
+    const util::json::Value doc = util::json::parse(line);
+    const util::json::Object &o = doc.asObject();
+    const int v = o.at("v").asInt();
+    if (v != kProtocolVersion)
+        util::fatal("unsupported protocol version ", v);
+    Response rsp;
+    rsp.id = o.at("id").asUint64();
+    rsp.ok = o.at("ok").asBool();
+    if (!rsp.ok) {
+        rsp.error = o.at("error").asString();
+        return rsp;
+    }
+    rsp.simVersion = o.at("sim").asString();
+    rsp.arch = o.at("arch").asString();
+    rsp.unroll = sim::unrollFromJson(o.at("unroll"));
+    rsp.cache = o.at("cache").asString();
+    rsp.latencyUs = o.at("latencyUs").asUint64();
+    rsp.stats = sim::runStatsFromJson(o.at("stats"));
+    return rsp;
+}
+
+Response
+errorResponse(std::uint64_t id, const std::string &message)
+{
+    Response rsp;
+    rsp.id = id;
+    rsp.ok = false;
+    rsp.error = message;
+    return rsp;
+}
+
+std::uint64_t
+fnv1a64(const std::string &bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : bytes) {
+        h ^= std::uint64_t(static_cast<unsigned char>(c));
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+contentKey(core::ArchKind kind, const sim::Unroll &u,
+           const sim::ConvSpec &spec, const std::string &version)
+{
+    std::ostringstream os;
+    os << version << '|' << core::archKindName(kind) << '|'
+       << sim::toJson(u) << '|' << sim::specShapeKey(spec);
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(os.str())));
+    return hex;
+}
+
+} // namespace serve
+} // namespace ganacc

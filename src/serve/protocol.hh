@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The versioned JSON-lines request/response protocol of the
+ * simulation service.
+ *
+ * One request per line, one response per line, same order. A request
+ * names an architecture kind, an unrolling, and either a single
+ * ConvSpec or a (model, phase-family) pair whose per-layer jobs are
+ * simulated and accumulated. A response carries the canonical
+ * sim::RunStats (see sim/json.hh), provenance (protocol version,
+ * simulator version stamp, architecture, unrolling), which cache tier
+ * satisfied it, and the service-side latency.
+ *
+ *   {"v":1,"id":7,"arch":"ZFOST","unroll":{...},"spec":{...}}
+ *   {"v":1,"id":8,"arch":"ZFWST","unroll":{...},
+ *    "model":"dcgan","family":"Gw"}
+ *
+ *   {"v":1,"id":7,"ok":true,"sim":"ganacc-1.0.0","arch":"ZFOST",
+ *    "unroll":{...},"cache":"sim","latencyUs":412,"stats":{...}}
+ *   {"v":1,"id":9,"ok":false,"error":"..."}
+ *
+ * Requests with an unknown protocol version, unknown architecture or
+ * malformed JSON produce an ok:false response carrying the parse
+ * error — the stream keeps flowing; one bad line never kills the
+ * daemon. Responses are bit-identical to direct in-process simulation
+ * because the counters are integers end to end.
+ */
+
+#ifndef GANACC_SERVE_PROTOCOL_HH
+#define GANACC_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/unrolling.hh"
+#include "sim/conv_spec.hh"
+#include "sim/json.hh"
+#include "sim/stats.hh"
+
+namespace ganacc {
+namespace serve {
+
+/** Wire-format generation; bump on incompatible schema changes. */
+inline constexpr int kProtocolVersion = 1;
+
+/**
+ * The simulator-version stamp written into every response and every
+ * result-store entry. Bump the suffix whenever a change can alter any
+ * counter of any cycle walk: stale store entries then self-invalidate
+ * (stamp mismatch reads as a miss) instead of serving wrong numbers.
+ */
+const std::string &simulatorVersion();
+
+/** One simulation request. */
+struct Request
+{
+    std::uint64_t id = 0;
+    core::ArchKind kind = core::ArchKind::NLR;
+    sim::Unroll unroll;
+
+    /// Exactly one of the two payloads is set:
+    bool hasSpec = false;
+    sim::ConvSpec spec; ///< single-job request
+    std::string model;  ///< network request: model name…
+    std::string family; ///< …plus phase family (D, G, Dw, Gw)
+};
+
+/** One service response. */
+struct Response
+{
+    std::uint64_t id = 0;
+    bool ok = false;
+    std::string error; ///< set when !ok
+
+    std::string simVersion; ///< provenance: simulator stamp
+    std::string arch;       ///< provenance: architecture name
+    sim::Unroll unroll;     ///< provenance: unrolling executed
+    sim::RunStats stats;
+    /// "mem" | "disk" | "sim" | "dup" (coalesced into an identical
+    /// in-flight request by the single-flight layer).
+    std::string cache;
+    std::uint64_t latencyUs = 0;
+};
+
+/** Canonical one-line encodings (no trailing newline). */
+std::string encodeRequest(const Request &req);
+std::string encodeResponse(const Response &rsp);
+
+/** Parse one line; throws util::FatalError on malformed input. */
+Request decodeRequest(const std::string &line);
+Response decodeResponse(const std::string &line);
+
+/** An ok:false response echoing the request id. */
+Response errorResponse(std::uint64_t id, const std::string &message);
+
+/**
+ * The content address of a request's simulation: an FNV-1a 64 hash of
+ * the canonical (simulator version, kind, unrolling, shape) encoding,
+ * as 16 lowercase hex digits. Single-flight dedupe and the result
+ * store both key on this.
+ */
+std::string contentKey(core::ArchKind kind, const sim::Unroll &u,
+                       const sim::ConvSpec &spec,
+                       const std::string &version = simulatorVersion());
+
+/** FNV-1a 64-bit hash of a byte string. */
+std::uint64_t fnv1a64(const std::string &bytes);
+
+} // namespace serve
+} // namespace ganacc
+
+#endif // GANACC_SERVE_PROTOCOL_HH

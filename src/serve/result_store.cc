@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Result-store implementation.
+ */
+
+#include "serve/result_store.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace ganacc {
+namespace serve {
+
+namespace {
+
+/** Read a whole file; nullopt when it does not exist or is unreadable. */
+std::optional<std::string>
+slurp(const fs::path &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+ResultStore::ResultStore(std::string dir, std::string version)
+    : dir_(std::move(dir)), version_(std::move(version))
+{
+    if (dir_.empty())
+        util::fatal("result store needs a non-empty directory");
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        util::fatal("result store: cannot create '", dir_,
+                    "': ", ec.message());
+}
+
+std::string
+ResultStore::entryPath(core::ArchKind kind, const sim::Unroll &u,
+                       const sim::ConvSpec &spec) const
+{
+    const std::string key = contentKey(kind, u, spec, version_);
+    return (fs::path(dir_) / key.substr(0, 2) / (key + ".json"))
+        .string();
+}
+
+std::optional<sim::RunStats>
+ResultStore::load(core::ArchKind kind, const sim::Unroll &u,
+                  const sim::ConvSpec &spec)
+{
+    const fs::path path = entryPath(kind, u, spec);
+    std::optional<std::string> text = slurp(path);
+    if (!text) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    auto quarantine = [&](const char *why) {
+        std::error_code ec;
+        fs::rename(path, fs::path(path.string() + ".quarantined"), ec);
+        if (ec)
+            fs::remove(path, ec);
+        util::warn("result store: quarantined ", path.string(), " (",
+                   why, ")");
+        corrupt_.fetch_add(1, std::memory_order_relaxed);
+    };
+    try {
+        const util::json::Value doc = util::json::parse(*text);
+        const util::json::Object &o = doc.asObject();
+        if (o.at("version").asString() != version_) {
+            // Written by a different simulator: self-invalidates.
+            stale_.fetch_add(1, std::memory_order_relaxed);
+            return std::nullopt;
+        }
+        // The shape must match the probe — a content-hash collision
+        // or foreign file must never alias a different job's numbers.
+        if (o.at("spec").dump() !=
+                util::json::parse(sim::specShapeKey(spec)).dump() ||
+            o.at("arch").asString() != core::archKindName(kind) ||
+            o.at("unroll").dump() !=
+                util::json::parse(sim::toJson(u)).dump()) {
+            quarantine("key mismatch");
+            return std::nullopt;
+        }
+        sim::RunStats st = sim::runStatsFromJson(o.at("stats"));
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return st;
+    } catch (const util::FatalError &e) {
+        quarantine(e.what());
+        return std::nullopt;
+    }
+}
+
+void
+ResultStore::store(core::ArchKind kind, const sim::Unroll &u,
+                   const sim::ConvSpec &spec,
+                   const sim::RunStats &stats)
+{
+    const fs::path path = entryPath(kind, u, spec);
+    std::error_code ec;
+    fs::create_directories(path.parent_path(), ec);
+    if (ec) {
+        util::warn("result store: cannot create ",
+                   path.parent_path().string(), ": ", ec.message());
+        return;
+    }
+
+    std::ostringstream body;
+    body << "{\"version\":\"" << version_ << "\",\"arch\":\""
+         << core::archKindName(kind)
+         << "\",\"unroll\":" << sim::toJson(u)
+         << ",\"spec\":" << sim::specShapeKey(spec)
+         << ",\"stats\":" << sim::toJson(stats) << "}\n";
+
+    // Private tmp name (pid + process-wide sequence disambiguate
+    // concurrent writers), then an atomic rename into place. The
+    // sequence must be shared across store handles: two threads with
+    // their own handles share a pid, and per-handle counters would
+    // let them collide on the same tmp name and tear each other's
+    // writes.
+    static std::atomic<std::uint64_t> tmpSeq{0};
+    std::ostringstream tmpName;
+    tmpName << path.string() << ".tmp."
+            << static_cast<unsigned long>(::getpid()) << "."
+            << tmpSeq.fetch_add(1, std::memory_order_relaxed);
+    const fs::path tmp(tmpName.str());
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            util::warn("result store: cannot write ", tmp.string());
+            return;
+        }
+        os << body.str();
+        os.flush();
+        if (!os) {
+            util::warn("result store: short write to ", tmp.string());
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        util::warn("result store: rename to ", path.string(),
+                   " failed: ", ec.message());
+        fs::remove(tmp, ec);
+        return;
+    }
+    writes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+StoreCounters
+ResultStore::counters() const
+{
+    StoreCounters c;
+    c.hits = hits_.load();
+    c.misses = misses_.load();
+    c.staleMisses = stale_.load();
+    c.corruptMisses = corrupt_.load();
+    c.writes = writes_.load();
+    return c;
+}
+
+std::size_t
+ResultStore::entryCount() const
+{
+    std::size_t n = 0;
+    std::error_code ec;
+    for (fs::recursive_directory_iterator
+             it(dir_, fs::directory_options::skip_permission_denied,
+                ec),
+         end;
+         !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec) &&
+            it->path().extension() == ".json")
+            ++n;
+    }
+    return n;
+}
+
+std::string
+ResultStore::summary() const
+{
+    const StoreCounters c = counters();
+    std::ostringstream os;
+    os << "result store '" << dir_ << "': " << c.hits << " hits, "
+       << c.misses << " misses (" << c.staleMisses << " stale, "
+       << c.corruptMisses << " quarantined), " << c.writes
+       << " writes";
+    return os.str();
+}
+
+ScopedDiskCache::ScopedDiskCache(const std::string &dir)
+{
+    if (dir.empty())
+        return;
+    store_ = std::make_unique<ResultStore>(dir);
+    core::CycleCache::instance().attachDiskTier(store_.get());
+}
+
+ScopedDiskCache::~ScopedDiskCache()
+{
+    if (store_)
+        core::CycleCache::instance().attachDiskTier(nullptr);
+}
+
+} // namespace serve
+} // namespace ganacc

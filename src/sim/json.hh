@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Canonical JSON serialization of the simulator value types.
+ *
+ * Exactly one encoding of RunStats, ConvSpec and Unroll exists in the
+ * codebase: this one. The serving protocol, the persistent result
+ * store, ganacc-runstats and the golden byte-comparison tests all go
+ * through these functions, so a field added to RunStats shows up
+ * everywhere at once — and nowhere can drift.
+ *
+ * The encodings are canonical in the strict sense: fixed field order,
+ * integers as plain decimals, no whitespace. Two equal values always
+ * serialize to the same bytes (which is what lets the result store be
+ * content-addressed, and responses be byte-compared against goldens).
+ * Integer counters round-trip through util::json bit-exactly.
+ */
+
+#ifndef GANACC_SIM_JSON_HH
+#define GANACC_SIM_JSON_HH
+
+#include <string>
+
+#include "sim/arch.hh"
+#include "sim/conv_spec.hh"
+#include "sim/stats.hh"
+#include "util/json.hh"
+
+namespace ganacc {
+namespace sim {
+
+/** {"cycles":..,"nPes":..,...,"outputWrites":..} — the historical
+ *  ganacc-runstats field order, kept byte-compatible with the
+ *  committed tests/golden/runstats_table5.json. */
+std::string toJson(const RunStats &st);
+RunStats runStatsFromJson(const util::json::Value &v);
+
+/** All six unrolling factors in Table II order. */
+std::string toJson(const Unroll &u);
+Unroll unrollFromJson(const util::json::Value &v);
+
+/** Every field that shapes a job, label included (the label names,
+ *  it does not shape; cache keys strip it — see specShapeKey). */
+std::string toJson(const ConvSpec &s);
+ConvSpec convSpecFromJson(const util::json::Value &v);
+
+/** toJson(spec) with the label forced empty: the canonical
+ *  *shape-only* encoding used for content-addressed cache keys. */
+std::string specShapeKey(const ConvSpec &s);
+
+} // namespace sim
+} // namespace ganacc
+
+#endif // GANACC_SIM_JSON_HH

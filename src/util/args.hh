@@ -51,6 +51,14 @@ class ArgParser
      */
     int getJobs();
 
+    /**
+     * Persistent result-cache directory for the serving subsystem's
+     * disk tier: registers "--cache-dir PATH"; an explicit path wins,
+     * then the GANACC_CACHE_DIR environment variable, else "" (disk
+     * tier off).
+     */
+    std::string getCacheDir();
+
     /** True when --help was passed. */
     bool helpRequested() const;
 

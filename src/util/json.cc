@@ -1,0 +1,470 @@
+/**
+ * @file
+ * JSON document model implementation.
+ */
+
+#include "util/json.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace ganacc {
+namespace util {
+namespace json {
+
+Value::Value(int i)
+    : kind_(Kind::Number), num_(double(i)), isInt_(i >= 0)
+{
+    if (i >= 0)
+        uint_ = std::uint64_t(i);
+}
+
+Value::Value(Array a)
+    : kind_(Kind::ArrayKind), arr_(std::make_shared<Array>(std::move(a)))
+{
+}
+
+Value::Value(Object o)
+    : kind_(Kind::ObjectKind),
+      obj_(std::make_shared<Object>(std::move(o)))
+{
+}
+
+namespace {
+
+const char *
+kindName(Value::Kind k)
+{
+    switch (k) {
+      case Value::Kind::Null: return "null";
+      case Value::Kind::Bool: return "bool";
+      case Value::Kind::Number: return "number";
+      case Value::Kind::String: return "string";
+      case Value::Kind::ArrayKind: return "array";
+      case Value::Kind::ObjectKind: return "object";
+    }
+    return "?";
+}
+
+[[noreturn]] void
+wrongKind(const char *wanted, Value::Kind got)
+{
+    fatal("json: expected ", wanted, ", got ", kindName(got));
+}
+
+} // namespace
+
+bool
+Value::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        wrongKind("bool", kind_);
+    return bool_;
+}
+
+double
+Value::asDouble() const
+{
+    if (kind_ != Kind::Number)
+        wrongKind("number", kind_);
+    return num_;
+}
+
+std::uint64_t
+Value::asUint64() const
+{
+    if (kind_ != Kind::Number)
+        wrongKind("number", kind_);
+    if (isInt_)
+        return uint_;
+    if (num_ < 0 ||
+        num_ > double(std::numeric_limits<std::uint64_t>::max()))
+        fatal("json: number ", num_, " is not a valid uint64");
+    return std::uint64_t(num_);
+}
+
+int
+Value::asInt() const
+{
+    if (kind_ != Kind::Number)
+        wrongKind("number", kind_);
+    double d = num_;
+    if (d < double(std::numeric_limits<int>::min()) ||
+        d > double(std::numeric_limits<int>::max()))
+        fatal("json: number ", d, " out of int range");
+    return int(d);
+}
+
+const std::string &
+Value::asString() const
+{
+    if (kind_ != Kind::String)
+        wrongKind("string", kind_);
+    return str_;
+}
+
+const Array &
+Value::asArray() const
+{
+    if (kind_ != Kind::ArrayKind)
+        wrongKind("array", kind_);
+    return *arr_;
+}
+
+const Object &
+Value::asObject() const
+{
+    if (kind_ != Kind::ObjectKind)
+        wrongKind("object", kind_);
+    return *obj_;
+}
+
+void
+Object::set(const std::string &key, Value v)
+{
+    for (auto &e : entries_) {
+        if (e.first == key) {
+            e.second = std::move(v);
+            return;
+        }
+    }
+    entries_.emplace_back(key, std::move(v));
+}
+
+const Value *
+Object::find(const std::string &key) const
+{
+    for (const auto &e : entries_)
+        if (e.first == key)
+            return &e.second;
+    return nullptr;
+}
+
+const Value &
+Object::at(const std::string &key) const
+{
+    const Value *v = find(key);
+    if (!v)
+        fatal("json: missing key \"", key, "\"");
+    return *v;
+}
+
+namespace {
+
+void
+dumpTo(const Value &v, std::string &out)
+{
+    switch (v.kind()) {
+      case Value::Kind::Null:
+        out += "null";
+        break;
+      case Value::Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        break;
+      case Value::Kind::Number:
+        if (v.isInteger()) {
+            out += std::to_string(v.asUint64());
+        } else {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.17g", v.asDouble());
+            out += buf;
+        }
+        break;
+      case Value::Kind::String:
+        out += '"';
+        out += escapeJson(v.asString());
+        out += '"';
+        break;
+      case Value::Kind::ArrayKind: {
+        out += '[';
+        bool first = true;
+        for (const Value &e : v.asArray()) {
+            if (!first)
+                out += ',';
+            first = false;
+            dumpTo(e, out);
+        }
+        out += ']';
+        break;
+      }
+      case Value::Kind::ObjectKind: {
+        out += '{';
+        bool first = true;
+        for (const auto &[key, val] : v.asObject().entries()) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += '"';
+            out += escapeJson(key);
+            out += "\":";
+            dumpTo(val, out);
+        }
+        out += '}';
+        break;
+      }
+    }
+}
+
+/** Recursive-descent parser with byte-offset errors. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Value
+    document()
+    {
+        Value v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after the document");
+        return v;
+    }
+
+  private:
+    Value
+    value()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        char c = text_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return Value(string());
+        if (c == 't' || c == 'f')
+            return Value(boolean());
+        if (c == 'n') {
+            literal("null");
+            return Value();
+        }
+        return number();
+    }
+
+    Value
+    object()
+    {
+        expect('{');
+        Object o;
+        skipWs();
+        if (tryConsume('}'))
+            return Value(std::move(o));
+        do {
+            skipWs();
+            std::string key = string();
+            skipWs();
+            expect(':');
+            o.set(key, value());
+            skipWs();
+        } while (tryConsume(','));
+        expect('}');
+        return Value(std::move(o));
+    }
+
+    Value
+    array()
+    {
+        expect('[');
+        Array a;
+        skipWs();
+        if (tryConsume(']'))
+            return Value(std::move(a));
+        do {
+            a.push_back(value());
+            skipWs();
+        } while (tryConsume(','));
+        expect(']');
+        return Value(std::move(a));
+    }
+
+    std::string
+    string()
+    {
+        skipWs();
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // The emitters only escape control bytes; encode the
+                // code point as UTF-8 for generality.
+                if (code < 0x80) {
+                    out += char(code);
+                } else if (code < 0x800) {
+                    out += char(0xc0 | (code >> 6));
+                    out += char(0x80 | (code & 0x3f));
+                } else {
+                    out += char(0xe0 | (code >> 12));
+                    out += char(0x80 | ((code >> 6) & 0x3f));
+                    out += char(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    bool
+    boolean()
+    {
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            return true;
+        }
+        literal("false");
+        return false;
+    }
+
+    Value
+    number()
+    {
+        skipWs();
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        bool integral = true;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '-' ||
+                       c == '+') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            fail("expected a value");
+        const std::string token = text_.substr(start, pos_ - start);
+        if (integral && token[0] != '+' && token[0] != '-') {
+            // Plain non-negative integer: keep full 64-bit precision.
+            // (strtoull would silently wrap a negative token, so
+            // signed integers take the double path below instead.)
+            errno = 0;
+            char *end = nullptr;
+            unsigned long long u = std::strtoull(token.c_str(), &end, 10);
+            if (end && *end == '\0' && errno == 0)
+                return Value(std::uint64_t(u));
+        }
+        char *end = nullptr;
+        double d = std::strtod(token.c_str(), &end);
+        if (!end || *end != '\0')
+            fail("malformed number '" + token + "'");
+        return Value(d);
+    }
+
+    void
+    literal(const char *text)
+    {
+        const std::size_t n = std::string(text).size();
+        if (text_.compare(pos_, n, text) != 0)
+            fail(std::string("expected '") + text + "'");
+        pos_ += n;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    void
+    expect(char c)
+    {
+        skipWs();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    tryConsume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    [[noreturn]] void
+    fail(const std::string &why)
+    {
+        fatal("json: ", why, " at byte ", pos_);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+Value::dump() const
+{
+    std::string out;
+    dumpTo(*this, out);
+    return out;
+}
+
+Value
+parse(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+} // namespace json
+} // namespace util
+} // namespace ganacc

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Minimal JSON document model and recursive-descent parser.
+ *
+ * The serving protocol (serve/protocol) and the persistent result
+ * store exchange one JSON object per line, and the fault-plan reader
+ * already showed that a purpose-built parser with precise error
+ * positions beats dragging in a third-party dependency. This module
+ * generalizes that approach into a reusable document model: a Value
+ * variant (null / bool / number / string / array / object) with typed
+ * accessors that throw util::FatalError naming the missing or
+ * mistyped key, plus parse() and a writer.
+ *
+ * Numbers are stored as both double and uint64 so 64-bit cycle
+ * counters round-trip bit-exactly: the writer emits integers without
+ * an exponent or fraction, and the parser keeps the full integer
+ * precision whenever the token is a plain non-negative integer that
+ * fits in 64 bits.
+ */
+
+#ifndef GANACC_UTIL_JSON_HH
+#define GANACC_UTIL_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ganacc {
+namespace util {
+namespace json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// Ordered map: objects iterate in insertion order so writes are
+/// canonical (field order is part of the golden byte contract).
+class Object;
+
+/** One JSON value. */
+class Value
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        ArrayKind,
+        ObjectKind,
+    };
+
+    Value() : kind_(Kind::Null) {}
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(double d) : kind_(Kind::Number), num_(d), isInt_(false) {}
+    Value(std::uint64_t u)
+        : kind_(Kind::Number), num_(double(u)), uint_(u), isInt_(true)
+    {
+    }
+    Value(int i);
+    Value(const char *s) : kind_(Kind::String), str_(s) {}
+    Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+    Value(Array a);
+    Value(Object o);
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::ObjectKind; }
+    bool isArray() const { return kind_ == Kind::ArrayKind; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    /** Number token that was a plain integer fitting in uint64. */
+    bool isInteger() const
+    {
+        return kind_ == Kind::Number && isInt_;
+    }
+
+    /** Typed accessors; throw FatalError on kind mismatch. */
+    bool asBool() const;
+    double asDouble() const;
+    std::uint64_t asUint64() const;
+    int asInt() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+
+    /** Serialize canonically (objects in insertion order, integers
+     *  as plain decimals, doubles via shortest round-trip form). */
+    std::string dump() const;
+
+  private:
+    Kind kind_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::uint64_t uint_ = 0;
+    bool isInt_ = false;
+    std::string str_;
+    std::shared_ptr<Array> arr_;
+    std::shared_ptr<Object> obj_;
+};
+
+/** Insertion-ordered string->Value map. */
+class Object
+{
+  public:
+    /** Set (or overwrite) a key, preserving first-insertion order. */
+    void set(const std::string &key, Value v);
+
+    /** The value at `key`, or nullptr. */
+    const Value *find(const std::string &key) const;
+
+    /** The value at `key`; throws FatalError naming the key. */
+    const Value &at(const std::string &key) const;
+
+    bool contains(const std::string &key) const
+    {
+        return find(key) != nullptr;
+    }
+
+    std::size_t size() const { return entries_.size(); }
+
+    const std::vector<std::pair<std::string, Value>> &
+    entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    std::vector<std::pair<std::string, Value>> entries_;
+};
+
+/**
+ * Parse one complete JSON document; throws util::FatalError with the
+ * byte offset of the first error. Trailing garbage is an error.
+ */
+Value parse(const std::string &text);
+
+} // namespace json
+} // namespace util
+} // namespace ganacc
+
+#endif // GANACC_UTIL_JSON_HH

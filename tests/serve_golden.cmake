@@ -1,0 +1,48 @@
+# CTest driver for the serving-golden check. Two byte-comparisons:
+#
+#  1. ganacc-client --emit table5 --model mnist-gan must regenerate
+#     the committed request file (request encoder stability);
+#  2. ganacc-served --pipe --jobs 1 --deterministic replaying that
+#     file must reproduce the committed response file (response
+#     encoder, engine, and cycle-walk stability — the stats inside
+#     are full RunStats, so this doubles as a coarse golden on the
+#     simulators).
+#
+# Variables: SERVED, CLIENT (binaries), REQS/GOLDEN (committed
+# request/response files), OUT/OUT_REQS (scratch outputs).
+
+execute_process(
+    COMMAND ${CLIENT} --emit table5 --model mnist-gan
+    OUTPUT_FILE ${OUT_REQS}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ganacc-client --emit exited with status ${rc}")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT_REQS} ${REQS}
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "generated requests diverge from ${REQS}; inspect ${OUT_REQS} "
+        "and, if the protocol change is intended, regenerate with: "
+        "ganacc-client --emit table5 --model mnist-gan")
+endif()
+
+execute_process(
+    COMMAND ${SERVED} --pipe --jobs 1 --deterministic --quiet
+    INPUT_FILE ${REQS}
+    OUTPUT_FILE ${OUT}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ganacc-served exited with status ${rc}")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "responses diverge from ${GOLDEN}; inspect ${OUT} and, if the "
+        "change is intended (remember to bump simulatorVersion() when "
+        "counters move), regenerate with: ganacc-served --pipe "
+        "--jobs 1 --deterministic --quiet < ${REQS}")
+endif()

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Protocol round-trip tests: fuzzed requests and responses must
+ * survive encode -> decode -> encode byte-identically, counters must
+ * round-trip bit-exactly (including values above 2^53, where a
+ * double-based JSON layer would silently round), and the content key
+ * must depend on exactly the inputs that shape a simulation — not on
+ * the job label, and not on anything else it should ignore.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/unrolling.hh"
+#include "serve/protocol.hh"
+#include "sim/conv_spec.hh"
+#include "sim/json.hh"
+#include "tensor/shape.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace ganacc;
+using util::Rng;
+
+/** Random legal-ish spec over the three GAN convolution patterns
+ *  (the protocol must round-trip any spec, legal or not, so this
+ *  generator only needs diversity, not legality). */
+sim::ConvSpec
+randomSpec(Rng &rng)
+{
+    sim::ConvSpec s;
+    s.label = "fuzz-" + std::to_string(rng.uniformInt(0, 1 << 20));
+    s.nif = rng.uniformInt(1, 64);
+    s.nof = rng.uniformInt(1, 64);
+    s.ih = s.iw = rng.uniformInt(5, 64);
+    s.kh = s.kw = rng.uniformInt(1, 5);
+    s.stride = rng.uniformInt(1, 3);
+    s.pad = rng.uniformInt(0, 2);
+    s.oh = tensor::convOutDim(s.ih, s.kh, s.stride, s.pad);
+    s.ow = tensor::convOutDim(s.iw, s.kw, s.stride, s.pad);
+    const int kind = rng.uniformInt(0, 2);
+    if (kind == 1) {
+        s.inZeroStride = 2;
+        s.inOrigH = s.inOrigW = (s.ih + 1) / 2;
+    } else if (kind == 2) {
+        s.kZeroStride = 2;
+        s.kOrigH = s.kOrigW = (s.kh + 1) / 2;
+        s.fourDimOutput = true;
+    }
+    return s;
+}
+
+sim::Unroll
+randomUnroll(Rng &rng)
+{
+    sim::Unroll u;
+    u.pIf = rng.uniformInt(1, 8);
+    u.pOf = rng.uniformInt(1, 120);
+    u.pKx = rng.uniformInt(1, 5);
+    u.pKy = rng.uniformInt(1, 5);
+    u.pOx = rng.uniformInt(1, 8);
+    u.pOy = rng.uniformInt(1, 8);
+    return u;
+}
+
+core::ArchKind
+randomKind(Rng &rng)
+{
+    const auto kinds = core::allArchKinds();
+    return kinds[std::size_t(
+        rng.uniformInt(0, int(kinds.size()) - 1))];
+}
+
+TEST(ServeProtocol, FuzzedSpecRequestsRoundTripBitExact)
+{
+    Rng rng(0x5E7EC0DE);
+    for (int i = 0; i < 200; ++i) {
+        serve::Request req;
+        req.id = std::uint64_t(rng.uniformInt(0, 1 << 30));
+        req.kind = randomKind(rng);
+        req.unroll = randomUnroll(rng);
+        req.hasSpec = true;
+        req.spec = randomSpec(rng);
+
+        const std::string wire = serve::encodeRequest(req);
+        const serve::Request back = serve::decodeRequest(wire);
+        // Byte-identical re-encoding is the strongest round-trip
+        // statement the canonical encoding can make.
+        EXPECT_EQ(serve::encodeRequest(back), wire);
+        EXPECT_EQ(back.id, req.id);
+        EXPECT_EQ(back.kind, req.kind);
+        EXPECT_TRUE(back.hasSpec);
+        EXPECT_EQ(sim::toJson(back.spec), sim::toJson(req.spec));
+        EXPECT_EQ(sim::toJson(back.unroll), sim::toJson(req.unroll));
+    }
+}
+
+TEST(ServeProtocol, NetworkRequestsRoundTrip)
+{
+    Rng rng(0xBEEF);
+    for (const char *model : {"dcgan", "mnist-gan", "cgan"}) {
+        for (const char *family : {"D", "G", "Dw", "Gw"}) {
+            serve::Request req;
+            req.id = std::uint64_t(rng.uniformInt(1, 1000));
+            req.kind = randomKind(rng);
+            req.unroll = randomUnroll(rng);
+            req.model = model;
+            req.family = family;
+            const std::string wire = serve::encodeRequest(req);
+            const serve::Request back = serve::decodeRequest(wire);
+            EXPECT_EQ(serve::encodeRequest(back), wire);
+            EXPECT_FALSE(back.hasSpec);
+            EXPECT_EQ(back.model, model);
+            EXPECT_EQ(back.family, family);
+        }
+    }
+}
+
+TEST(ServeProtocol, ResponsesRoundTripLargeCountersBitExact)
+{
+    Rng rng(0xCAFE);
+    for (int i = 0; i < 100; ++i) {
+        serve::Response rsp;
+        rsp.id = std::uint64_t(rng.uniformInt(0, 1 << 30));
+        rsp.ok = true;
+        rsp.simVersion = serve::simulatorVersion();
+        rsp.arch = core::archKindName(randomKind(rng));
+        rsp.unroll = randomUnroll(rng);
+        rsp.cache = (i % 2) ? "mem" : "sim";
+        rsp.latencyUs = std::uint64_t(rng.uniformInt(0, 1 << 30));
+        // Counters above 2^53: a double-typed JSON layer would round
+        // these; the plain-integer path must not.
+        rsp.stats.cycles = (1ULL << 53) + 1 + std::uint64_t(i);
+        rsp.stats.nPes = 1200;
+        rsp.stats.effectiveMacs = 0xFFFFFFFFFFFFFFFFULL - 7;
+        rsp.stats.ineffectualMacs = (1ULL << 60) + 3;
+        rsp.stats.idlePeSlots = std::uint64_t(rng.uniformInt(0, 1 << 30));
+        rsp.stats.weightLoads = (1ULL << 54) + 5;
+
+        const std::string wire = serve::encodeResponse(rsp);
+        const serve::Response back = serve::decodeResponse(wire);
+        EXPECT_EQ(serve::encodeResponse(back), wire);
+        EXPECT_EQ(back.stats.cycles, rsp.stats.cycles);
+        EXPECT_EQ(back.stats.effectiveMacs, rsp.stats.effectiveMacs);
+        EXPECT_EQ(back.stats.ineffectualMacs,
+                  rsp.stats.ineffectualMacs);
+        EXPECT_EQ(back.stats.weightLoads, rsp.stats.weightLoads);
+        EXPECT_EQ(back.latencyUs, rsp.latencyUs);
+    }
+}
+
+TEST(ServeProtocol, ErrorResponsesRoundTrip)
+{
+    const serve::Response rsp =
+        serve::errorResponse(42, "spec: oh must be >= 1");
+    const std::string wire = serve::encodeResponse(rsp);
+    const serve::Response back = serve::decodeResponse(wire);
+    EXPECT_EQ(back.id, 42u);
+    EXPECT_FALSE(back.ok);
+    EXPECT_EQ(back.error, "spec: oh must be >= 1");
+    EXPECT_EQ(serve::encodeResponse(back), wire);
+}
+
+TEST(ServeProtocol, MalformedLinesThrow)
+{
+    EXPECT_THROW(serve::decodeRequest("not json"),
+                 util::FatalError);
+    EXPECT_THROW(serve::decodeRequest("{}"), util::FatalError);
+    // Wrong protocol version.
+    EXPECT_THROW(
+        serve::decodeRequest(
+            R"({"v":99,"id":1,"arch":"NLR","unroll":{"pIf":1,"pOf":1,)"
+            R"("pKx":1,"pKy":1,"pOx":1,"pOy":1},"model":"dcgan",)"
+            R"("family":"D"})"),
+        util::FatalError);
+    // Unknown architecture.
+    EXPECT_THROW(
+        serve::decodeRequest(
+            R"({"v":1,"id":1,"arch":"TPU","unroll":{"pIf":1,"pOf":1,)"
+            R"("pKx":1,"pKy":1,"pOx":1,"pOy":1},"model":"dcgan",)"
+            R"("family":"D"})"),
+        util::FatalError);
+    // Both payloads at once.
+    serve::Request req;
+    req.id = 1;
+    req.kind = core::ArchKind::NLR;
+    req.hasSpec = true;
+    req.spec.label = "x";
+    std::string wire = serve::encodeRequest(req);
+    wire.pop_back(); // strip '}'
+    wire += R"(,"model":"dcgan","family":"D"})";
+    EXPECT_THROW(serve::decodeRequest(wire), util::FatalError);
+}
+
+TEST(ServeProtocol, ContentKeyIgnoresLabelOnly)
+{
+    Rng rng(0x12345);
+    const core::ArchKind kind = core::ArchKind::ZFOST;
+    const sim::Unroll u = randomUnroll(rng);
+    sim::ConvSpec a = randomSpec(rng);
+    sim::ConvSpec b = a;
+    b.label = "a different name for the same shape";
+    EXPECT_EQ(serve::contentKey(kind, u, a),
+              serve::contentKey(kind, u, b));
+
+    // Every shaping input must move the key.
+    sim::ConvSpec c = a;
+    c.nof += 1;
+    EXPECT_NE(serve::contentKey(kind, u, a),
+              serve::contentKey(kind, u, c));
+    sim::Unroll u2 = u;
+    u2.pOf += 1;
+    EXPECT_NE(serve::contentKey(kind, u, a),
+              serve::contentKey(kind, u2, a));
+    EXPECT_NE(serve::contentKey(core::ArchKind::OST, u, a),
+              serve::contentKey(kind, u, a));
+    EXPECT_NE(serve::contentKey(kind, u, a, "ganacc-0.0.0"),
+              serve::contentKey(kind, u, a));
+
+    // Shape of the key: 16 lowercase hex digits.
+    const std::string key = serve::contentKey(kind, u, a);
+    EXPECT_EQ(key.size(), 16u);
+    for (char ch : key)
+        EXPECT_TRUE((ch >= '0' && ch <= '9') ||
+                    (ch >= 'a' && ch <= 'f'))
+            << key;
+}
+
+TEST(ServeProtocol, CanonicalJsonIsParseableAndStable)
+{
+    Rng rng(0x777);
+    for (int i = 0; i < 50; ++i) {
+        const sim::ConvSpec s = randomSpec(rng);
+        const std::string text = sim::toJson(s);
+        const auto doc = util::json::parse(text);
+        const sim::ConvSpec back = sim::convSpecFromJson(doc);
+        EXPECT_EQ(sim::toJson(back), text);
+
+        // The shape key is the same encoding with the label cleared.
+        sim::ConvSpec unlabeled = s;
+        unlabeled.label.clear();
+        EXPECT_EQ(sim::specShapeKey(s), sim::toJson(unlabeled));
+    }
+}
+
+} // namespace

@@ -1,0 +1,374 @@
+/**
+ * @file
+ * End-to-end service tests: responses must be bit-identical to direct
+ * in-process simulation for randomized specs no matter which tier
+ * serves them, the pipe transport must preserve that identity through
+ * a real encode/decode cycle, identical concurrent requests must
+ * coalesce correctly, backpressure must bound and drain must fence
+ * admissions, and one malformed line must never kill a stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/cycle_cache.hh"
+#include "core/unrolling.hh"
+#include "gan/models.hh"
+#include "serve/daemon.hh"
+#include "serve/engine.hh"
+#include "serve/protocol.hh"
+#include "sim/json.hh"
+#include "sim/phase.hh"
+#include "tensor/shape.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace ganacc;
+namespace fs = std::filesystem;
+using util::Rng;
+
+/** Random *legal* spec over the three GAN convolution patterns —
+ *  the same families the differential fuzzer draws from. */
+sim::ConvSpec
+randomSpec(Rng &rng)
+{
+    sim::ConvSpec s;
+    s.label = "serve-fuzz";
+    s.nif = rng.uniformInt(1, 4);
+    s.nof = rng.uniformInt(1, 4);
+    const int kind = rng.uniformInt(0, 2);
+    if (kind == 0) { // dense strided S-CONV
+        s.ih = s.iw = rng.uniformInt(5, 16);
+        s.kh = s.kw = rng.uniformInt(1, 5);
+        s.stride = rng.uniformInt(1, 3);
+        s.pad = rng.uniformInt(0, s.kh / 2);
+        s.oh = tensor::convOutDim(s.ih, s.kh, s.stride, s.pad);
+        s.ow = tensor::convOutDim(s.iw, s.kw, s.stride, s.pad);
+    } else if (kind == 1) { // zero-stuffed T-CONV
+        const int dense = rng.uniformInt(2, 7);
+        const int z = rng.uniformInt(2, 3);
+        const int extra = rng.uniformInt(0, z - 1);
+        s.inZeroStride = z;
+        s.inOrigH = s.inOrigW = dense;
+        s.ih = s.iw = (dense - 1) * z + 1 + extra;
+        s.kh = s.kw = rng.uniformInt(2, 5);
+        s.stride = 1;
+        s.pad = rng.uniformInt(0, s.kh - 1);
+        s.oh = tensor::convOutDim(s.ih, s.kh, 1, s.pad);
+        s.ow = tensor::convOutDim(s.iw, s.kw, 1, s.pad);
+    } else { // dilated-kernel W-CONV (4-D output)
+        s.ih = s.iw = rng.uniformInt(7, 16);
+        const int err = rng.uniformInt(2, 5);
+        s.kZeroStride = 2;
+        s.kOrigH = s.kOrigW = err;
+        s.kh = s.kw = (err - 1) * 2 + 1;
+        s.stride = 1;
+        s.pad = rng.uniformInt(0, 2);
+        s.fourDimOutput = true;
+        const int natural = s.ih + 2 * s.pad - s.kh + 1;
+        if (natural < 1)
+            return randomSpec(rng);
+        s.oh = s.ow = std::min(natural, rng.uniformInt(2, 6));
+    }
+    if (s.oh < 1 || s.ow < 1)
+        return randomSpec(rng);
+    return s;
+}
+
+sim::Unroll
+smallUnroll(Rng &rng)
+{
+    sim::Unroll u;
+    u.pIf = rng.uniformInt(1, 3);
+    u.pOf = rng.uniformInt(1, 4);
+    u.pKx = rng.uniformInt(1, 4);
+    u.pKy = rng.uniformInt(1, 4);
+    u.pOx = rng.uniformInt(1, 4);
+    u.pOy = rng.uniformInt(1, 4);
+    return u;
+}
+
+class ServeServiceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        core::CycleCache::instance().clear();
+        dir_ = (fs::temp_directory_path() /
+                ("ganacc-serve-test-" + std::to_string(::getpid()) +
+                 "-" +
+                 ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name()))
+                   .string();
+        fs::remove_all(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        core::CycleCache::instance().attachDiskTier(nullptr);
+        fs::remove_all(dir_);
+    }
+
+    std::string dir_;
+};
+
+TEST_F(ServeServiceTest, ServedEqualsDirectOverRandomizedSpecs)
+{
+    Rng rng(0x5EFD1234);
+    serve::EngineOptions opts;
+    opts.jobs = 4;
+    opts.cacheDir = dir_;
+    serve::Engine engine(opts);
+
+    const auto kinds = core::allArchKinds();
+    for (int i = 0; i < 60; ++i) {
+        serve::Request req;
+        req.id = std::uint64_t(i + 1);
+        req.kind =
+            kinds[std::size_t(rng.uniformInt(0, int(kinds.size()) - 1))];
+        req.unroll = smallUnroll(rng);
+        req.hasSpec = true;
+        req.spec = randomSpec(rng);
+
+        const serve::Response rsp = engine.handle(req);
+        ASSERT_TRUE(rsp.ok) << rsp.error;
+        const sim::RunStats direct =
+            core::makeArch(req.kind, req.unroll)->run(req.spec);
+        EXPECT_EQ(sim::toJson(rsp.stats), sim::toJson(direct))
+            << "served response diverged from direct simulation ("
+            << core::archKindName(req.kind) << ", " << req.spec.label
+            << ", iteration " << i << ")";
+    }
+    engine.drain();
+}
+
+TEST_F(ServeServiceTest, EveryTierServesIdenticalBits)
+{
+    Rng rng(0x7134);
+    serve::Request req;
+    req.id = 1;
+    req.kind = core::ArchKind::ZFOST;
+    req.unroll = smallUnroll(rng);
+    req.hasSpec = true;
+    req.spec = randomSpec(rng);
+    const sim::RunStats direct =
+        core::makeArch(req.kind, req.unroll)->run(req.spec);
+
+    serve::EngineOptions opts;
+    opts.jobs = 1;
+    opts.cacheDir = dir_;
+
+    // Tier 1: cold -> simulated.
+    {
+        serve::Engine engine(opts);
+        const serve::Response rsp = engine.handle(req);
+        ASSERT_TRUE(rsp.ok);
+        EXPECT_EQ(rsp.cache, "sim");
+        EXPECT_EQ(sim::toJson(rsp.stats), sim::toJson(direct));
+
+        // Tier 2: repeat in-process -> memory.
+        const serve::Response again = engine.handle(req);
+        EXPECT_EQ(again.cache, "mem");
+        EXPECT_EQ(sim::toJson(again.stats), sim::toJson(direct));
+        engine.drain();
+    }
+
+    // Tier 3: new engine ("new process"), memory dropped -> disk.
+    core::CycleCache::instance().clear();
+    serve::Engine engine(opts);
+    const serve::Response rsp = engine.handle(req);
+    ASSERT_TRUE(rsp.ok);
+    EXPECT_EQ(rsp.cache, "disk");
+    EXPECT_EQ(sim::toJson(rsp.stats), sim::toJson(direct));
+    engine.drain();
+}
+
+TEST_F(ServeServiceTest, PipeTransportPreservesBitIdentity)
+{
+    Rng rng(0xA11CE);
+    std::vector<serve::Request> reqs;
+    std::stringstream in;
+    for (int i = 0; i < 20; ++i) {
+        serve::Request req;
+        req.id = std::uint64_t(i + 1);
+        req.kind = core::ArchKind::ZFWST;
+        req.unroll = smallUnroll(rng);
+        req.hasSpec = true;
+        req.spec = randomSpec(rng);
+        reqs.push_back(req);
+        in << serve::encodeRequest(req) << "\n";
+    }
+
+    serve::EngineOptions opts;
+    opts.jobs = 2;
+    serve::Engine engine(opts);
+    std::stringstream out;
+    const serve::ServeTotals totals =
+        serve::runPipeServer(in, out, engine);
+    engine.drain();
+    EXPECT_EQ(totals.lines, 20u);
+    EXPECT_EQ(totals.responses, 20u);
+
+    std::string line;
+    std::size_t i = 0;
+    while (std::getline(out, line)) {
+        ASSERT_LT(i, reqs.size());
+        const serve::Response rsp = serve::decodeResponse(line);
+        EXPECT_EQ(rsp.id, reqs[i].id) << "responses must keep order";
+        ASSERT_TRUE(rsp.ok) << rsp.error;
+        const sim::RunStats direct =
+            core::makeArch(reqs[i].kind, reqs[i].unroll)
+                ->run(reqs[i].spec);
+        EXPECT_EQ(sim::toJson(rsp.stats), sim::toJson(direct));
+        ++i;
+    }
+    EXPECT_EQ(i, 20u);
+}
+
+TEST_F(ServeServiceTest, OneMalformedLineDoesNotKillTheStream)
+{
+    Rng rng(0xBAD);
+    serve::Request good;
+    good.id = 7;
+    good.kind = core::ArchKind::NLR;
+    good.unroll = smallUnroll(rng);
+    good.hasSpec = true;
+    good.spec = randomSpec(rng);
+
+    std::stringstream in;
+    in << serve::encodeRequest(good) << "\n";
+    in << "{\"v\":1,\"id\":8,this is not json}\n";
+    in << serve::encodeRequest(good) << "\n";
+
+    serve::EngineOptions opts;
+    opts.jobs = 1;
+    serve::Engine engine(opts);
+    std::stringstream out;
+    const serve::ServeTotals totals =
+        serve::runPipeServer(in, out, engine);
+    engine.drain();
+    EXPECT_EQ(totals.responses, 3u);
+
+    std::string line;
+    std::getline(out, line);
+    EXPECT_TRUE(serve::decodeResponse(line).ok);
+    std::getline(out, line);
+    const serve::Response err = serve::decodeResponse(line);
+    EXPECT_FALSE(err.ok);
+    EXPECT_EQ(err.id, 8u) << "salvaged id lets the client correlate";
+    std::getline(out, line);
+    EXPECT_TRUE(serve::decodeResponse(line).ok);
+}
+
+TEST_F(ServeServiceTest, IdenticalConcurrentRequestsCoalesce)
+{
+    Rng rng(0xD0D0);
+    serve::Request req;
+    req.kind = core::ArchKind::ZFOST;
+    req.unroll = smallUnroll(rng);
+    req.hasSpec = true;
+    req.spec = randomSpec(rng);
+    const sim::RunStats direct =
+        core::makeArch(req.kind, req.unroll)->run(req.spec);
+
+    serve::EngineOptions opts;
+    opts.jobs = 2;
+    serve::Engine engine(opts);
+
+    const int n = 64;
+    std::vector<std::future<serve::Response>> futures;
+    for (int i = 0; i < n; ++i) {
+        serve::Request r = req;
+        r.id = std::uint64_t(i + 1);
+        futures.push_back(engine.submit(r));
+    }
+    for (int i = 0; i < n; ++i) {
+        const serve::Response rsp = futures[std::size_t(i)].get();
+        ASSERT_TRUE(rsp.ok);
+        EXPECT_EQ(rsp.id, std::uint64_t(i + 1))
+            << "followers must be relabeled with their own id";
+        EXPECT_EQ(sim::toJson(rsp.stats), sim::toJson(direct));
+    }
+    const serve::EngineCounters c = engine.counters();
+    EXPECT_EQ(c.requests, std::uint64_t(n));
+    EXPECT_EQ(c.errors, 0u);
+    EXPECT_EQ(c.simulated + c.memHits + c.diskHits + c.deduped,
+              std::uint64_t(n))
+        << "every request is accounted to exactly one tier";
+    EXPECT_EQ(c.simulated, 1u)
+        << "the cycle walk must run exactly once for one content key";
+    engine.drain();
+}
+
+TEST_F(ServeServiceTest, BackpressureBoundsAndDrainFencesAdmission)
+{
+    Rng rng(0xFE11);
+    serve::EngineOptions opts;
+    opts.jobs = 2;
+    opts.maxQueue = 4; // tiny bound: submit() must block, not balloon
+    serve::Engine engine(opts);
+
+    std::vector<std::future<serve::Response>> futures;
+    for (int i = 0; i < 64; ++i) {
+        serve::Request req;
+        req.id = std::uint64_t(i + 1);
+        req.kind = core::ArchKind::OST;
+        req.unroll = smallUnroll(rng);
+        req.hasSpec = true;
+        req.spec = randomSpec(rng);
+        futures.push_back(engine.submit(req));
+    }
+    for (auto &f : futures)
+        EXPECT_TRUE(f.get().ok);
+
+    engine.drain();
+    serve::Request late;
+    late.id = 999;
+    late.kind = core::ArchKind::NLR;
+    late.unroll = smallUnroll(rng);
+    late.hasSpec = true;
+    late.spec = randomSpec(rng);
+    EXPECT_THROW(engine.submit(late), util::FatalError);
+}
+
+TEST_F(ServeServiceTest, NetworkRequestsMatchAccumulatedDirectRun)
+{
+    serve::EngineOptions opts;
+    opts.jobs = 2;
+    serve::Engine engine(opts);
+
+    const gan::GanModel model = gan::makeMnistGan();
+    for (core::ArchKind kind : core::allArchKinds()) {
+        serve::Request req;
+        req.id = 1;
+        req.kind = kind;
+        req.unroll = core::paperUnroll(
+            kind, core::BankRole::ST, sim::PhaseFamily::D, 1200);
+        req.model = "mnist-gan";
+        req.family = "D";
+        const serve::Response rsp = engine.handle(req);
+        ASSERT_TRUE(rsp.ok) << rsp.error;
+
+        sim::RunStats direct;
+        const auto arch = core::makeArch(kind, req.unroll);
+        for (const auto &job :
+             sim::familyJobs(model, sim::PhaseFamily::D))
+            direct += arch->run(job);
+        EXPECT_EQ(sim::toJson(rsp.stats), sim::toJson(direct))
+            << core::archKindName(kind);
+    }
+    engine.drain();
+}
+
+} // namespace

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * ganacc-client — batched client for ganacc-served.
+ *
+ * Three modes:
+ *   --requests FILE   replay a JSON-lines request file through the
+ *                     daemon at --socket, printing one response line
+ *                     per request in order ("-" reads stdin);
+ *   --emit MODE       don't contact a daemon at all; generate a
+ *                     request file on stdout ("table5" emits the full
+ *                     Table V matrix of a model — the request set the
+ *                     golden smoke replay and the warm-cache recipes
+ *                     use);
+ *   a single ad-hoc probe: --arch/--model/--family flags build one
+ *                     network request, send it, and pretty-print the
+ *                     reply.
+ *
+ * Requests are pipelined in windows, so a thousand-line replay is a
+ * handful of syscall rounds, not a thousand round trips.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "core/unrolling.hh"
+#include "gan/models.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "sim/phase.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ganacc;
+
+/** The Table V (family, bank, arch) matrix as network requests. */
+std::vector<serve::Request>
+table5Requests(const std::string &model)
+{
+    struct Row
+    {
+        sim::PhaseFamily family;
+        const char *name;
+        core::BankRole role;
+        int pes;
+    };
+    const Row rows[] = {
+        {sim::PhaseFamily::D, "D", core::BankRole::ST, 1200},
+        {sim::PhaseFamily::G, "G", core::BankRole::ST, 1200},
+        {sim::PhaseFamily::Dw, "Dw", core::BankRole::W, 480},
+        {sim::PhaseFamily::Gw, "Gw", core::BankRole::W, 480},
+    };
+    std::vector<serve::Request> reqs;
+    std::uint64_t id = 1;
+    for (const Row &row : rows) {
+        for (core::ArchKind kind : core::allArchKinds()) {
+            serve::Request req;
+            req.id = id++;
+            req.kind = kind;
+            req.unroll =
+                core::paperUnroll(kind, row.role, row.family, row.pes);
+            req.model = model;
+            req.family = row.name;
+            reqs.push_back(req);
+        }
+    }
+    return reqs;
+}
+
+std::vector<std::string>
+readLines(std::istream &is)
+{
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(is, line))
+        if (!line.empty())
+            lines.push_back(line);
+    return lines;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    util::ArgParser args(argc, argv);
+    const std::string socket_path = args.getString(
+        "socket", "", "Unix-domain socket of a running ganacc-served");
+    const std::string requests_file = args.getString(
+        "requests", "",
+        "JSON-lines request file to replay (\"-\" = stdin)");
+    const std::string emit = args.getString(
+        "emit", "",
+        "emit a request file to stdout instead of connecting: "
+        "\"table5\"");
+    const std::string model_name = args.getString(
+        "model", "dcgan",
+        "model for --emit or an ad-hoc probe request");
+    const std::string arch_name = args.getString(
+        "arch", "", "ad-hoc probe: architecture (e.g. ZFOST)");
+    const std::string family_name = args.getString(
+        "family", "D", "ad-hoc probe: phase family (D, G, Dw, Gw)");
+    if (args.helpRequested()) {
+        args.usage(std::cout);
+        return 0;
+    }
+    args.finish();
+
+    if (!emit.empty()) {
+        if (emit != "table5")
+            util::fatal("unknown --emit mode '", emit, "'");
+        for (const auto &req : table5Requests(model_name))
+            std::cout << serve::encodeRequest(req) << "\n";
+        return 0;
+    }
+
+    if (socket_path.empty())
+        util::fatal("--socket PATH is required (or use --emit)");
+    serve::Client client;
+    client.connect(socket_path);
+
+    if (!requests_file.empty()) {
+        std::vector<std::string> lines;
+        if (requests_file == "-") {
+            lines = readLines(std::cin);
+        } else {
+            std::ifstream is(requests_file);
+            if (!is)
+                util::fatal("cannot open ", requests_file);
+            lines = readLines(is);
+        }
+        for (const std::string &rsp :
+             serve::replayLines(client, lines))
+            std::cout << rsp << "\n";
+        return 0;
+    }
+
+    // Ad-hoc probe.
+    if (arch_name.empty())
+        util::fatal("pass --requests FILE, --emit MODE, or --arch "
+                    "KIND for a single probe");
+    auto kind = core::archKindFromName(arch_name);
+    if (!kind)
+        util::fatal("unknown architecture '", arch_name, "'");
+    serve::Request req;
+    req.id = 1;
+    req.kind = *kind;
+    const bool st_family = family_name == "D" || family_name == "G";
+    sim::PhaseFamily family;
+    if (family_name == "D")
+        family = sim::PhaseFamily::D;
+    else if (family_name == "G")
+        family = sim::PhaseFamily::G;
+    else if (family_name == "Dw")
+        family = sim::PhaseFamily::Dw;
+    else if (family_name == "Gw")
+        family = sim::PhaseFamily::Gw;
+    else
+        util::fatal("unknown family '", family_name, "'");
+    req.unroll = core::paperUnroll(
+        *kind, st_family ? core::BankRole::ST : core::BankRole::W,
+        family, st_family ? 1200 : 480);
+    req.model = model_name;
+    req.family = family_name;
+    serve::Response rsp = client.roundTrip(req);
+    if (!rsp.ok)
+        util::fatal("daemon error: ", rsp.error);
+    std::cout << rsp.arch << " on " << model_name << "/" << family_name
+              << " (" << rsp.cache << ", " << rsp.latencyUs
+              << " us, " << rsp.simVersion << "):\n  "
+              << rsp.stats.str() << "\n";
+    return 0;
+} catch (const ganacc::util::FatalError &e) {
+    std::cerr << "ganacc-client: " << e.what() << "\n";
+    return 2;
+}

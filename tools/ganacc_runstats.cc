@@ -22,30 +22,13 @@
 
 #include "core/unrolling.hh"
 #include "gan/models.hh"
+#include "sim/json.hh"
 #include "sim/phase.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
-namespace {
-
 using namespace ganacc;
-
-void
-printStats(const sim::RunStats &st, std::ostream &os)
-{
-    os << "{\"cycles\":" << st.cycles << ",\"nPes\":" << st.nPes
-       << ",\"effectiveMacs\":" << st.effectiveMacs
-       << ",\"ineffectualMacs\":" << st.ineffectualMacs
-       << ",\"idlePeSlots\":" << st.idlePeSlots
-       << ",\"gatedSlots\":" << st.gatedSlots
-       << ",\"weightLoads\":" << st.weightLoads
-       << ",\"inputLoads\":" << st.inputLoads
-       << ",\"outputReads\":" << st.outputReads
-       << ",\"outputWrites\":" << st.outputWrites << "}";
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -99,9 +82,8 @@ try {
                           << "\",\"unroll\":\""
                           << util::escapeJson(u.str()) << "\",\"job\":\""
                           << util::escapeJson(jobs[j].label)
-                          << "\",\"stats\":";
-                printStats(st, std::cout);
-                std::cout << "}\n";
+                          << "\",\"stats\":" << sim::toJson(st)
+                          << "}\n";
             }
         }
     }

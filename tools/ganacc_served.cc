@@ -1,0 +1,84 @@
+/**
+ * @file
+ * ganacc-served — the simulation-as-a-service daemon.
+ *
+ * Turns the one-shot simulator into a long-lived evaluation service:
+ * clients submit (architecture, unrolling, job) requests over a
+ * Unix-domain socket (or stdin/stdout in --pipe mode, which is what
+ * CI's golden replay uses) and get canonical RunStats back, served
+ * from the in-memory cycle cache, the persistent result store
+ * (--cache-dir / GANACC_CACHE_DIR), or a fresh cycle walk — always
+ * bit-identical to direct in-process simulation.
+ *
+ *   ganacc-served --socket /tmp/ganacc.sock --cache-dir ~/.ganacc
+ *   ganacc-served --pipe --jobs 1 --deterministic < reqs.jsonl
+ *
+ * SIGTERM/SIGINT stop the socket server cleanly: stop accepting,
+ * finish live connections, drain the engine, remove the socket file.
+ */
+
+#include <atomic>
+#include <iostream>
+
+#include "serve/daemon.hh"
+#include "serve/engine.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+
+int
+main(int argc, char **argv)
+try {
+    using namespace ganacc;
+    util::ArgParser args(argc, argv);
+    const std::string socket_path = args.getString(
+        "socket", "", "Unix-domain socket path to listen on");
+    const bool pipe_mode = args.getFlag(
+        "pipe", "serve stdin -> stdout instead of a socket");
+    const std::string cache_dir = args.getCacheDir();
+    const int jobs = args.getJobs();
+    const int max_queue = args.getInt(
+        "max-queue", 256,
+        "in-flight request bound (backpressure threshold)");
+    const bool deterministic = args.getFlag(
+        "deterministic",
+        "report latencyUs as 0 so responses byte-compare against "
+        "goldens");
+    const bool quiet =
+        args.getFlag("quiet", "suppress the shutdown summary");
+    if (args.helpRequested()) {
+        args.usage(std::cout);
+        return 0;
+    }
+    args.finish();
+    if (pipe_mode == !socket_path.empty())
+        util::fatal("pass exactly one of --pipe or --socket PATH");
+    if (max_queue <= 0)
+        util::fatal("--max-queue must be positive");
+
+    serve::EngineOptions opts;
+    opts.jobs = jobs;
+    opts.maxQueue = std::size_t(max_queue);
+    opts.cacheDir = cache_dir;
+    opts.deterministic = deterministic;
+    serve::Engine engine(opts);
+
+    serve::ServeTotals totals;
+    if (pipe_mode) {
+        totals = serve::runPipeServer(std::cin, std::cout, engine);
+        engine.drain();
+    } else {
+        std::atomic<bool> stop{false};
+        serve::installStopHandlers(stop);
+        std::cerr << "ganacc-served: listening on " << socket_path
+                  << " (" << engine.summary() << ")\n";
+        totals = serve::runSocketServer(socket_path, engine, stop);
+    }
+    if (!quiet)
+        std::cerr << "ganacc-served: " << totals.lines
+                  << " requests in, " << totals.responses
+                  << " responses out; " << engine.summary() << "\n";
+    return 0;
+} catch (const ganacc::util::FatalError &e) {
+    std::cerr << "ganacc-served: " << e.what() << "\n";
+    return 2;
+}
