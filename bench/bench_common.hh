@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/cycle_cache.hh"
+#include "obs/telemetry.hh"
 #include "serve/result_store.hh"
 #include "util/args.hh"
 #include "util/table.hh"
@@ -40,6 +41,12 @@ banner(const std::string &experiment, const std::string &paper_claim)
  * and prints the cache/store summary when the bench exits — so every
  * figure report ends with its hit/miss accounting (and a warm rerun
  * is visibly a stream of disk hits).
+ *
+ * Also the telemetry arming point for benches: --trace / GANACC_TRACE
+ * / GANACC_EVENTS / GANACC_METRICS turn the process-wide sinks on for
+ * the scope's lifetime. All telemetry status goes through
+ * util::inform (stderr), so the figure text on stdout stays
+ * byte-identical whether or not tracing is enabled.
  */
 class CacheScope
 {
@@ -47,10 +54,17 @@ class CacheScope
     explicit CacheScope(util::ArgParser &args)
         : disk_(args.getCacheDir())
     {
+        obs::TelemetryConfig cfg = obs::configFromEnv();
+        const std::string trace = args.getTracePath();
+        if (!trace.empty())
+            cfg.tracePath = trace;
+        if (cfg.any())
+            obs::enableTelemetry(cfg);
     }
 
     ~CacheScope()
     {
+        obs::shutdownTelemetry();
         std::cout << "\n[" << core::CycleCache::instance().summary();
         if (disk_.attached())
             std::cout << "; " << disk_.store()->summary();

@@ -48,7 +48,9 @@ main()
             Tensor ref = nn::sconvForward(in, w, l.geom);
             Tensor fx = nn::sconvForwardFixed(in, w, l.geom);
             auto e = nn::quantError(ref, fx);
-            t.addRow("L" + std::to_string(i), l.describe(), e.maxAbs,
+            std::string label = "L";
+            label += std::to_string(i);
+            t.addRow(label, l.describe(), e.maxAbs,
                      e.rms, e.refScale,
                      e.refScale > 0 ? e.rms / e.refScale : 0.0);
         }

@@ -28,7 +28,9 @@ main()
                        "MACs", "weights"});
         for (std::size_t i = 0; i < m.disc.size(); ++i) {
             const auto &l = m.disc[i];
-            t.addRow("L" + std::to_string(i),
+            std::string label = "L";
+            label += std::to_string(i);
+            t.addRow(label,
                      std::to_string(l.inChannels) + "x" +
                          std::to_string(l.inH) + "x" +
                          std::to_string(l.inW),

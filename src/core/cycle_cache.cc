@@ -8,6 +8,9 @@
 #include <mutex>
 #include <sstream>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace ganacc {
 namespace core {
 
@@ -45,6 +48,21 @@ CycleCache &
 CycleCache::instance()
 {
     static CycleCache cache;
+    // Publish the cache's own atomics into the telemetry registry; a
+    // collector copies them at snapshot time, so lookups stay free of
+    // registry traffic. Registered once, on first use.
+    static const int collector = obs::Registry::instance().addCollector(
+        [](obs::Snapshot &snap) {
+            const CacheStats s = cache.cacheStats();
+            snap.counter("ganacc_cache_mem_hits_total", s.hits);
+            snap.counter("ganacc_cache_misses_total", s.misses);
+            snap.counter("ganacc_cache_disk_hits_total", s.diskHits);
+            snap.counter("ganacc_cache_simulated_total",
+                         s.simulated());
+            snap.gauge("ganacc_cache_entries",
+                       std::int64_t(s.entries));
+        });
+    (void)collector;
     return cache;
 }
 
@@ -79,6 +97,10 @@ CycleCache::stats(ArchKind kind, const sim::Unroll &u,
         got = CacheOutcome::DiskHit;
         st = *fromDisk;
     } else {
+        // One span per actual cycle walk; a no-op unless --trace /
+        // GANACC_TRACE armed the sink.
+        obs::Span span("simulate", "sim",
+                       "{\"arch\":\"" + archKindName(kind) + "\"}");
         st = makeArch(kind, u)->run(spec);
         if (disk_)
             disk_->store(kind, u, spec, st);
@@ -107,6 +129,17 @@ CycleCache::size() const
 {
     std::shared_lock<std::shared_mutex> lk(m_);
     return map_.size();
+}
+
+CacheStats
+CycleCache::cacheStats() const
+{
+    CacheStats s;
+    s.entries = size();
+    s.hits = hits();
+    s.misses = misses();
+    s.diskHits = diskHits();
+    return s;
 }
 
 std::string

@@ -50,6 +50,23 @@ enum class CacheOutcome
 
 std::string cacheOutcomeName(CacheOutcome o);
 
+/** Point-in-time accounting snapshot of the CycleCache. */
+struct CacheStats
+{
+    std::size_t entries = 0;    ///< keys resident in the memo
+    std::uint64_t hits = 0;     ///< lookups served from memory
+    std::uint64_t misses = 0;   ///< lookups that left the memo
+    std::uint64_t diskHits = 0; ///< misses the disk tier absorbed
+                                ///  (subset of misses)
+
+    /** Misses that actually ran a cycle walk. */
+    std::uint64_t
+    simulated() const
+    {
+        return misses - diskHits;
+    }
+};
+
 /**
  * Interface of a persistent second cache tier keyed on the same
  * (kind, unrolling, spec) triple as the in-memory memo. Implementors
@@ -106,6 +123,10 @@ class CycleCache
     std::uint64_t misses() const { return misses_.load(); }
     /** Memory misses satisfied by the disk tier (subset of misses). */
     std::uint64_t diskHits() const { return diskHits_.load(); }
+
+    /** One consistent accounting snapshot (the struct the unit tests
+     *  and the telemetry collector read; summary() formats it). */
+    CacheStats cacheStats() const;
 
     /** One-line "cycle cache: N entries, H hits, ..." summary for
      *  sweep and bench reports. */

@@ -8,6 +8,9 @@
 #include <algorithm>
 
 #include "core/unrolling.hh"
+#include "obs/metrics.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "verify/legality.hh"
@@ -37,6 +40,31 @@ rejectedPoint(const DseConstraints &cons, int w_pof, int st_pof,
         break;
     }
     return p;
+}
+
+/** Frontier-progress telemetry for one evaluated point. */
+void
+observePoint(const DsePoint &p)
+{
+    obs::Registry &reg = obs::Registry::instance();
+    reg.counter("ganacc_dse_points_total",
+                "design points evaluated or rejected")
+        .add(1);
+    if (p.verifierRejected)
+        reg.counter("ganacc_dse_rejected_total",
+                    "points the static verifier refused to simulate")
+            .add(1);
+    else if (p.feasible())
+        reg.counter("ganacc_dse_feasible_total",
+                    "points inside every resource/bandwidth budget")
+            .add(1);
+    if (obs::EventLog::instance().enabled())
+        obs::EventLog::instance().log(
+            "dse.point",
+            "\"wPof\":" + std::to_string(p.wPof) + ",\"stPof\":" +
+                std::to_string(p.stPof) + ",\"rejected\":" +
+                (p.verifierRejected ? "true" : "false") +
+                ",\"feasible\":" + (p.feasible() ? "true" : "false"));
 }
 
 /** Pre-filter one point; true when it must be skipped. */
@@ -95,6 +123,8 @@ sweepFrontier(const DseConstraints &cons, const GanModel &model)
     verify::Report model_report;
     if (cons.verify)
         verify::checkModel(model, model_report);
+    obs::Span span("dse.sweep", "dse",
+                   "{\"points\":" + std::to_string(cons.maxWPof) + "}");
     std::vector<DsePoint> pts;
     for (int w = 1; w <= cons.maxWPof; ++w) {
         int st = mem::deriveStPof(w);
@@ -102,6 +132,7 @@ sweepFrontier(const DseConstraints &cons, const GanModel &model)
         pts.push_back(prefilter(cons, model_report, w, st, rejected)
                           ? rejected
                           : evaluatePoint(cons, model, w, st));
+        observePoint(pts.back());
     }
     return pts;
 }
@@ -116,6 +147,8 @@ sweepFrontierParallel(const DseConstraints &cons, const GanModel &model,
     verify::Report model_report;
     if (cons.verify)
         verify::checkModel(model, model_report);
+    obs::Span span("dse.sweep", "dse",
+                   "{\"points\":" + std::to_string(cons.maxWPof) + "}");
     std::vector<DsePoint> pts(std::size_t(cons.maxWPof));
     util::parallelFor(pts.size(), jobs, [&](std::size_t i) {
         int w = int(i) + 1;
@@ -124,6 +157,7 @@ sweepFrontierParallel(const DseConstraints &cons, const GanModel &model,
         pts[i] = prefilter(cons, model_report, w, st, rejected)
                      ? rejected
                      : evaluatePoint(cons, model, w, st);
+        observePoint(pts[i]);
     });
     return pts;
 }

@@ -15,6 +15,7 @@
 #include "fault/mem_faults.hh"
 #include "gan/trainer.hh"
 #include "nn/optimizer.hh"
+#include "obs/trace.hh"
 #include "sim/nlr.hh"
 #include "sim/phase.hh"
 #include "util/logging.hh"
@@ -149,6 +150,9 @@ runCell(const Column &col, const Row &row,
     cell.arch = col.name;
     cell.row = row.name;
 
+    obs::Span span("fault.cell", "fault",
+                   "{\"arch\":\"" + col.name + "\",\"row\":\"" +
+                       row.name + "\"}");
     const auto arch = buildArch(col, row, opt);
     FaultInjector injector(plan);
     // CNV-style value inspection is not part of this matrix; every

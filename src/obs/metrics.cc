@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Metric-registry implementation.
+ */
+
+#include "obs/metrics.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace obs {
+
+void
+HistogramSnapshot::merge(const HistogramSnapshot &o)
+{
+    if (buckets.empty())
+        buckets.resize(o.buckets.size(), 0);
+    GANACC_ASSERT(buckets.size() == o.buckets.size(),
+                  "merging histograms with different bucket layouts");
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+        buckets[i] += o.buckets[i];
+    count += o.count;
+    sum += o.sum;
+}
+
+int
+Histogram::bucketIndex(std::uint64_t v)
+{
+    for (int i = 0; i < kFiniteBuckets; ++i)
+        if (v <= bucketBound(i))
+            return i;
+    return kFiniteBuckets; // +Inf
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot s;
+    s.buckets.resize(kBuckets);
+    for (int i = 0; i < kBuckets; ++i) {
+        const std::uint64_t b =
+            buckets_[std::size_t(i)].load(std::memory_order_relaxed);
+        s.buckets[std::size_t(i)] = b;
+        s.count += b;
+    }
+    s.sum = sum_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+Snapshot::histogram(const std::string &name, const HistogramSnapshot &h)
+{
+    histograms_[name].merge(h);
+}
+
+Registry &
+Registry::instance()
+{
+    // Leaked: metrics may be bumped from static destructors and
+    // worker threads that outlive main()'s locals.
+    static Registry *r = new Registry;
+    return *r;
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &help_text)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    auto &slot = counters_[name];
+    if (!slot) {
+        slot = std::make_unique<Counter>();
+        if (!help_text.empty())
+            help_.emplace(metricBaseName(name), help_text);
+    }
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &help_text)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    auto &slot = gauges_[name];
+    if (!slot) {
+        slot = std::make_unique<Gauge>();
+        if (!help_text.empty())
+            help_.emplace(metricBaseName(name), help_text);
+    }
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const std::string &help_text)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    auto &slot = histograms_[name];
+    if (!slot) {
+        slot = std::make_unique<Histogram>();
+        if (!help_text.empty())
+            help_.emplace(metricBaseName(name), help_text);
+    }
+    return *slot;
+}
+
+int
+Registry::addCollector(Collector fn)
+{
+    GANACC_ASSERT(fn != nullptr, "null collector registered");
+    std::lock_guard<std::mutex> lk(m_);
+    const int token = nextCollector_++;
+    collectors_.emplace(token, std::move(fn));
+    return token;
+}
+
+void
+Registry::removeCollector(int token)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    collectors_.erase(token);
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    Snapshot s;
+    for (const auto &[name, c] : counters_)
+        s.counter(name, c->value());
+    for (const auto &[name, g] : gauges_)
+        s.gauge(name, g->value());
+    for (const auto &[name, h] : histograms_)
+        s.histogram(name, h->snapshot());
+    for (const auto &[token, fn] : collectors_)
+        fn(s);
+    return s;
+}
+
+std::string
+Registry::help(const std::string &baseName) const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    auto it = help_.find(baseName);
+    return it == help_.end() ? std::string() : it->second;
+}
+
+std::string
+metricBaseName(const std::string &name)
+{
+    const auto brace = name.find('{');
+    return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+namespace {
+
+/** Emit the # HELP/# TYPE header once per base name. */
+void
+emitHeader(std::ostringstream &os, std::string &last_base,
+           const std::string &name, const char *type)
+{
+    const std::string base = metricBaseName(name);
+    if (base == last_base)
+        return;
+    last_base = base;
+    const std::string help = Registry::instance().help(base);
+    if (!help.empty())
+        os << "# HELP " << base << ' ' << help << '\n';
+    os << "# TYPE " << base << ' ' << type << '\n';
+}
+
+/** Splice an extra label into a (possibly already labelled) name. */
+std::string
+withLabel(const std::string &name, const std::string &label)
+{
+    const auto brace = name.find('{');
+    if (brace == std::string::npos)
+        return name + '{' + label + '}';
+    std::string out = name;
+    out.insert(name.size() - 1, ',' + label);
+    return out;
+}
+
+} // namespace
+
+std::string
+renderPrometheus(const Snapshot &snap)
+{
+    std::ostringstream os;
+    std::string last_base;
+    for (const auto &[name, v] : snap.counters()) {
+        emitHeader(os, last_base, name, "counter");
+        os << name << ' ' << v << '\n';
+    }
+    for (const auto &[name, v] : snap.gauges()) {
+        emitHeader(os, last_base, name, "gauge");
+        os << name << ' ' << v << '\n';
+    }
+    for (const auto &[name, h] : snap.histograms()) {
+        emitHeader(os, last_base, name, "histogram");
+        const std::string base = metricBaseName(name);
+        const std::string labels = name.substr(base.size());
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+            cum += h.buckets[i];
+            const std::string le =
+                i + 1 == h.buckets.size()
+                    ? std::string("+Inf")
+                    : std::to_string(Histogram::bucketBound(int(i)));
+            os << withLabel(base + "_bucket" + labels,
+                            "le=\"" + le + "\"")
+               << ' ' << cum << '\n';
+        }
+        os << base << "_sum" << labels << ' ' << h.sum << '\n';
+        os << base << "_count" << labels << ' ' << h.count << '\n';
+    }
+    return os.str();
+}
+
+} // namespace obs
+} // namespace ganacc

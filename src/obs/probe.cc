@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Run-probe implementation.
+ */
+
+#include "obs/probe.hh"
+
+#include <atomic>
+#include <string>
+
+#include "obs/metrics.hh"
+
+namespace ganacc {
+namespace obs {
+
+namespace {
+
+std::atomic<Probe *> g_probe{nullptr};
+
+/** "D-fwd conv1" -> "D-fwd": the phase bucket of a job label. */
+std::string
+phasePrefix(std::string_view label)
+{
+    if (label.empty())
+        return "none";
+    const auto space = label.find(' ');
+    return std::string(label.substr(0, space));
+}
+
+} // namespace
+
+Probe *
+runProbe()
+{
+    return g_probe.load(std::memory_order_relaxed);
+}
+
+void
+setRunProbe(Probe *probe)
+{
+    g_probe.store(probe, std::memory_order_relaxed);
+}
+
+void
+MetricsProbe::onRun(const RunSample &s)
+{
+    Registry &reg = Registry::instance();
+    const std::string arch = "{arch=\"" + std::string(s.arch) + "\"}";
+    reg.counter("ganacc_sim_runs_total" + arch,
+                "finished cycle walks per architecture")
+        .add(1);
+    reg.counter("ganacc_sim_cycles_total" + arch,
+                "simulated cycles per architecture")
+        .add(s.cycles);
+    reg.counter("ganacc_sim_effective_macs_total" + arch,
+                "PE slots doing useful multiplies")
+        .add(s.effectiveMacs);
+    reg.counter("ganacc_sim_ineffectual_macs_total" + arch,
+                "PE slots multiplying a structural zero")
+        .add(s.ineffectualMacs);
+    reg.counter("ganacc_sim_idle_pe_slots_total" + arch,
+                "PE slots with nothing scheduled")
+        .add(s.idlePeSlots);
+    reg.counter("ganacc_sim_buffer_accesses_total" + arch,
+                "on-chip buffer accesses (all four categories)")
+        .add(s.weightLoads + s.inputLoads + s.outputReads +
+             s.outputWrites);
+    reg.counter("ganacc_sim_phase_cycles_total{phase=\"" +
+                    phasePrefix(s.label) + "\"}",
+                "simulated cycles per phase-label prefix")
+        .add(s.cycles);
+}
+
+} // namespace obs
+} // namespace ganacc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The cycle-walk observation hook.
+ *
+ * Architecture::run() reports every finished job to the installed
+ * Probe — once per job, after the conservation asserts, so the cost
+ * is one relaxed atomic load on the null path (mirroring the
+ * MacFaultHook pattern: null by default, bit-identical behaviour).
+ * One hook point covers all five dataflows plus the CNV/RST
+ * baselines; the sample carries only plain integers and string views
+ * so this layer needs no knowledge of sim types.
+ */
+
+#ifndef GANACC_OBS_PROBE_HH
+#define GANACC_OBS_PROBE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace ganacc {
+namespace obs {
+
+/** Everything one finished cycle walk reports. */
+struct RunSample
+{
+    std::string_view arch;  ///< architecture name ("ZFOST", …)
+    std::string_view label; ///< job label ("D-fwd conv1", may be "")
+
+    std::uint64_t cycles = 0;
+    std::uint64_t nPes = 0;
+    std::uint64_t effectiveMacs = 0;
+    std::uint64_t ineffectualMacs = 0;
+    std::uint64_t idlePeSlots = 0;
+    std::uint64_t gatedSlots = 0;
+    std::uint64_t weightLoads = 0;
+    std::uint64_t inputLoads = 0;
+    std::uint64_t outputReads = 0;
+    std::uint64_t outputWrites = 0;
+};
+
+/** Observer of finished cycle walks. Implementations must be
+ *  thread-safe: sweep workers run jobs concurrently. */
+class Probe
+{
+  public:
+    virtual ~Probe() = default;
+
+    /** Called once per finished job; must not mutate anything the
+     *  simulation reads — telemetry is strictly observational. */
+    virtual void onRun(const RunSample &sample) = 0;
+};
+
+/** The installed probe (nullptr = observation off, the default). */
+Probe *runProbe();
+
+/** Install (or with nullptr remove) the process-wide probe. The
+ *  probe must outlive every run() that can observe it. */
+void setRunProbe(Probe *probe);
+
+/**
+ * The standard probe behind enableTelemetry(): tallies per-arch run
+ * counts, cycles and PE-slot classes (and per-phase-prefix cycles)
+ * into the metric registry.
+ */
+class MetricsProbe : public Probe
+{
+  public:
+    void onRun(const RunSample &sample) override;
+};
+
+} // namespace obs
+} // namespace ganacc
+
+#endif // GANACC_OBS_PROBE_HH

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Telemetry-lifecycle implementation.
+ */
+
+#include "obs/telemetry.hh"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+
+#include "obs/metrics.hh"
+#include "obs/probe.hh"
+#include "obs/trace.hh"
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace obs {
+
+namespace {
+
+struct TelemetryState
+{
+    std::mutex m;
+    bool enabled = false;
+    TelemetryConfig cfg;
+    MetricsProbe probe;
+
+    std::mutex log_m;
+    std::ofstream log;
+    std::chrono::steady_clock::time_point logT0{};
+};
+
+TelemetryState &
+state()
+{
+    // Leaked: the event log may be written from worker threads that
+    // unwind during static destruction.
+    static TelemetryState *s = new TelemetryState;
+    return *s;
+}
+
+std::string
+envOr(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v ? v : "";
+}
+
+} // namespace
+
+TelemetryConfig
+configFromEnv()
+{
+    TelemetryConfig cfg;
+    cfg.tracePath = envOr("GANACC_TRACE");
+    cfg.eventsPath = envOr("GANACC_EVENTS");
+    cfg.metricsPath = envOr("GANACC_METRICS");
+    return cfg;
+}
+
+bool
+telemetryEnabled()
+{
+    TelemetryState &s = state();
+    std::lock_guard<std::mutex> lk(s.m);
+    return s.enabled;
+}
+
+void
+enableTelemetry(const TelemetryConfig &cfg)
+{
+    if (!cfg.any())
+        return;
+    TelemetryState &s = state();
+    std::lock_guard<std::mutex> lk(s.m);
+    if (s.enabled) {
+        // Re-arming drops the previous (unflushed) streams.
+        TraceSink::instance().disable();
+        EventLog::instance().close();
+    }
+    s.cfg = cfg;
+    s.enabled = true;
+    if (!cfg.tracePath.empty())
+        TraceSink::instance().enable(cfg.tracePath);
+    if (!cfg.eventsPath.empty())
+        EventLog::instance().open(cfg.eventsPath);
+    setRunProbe(&s.probe);
+}
+
+void
+shutdownTelemetry()
+{
+    TelemetryState &s = state();
+    std::lock_guard<std::mutex> lk(s.m);
+    if (!s.enabled)
+        return;
+    s.enabled = false;
+    setRunProbe(nullptr);
+    if (!s.cfg.tracePath.empty() && TraceSink::instance().flush())
+        util::inform("trace written to ", s.cfg.tracePath);
+    EventLog::instance().close();
+    if (!s.cfg.metricsPath.empty()) {
+        std::ofstream os(s.cfg.metricsPath, std::ios::trunc);
+        if (os) {
+            os << renderPrometheus(Registry::instance().snapshot());
+            util::inform("metrics written to ", s.cfg.metricsPath);
+        } else {
+            util::warn("cannot write metrics to ", s.cfg.metricsPath);
+        }
+    }
+}
+
+EventLog &
+EventLog::instance()
+{
+    static EventLog *log = new EventLog;
+    return *log;
+}
+
+bool
+EventLog::enabled() const
+{
+    TelemetryState &s = state();
+    std::lock_guard<std::mutex> lk(s.log_m);
+    return s.log.is_open();
+}
+
+void
+EventLog::open(const std::string &path)
+{
+    TelemetryState &s = state();
+    std::lock_guard<std::mutex> lk(s.log_m);
+    s.log.open(path, std::ios::trunc);
+    if (!s.log)
+        util::warn("cannot open event log ", path);
+    s.logT0 = std::chrono::steady_clock::now();
+}
+
+void
+EventLog::close()
+{
+    TelemetryState &s = state();
+    std::lock_guard<std::mutex> lk(s.log_m);
+    if (s.log.is_open())
+        s.log.close();
+}
+
+void
+EventLog::log(const std::string &type, const std::string &fields)
+{
+    TelemetryState &s = state();
+    std::lock_guard<std::mutex> lk(s.log_m);
+    if (!s.log.is_open())
+        return;
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - s.logT0)
+            .count();
+    s.log << "{\"ev\":\"" << type << "\",\"ts\":" << us;
+    if (!fields.empty())
+        s.log << ',' << fields;
+    s.log << "}\n";
+    s.log.flush();
+}
+
+namespace {
+
+std::atomic<bool> g_dump_requested{false};
+std::string *g_dump_path = nullptr;
+
+void
+onDumpSignal(int)
+{
+    // Async-signal-safe: just raise the flag; the file is written by
+    // serviceMetricsDump() on a normal thread.
+    g_dump_requested.store(true);
+}
+
+} // namespace
+
+void
+installMetricsDumpSignal(const std::string &path)
+{
+    GANACC_ASSERT(!path.empty(), "metrics dump needs a path");
+    if (!g_dump_path)
+        g_dump_path = new std::string;
+    *g_dump_path = path;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = onDumpSignal;
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGUSR1, &sa, nullptr);
+}
+
+bool
+serviceMetricsDump()
+{
+    if (!g_dump_requested.exchange(false))
+        return false;
+    if (!g_dump_path || g_dump_path->empty())
+        return false;
+    std::ofstream os(*g_dump_path, std::ios::trunc);
+    if (!os) {
+        util::warn("cannot write metrics dump to ", *g_dump_path);
+        return false;
+    }
+    os << renderPrometheus(Registry::instance().snapshot());
+    util::inform("metrics dumped to ", *g_dump_path);
+    return true;
+}
+
+} // namespace obs
+} // namespace ganacc

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Chrome-trace writer and span-sink implementation.
+ */
+
+#include "obs/trace.hh"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace ganacc {
+namespace obs {
+
+void
+writeChromeTraceJson(
+    std::ostream &os, const std::vector<TraceEvent> &events,
+    const std::vector<std::pair<std::string, std::string>> &metadata,
+    const std::string &displayTimeUnit)
+{
+    os << "{\"traceEvents\":[\n";
+    bool first = true;
+    for (const TraceEvent &e : events) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"name\":\"" << util::escapeJson(e.name) << "\"";
+        if (!e.cat.empty())
+            os << ",\"cat\":\"" << util::escapeJson(e.cat) << "\"";
+        os << ",\"ph\":\"" << e.ph << "\",\"pid\":" << e.pid
+           << ",\"tid\":" << e.tid << ",\"ts\":" << e.ts;
+        if (e.ph == 'X')
+            os << ",\"dur\":" << e.dur;
+        if (!e.args.empty())
+            os << ",\"args\":" << e.args;
+        os << "}";
+    }
+    os << "\n],\n\"displayTimeUnit\":\""
+       << util::escapeJson(displayTimeUnit) << "\",\n\"metadata\":{";
+    bool mfirst = true;
+    for (const auto &[key, value] : metadata) {
+        if (!mfirst)
+            os << ",";
+        mfirst = false;
+        os << "\"" << util::escapeJson(key) << "\":\""
+           << util::escapeJson(value) << "\"";
+    }
+    os << "}}\n";
+}
+
+TraceSink &
+TraceSink::instance()
+{
+    // Leaked: spans may close during static destruction.
+    static TraceSink *sink = new TraceSink;
+    return *sink;
+}
+
+namespace {
+
+void
+flushAtExit()
+{
+    TraceSink &sink = TraceSink::instance();
+    if (sink.enabled())
+        sink.flush();
+}
+
+} // namespace
+
+void
+TraceSink::enable(const std::string &path)
+{
+    GANACC_ASSERT(!path.empty(), "trace sink needs an output path");
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        path_ = path;
+        events_.clear();
+        t0_ = std::chrono::steady_clock::now();
+    }
+    enabled_.store(true, std::memory_order_relaxed);
+    // Last-resort flush for tools that exit without a telemetry
+    // scope; registered once.
+    static bool registered = (std::atexit(flushAtExit), true);
+    (void)registered;
+}
+
+void
+TraceSink::disable()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t
+TraceSink::nowUs() const
+{
+    std::chrono::steady_clock::time_point t0;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        t0 = t0_;
+    }
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+int
+TraceSink::threadLane()
+{
+    static std::atomic<int> next{0};
+    thread_local int lane = next.fetch_add(1);
+    return lane;
+}
+
+void
+TraceSink::record(TraceEvent ev)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lk(m_);
+    events_.push_back(std::move(ev));
+}
+
+std::size_t
+TraceSink::eventCount() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return events_.size();
+}
+
+bool
+TraceSink::flush()
+{
+    std::vector<TraceEvent> events;
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        events.swap(events_);
+        path = path_;
+    }
+    disable();
+    if (path.empty())
+        return false;
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) {
+        util::warn("cannot write trace to ", path);
+        return false;
+    }
+    writeChromeTraceJson(os, events,
+                         {{"tool", "ganacc telemetry"},
+                          {"clock", "steady, us since enable"}},
+                         "ms");
+    return bool(os);
+}
+
+Span::Span(const char *name, const char *cat, std::string args)
+    : armed_(TraceSink::instance().enabled()), name_(name), cat_(cat),
+      args_(std::move(args))
+{
+    if (armed_)
+        t0_ = TraceSink::instance().nowUs();
+}
+
+Span::~Span()
+{
+    if (!armed_)
+        return;
+    TraceSink &sink = TraceSink::instance();
+    if (!sink.enabled())
+        return; // sink shut down while the span was open
+    TraceEvent ev;
+    ev.name = name_;
+    ev.cat = cat_;
+    ev.ph = 'X';
+    ev.pid = 0;
+    ev.tid = TraceSink::threadLane();
+    ev.ts = t0_;
+    const std::uint64_t now = sink.nowUs();
+    ev.dur = now >= t0_ ? now - t0_ : 0;
+    ev.args = std::move(args_);
+    sink.record(std::move(ev));
+}
+
+} // namespace obs
+} // namespace ganacc

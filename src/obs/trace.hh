@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Chrome trace_event emission: one escaping/formatting code path for
+ * every trace the project writes, plus the process-wide span sink.
+ *
+ * Two layers:
+ *
+ *  - writeChromeTraceJson() serializes a prepared event list in the
+ *    Chrome trace_event JSON format (the "X" complete-event flavour
+ *    Perfetto and chrome://tracing accept). The event simulator's
+ *    deterministic cycle-timestamped trace and the wall-clock span
+ *    trace below both go through it, so there is exactly one
+ *    JSON-escaping/emitting path (util::escapeJson).
+ *
+ *  - TraceSink is the process-wide wall-clock span recorder behind
+ *    GANACC_TRACE/--trace: disabled it is a single relaxed atomic
+ *    load per would-be span; enabled it buffers TraceEvents (ts/dur
+ *    in microseconds since enable, tid a small dense per-thread lane)
+ *    and flushes them as one Chrome trace at shutdown. Wall-clock
+ *    time lives only in these records, never in simulation results,
+ *    so tracing cannot perturb determinism.
+ */
+
+#ifndef GANACC_OBS_TRACE_HH
+#define GANACC_OBS_TRACE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <atomic>
+
+namespace ganacc {
+namespace obs {
+
+/** One Chrome trace_event entry. */
+struct TraceEvent
+{
+    std::string name;
+    std::string cat;      ///< comma-separated categories ("" = none)
+    char ph = 'X';        ///< event type; 'X' = complete (ts + dur)
+    int pid = 0;
+    int tid = 0;
+    std::uint64_t ts = 0; ///< microseconds (or cycles for event-sim)
+    std::uint64_t dur = 0;
+    std::string args;     ///< raw JSON object text ("" = no args)
+};
+
+/**
+ * Serialize `events` as a Chrome trace_event JSON document. Metadata
+ * pairs land in the top-level "metadata" object (values are strings,
+ * escaped here). The output is deterministic given deterministic
+ * inputs — the event-sim golden trace byte-compares across runs.
+ */
+void writeChromeTraceJson(
+    std::ostream &os, const std::vector<TraceEvent> &events,
+    const std::vector<std::pair<std::string, std::string>> &metadata,
+    const std::string &displayTimeUnit = "ns");
+
+/** The process-wide span recorder (leaked singleton). */
+class TraceSink
+{
+  public:
+    static TraceSink &instance();
+
+    /** One relaxed load; every span checks this before doing work. */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Start recording; spans ending from now on are buffered and
+     * flushed to `path` (by flush(), shutdownTelemetry() or atexit).
+     * Re-enabling clears previously buffered events.
+     */
+    void enable(const std::string &path);
+
+    /** Stop recording; buffered events stay until flush/enable. */
+    void disable();
+
+    /** Microseconds since enable() on the steady clock. */
+    std::uint64_t nowUs() const;
+
+    /** Dense per-thread lane id (0, 1, 2, … in first-use order). */
+    static int threadLane();
+
+    /** Buffer one event (dropped when disabled). */
+    void record(TraceEvent ev);
+
+    std::size_t eventCount() const;
+
+    const std::string &path() const { return path_; }
+
+    /**
+     * Write the buffered events to path() as a Chrome trace and clear
+     * the buffer. Returns false (leaving a warning) when the file
+     * cannot be written. Safe to call with nothing buffered.
+     */
+    bool flush();
+
+  private:
+    TraceSink() = default;
+
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex m_;
+    std::string path_;
+    std::vector<TraceEvent> events_;
+    std::chrono::steady_clock::time_point t0_{};
+};
+
+/**
+ * RAII span: times the enclosed scope on the steady clock and records
+ * one complete event on destruction. When the sink is disabled the
+ * constructor is one atomic load and the destructor a branch.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name, const char *cat = "",
+                  std::string args = std::string());
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    bool armed_;
+    std::uint64_t t0_ = 0;
+    const char *name_;
+    const char *cat_;
+    std::string args_;
+};
+
+} // namespace obs
+} // namespace ganacc
+
+#endif // GANACC_OBS_TRACE_HH

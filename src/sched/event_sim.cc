@@ -11,9 +11,9 @@
 
 #include "core/cycle_cache.hh"
 #include "core/unrolling.hh"
+#include "obs/trace.hh"
 #include "sim/phase.hh"
 #include "util/logging.hh"
-#include "util/strings.hh"
 
 namespace ganacc {
 namespace sched {
@@ -344,19 +344,25 @@ writeChromeTrace(const UpdateDag &dag, const EventRunStats &trace,
     GANACC_ASSERT(trace.spans.size() ==
                       per_sample * std::size_t(samples),
                   "trace does not match the DAG/sample count");
-    os << "{\"traceEvents\":[\n";
-    bool first = true;
+    // Build the event list and hand it to the shared obs emitter —
+    // the one JSON-escaping/formatting path every trace goes through.
+    // Timestamps are cycles, so the output is fully deterministic
+    // (the golden trace test byte-compares it).
+    std::vector<obs::TraceEvent> events;
+    events.reserve(trace.spans.size() + trace.dramSpans.size());
     auto emit = [&](const std::string &name, int tid, std::uint64_t s,
                     std::uint64_t e, int sample) {
         if (e <= s)
             return;
-        if (!first)
-            os << ",\n";
-        first = false;
-        os << "{\"name\":\"" << util::escapeJson(name)
-           << "\",\"ph\":\"X\",\"pid\":0,"
-           << "\"tid\":" << tid << ",\"ts\":" << s << ",\"dur\":"
-           << (e - s) << ",\"args\":{\"sample\":" << sample << "}}";
+        obs::TraceEvent ev;
+        ev.name = name;
+        ev.ph = 'X';
+        ev.pid = 0;
+        ev.tid = tid;
+        ev.ts = s;
+        ev.dur = e - s;
+        ev.args = "{\"sample\":" + std::to_string(sample) + "}";
+        events.push_back(std::move(ev));
     };
     for (std::size_t i = 0; i < trace.spans.size(); ++i) {
         const Job &j = dag.jobs[i % per_sample];
@@ -367,9 +373,11 @@ writeChromeTrace(const UpdateDag &dag, const EventRunStats &trace,
     for (const Span &s : trace.dramSpans)
         emit("dW stream", 2, s.start, s.end,
              int(s.job / per_sample));
-    os << "\n],\n\"displayTimeUnit\":\"ns\",\n"
-       << "\"metadata\":{\"tool\":\"ganacc event_sim\","
-       << "\"lanes\":\"0=ST bank, 1=W bank, 2=DRAM\"}}\n";
+    obs::writeChromeTraceJson(
+        os, events,
+        {{"tool", "ganacc event_sim"},
+         {"lanes", "0=ST bank, 1=W bank, 2=DRAM"}},
+        "ns");
 }
 
 std::string

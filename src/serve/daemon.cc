@@ -22,6 +22,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "obs/metrics.hh"
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace ganacc {
@@ -205,6 +207,9 @@ void
 serveConnection(int fd, Engine &engine, std::atomic<std::uint64_t> &lines,
                 std::atomic<std::uint64_t> &responses)
 {
+    static obs::Gauge &connections = obs::Registry::instance().gauge(
+        "ganacc_serve_connections", "live client connections");
+    connections.add(1);
     FdLineReader reader(fd);
     const ServeTotals totals = pumpOrderedStream(
         engine,
@@ -213,6 +218,7 @@ serveConnection(int fd, Engine &engine, std::atomic<std::uint64_t> &lines,
     lines.fetch_add(totals.lines, std::memory_order_relaxed);
     responses.fetch_add(totals.responses, std::memory_order_relaxed);
     ::close(fd);
+    connections.add(-1);
 }
 
 } // namespace
@@ -258,6 +264,9 @@ runSocketServer(const std::string &path, Engine &engine,
     while (!stop.load()) {
         pollfd pfd{listener, POLLIN, 0};
         int r = ::poll(&pfd, 1, 200 /* ms: stop-flag latency */);
+        // SIGUSR1 dumps are serviced here, on a normal thread within
+        // one poll interval of the signal — never in the handler.
+        obs::serviceMetricsDump();
         if (r < 0 && errno != EINTR)
             break;
         if (r <= 0 || !(pfd.revents & POLLIN))

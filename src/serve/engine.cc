@@ -10,7 +10,10 @@
 
 #include "core/cycle_cache.hh"
 #include "gan/models.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "sim/phase.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace ganacc {
@@ -75,7 +78,31 @@ coldness(core::CacheOutcome o)
 
 Engine::Engine(const EngineOptions &opts)
     : opts_(opts), cache_(opts.cacheDir),
-      pool_(std::make_unique<util::ThreadPool>(opts.jobs))
+      pool_(std::make_unique<util::ThreadPool>(opts.jobs)),
+      mRequests_(obs::Registry::instance().counter(
+          "ganacc_serve_requests_total", "requests admitted")),
+      mErrors_(obs::Registry::instance().counter(
+          "ganacc_serve_errors_total", "requests answered ok:false")),
+      mMemHits_(obs::Registry::instance().counter(
+          "ganacc_serve_mem_hits_total",
+          "responses served from the memory tier")),
+      mDiskHits_(obs::Registry::instance().counter(
+          "ganacc_serve_disk_hits_total",
+          "responses served from the disk tier")),
+      mSimulated_(obs::Registry::instance().counter(
+          "ganacc_serve_simulated_total",
+          "responses that ran a cycle walk")),
+      mDeduped_(obs::Registry::instance().counter(
+          "ganacc_serve_deduped_total", "single-flight followers")),
+      mStatsProbes_(obs::Registry::instance().counter(
+          "ganacc_serve_stats_probes_total",
+          "telemetry probes answered")),
+      mInFlight_(obs::Registry::instance().gauge(
+          "ganacc_serve_inflight",
+          "requests admitted and not yet answered")),
+      mLatencyUs_(obs::Registry::instance().histogram(
+          "ganacc_serve_latency_us",
+          "service-side request latency in microseconds"))
 {
     if (opts_.maxQueue == 0)
         util::fatal("engine: maxQueue must be positive");
@@ -125,6 +152,8 @@ Engine::executeSpec(const Request &req)
 Response
 Engine::execute(const Request &req)
 {
+    obs::Span span("serve.request", "serve",
+                   "{\"id\":" + std::to_string(req.id) + "}");
     const auto t0 = std::chrono::steady_clock::now();
     Response rsp;
     try {
@@ -133,13 +162,10 @@ Engine::execute(const Request &req)
         rsp = errorResponse(req.id, e.what());
     }
     const auto t1 = std::chrono::steady_clock::now();
-    rsp.latencyUs =
-        opts_.deterministic
-            ? 0
-            : std::uint64_t(
-                  std::chrono::duration_cast<std::chrono::microseconds>(
-                      t1 - t0)
-                      .count());
+    const std::uint64_t elapsed_us = std::uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count());
+    rsp.latencyUs = opts_.deterministic ? 0 : elapsed_us;
     {
         std::lock_guard<std::mutex> lk(counters_m_);
         ++counters_.requests;
@@ -152,12 +178,43 @@ Engine::execute(const Request &req)
         else
             ++counters_.simulated;
     }
+    // Registry mirrors: observational only, never in the response.
+    mRequests_.add(1);
+    if (!rsp.ok)
+        mErrors_.add(1);
+    else if (rsp.cache == "mem")
+        mMemHits_.add(1);
+    else if (rsp.cache == "disk")
+        mDiskHits_.add(1);
+    else
+        mSimulated_.add(1);
+    mLatencyUs_.observe(elapsed_us);
+    if (obs::EventLog::instance().enabled())
+        obs::EventLog::instance().log(
+            "serve.request",
+            "\"id\":" + std::to_string(req.id) + ",\"ok\":" +
+                (rsp.ok ? "true" : "false") + ",\"cache\":\"" +
+                rsp.cache + "\",\"latencyUs\":" +
+                std::to_string(elapsed_us) +
+                (rsp.ok ? ",\"stats\":" + sim::toJson(rsp.stats)
+                        : std::string()));
     return rsp;
 }
 
 std::future<Response>
 Engine::submit(const Request &req)
 {
+    // Telemetry probes bypass the admission queue, the dedupe table
+    // and the worker pool entirely: observability must answer even
+    // when the queue is saturated, and a probe must never coalesce
+    // with (or displace) simulation work.
+    if (req.statsProbe) {
+        mStatsProbes_.add(1);
+        std::promise<Response> ready;
+        ready.set_value(statsResponse(req.id));
+        return ready.get_future();
+    }
+
     std::unique_lock<std::mutex> lk(m_);
     queueCv_.wait(lk, [&] {
         return draining_ || inFlight_ < opts_.maxQueue;
@@ -177,6 +234,8 @@ Engine::submit(const Request &req)
             ++counters_.requests;
             ++counters_.deduped;
         }
+        mRequests_.add(1);
+        mDeduped_.add(1);
         const std::uint64_t id = req.id;
         return std::async(std::launch::deferred,
                           [leader, id]() mutable {
@@ -189,6 +248,7 @@ Engine::submit(const Request &req)
     }
 
     ++inFlight_;
+    mInFlight_.add(1);
     auto task = std::make_shared<std::packaged_task<Response()>>(
         [this, req, key] {
             const Response rsp = execute(req);
@@ -200,6 +260,7 @@ Engine::submit(const Request &req)
             std::lock_guard<std::mutex> glk(m_);
             inflightByKey_.erase(key);
             --inFlight_;
+            mInFlight_.add(-1);
             queueCv_.notify_all();
             return rsp;
         });
@@ -231,6 +292,50 @@ Engine::drain()
     queueCv_.wait(lk, [&] { return inFlight_ == 0; });
     lk.unlock();
     pool_->wait();
+}
+
+std::string
+Engine::telemetryJson()
+{
+    // Build through util::json so the text is canonical: parse() +
+    // dump() of this string reproduces it byte for byte (insertion
+    // order preserved, every value an exact integer), which the
+    // protocol round-trip tests rely on.
+    const obs::Snapshot snap = obs::Registry::instance().snapshot();
+    util::json::Object counters;
+    for (const auto &[name, v] : snap.counters())
+        counters.set(name, util::json::Value(v));
+    util::json::Object gauges;
+    for (const auto &[name, v] : snap.gauges())
+        gauges.set(name, util::json::Value(std::uint64_t(
+                             v < 0 ? 0 : v))); // levels never negative
+    util::json::Object histograms;
+    for (const auto &[name, h] : snap.histograms()) {
+        util::json::Object hist;
+        hist.set("count", util::json::Value(h.count));
+        hist.set("sum", util::json::Value(h.sum));
+        util::json::Array buckets;
+        for (std::uint64_t b : h.buckets)
+            buckets.push_back(util::json::Value(b));
+        hist.set("buckets", util::json::Value(std::move(buckets)));
+        histograms.set(name, util::json::Value(std::move(hist)));
+    }
+    util::json::Object root;
+    root.set("counters", util::json::Value(std::move(counters)));
+    root.set("gauges", util::json::Value(std::move(gauges)));
+    root.set("histograms", util::json::Value(std::move(histograms)));
+    return util::json::Value(std::move(root)).dump();
+}
+
+Response
+Engine::statsResponse(std::uint64_t id) const
+{
+    Response rsp;
+    rsp.id = id;
+    rsp.ok = true;
+    rsp.simVersion = simulatorVersion();
+    rsp.telemetry = telemetryJson();
+    return rsp;
 }
 
 EngineCounters

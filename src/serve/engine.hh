@@ -38,6 +38,7 @@
 #include <mutex>
 #include <string>
 
+#include "obs/metrics.hh"
 #include "serve/protocol.hh"
 #include "serve/result_store.hh"
 #include "util/thread_pool.hh"
@@ -96,9 +97,17 @@ class Engine
 
     ResultStore *store() const { return cache_.store(); }
 
+    /**
+     * The metric-registry snapshot as canonical JSON object text —
+     * the payload of a stats-probe response:
+     * {"counters":{...},"gauges":{...},"histograms":{...}}.
+     */
+    static std::string telemetryJson();
+
   private:
     Response execute(const Request &req);
     Response executeSpec(const Request &req);
+    Response statsResponse(std::uint64_t id) const;
 
     EngineOptions opts_;
     ScopedDiskCache cache_;
@@ -113,6 +122,20 @@ class Engine
 
     mutable std::mutex counters_m_;
     EngineCounters counters_;
+
+    /// Always-on registry mirrors of the counters above (plus the
+    /// latency histogram and in-flight gauge): one relaxed atomic
+    /// each, resolved once here so the hot path never does a
+    /// name lookup.
+    obs::Counter &mRequests_;
+    obs::Counter &mErrors_;
+    obs::Counter &mMemHits_;
+    obs::Counter &mDiskHits_;
+    obs::Counter &mSimulated_;
+    obs::Counter &mDeduped_;
+    obs::Counter &mStatsProbes_;
+    obs::Gauge &mInFlight_;
+    obs::Histogram &mLatencyUs_;
 };
 
 } // namespace serve

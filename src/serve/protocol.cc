@@ -28,8 +28,12 @@ std::string
 encodeRequest(const Request &req)
 {
     std::ostringstream os;
-    os << "{\"v\":" << kProtocolVersion << ",\"id\":" << req.id
-       << ",\"arch\":\"" << core::archKindName(req.kind) << "\""
+    os << "{\"v\":" << kProtocolVersion << ",\"id\":" << req.id;
+    if (req.statsProbe) {
+        os << ",\"stats\":true}";
+        return os.str();
+    }
+    os << ",\"arch\":\"" << core::archKindName(req.kind) << "\""
        << ",\"unroll\":" << sim::toJson(req.unroll);
     if (req.hasSpec)
         os << ",\"spec\":" << sim::toJson(req.spec);
@@ -51,6 +55,16 @@ decodeRequest(const std::string &line)
                     "daemon speaks v", kProtocolVersion, ")");
     Request req;
     req.id = o.at("id").asUint64();
+    if (o.contains("stats")) {
+        // Telemetry probe: {"v":1,"id":N,"stats":true}, nothing else.
+        if (!o.at("stats").asBool())
+            util::fatal("\"stats\" must be true when present");
+        if (o.contains("spec") || o.contains("model") ||
+            o.contains("family") || o.contains("arch"))
+            util::fatal("a stats probe carries no simulation payload");
+        req.statsProbe = true;
+        return req;
+    }
     const std::string arch = o.at("arch").asString();
     auto kind = core::archKindFromName(arch);
     if (!kind)
@@ -83,6 +97,13 @@ encodeResponse(const Response &rsp)
         os << ",\"error\":\"" << util::escapeJson(rsp.error) << "\"}";
         return os.str();
     }
+    if (!rsp.telemetry.empty()) {
+        // Stats-probe responses replace the simulation payload with
+        // the (already canonical JSON) metric snapshot.
+        os << ",\"sim\":\"" << util::escapeJson(rsp.simVersion)
+           << "\",\"telemetry\":" << rsp.telemetry << "}";
+        return os.str();
+    }
     os << ",\"sim\":\"" << util::escapeJson(rsp.simVersion) << "\""
        << ",\"arch\":\"" << util::escapeJson(rsp.arch) << "\""
        << ",\"unroll\":" << sim::toJson(rsp.unroll) << ",\"cache\":\""
@@ -108,6 +129,12 @@ decodeResponse(const std::string &line)
         return rsp;
     }
     rsp.simVersion = o.at("sim").asString();
+    if (o.contains("telemetry")) {
+        // Round-trips byte-identically: util::json objects preserve
+        // insertion order and the snapshot holds only exact integers.
+        rsp.telemetry = o.at("telemetry").dump();
+        return rsp;
+    }
     rsp.arch = o.at("arch").asString();
     rsp.unroll = sim::unrollFromJson(o.at("unroll"));
     rsp.cache = o.at("cache").asString();

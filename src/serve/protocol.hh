@@ -14,10 +14,18 @@
  *   {"v":1,"id":7,"arch":"ZFOST","unroll":{...},"spec":{...}}
  *   {"v":1,"id":8,"arch":"ZFWST","unroll":{...},
  *    "model":"dcgan","family":"Gw"}
+ *   {"v":1,"id":12,"stats":true}
  *
  *   {"v":1,"id":7,"ok":true,"sim":"ganacc-1.0.0","arch":"ZFOST",
  *    "unroll":{...},"cache":"sim","latencyUs":412,"stats":{...}}
  *   {"v":1,"id":9,"ok":false,"error":"..."}
+ *   {"v":1,"id":12,"ok":true,"sim":"ganacc-1.0.0",
+ *    "telemetry":{"counters":{...},"gauges":{...},...}}
+ *
+ * The third request form is the telemetry probe: a live daemon
+ * answers with a snapshot of its metric registry (cache and store
+ * tiers, queue occupancy, request-latency histogram — see
+ * docs/observability.md) without touching the simulation path.
  *
  * Requests with an unknown protocol version, unknown architecture or
  * malformed JSON produce an ok:false response carrying the parse
@@ -58,7 +66,11 @@ struct Request
     core::ArchKind kind = core::ArchKind::NLR;
     sim::Unroll unroll;
 
-    /// Exactly one of the two payloads is set:
+    /// Telemetry probe ({"stats":true}): carries no simulation
+    /// payload; the daemon answers with its metric snapshot.
+    bool statsProbe = false;
+
+    /// Otherwise exactly one of the two payloads is set:
     bool hasSpec = false;
     sim::ConvSpec spec; ///< single-job request
     std::string model;  ///< network request: model name…
@@ -80,6 +92,10 @@ struct Response
     /// in-flight request by the single-flight layer).
     std::string cache;
     std::uint64_t latencyUs = 0;
+
+    /// Stats-probe responses only: the metric snapshot as canonical
+    /// JSON object text (empty for simulation responses).
+    std::string telemetry;
 };
 
 /** Canonical one-line encodings (no trailing newline). */

@@ -12,6 +12,7 @@
 
 #include <unistd.h>
 
+#include "obs/metrics.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 
@@ -46,6 +47,25 @@ ResultStore::ResultStore(std::string dir, std::string version)
     if (ec)
         util::fatal("result store: cannot create '", dir_,
                     "': ", ec.message());
+    // Publish this store's counters to the telemetry registry for
+    // the store's lifetime. Values across stores accumulate into one
+    // series, so a sweep that reopens its store still reports totals.
+    collector_ = obs::Registry::instance().addCollector(
+        [this](obs::Snapshot &snap) {
+            const StoreCounters c = storeStats();
+            snap.counter("ganacc_store_hits_total", c.hits);
+            snap.counter("ganacc_store_misses_total", c.misses);
+            snap.counter("ganacc_store_stale_misses_total",
+                         c.staleMisses);
+            snap.counter("ganacc_store_corrupt_misses_total",
+                         c.corruptMisses);
+            snap.counter("ganacc_store_writes_total", c.writes);
+        });
+}
+
+ResultStore::~ResultStore()
+{
+    obs::Registry::instance().removeCollector(collector_);
 }
 
 std::string

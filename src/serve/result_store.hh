@@ -84,6 +84,10 @@ class ResultStore : public core::StatsDiskTier
     /** Snapshot of the session counters. */
     StoreCounters counters() const;
 
+    /** Alias of counters() named for the observability layer (the
+     *  cacheStats()/storeStats() snapshot pair). */
+    StoreCounters storeStats() const { return counters(); }
+
     /** Entries currently on disk (walks the directory). */
     std::size_t entryCount() const;
 
@@ -94,6 +98,8 @@ class ResultStore : public core::StatsDiskTier
     std::string entryPath(core::ArchKind kind, const sim::Unroll &u,
                           const sim::ConvSpec &spec) const;
 
+    ~ResultStore() override;
+
   private:
     std::string dir_;
     std::string version_;
@@ -102,6 +108,7 @@ class ResultStore : public core::StatsDiskTier
     std::atomic<std::uint64_t> stale_{0};
     std::atomic<std::uint64_t> corrupt_{0};
     std::atomic<std::uint64_t> writes_{0};
+    int collector_ = -1; ///< telemetry-registry collector token
 };
 
 /**

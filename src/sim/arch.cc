@@ -8,6 +8,7 @@
 
 #include <sstream>
 
+#include "obs/probe.hh"
 #include "util/logging.hh"
 
 namespace ganacc {
@@ -53,6 +54,25 @@ Architecture::run(const ConvSpec &spec, const tensor::Tensor *in,
     // An architecture can never do more useful work than exists.
     GANACC_ASSERT(stats.effectiveMacs <= spec.denseMacs(),
                   name_, ": more effective MACs than the job contains");
+    // Telemetry probe: one relaxed load when observation is off (the
+    // default), one per-job callback when armed — never per cycle, so
+    // the walk itself is untouched either way.
+    if (obs::Probe *probe = obs::runProbe()) {
+        obs::RunSample sample;
+        sample.arch = name_;
+        sample.label = spec.label;
+        sample.cycles = stats.cycles;
+        sample.nPes = stats.nPes;
+        sample.effectiveMacs = stats.effectiveMacs;
+        sample.ineffectualMacs = stats.ineffectualMacs;
+        sample.idlePeSlots = stats.idlePeSlots;
+        sample.gatedSlots = stats.gatedSlots;
+        sample.weightLoads = stats.weightLoads;
+        sample.inputLoads = stats.inputLoads;
+        sample.outputReads = stats.outputReads;
+        sample.outputWrites = stats.outputWrites;
+        probe->onRun(sample);
+    }
     return stats;
 }
 

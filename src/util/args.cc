@@ -131,6 +131,20 @@ ArgParser::getCacheDir()
     return env ? env : "";
 }
 
+std::string
+ArgParser::getTracePath()
+{
+    registerFlag("trace", "off",
+                 "write a Chrome trace of telemetry spans to PATH "
+                 "(bare --trace = ganacc_trace.json; default: "
+                 "GANACC_TRACE env; empty = tracing off)");
+    auto raw = rawValue("trace");
+    if (raw)
+        return raw->empty() ? "ganacc_trace.json" : *raw;
+    const char *env = std::getenv("GANACC_TRACE");
+    return env ? env : "";
+}
+
 bool
 ArgParser::helpRequested() const
 {

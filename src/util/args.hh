@@ -59,6 +59,14 @@ class ArgParser
      */
     std::string getCacheDir();
 
+    /**
+     * Telemetry trace output for the observability layer: registers
+     * "--trace [PATH]"; an explicit path wins, a bare --trace selects
+     * "ganacc_trace.json", then the GANACC_TRACE environment
+     * variable, else "" (tracing off).
+     */
+    std::string getTracePath();
+
     /** True when --help was passed. */
     bool helpRequested() const;
 

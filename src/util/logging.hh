@@ -60,7 +60,45 @@ format(const Args &...args)
     return os.str();
 }
 
+/** The mutable stream slot behind inform(). */
+inline std::ostream *&
+informSlot()
+{
+    static std::ostream *s = &std::cerr;
+    return s;
+}
+
+/** The mutable stream slot behind warn(). */
+inline std::ostream *&
+warnSlot()
+{
+    static std::ostream *s = &std::cerr;
+    return s;
+}
+
 } // namespace detail
+
+/**
+ * Redirect inform() (default: stderr, so status lines never pollute
+ * the machine-readable stdout of the tools and benches). Returns the
+ * previous stream so scoped redirections can restore it.
+ */
+inline std::ostream &
+setInformStream(std::ostream &os)
+{
+    std::ostream &prev = *detail::informSlot();
+    detail::informSlot() = &os;
+    return prev;
+}
+
+/** Redirect warn() (default: stderr). Returns the previous stream. */
+inline std::ostream &
+setWarnStream(std::ostream &os)
+{
+    std::ostream &prev = *detail::warnSlot();
+    detail::warnSlot() = &os;
+    return prev;
+}
 
 /**
  * Report an unrecoverable user/configuration error.
@@ -85,20 +123,27 @@ panic(const Args &...args)
     throw PanicError(detail::format("panic: ", args...));
 }
 
-/** Print a warning; simulation continues. */
+/** Print a warning (to the configurable warn stream, default
+ *  stderr); simulation continues. */
 template <typename... Args>
 void
 warn(const Args &...args)
 {
-    std::cerr << "warn: " << detail::format(args...) << "\n";
+    *detail::warnSlot() << "warn: " << detail::format(args...) << "\n";
 }
 
-/** Print an informational status message. */
+/**
+ * Print an informational status message to the configurable inform
+ * stream — stderr by default, so tools whose stdout is a
+ * machine-readable JSON stream (ganacc-served, ganacc-client) can
+ * inform() freely.
+ */
 template <typename... Args>
 void
 inform(const Args &...args)
 {
-    std::cout << "info: " << detail::format(args...) << "\n";
+    *detail::informSlot() << "info: " << detail::format(args...)
+                          << "\n";
 }
 
 /**

@@ -7,10 +7,57 @@
 
 #include <cstdlib>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace ganacc {
 namespace util {
+
+namespace {
+
+/**
+ * Process-wide pool telemetry. Pools are transient (parallelFor
+ * spawns one per call), so the counters live here and aggregate over
+ * every pool's life; a registry collector publishes them on demand —
+ * the submit/steal paths only ever touch relaxed atomics.
+ */
+struct PoolMetrics
+{
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen{0};
+    std::atomic<std::uint64_t> idleWaits{0};
+    std::atomic<std::int64_t> queueDepth{0};
+    std::atomic<std::int64_t> workers{0};
+
+    PoolMetrics()
+    {
+        obs::Registry::instance().addCollector(
+            [this](obs::Snapshot &snap) {
+                snap.counter("ganacc_pool_submitted_total",
+                             submitted.load());
+                snap.counter("ganacc_pool_executed_total",
+                             executed.load());
+                snap.counter("ganacc_pool_stolen_total",
+                             stolen.load());
+                snap.counter("ganacc_pool_idle_waits_total",
+                             idleWaits.load());
+                snap.gauge("ganacc_pool_queue_depth",
+                           queueDepth.load());
+                snap.gauge("ganacc_pool_workers", workers.load());
+            });
+    }
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    // Leaked: counted from worker threads up to process exit.
+    static PoolMetrics *m = new PoolMetrics;
+    return *m;
+}
+
+} // namespace
 
 int
 hardwareJobs()
@@ -43,6 +90,7 @@ ThreadPool::ThreadPool(int jobs)
     for (int i = 0; i < n; ++i)
         workers_.emplace_back(
             [this, i] { workerLoop(std::size_t(i)); });
+    poolMetrics().workers.fetch_add(n, std::memory_order_relaxed);
 }
 
 ThreadPool::~ThreadPool()
@@ -55,6 +103,8 @@ ThreadPool::~ThreadPool()
     workCv_.notify_all();
     for (std::thread &t : workers_)
         t.join();
+    poolMetrics().workers.fetch_sub(
+        std::int64_t(workers_.size()), std::memory_order_relaxed);
 }
 
 void
@@ -74,6 +124,9 @@ ThreadPool::submit(std::function<void()> task)
         std::lock_guard<std::mutex> lk(queues_[target]->m);
         queues_[target]->tasks.push_back(std::move(task));
     }
+    PoolMetrics &pm = poolMetrics();
+    pm.submitted.fetch_add(1, std::memory_order_relaxed);
+    pm.queueDepth.fetch_add(1, std::memory_order_relaxed);
     workCv_.notify_one();
 }
 
@@ -105,6 +158,8 @@ ThreadPool::tryPop(std::size_t self, std::function<void()> &task)
         if (!q.tasks.empty()) {
             task = std::move(q.tasks.back());
             q.tasks.pop_back();
+            poolMetrics().stolen.fetch_add(1,
+                                           std::memory_order_relaxed);
             return true;
         }
     }
@@ -121,7 +176,10 @@ ThreadPool::workerLoop(std::size_t self)
                 std::lock_guard<std::mutex> lk(m_);
                 --queued_;
             }
+            PoolMetrics &pm = poolMetrics();
+            pm.queueDepth.fetch_sub(1, std::memory_order_relaxed);
             task();
+            pm.executed.fetch_add(1, std::memory_order_relaxed);
             bool drained;
             {
                 std::lock_guard<std::mutex> lk(m_);
@@ -131,6 +189,8 @@ ThreadPool::workerLoop(std::size_t self)
                 idleCv_.notify_all();
             continue;
         }
+        poolMetrics().idleWaits.fetch_add(1,
+                                          std::memory_order_relaxed);
         std::unique_lock<std::mutex> lk(m_);
         workCv_.wait(lk, [this] { return stop_ || queued_ > 0; });
         if (stop_ && queued_ == 0)

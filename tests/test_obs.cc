@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Telemetry-layer tests: registry semantics (stable refs, snapshot
+ * accumulation, collector lifecycle), histogram bucketing, the
+ * Prometheus text dump, the Chrome-trace emitter and span sink, the
+ * cycle-walk probe — and the central promise of the whole subsystem:
+ * with telemetry off every hook is a no-op, and with telemetry *on*
+ * every simulation output is still bit-identical (observation never
+ * feeds back).
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/dse.hh"
+#include "core/zfost.hh"
+#include "gan/models.hh"
+#include "obs/metrics.hh"
+#include "obs/probe.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
+#include "sim/conv_spec.hh"
+#include "sim/json.hh"
+#include "util/json.hh"
+
+namespace {
+
+using namespace ganacc;
+namespace fs = std::filesystem;
+
+/** Scratch file path unique to the running test. */
+std::string
+scratchPath(const std::string &leaf)
+{
+    return (fs::temp_directory_path() /
+            ("ganacc-obs-" + std::to_string(::getpid()) + "-" +
+             ::testing::UnitTest::GetInstance()
+                 ->current_test_info()
+                 ->name() +
+             "-" + leaf))
+        .string();
+}
+
+/** A D-fwd-shaped job small enough for many runs per test. */
+sim::ConvSpec
+smallSpec()
+{
+    sim::ConvSpec s;
+    s.label = "obs-test";
+    s.nif = 3;
+    s.nof = 4;
+    s.ih = s.iw = 12;
+    s.kh = s.kw = 5;
+    s.stride = 2;
+    s.pad = 2;
+    s.oh = s.ow = 6;
+    return s;
+}
+
+TEST(Metrics, CounterAndGaugeBasics)
+{
+    obs::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+
+    obs::Gauge g;
+    g.set(7);
+    g.add(-10);
+    EXPECT_EQ(g.value(), -3);
+}
+
+TEST(Metrics, RegistryReturnsStableReferences)
+{
+    auto &reg = obs::Registry::instance();
+    obs::Counter &a = reg.counter("test_obs_stable_total", "help once");
+    obs::Counter &b = reg.counter("test_obs_stable_total");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(reg.help("test_obs_stable_total"), "help once");
+}
+
+TEST(Metrics, HistogramBucketsArePowersOfTwo)
+{
+    using obs::Histogram;
+    EXPECT_EQ(Histogram::bucketIndex(0), 0);
+    EXPECT_EQ(Histogram::bucketIndex(1), 0);
+    EXPECT_EQ(Histogram::bucketIndex(2), 1);
+    EXPECT_EQ(Histogram::bucketIndex(3), 2);
+    EXPECT_EQ(Histogram::bucketIndex(1u << 20), 20);
+    EXPECT_EQ(Histogram::bucketIndex((1u << 20) + 1),
+              Histogram::kFiniteBuckets);
+
+    Histogram h;
+    h.observe(1);
+    h.observe(3);
+    h.observe(1u << 21); // lands in +Inf
+    const obs::HistogramSnapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_EQ(s.sum, 1u + 3u + (1u << 21));
+    EXPECT_EQ(s.buckets[0], 1u);
+    EXPECT_EQ(s.buckets[2], 1u);
+    EXPECT_EQ(s.buckets[std::size_t(Histogram::kFiniteBuckets)], 1u);
+}
+
+TEST(Metrics, SnapshotAccumulatesRepeatedNames)
+{
+    obs::Snapshot s;
+    s.counter("x_total", 2);
+    s.counter("x_total", 3);
+    s.gauge("x_level", 1);
+    s.gauge("x_level", -4);
+    EXPECT_EQ(s.counters().at("x_total"), 5u);
+    EXPECT_EQ(s.gauges().at("x_level"), -3);
+
+    obs::HistogramSnapshot h;
+    h.buckets = {1, 0};
+    h.count = 1;
+    h.sum = 1;
+    s.histogram("x_hist", h);
+    s.histogram("x_hist", h);
+    EXPECT_EQ(s.histograms().at("x_hist").count, 2u);
+    EXPECT_EQ(s.histograms().at("x_hist").buckets[0], 2u);
+}
+
+TEST(Metrics, CollectorsRunInSnapshotAndCanBeRemoved)
+{
+    auto &reg = obs::Registry::instance();
+    const int token = reg.addCollector([](obs::Snapshot &s) {
+        s.counter("test_obs_collected_total", 11);
+    });
+    EXPECT_EQ(reg.snapshot().counters().at("test_obs_collected_total"),
+              11u);
+    reg.removeCollector(token);
+    EXPECT_EQ(reg.snapshot().counters().count(
+                  "test_obs_collected_total"),
+              0u);
+}
+
+TEST(Metrics, BaseNameStripsLabelBlock)
+{
+    EXPECT_EQ(obs::metricBaseName("plain_total"), "plain_total");
+    EXPECT_EQ(obs::metricBaseName("a_total{arch=\"ZFOST\"}"),
+              "a_total");
+}
+
+TEST(Metrics, PrometheusRenderIsWellFormed)
+{
+    obs::Snapshot s;
+    s.counter("t_req_total{arch=\"A\"}", 3);
+    s.counter("t_req_total{arch=\"B\"}", 4);
+    s.gauge("t_depth", 2);
+    obs::HistogramSnapshot h;
+    h.buckets.assign(std::size_t(obs::Histogram::kBuckets), 0);
+    h.buckets[0] = 2; // two samples <= 1
+    h.buckets[1] = 1; // one sample <= 2
+    h.count = 3;
+    h.sum = 4;
+    s.histogram("t_lat_us", h);
+
+    const std::string text = obs::renderPrometheus(s);
+    EXPECT_NE(text.find("# TYPE t_req_total counter"),
+              std::string::npos);
+    // One header for the two labelled series.
+    EXPECT_EQ(text.find("# TYPE t_req_total counter"),
+              text.rfind("# TYPE t_req_total counter"));
+    EXPECT_NE(text.find("t_req_total{arch=\"A\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE t_depth gauge"), std::string::npos);
+    // Buckets are cumulative and end at +Inf == count.
+    EXPECT_NE(text.find("t_lat_us_bucket{le=\"1\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("t_lat_us_bucket{le=\"2\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("t_lat_us_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("t_lat_us_sum 4"), std::string::npos);
+    EXPECT_NE(text.find("t_lat_us_count 3"), std::string::npos);
+}
+
+TEST(Trace, ChromeJsonByteFormat)
+{
+    std::vector<obs::TraceEvent> events(2);
+    events[0].name = "a \"quoted\"";
+    events[0].tid = 1;
+    events[0].ts = 10;
+    events[0].dur = 5;
+    events[1].name = "b";
+    events[1].cat = "cat";
+    events[1].ts = 20;
+    events[1].dur = 0;
+    events[1].args = "{\"k\":1}";
+
+    std::ostringstream os;
+    obs::writeChromeTraceJson(os, events, {{"tool", "t"}}, "ns");
+    EXPECT_EQ(os.str(),
+              "{\"traceEvents\":[\n"
+              "{\"name\":\"a \\\"quoted\\\"\",\"ph\":\"X\",\"pid\":0,"
+              "\"tid\":1,\"ts\":10,\"dur\":5},\n"
+              "{\"name\":\"b\",\"cat\":\"cat\",\"ph\":\"X\",\"pid\":0,"
+              "\"tid\":0,\"ts\":20,\"dur\":0,\"args\":{\"k\":1}}\n"
+              "],\n"
+              "\"displayTimeUnit\":\"ns\",\n"
+              "\"metadata\":{\"tool\":\"t\"}}\n");
+}
+
+TEST(Trace, DisabledSinkRecordsNothing)
+{
+    obs::TraceSink &sink = obs::TraceSink::instance();
+    ASSERT_FALSE(sink.enabled());
+    const std::size_t before = sink.eventCount();
+    {
+        obs::Span span("should-not-appear");
+    }
+    EXPECT_EQ(sink.eventCount(), before);
+}
+
+TEST(Trace, SpansFlushToAParseableChromeTrace)
+{
+    const std::string path = scratchPath("trace.json");
+    obs::TraceSink &sink = obs::TraceSink::instance();
+    sink.enable(path);
+    {
+        obs::Span outer("outer", "test", "{\"n\":1}");
+        obs::Span inner("inner", "test");
+    }
+    std::thread([] { obs::Span t("from-thread"); }).join();
+    EXPECT_EQ(sink.eventCount(), 3u);
+    ASSERT_TRUE(sink.flush());
+    EXPECT_FALSE(sink.enabled());
+    EXPECT_EQ(sink.eventCount(), 0u);
+
+    std::ifstream is(path);
+    ASSERT_TRUE(bool(is));
+    std::stringstream buf;
+    buf << is.rdbuf();
+    const auto doc = util::json::parse(buf.str());
+    const auto &events = doc.asObject().at("traceEvents").asArray();
+    ASSERT_EQ(events.size(), 3u);
+    bool sawOuter = false;
+    for (const auto &ev : events) {
+        const auto &o = ev.asObject();
+        EXPECT_EQ(o.at("ph").asString(), "X");
+        if (o.at("name").asString() == "outer") {
+            sawOuter = true;
+            EXPECT_EQ(o.at("args").asObject().at("n").asUint64(), 1u);
+        }
+    }
+    EXPECT_TRUE(sawOuter);
+    fs::remove(path);
+}
+
+TEST(Probe, MetricsProbeTalliesPerArchCounters)
+{
+    auto &reg = obs::Registry::instance();
+    obs::Counter &runs =
+        reg.counter("ganacc_sim_runs_total{arch=\"ZFOST\"}");
+    obs::Counter &cycles =
+        reg.counter("ganacc_sim_cycles_total{arch=\"ZFOST\"}");
+    const std::uint64_t runs0 = runs.value();
+    const std::uint64_t cycles0 = cycles.value();
+
+    obs::MetricsProbe probe;
+    obs::setRunProbe(&probe);
+    core::Zfost arch(sim::Unroll{.pOf = 2, .pOx = 3, .pOy = 3});
+    const sim::RunStats st = arch.run(smallSpec());
+    obs::setRunProbe(nullptr);
+
+    EXPECT_EQ(runs.value(), runs0 + 1);
+    EXPECT_EQ(cycles.value(), cycles0 + st.cycles);
+}
+
+TEST(Telemetry, ConfigFromEnvReadsAllThreeKnobs)
+{
+    ::setenv("GANACC_TRACE", "t.json", 1);
+    ::setenv("GANACC_EVENTS", "e.jsonl", 1);
+    ::setenv("GANACC_METRICS", "m.prom", 1);
+    const obs::TelemetryConfig cfg = obs::configFromEnv();
+    ::unsetenv("GANACC_TRACE");
+    ::unsetenv("GANACC_EVENTS");
+    ::unsetenv("GANACC_METRICS");
+    EXPECT_EQ(cfg.tracePath, "t.json");
+    EXPECT_EQ(cfg.eventsPath, "e.jsonl");
+    EXPECT_EQ(cfg.metricsPath, "m.prom");
+    EXPECT_TRUE(cfg.any());
+}
+
+TEST(Telemetry, RunStatsAreBitIdenticalWithTelemetryOn)
+{
+    const sim::ConvSpec spec = smallSpec();
+    core::Zfost arch(sim::Unroll{.pOf = 2, .pOx = 3, .pOy = 3});
+
+    ASSERT_FALSE(obs::telemetryEnabled());
+    const std::string off = sim::toJson(arch.run(spec));
+
+    obs::TelemetryConfig cfg;
+    cfg.tracePath = scratchPath("parity-trace.json");
+    cfg.metricsPath = scratchPath("parity-metrics.prom");
+    obs::enableTelemetry(cfg);
+    ASSERT_TRUE(obs::telemetryEnabled());
+    ASSERT_NE(obs::runProbe(), nullptr);
+    const std::string on = sim::toJson(arch.run(spec));
+    obs::shutdownTelemetry();
+    ASSERT_FALSE(obs::telemetryEnabled());
+
+    // Observation must never feed back into the simulation.
+    EXPECT_EQ(off, on);
+    EXPECT_EQ(off, sim::toJson(arch.run(spec)));
+    fs::remove(cfg.tracePath);
+    fs::remove(cfg.metricsPath);
+}
+
+TEST(Telemetry, SweepFrontierIsIdenticalWithTelemetryOn)
+{
+    core::DseConstraints cons;
+    cons.budget = core::vcu9pBudget();
+    cons.maxWPof = 12;
+    const gan::GanModel model = gan::makeMnistGan();
+
+    const auto off = core::sweepFrontier(cons, model);
+
+    obs::TelemetryConfig cfg;
+    cfg.tracePath = scratchPath("sweep-trace.json");
+    obs::enableTelemetry(cfg);
+    const auto on = core::sweepFrontier(cons, model);
+    obs::shutdownTelemetry();
+
+    ASSERT_EQ(off.size(), on.size());
+    for (std::size_t i = 0; i < off.size(); ++i) {
+        EXPECT_EQ(off[i].wPof, on[i].wPof);
+        EXPECT_EQ(off[i].stPof, on[i].stPof);
+        EXPECT_EQ(off[i].iterationCycles, on[i].iterationCycles);
+        EXPECT_EQ(off[i].samplesPerSecond, on[i].samplesPerSecond);
+        EXPECT_EQ(off[i].feasible(), on[i].feasible());
+    }
+    fs::remove(cfg.tracePath);
+}
+
+TEST(Telemetry, EventLogWritesParseableJsonLines)
+{
+    obs::TelemetryConfig cfg;
+    cfg.eventsPath = scratchPath("events.jsonl");
+    obs::enableTelemetry(cfg);
+    ASSERT_TRUE(obs::EventLog::instance().enabled());
+    obs::EventLog::instance().log("test.event", "\"k\":42");
+    obs::shutdownTelemetry();
+    EXPECT_FALSE(obs::EventLog::instance().enabled());
+
+    std::ifstream is(cfg.eventsPath);
+    ASSERT_TRUE(bool(is));
+    std::string line;
+    ASSERT_TRUE(std::getline(is, line));
+    const auto doc = util::json::parse(line);
+    EXPECT_EQ(doc.asObject().at("ev").asString(), "test.event");
+    EXPECT_EQ(doc.asObject().at("k").asUint64(), 42u);
+    fs::remove(cfg.eventsPath);
+}
+
+TEST(Telemetry, ShutdownDumpsPrometheusMetrics)
+{
+    obs::Registry::instance()
+        .counter("test_obs_dumped_total", "landed in the dump")
+        .add(5);
+    obs::TelemetryConfig cfg;
+    cfg.metricsPath = scratchPath("metrics.prom");
+    obs::enableTelemetry(cfg);
+    obs::shutdownTelemetry();
+
+    std::ifstream is(cfg.metricsPath);
+    ASSERT_TRUE(bool(is));
+    std::stringstream buf;
+    buf << is.rdbuf();
+    EXPECT_NE(buf.str().find("test_obs_dumped_total 5"),
+              std::string::npos);
+    EXPECT_NE(buf.str().find("# TYPE test_obs_dumped_total counter"),
+              std::string::npos);
+    fs::remove(cfg.metricsPath);
+}
+
+TEST(Telemetry, Sigusr1DumpIsServicedOffTheHandler)
+{
+    const std::string path = scratchPath("sigusr1.prom");
+    obs::installMetricsDumpSignal(path);
+    EXPECT_FALSE(obs::serviceMetricsDump()); // nothing requested yet
+    ASSERT_EQ(::raise(SIGUSR1), 0);
+    EXPECT_TRUE(obs::serviceMetricsDump());
+    EXPECT_FALSE(obs::serviceMetricsDump()); // one dump per signal
+    std::ifstream is(path);
+    ASSERT_TRUE(bool(is));
+    fs::remove(path);
+}
+
+} // namespace

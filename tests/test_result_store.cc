@@ -102,6 +102,18 @@ TEST_F(ResultStoreTest, RoundTripAndCounters)
     sim::Unroll u2 = u;
     u2.pOf += 1;
     EXPECT_FALSE(store.load(kind, u2, spec).has_value());
+
+    // storeStats() is the same snapshot the telemetry collector and
+    // the stats probe read; it must agree with counters() exactly.
+    const serve::StoreCounters snap = store.storeStats();
+    EXPECT_EQ(snap.hits, store.counters().hits);
+    EXPECT_EQ(snap.misses, store.counters().misses);
+    EXPECT_EQ(snap.writes, store.counters().writes);
+    EXPECT_EQ(snap.staleMisses, store.counters().staleMisses);
+    EXPECT_EQ(snap.corruptMisses, store.counters().corruptMisses);
+    EXPECT_EQ(snap.hits, 2u);
+    EXPECT_EQ(snap.misses, 2u);
+    EXPECT_EQ(snap.writes, 1u);
 }
 
 TEST_F(ResultStoreTest, StaleVersionReadsAsMissAndIsOverwritten)

@@ -247,4 +247,79 @@ TEST(ServeProtocol, CanonicalJsonIsParseableAndStable)
     }
 }
 
+TEST(ServeProtocol, StatsProbeRequestsRoundTripBitExact)
+{
+    Rng rng(0x57A7);
+    for (int i = 0; i < 100; ++i) {
+        serve::Request req;
+        req.id = std::uint64_t(rng.uniformInt(0, 1 << 30));
+        req.statsProbe = true;
+        const std::string wire = serve::encodeRequest(req);
+        EXPECT_EQ(wire, "{\"v\":1,\"id\":" + std::to_string(req.id) +
+                            ",\"stats\":true}");
+        const serve::Request back = serve::decodeRequest(wire);
+        EXPECT_TRUE(back.statsProbe);
+        EXPECT_EQ(back.id, req.id);
+        EXPECT_FALSE(back.hasSpec);
+        EXPECT_EQ(serve::encodeRequest(back), wire);
+    }
+}
+
+TEST(ServeProtocol, StatsProbeRejectsMalformedForms)
+{
+    // "stats" must be literally true.
+    EXPECT_THROW(
+        serve::decodeRequest(R"({"v":1,"id":1,"stats":false})"),
+        util::FatalError);
+    // A probe carries no simulation payload.
+    EXPECT_THROW(serve::decodeRequest(
+                     R"({"v":1,"id":1,"stats":true,"model":"dcgan",)"
+                     R"("family":"D","arch":"NLR"})"),
+                 util::FatalError);
+    // Version checking still applies to probes.
+    EXPECT_THROW(
+        serve::decodeRequest(R"({"v":9,"id":1,"stats":true})"),
+        util::FatalError);
+}
+
+TEST(ServeProtocol, TelemetryResponsesRoundTripBitExact)
+{
+    // The telemetry payload is canonical JSON object text (what
+    // Engine::telemetryJson emits); build one the same way so the
+    // encode -> decode -> encode comparison is byte-exact.
+    util::json::Object counters;
+    counters.set("ganacc_serve_requests_total",
+                 util::json::Value(std::uint64_t(7)));
+    counters.set("ganacc_cache_mem_hits_total",
+                 util::json::Value((std::uint64_t(1) << 53) + 1));
+    util::json::Object root;
+    root.set("counters", util::json::Value(std::move(counters)));
+
+    serve::Response rsp;
+    rsp.id = 9;
+    rsp.ok = true;
+    rsp.simVersion = serve::simulatorVersion();
+    rsp.telemetry = util::json::Value(std::move(root)).dump();
+
+    const std::string wire = serve::encodeResponse(rsp);
+    const serve::Response back = serve::decodeResponse(wire);
+    EXPECT_TRUE(back.ok);
+    EXPECT_EQ(back.telemetry, rsp.telemetry);
+    EXPECT_EQ(serve::encodeResponse(back), wire);
+
+    // Counters above 2^53 survive (integer JSON path, not doubles).
+    const auto doc = util::json::parse(back.telemetry);
+    EXPECT_EQ(doc.asObject()
+                  .at("counters")
+                  .asObject()
+                  .at("ganacc_cache_mem_hits_total")
+                  .asUint64(),
+              (std::uint64_t(1) << 53) + 1);
+
+    // A simulation response (empty telemetry) must not gain the key.
+    serve::Response plain = serve::errorResponse(1, "x");
+    EXPECT_EQ(serve::encodeResponse(plain).find("telemetry"),
+              std::string::npos);
+}
+
 } // namespace

@@ -26,6 +26,7 @@
 #include "sim/json.hh"
 #include "sim/phase.hh"
 #include "tensor/shape.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 
@@ -369,6 +370,86 @@ TEST_F(ServeServiceTest, NetworkRequestsMatchAccumulatedDirectRun)
             << core::archKindName(kind);
     }
     engine.drain();
+}
+
+TEST_F(ServeServiceTest, StatsProbeAnswersWithLiveTelemetry)
+{
+    serve::EngineOptions opts;
+    opts.jobs = 2;
+    opts.cacheDir = dir_; // so store counters are live too
+    serve::Engine engine(opts);
+
+    // Generate some load first, so the probe reports real traffic.
+    Rng rng(0x0B5E);
+    for (int i = 0; i < 4; ++i) {
+        serve::Request req;
+        req.id = std::uint64_t(i + 1);
+        req.kind = core::ArchKind::ZFOST;
+        req.hasSpec = true;
+        req.spec = randomSpec(rng);
+        req.unroll = smallUnroll(rng);
+        ASSERT_TRUE(engine.handle(req).ok);
+    }
+
+    serve::Request probe;
+    probe.id = 99;
+    probe.statsProbe = true;
+    const serve::Response rsp = engine.handle(probe);
+    ASSERT_TRUE(rsp.ok) << rsp.error;
+    EXPECT_EQ(rsp.id, 99u);
+    EXPECT_EQ(rsp.simVersion, serve::simulatorVersion());
+    ASSERT_FALSE(rsp.telemetry.empty());
+
+    // The snapshot parses, covers every advertised subsystem, and
+    // reflects the traffic just generated.
+    const auto doc = util::json::parse(rsp.telemetry);
+    const auto &counters =
+        doc.asObject().at("counters").asObject();
+    EXPECT_GE(counters.at("ganacc_serve_requests_total").asUint64(),
+              4u);
+    EXPECT_TRUE(counters.contains("ganacc_cache_misses_total"));
+    EXPECT_TRUE(counters.contains("ganacc_store_writes_total"));
+    EXPECT_TRUE(counters.contains("ganacc_pool_executed_total"));
+    EXPECT_TRUE(doc.asObject().at("gauges").asObject().contains(
+        "ganacc_serve_inflight"));
+    const auto &hist = doc.asObject()
+                           .at("histograms")
+                           .asObject()
+                           .at("ganacc_serve_latency_us")
+                           .asObject();
+    EXPECT_GE(hist.at("count").asUint64(), 4u);
+
+    // Probes do not count as requests in the service summary, and the
+    // wire round-trip of the probe response is byte-stable.
+    EXPECT_EQ(engine.counters().requests, 4u);
+    const std::string wire = serve::encodeResponse(rsp);
+    EXPECT_EQ(serve::encodeResponse(serve::decodeResponse(wire)),
+              wire);
+    engine.drain();
+}
+
+TEST_F(ServeServiceTest, StatsProbeAnswersThroughThePipeTransport)
+{
+    serve::EngineOptions opts;
+    opts.jobs = 1;
+    opts.deterministic = true;
+    serve::Engine engine(opts);
+
+    std::istringstream in("{\"v\":1,\"id\":7,\"stats\":true}\n");
+    std::ostringstream out;
+    const serve::ServeTotals totals =
+        serve::runPipeServer(in, out, engine);
+    engine.drain();
+    EXPECT_EQ(totals.lines, 1u);
+    EXPECT_EQ(totals.responses, 1u);
+
+    const serve::Response rsp =
+        serve::decodeResponse(out.str().substr(
+            0, out.str().find('\n')));
+    EXPECT_TRUE(rsp.ok) << rsp.error;
+    EXPECT_EQ(rsp.id, 7u);
+    EXPECT_FALSE(rsp.telemetry.empty());
+    EXPECT_NO_THROW(util::json::parse(rsp.telemetry));
 }
 
 } // namespace

@@ -176,4 +176,26 @@ TEST(SweepParallel, CacheDistinguishesShapesNotLabels)
     EXPECT_EQ(cache.size(), 2u);
 }
 
+TEST(SweepParallel, CacheStatsSnapshotTracksHitMissAccounting)
+{
+    auto &cache = core::CycleCache::instance();
+    cache.clear();
+    const core::CacheStats before = cache.cacheStats();
+    EXPECT_EQ(before.entries, 0u);
+
+    util::Rng rng(11);
+    ConvSpec s = randomSpec(rng);
+    Unroll u{.pOf = 2, .pOx = 2, .pOy = 2};
+    cache.stats(core::ArchKind::ZFOST, u, s); // miss -> simulate
+    cache.stats(core::ArchKind::ZFOST, u, s); // memory hit
+
+    const core::CacheStats after = cache.cacheStats();
+    EXPECT_EQ(after.entries, 1u);
+    EXPECT_EQ(after.hits, before.hits + 1);
+    EXPECT_EQ(after.misses, before.misses + 1);
+    // No disk tier attached: every miss ran a cycle walk.
+    EXPECT_EQ(after.diskHits, before.diskHits);
+    EXPECT_EQ(after.simulated(), after.misses - after.diskHits);
+}
+
 } // namespace

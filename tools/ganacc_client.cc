@@ -13,7 +13,11 @@
  *                     use);
  *   a single ad-hoc probe: --arch/--model/--family flags build one
  *                     network request, send it, and pretty-print the
- *                     reply.
+ *                     reply;
+ *   --stats           send a telemetry probe ({"v":1,"id":1,
+ *                     "stats":true}) and print the daemon's metric
+ *                     snapshot as one JSON object on stdout — the
+ *                     live-monitoring hook (see docs/observability.md).
  *
  * Requests are pipelined in windows, so a thousand-line replay is a
  * handful of syscall rounds, not a thousand round trips.
@@ -103,6 +107,9 @@ try {
         "arch", "", "ad-hoc probe: architecture (e.g. ZFOST)");
     const std::string family_name = args.getString(
         "family", "D", "ad-hoc probe: phase family (D, G, Dw, Gw)");
+    const bool stats_probe = args.getFlag(
+        "stats",
+        "probe a live daemon for its telemetry snapshot (JSON)");
     if (args.helpRequested()) {
         args.usage(std::cout);
         return 0;
@@ -121,6 +128,20 @@ try {
         util::fatal("--socket PATH is required (or use --emit)");
     serve::Client client;
     client.connect(socket_path);
+
+    if (stats_probe) {
+        serve::Request req;
+        req.id = 1;
+        req.statsProbe = true;
+        serve::Response rsp = client.roundTrip(req);
+        if (!rsp.ok)
+            util::fatal("daemon error: ", rsp.error);
+        if (rsp.telemetry.empty())
+            util::fatal("daemon answered without telemetry (",
+                        rsp.simVersion, " predates stats probes?)");
+        std::cout << rsp.telemetry << "\n";
+        return 0;
+    }
 
     if (!requests_file.empty()) {
         std::vector<std::string> lines;

@@ -20,6 +20,7 @@
 #include <atomic>
 #include <iostream>
 
+#include "obs/telemetry.hh"
 #include "serve/daemon.hh"
 #include "serve/engine.hh"
 #include "util/args.hh"
@@ -45,6 +46,11 @@ try {
         "goldens");
     const bool quiet =
         args.getFlag("quiet", "suppress the shutdown summary");
+    const std::string metrics_dump = args.getString(
+        "metrics-dump", "",
+        "file SIGUSR1 dumps a Prometheus metrics snapshot to "
+        "(socket mode)");
+    const std::string trace_path = args.getTracePath();
     if (args.helpRequested()) {
         args.usage(std::cout);
         return 0;
@@ -54,6 +60,15 @@ try {
         util::fatal("pass exactly one of --pipe or --socket PATH");
     if (max_queue <= 0)
         util::fatal("--max-queue must be positive");
+
+    // Telemetry: sinks come from env (GANACC_TRACE / GANACC_EVENTS /
+    // GANACC_METRICS) or --trace; status goes to stderr via inform so
+    // the JSONL response stream on stdout stays clean in --pipe mode.
+    obs::TelemetryConfig tcfg = obs::configFromEnv();
+    if (!trace_path.empty())
+        tcfg.tracePath = trace_path;
+    if (tcfg.any())
+        obs::enableTelemetry(tcfg);
 
     serve::EngineOptions opts;
     opts.jobs = jobs;
@@ -67,6 +82,8 @@ try {
         totals = serve::runPipeServer(std::cin, std::cout, engine);
         engine.drain();
     } else {
+        if (!metrics_dump.empty())
+            obs::installMetricsDumpSignal(metrics_dump);
         std::atomic<bool> stop{false};
         serve::installStopHandlers(stop);
         std::cerr << "ganacc-served: listening on " << socket_path
@@ -77,6 +94,7 @@ try {
         std::cerr << "ganacc-served: " << totals.lines
                   << " requests in, " << totals.responses
                   << " responses out; " << engine.summary() << "\n";
+    obs::shutdownTelemetry();
     return 0;
 } catch (const ganacc::util::FatalError &e) {
     std::cerr << "ganacc-served: " << e.what() << "\n";
