@@ -19,6 +19,7 @@
 #include "core/cycle_cache.hh"
 #include "core/dse.hh"
 #include "gan/models.hh"
+#include "sim/closed_form.hh"
 #include "util/args.hh"
 #include "util/table.hh"
 
@@ -62,12 +63,21 @@ main(int argc, char **argv)
         "max-wpof", 60, "widest W bank (channels) to sweep");
     const bool no_verify = args.getFlag(
         "no-verify", "skip the static verifier pre-filter");
+    const std::string engine_name = args.getString(
+        "engine", "auto",
+        "sim engine for the sweeps: walk, fast or auto (also "
+        "GANACC_ENGINE)");
     bench::CacheScope cache_scope(args);
     if (args.helpRequested()) {
         args.usage(std::cout);
         return 0;
     }
     args.finish();
+    if (auto engine = sim::simEngineFromName(engine_name))
+        sim::setSimEngine(*engine);
+    else
+        util::fatal("--engine expects walk, fast or auto, got '",
+                    engine_name, "'");
 
     bench::banner("Design-space frontier (ZFOST-ZFWST on the VCU9P)",
                   "the feasible optimum is the paper's 30+75-channel "
@@ -122,6 +132,36 @@ main(int argc, char **argv)
                   << best->totalPes << " PEs, "
                   << best->samplesPerSecond
                   << " DCGAN samples/s) — the paper's design point.\n";
+
+    // Fast-path speedup row: the identical cold-cache serial sweep
+    // under both engines, parity-checked (docs/fast_path.md).
+    {
+        cache.clear();
+        auto w0 = std::chrono::steady_clock::now();
+        std::vector<core::DsePoint> walk_pts;
+        {
+            sim::ScopedSimEngine eng(sim::SimEngine::Walk);
+            walk_pts = core::sweepFrontier(cons, dcgan);
+        }
+        auto w1 = std::chrono::steady_clock::now();
+        cache.clear();
+        auto f0 = std::chrono::steady_clock::now();
+        std::vector<core::DsePoint> fast_pts;
+        {
+            sim::ScopedSimEngine eng(sim::SimEngine::Fast);
+            fast_pts = core::sweepFrontier(cons, dcgan);
+        }
+        auto f1 = std::chrono::steady_clock::now();
+        const double walk_s = seconds(w0, w1);
+        const double fast_s = seconds(f0, f1);
+        std::cout << "\nengine timing (serial, cold cache): walk "
+                  << walk_s << " s, fast " << fast_s << " s ("
+                  << walk_s / fast_s << "x), results "
+                  << (identical(walk_pts, fast_pts)
+                          ? "bit-identical"
+                          : "DIVERGED (bug!)")
+                  << "\n";
+    }
 
     // What a bigger memory system would buy.
     std::cout << "\nIf the DRAM doubled (384 Gbps):\n";

@@ -11,6 +11,7 @@
 #include "core/unrolling.hh"
 #include "gan/models.hh"
 #include "nn/conv_ref.hh"
+#include "sim/closed_form.hh"
 #include "sim/conv_spec.hh"
 #include "sim/phase.hh"
 #include "util/random.hh"
@@ -22,8 +23,10 @@ using namespace ganacc;
 /** Timing-only simulation of one DCGAN phase family per iteration. */
 void
 simulateFamily(benchmark::State &state, core::ArchKind kind,
-               sim::PhaseFamily family)
+               sim::PhaseFamily family,
+               sim::SimEngine engine = sim::SimEngine::Walk)
 {
+    sim::ScopedSimEngine eng(engine);
     gan::GanModel m = gan::makeDcgan();
     core::BankRole role =
         (family == sim::PhaseFamily::D || family == sim::PhaseFamily::G)
@@ -51,11 +54,27 @@ BM_ZfostOnGPhase(benchmark::State &state)
 BENCHMARK(BM_ZfostOnGPhase)->Unit(benchmark::kMillisecond);
 
 void
+BM_ZfostOnGPhaseFast(benchmark::State &state)
+{
+    simulateFamily(state, core::ArchKind::ZFOST, sim::PhaseFamily::G,
+                   sim::SimEngine::Fast);
+}
+BENCHMARK(BM_ZfostOnGPhaseFast)->Unit(benchmark::kMillisecond);
+
+void
 BM_ZfwstOnGwPhase(benchmark::State &state)
 {
     simulateFamily(state, core::ArchKind::ZFWST, sim::PhaseFamily::Gw);
 }
 BENCHMARK(BM_ZfwstOnGwPhase)->Unit(benchmark::kMillisecond);
+
+void
+BM_ZfwstOnGwPhaseFast(benchmark::State &state)
+{
+    simulateFamily(state, core::ArchKind::ZFWST, sim::PhaseFamily::Gw,
+                   sim::SimEngine::Fast);
+}
+BENCHMARK(BM_ZfwstOnGwPhaseFast)->Unit(benchmark::kMillisecond);
 
 void
 BM_OstOnDPhase(benchmark::State &state)
@@ -65,11 +84,78 @@ BM_OstOnDPhase(benchmark::State &state)
 BENCHMARK(BM_OstOnDPhase)->Unit(benchmark::kMillisecond);
 
 void
+BM_OstOnDPhaseFast(benchmark::State &state)
+{
+    simulateFamily(state, core::ArchKind::OST, sim::PhaseFamily::D,
+                   sim::SimEngine::Fast);
+}
+BENCHMARK(BM_OstOnDPhaseFast)->Unit(benchmark::kMillisecond);
+
+void
 BM_WstOnDwPhase(benchmark::State &state)
 {
     simulateFamily(state, core::ArchKind::WST, sim::PhaseFamily::Dw);
 }
 BENCHMARK(BM_WstOnDwPhase)->Unit(benchmark::kMillisecond);
+
+void
+BM_WstOnDwPhaseFast(benchmark::State &state)
+{
+    simulateFamily(state, core::ArchKind::WST, sim::PhaseFamily::Dw,
+                   sim::SimEngine::Fast);
+}
+BENCHMARK(BM_WstOnDwPhaseFast)->Unit(benchmark::kMillisecond);
+
+/**
+ * LSUN-scale T-CONV (up-sampling toward 128x128 feature maps): the
+ * kind of job that made walk-based sweeps wall-clock-bound, and the
+ * headline fast-path speedup row (EXPERIMENTS.md).
+ */
+sim::ConvSpec
+lsunScaleTconv()
+{
+    sim::ConvSpec s;
+    s.label = "lsun-tconv";
+    s.nif = 128;
+    s.nof = 64;
+    s.inZeroStride = 2;
+    s.inOrigH = s.inOrigW = 64;
+    s.ih = s.iw = 127;
+    s.kh = s.kw = 5;
+    s.stride = 1;
+    s.pad = 2;
+    s.oh = s.ow = 127;
+    return s;
+}
+
+void
+simulateLargeTconv(benchmark::State &state, sim::SimEngine engine)
+{
+    sim::ScopedSimEngine eng(engine);
+    const sim::ConvSpec job = lsunScaleTconv();
+    auto arch = core::makeArch(
+        core::ArchKind::ZFOST,
+        core::paperUnroll(core::ArchKind::ZFOST, core::BankRole::ST,
+                          sim::PhaseFamily::G, 1200));
+    for (auto _ : state) {
+        auto st = arch->run(job);
+        benchmark::DoNotOptimize(st.cycles);
+    }
+}
+
+void
+BM_ZfostLargeTconvWalk(benchmark::State &state)
+{
+    simulateLargeTconv(state, sim::SimEngine::Walk);
+}
+BENCHMARK(BM_ZfostLargeTconvWalk)->Unit(benchmark::kMillisecond);
+
+void
+BM_ZfostLargeTconvFast(benchmark::State &state)
+{
+    simulateLargeTconv(state, sim::SimEngine::Fast);
+}
+BENCHMARK(BM_ZfostLargeTconvFast)->Unit(benchmark::kMillisecond);
 
 /** Functional (data-carrying) simulation of a mid-sized T-CONV job. */
 void

@@ -5,6 +5,7 @@
 
 #include "core/accelerator.hh"
 
+#include "sim/closed_form.hh"
 #include "util/logging.hh"
 
 namespace ganacc {
@@ -44,6 +45,7 @@ GanAccelerator::evaluate(const gan::GanModel &model) const
         mem::planBuffers(model, wPof_, cfg_.offchip.bitsPerData / 8);
     rep.resources = estimateResources(totalPes_, rep.buffers);
     rep.fitsDevice = fits(rep.resources, vcu9pBudget());
+    rep.engine = sim::simEngineName(sim::simEngine());
     return rep;
 }
 

@@ -40,6 +40,8 @@ struct AcceleratorReport
     mem::BufferPlan buffers;
     FpgaResources resources;
     bool fitsDevice = false;
+    std::string engine; ///< sim engine active during evaluation
+                        ///< ("auto"/"walk"/"fast"), for reproducibility
 };
 
 /** The paper's accelerator: sized from bandwidth, built as a

@@ -10,11 +10,31 @@
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "sim/closed_form.hh"
 
 namespace ganacc {
 namespace core {
 
 namespace {
+
+/** Cache-key engine tag. "*" marks kinds whose fast path is proven
+ *  bit-identical to the cycle walk (all five dataflows, enforced by
+ *  the differential-fuzz parity suite), so fast and walk runs share
+ *  entries. A future kind without proven parity must return the
+ *  active engine's name here to keep its results segregated. */
+std::string
+engineTag(ArchKind kind)
+{
+    switch (kind) {
+      case ArchKind::NLR:
+      case ArchKind::WST:
+      case ArchKind::OST:
+      case ArchKind::ZFOST:
+      case ArchKind::ZFWST:
+        return "*";
+    }
+    return sim::simEngineName(sim::simEngine());
+}
 
 /** Every field that shapes a timing-only run, label excluded. */
 std::string
@@ -27,7 +47,8 @@ keyOf(ArchKind kind, const sim::Unroll &u, const sim::ConvSpec &s)
        << ',' << s.kw << ',' << s.oh << ',' << s.ow << ',' << s.stride
        << ',' << s.pad << ',' << s.inZeroStride << ',' << s.inOrigH
        << ',' << s.inOrigW << ',' << s.kZeroStride << ',' << s.kOrigH
-       << ',' << s.kOrigW << ',' << int(s.fourDimOutput);
+       << ',' << s.kOrigW << ',' << int(s.fourDimOutput) << '|'
+       << engineTag(kind);
     return os.str();
 }
 

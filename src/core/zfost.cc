@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "sim/closed_form.hh"
 #include "util/logging.hh"
 
 namespace ganacc {
@@ -204,6 +205,14 @@ Zfost::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
         }
     }
     return st;
+}
+
+bool
+Zfost::fastStats(const ConvSpec &spec, RunStats &st) const
+{
+    st = sim::zfostClosedForm(unroll_, spec,
+                              order_ == WeightOrder::Reordered);
+    return true;
 }
 
 } // namespace core

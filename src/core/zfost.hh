@@ -60,6 +60,9 @@ class Zfost : public sim::Architecture
                         const tensor::Tensor *in, const tensor::Tensor *w,
                         tensor::Tensor *out) const override;
 
+    bool fastStats(const sim::ConvSpec &spec,
+                   sim::RunStats &st) const override;
+
   private:
     WeightOrder order_;
 };

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/closed_form.hh"
 #include "util/logging.hh"
 
 namespace ganacc {
@@ -159,6 +160,13 @@ Zfwst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
         }
     }
     return st;
+}
+
+bool
+Zfwst::fastStats(const ConvSpec &spec, RunStats &st) const
+{
+    st = sim::zfwstClosedForm(unroll_, spec);
+    return true;
 }
 
 } // namespace core

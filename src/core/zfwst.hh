@@ -45,6 +45,9 @@ class Zfwst : public sim::Architecture
     sim::RunStats doRun(const sim::ConvSpec &spec,
                         const tensor::Tensor *in, const tensor::Tensor *w,
                         tensor::Tensor *out) const override;
+
+    bool fastStats(const sim::ConvSpec &spec,
+                   sim::RunStats &st) const override;
 };
 
 } // namespace core

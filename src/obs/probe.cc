@@ -47,8 +47,12 @@ MetricsProbe::onRun(const RunSample &s)
     Registry &reg = Registry::instance();
     const std::string arch = "{arch=\"" + std::string(s.arch) + "\"}";
     reg.counter("ganacc_sim_runs_total" + arch,
-                "finished cycle walks per architecture")
+                "finished simulation runs per architecture")
         .add(1);
+    if (s.engine == "fast")
+        reg.counter("ganacc_sim_fast_runs_total" + arch,
+                    "runs timed by the closed-form fast path")
+            .add(1);
     reg.counter("ganacc_sim_cycles_total" + arch,
                 "simulated cycles per architecture")
         .add(s.cycles);

@@ -23,8 +23,9 @@ namespace obs {
 /** Everything one finished cycle walk reports. */
 struct RunSample
 {
-    std::string_view arch;  ///< architecture name ("ZFOST", …)
-    std::string_view label; ///< job label ("D-fwd conv1", may be "")
+    std::string_view arch;   ///< architecture name ("ZFOST", …)
+    std::string_view label;  ///< job label ("D-fwd conv1", may be "")
+    std::string_view engine; ///< "walk" or "fast" (closed-form path)
 
     std::uint64_t cycles = 0;
     std::uint64_t nPes = 0;

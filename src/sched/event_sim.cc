@@ -333,7 +333,11 @@ eventCyclesPerSample(const Design &design, const GanModel &model,
     UpdateDag dag = buildUpdateDag(design, model, kind);
     mem::OffChipConfig offchip;
     EventRunStats trace = simulateEvents(dag, samples, offchip);
-    return trace.makespan / std::uint64_t(samples);
+    // Ceiling division: flooring would understate steady-state cycles
+    // whenever the makespan is not an exact multiple of the batch (a
+    // throughput claim must round against itself).
+    const std::uint64_t n = std::uint64_t(samples);
+    return (trace.makespan + n - 1) / n;
 }
 
 void

@@ -113,7 +113,10 @@ EventRunStats simulateEvents(const UpdateDag &dag, int samples,
 
 /**
  * Convenience: event-driven per-sample cycles of a full update in
- * steady state (makespan / samples for a multi-sample run).
+ * steady state — ceil(makespan / samples) for a multi-sample run.
+ * Rounded *up* by convention: a per-sample figure that feeds a
+ * throughput claim must not understate the cycles when the makespan
+ * is not an exact multiple of the batch.
  */
 std::uint64_t eventCyclesPerSample(const Design &design,
                                    const gan::GanModel &model,

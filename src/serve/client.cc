@@ -67,6 +67,9 @@ Client::sendLine(const std::string &line)
     while (off < wire.size()) {
         ssize_t n =
             ::write(fd_, wire.data() + off, wire.size() - off);
+        if (n < 0 && errno == EINTR)
+            continue; // interrupted by a signal (e.g. SIGUSR1
+                      // metrics dump) — not an error, retry
         if (n <= 0)
             util::fatal("client write: ", std::strerror(errno));
         off += std::size_t(n);
@@ -92,7 +95,11 @@ Client::recvLine()
         }
         char chunk[4096];
         ssize_t n = ::read(fd_, chunk, sizeof chunk);
-        if (n <= 0)
+        if (n < 0 && errno == EINTR)
+            continue; // interrupted, not closed — retry
+        if (n < 0)
+            util::fatal("client read: ", std::strerror(errno));
+        if (n == 0)
             util::fatal("client read: connection closed by daemon");
         buf_.append(chunk, std::size_t(n));
     }

@@ -173,6 +173,8 @@ class FdLineReader
             }
             char chunk[4096];
             ssize_t n = ::read(fd_, chunk, sizeof chunk);
+            if (n < 0 && errno == EINTR)
+                continue; // interrupted by a signal, not EOF — retry
             if (n <= 0) {
                 if (buf_.empty())
                     return false;
@@ -195,6 +197,9 @@ writeAll(int fd, const std::string &bytes)
     std::size_t off = 0;
     while (off < bytes.size()) {
         ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0 && errno == EINTR)
+            continue; // the writer thread shares the process's signal
+                      // dispositions (SIGUSR1 metrics dump) — retry
         if (n <= 0)
             return false;
         off += std::size_t(n);

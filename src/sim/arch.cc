@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "obs/probe.hh"
+#include "sim/closed_form.hh"
 #include "util/logging.hh"
 
 namespace ganacc {
@@ -42,7 +43,16 @@ Architecture::run(const ConvSpec &spec, const tensor::Tensor *in,
                       name_, ": bad streamed input shape");
         out->fill(0.0f);
     }
-    RunStats stats = doRun(spec, in, w, out);
+    // Engine dispatch: timing-only, fault-free jobs may take the
+    // closed-form fast path (bit-identical to the walk by contract;
+    // the differential-fuzz parity suite keeps the contract honest).
+    // Functional runs always walk — they produce real output data.
+    RunStats stats;
+    bool fast = false;
+    if (!functional && fastPathEnabled())
+        fast = fastStats(spec, stats);
+    if (!fast)
+        stats = doRun(spec, in, w, out);
     stats.nPes = std::uint64_t(numPes());
     // Conservation: every PE slot of every cycle is classified exactly
     // once as effective, ineffectual or idle.
@@ -61,6 +71,7 @@ Architecture::run(const ConvSpec &spec, const tensor::Tensor *in,
         obs::RunSample sample;
         sample.arch = name_;
         sample.label = spec.label;
+        sample.engine = fast ? "fast" : "walk";
         sample.cycles = stats.cycles;
         sample.nPes = stats.nPes;
         sample.effectiveMacs = stats.effectiveMacs;

@@ -110,6 +110,22 @@ class Architecture
                            const tensor::Tensor *w,
                            tensor::Tensor *out) const = 0;
 
+    /**
+     * Closed-form fast path (sim/closed_form.hh): fill `st` with the
+     * exact RunStats a timing-only walk of this job would count and
+     * return true, or return false when this architecture has no
+     * closed form — run() then falls back to the cycle walk. Only
+     * consulted for timing-only, fault-free runs, and only when the
+     * process-wide engine allows it (simEngine() != Walk).
+     * Overrides must stay bit-identical to the walk on every counter;
+     * tests/test_differential_fuzz.cc enforces the parity.
+     */
+    virtual bool
+    fastStats(const ConvSpec &, RunStats &) const
+    {
+        return false;
+    }
+
     std::string name_;
     Unroll unroll_;
 

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The closed-form fast-path simulator engine.
+ *
+ * Every dataflow walk in this repository advances one cycle at a
+ * time, even through long idle, drain and zero-skip stretches. But a
+ * timing-only run is a pure function of (schedule, job geometry), and
+ * each walk's counters are expressible as sums over *schedule
+ * segments* — pass blocks, parity classes, kernel positions, resident
+ * chunks — whose per-axis structure factorizes. The functions here
+ * evaluate those sums directly: cost O(kernel area + parity classes)
+ * per job instead of O(simulated cycles), which is what makes
+ * LSUN-scale layers and 100x-larger DSE sweeps tractable.
+ *
+ * The cycle walks remain the golden reference. Each closed form is
+ * required to match its walk *bit for bit* on every RunStats counter;
+ * tests/test_differential_fuzz.cc enforces the parity on a fuzzed
+ * corpus across all five dataflows (plus the NLR-vanilla and
+ * ZFOST-raster ablation configurations), and verify/static_bounds
+ * re-exposes the same formulas as the GA-BOUNDS-DIVERGE checker.
+ *
+ * Engine selection: Architecture::run() consults simEngine() and uses
+ * the fast path for timing-only, fault-free runs when the concrete
+ * architecture provides one (Architecture::fastStats). Functional
+ * runs always walk — they produce real output data, which no closed
+ * form can. Force the choice with GANACC_ENGINE=walk|fast|auto or
+ * programmatically with setSimEngine().
+ */
+
+#ifndef GANACC_SIM_CLOSED_FORM_HH
+#define GANACC_SIM_CLOSED_FORM_HH
+
+#include <optional>
+#include <string>
+
+#include "sim/arch.hh"
+#include "sim/conv_spec.hh"
+#include "sim/stats.hh"
+
+namespace ganacc {
+namespace sim {
+
+/** Which engine times a timing-only run. */
+enum class SimEngine
+{
+    Auto, ///< fast path when the architecture has one (the default)
+    Walk, ///< always the per-cycle walk (the golden reference)
+    Fast, ///< fast path when available, walk otherwise — today
+          ///< identical to Auto; exists so "forced on" reads
+          ///< symmetrically with "forced off" in scripts and CI
+};
+
+/** The process-wide engine. First use reads GANACC_ENGINE
+ *  (walk|fast|auto); setSimEngine() overrides. Thread-safe. */
+SimEngine simEngine();
+
+/** Override the process-wide engine (tests, benches, tools). */
+void setSimEngine(SimEngine engine);
+
+std::string simEngineName(SimEngine engine);
+
+/** Inverse of simEngineName (case-insensitive); nullopt if unknown. */
+std::optional<SimEngine> simEngineFromName(const std::string &name);
+
+/** True when run() would take the fast path for a timing-only run of
+ *  this engine setting. */
+bool fastPathEnabled();
+
+/** RAII engine override for tests, benches and checkers: forces the
+ *  given engine for its scope and restores the previous one. */
+class ScopedSimEngine
+{
+  public:
+    explicit ScopedSimEngine(SimEngine engine) : prev_(simEngine())
+    {
+        setSimEngine(engine);
+    }
+    ~ScopedSimEngine() { setSimEngine(prev_); }
+    ScopedSimEngine(const ScopedSimEngine &) = delete;
+    ScopedSimEngine &operator=(const ScopedSimEngine &) = delete;
+
+  private:
+    SimEngine prev_;
+};
+
+/**
+ * Closed forms, one per dataflow, parameterized by the design knobs
+ * that change the schedule. Each returns exactly the RunStats the
+ * corresponding cycle walk counts for a timing-only run of `spec` —
+ * the parity suite keeps "exactly" honest. All panic on the same
+ * malformed-spec preconditions the walks assert.
+ */
+
+/** NLR; `zero_skip` selects the paper's improved dataflow (true) or
+ *  the vanilla DianNao-style ablation that executes structural zeros
+ *  as wasted cycles (false). */
+RunStats nlrClosedForm(const Unroll &u, const ConvSpec &s,
+                       bool zero_skip);
+
+/** WST: resident kernel tile, one streamed input position per cycle. */
+RunStats wstClosedForm(const Unroll &u, const ConvSpec &s);
+
+/** OST: pinned output tile, raster-order weight feed. */
+RunStats ostClosedForm(const Unroll &u, const ConvSpec &s);
+
+/** ZFOST; `reordered_feed` selects the Fig. 12(a) parity-grouped
+ *  weight feed (true) or the raster-order ablation (false), which
+ *  reloads the input tile every cycle on strided jobs. */
+RunStats zfostClosedForm(const Unroll &u, const ConvSpec &s,
+                         bool reordered_feed);
+
+/** ZFWST: resident chunks of effective kernel elements, one output
+ *  neuron per cycle through the adder tree. */
+RunStats zfwstClosedForm(const Unroll &u, const ConvSpec &s);
+
+} // namespace sim
+} // namespace ganacc
+
+#endif // GANACC_SIM_CLOSED_FORM_HH

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "sim/closed_form.hh"
 #include "util/logging.hh"
 
 namespace ganacc {
@@ -153,6 +154,13 @@ Nlr::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
         }
     }
     return st;
+}
+
+bool
+Nlr::fastStats(const ConvSpec &spec, RunStats &st) const
+{
+    st = nlrClosedForm(unroll_, spec, policy_ == ZeroPolicy::Skip);
+    return true;
 }
 
 } // namespace sim

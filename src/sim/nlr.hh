@@ -52,6 +52,8 @@ class Nlr : public Architecture
                    const tensor::Tensor *w,
                    tensor::Tensor *out) const override;
 
+    bool fastStats(const ConvSpec &spec, RunStats &st) const override;
+
   private:
     ZeroPolicy policy_;
 };

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "sim/closed_form.hh"
 #include "util/logging.hh"
 
 namespace ganacc {
@@ -125,6 +126,13 @@ Ost::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
         }
     }
     return st;
+}
+
+bool
+Ost::fastStats(const ConvSpec &spec, RunStats &st) const
+{
+    st = ostClosedForm(unroll_, spec);
+    return true;
 }
 
 } // namespace sim

@@ -39,6 +39,8 @@ class Ost : public Architecture
     RunStats doRun(const ConvSpec &spec, const tensor::Tensor *in,
                    const tensor::Tensor *w,
                    tensor::Tensor *out) const override;
+
+    bool fastStats(const ConvSpec &spec, RunStats &st) const override;
 };
 
 } // namespace sim

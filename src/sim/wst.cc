@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "sim/closed_form.hh"
 #include "util/logging.hh"
 
 namespace ganacc {
@@ -124,6 +125,13 @@ Wst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
         }
     }
     return st;
+}
+
+bool
+Wst::fastStats(const ConvSpec &spec, RunStats &st) const
+{
+    st = wstClosedForm(unroll_, spec);
+    return true;
 }
 
 } // namespace sim

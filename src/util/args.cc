@@ -5,6 +5,9 @@
 
 #include "util/args.hh"
 
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/logging.hh"
@@ -69,9 +72,15 @@ ArgParser::getInt(const std::string &name, int def,
     if (!raw)
         return def;
     char *end = nullptr;
+    errno = 0;
     long v = std::strtol(raw->c_str(), &end, 10);
     if (raw->empty() || *end != '\0')
         fatal("--", name, " expects an integer, got '", *raw, "'");
+    // strtol saturates (with ERANGE) instead of failing, and long may
+    // be wider than int — reject both instead of silently narrowing.
+    if (errno == ERANGE || v < INT_MIN || v > INT_MAX)
+        fatal("--", name, ": '", *raw, "' is out of the integer range ",
+              INT_MIN, "..", INT_MAX);
     return int(v);
 }
 
@@ -84,9 +93,15 @@ ArgParser::getDouble(const std::string &name, double def,
     if (!raw)
         return def;
     char *end = nullptr;
+    errno = 0;
     double v = std::strtod(raw->c_str(), &end);
     if (raw->empty() || *end != '\0')
         fatal("--", name, " expects a number, got '", *raw, "'");
+    // Overflow saturates to ±HUGE_VAL with ERANGE — reject it.
+    // Underflow (tiny but representable-as-zero values) is accepted.
+    if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL))
+        fatal("--", name, ": '", *raw,
+              "' overflows the double range");
     return v;
 }
 

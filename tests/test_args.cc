@@ -84,4 +84,46 @@ TEST(Args, NegativeNumbersParse)
     EXPECT_EQ(p.getInt("shift", 0, "h"), -3);
 }
 
+TEST(Args, OutOfRangeIntegerRejected)
+{
+    // strtol saturates with ERANGE instead of failing; before the
+    // range check these silently truncated through int(v).
+    ArgParser p = parse({"--pes=9999999999999999999"});
+    EXPECT_THROW(p.getInt("pes", 0, "h"), FatalError);
+    ArgParser q = parse({"--pes=-9999999999999999999"});
+    EXPECT_THROW(q.getInt("pes", 0, "h"), FatalError);
+}
+
+TEST(Args, IntegerBeyondIntButWithinLongRejected)
+{
+    // Fits in a 64-bit long, so errno stays clear — the INT_MIN/MAX
+    // clamp must catch the narrowing on its own.
+    ArgParser p = parse({"--pes=2147483648"});
+    EXPECT_THROW(p.getInt("pes", 0, "h"), FatalError);
+    ArgParser q = parse({"--pes=-2147483649"});
+    EXPECT_THROW(q.getInt("pes", 0, "h"), FatalError);
+}
+
+TEST(Args, IntegerLimitsAccepted)
+{
+    ArgParser p = parse({"--hi=2147483647", "--lo=-2147483648"});
+    EXPECT_EQ(p.getInt("hi", 0, "h"), 2147483647);
+    EXPECT_EQ(p.getInt("lo", 0, "h"), -2147483647 - 1);
+}
+
+TEST(Args, OverflowingDoubleRejected)
+{
+    ArgParser p = parse({"--gbps=1e999"});
+    EXPECT_THROW(p.getDouble("gbps", 0.0, "h"), FatalError);
+    ArgParser q = parse({"--gbps=-1e999"});
+    EXPECT_THROW(q.getDouble("gbps", 0.0, "h"), FatalError);
+}
+
+TEST(Args, UnderflowingDoubleAccepted)
+{
+    // Denormal/zero underflow also sets ERANGE but is a usable value.
+    ArgParser p = parse({"--gbps=1e-999"});
+    EXPECT_DOUBLE_EQ(p.getDouble("gbps", 1.0, "h"), 0.0);
+}
+
 } // namespace

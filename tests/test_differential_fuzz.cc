@@ -18,6 +18,7 @@
 #include "core/zfost.hh"
 #include "core/zfwst.hh"
 #include "sim/arch.hh"
+#include "sim/closed_form.hh"
 #include "sim/conv_spec.hh"
 #include "sim/nlr.hh"
 #include "sim/ost.hh"
@@ -95,6 +96,8 @@ randomSpec(Rng &rng)
         s.kh = s.kw = rng.uniformInt(2, 5);
         s.stride = 1;
         s.pad = rng.uniformInt(0, s.kh - 1);
+        if (s.ih + 2 * s.pad < s.kh) // kernel overhangs padded input
+            return randomSpec(rng);
         s.oh = tensor::convOutDim(s.ih, s.kh, 1, s.pad);
         s.ow = tensor::convOutDim(s.iw, s.kw, 1, s.pad);
     } else { // dilated-kernel W-CONV (4-D output)
@@ -164,6 +167,122 @@ TEST_P(DifferentialFuzz, AllDataflowsMatchGoldenModel)
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, DifferentialFuzz,
+                         ::testing::Range(0, 20));
+
+/**
+ * Fast-vs-walk parity: the closed-form engine must be bit-identical
+ * to the cycle walk on every RunStats counter. The corpus leans on
+ * the cases most likely to diverge — zero-insert-heavy T-CONV
+ * (z up to 4, wide kernels) and degenerate unrollings (factor equal
+ * to its loop bound, factor 1) — and includes the ablation
+ * configurations (NLR-vanilla, ZFOST-raster) the static-bounds
+ * checker never covered.
+ */
+
+/** Like randomSpec, but biased toward zero-insert-heavy T-CONV. */
+ConvSpec
+randomParitySpec(Rng &rng)
+{
+    if (rng.uniformInt(0, 2) != 0) // 2/3 zero-insert-heavy T-CONV
+    {
+        ConvSpec s;
+        s.label = "fuzz-heavy";
+        s.nif = rng.uniformInt(1, 4);
+        s.nof = rng.uniformInt(1, 4);
+        const int dense = rng.uniformInt(2, 6);
+        const int z = rng.uniformInt(3, 4); // heavier than the
+                                            // functional corpus
+        const int extra = rng.uniformInt(0, z - 1);
+        s.inZeroStride = z;
+        s.inOrigH = s.inOrigW = dense;
+        s.ih = s.iw = (dense - 1) * z + 1 + extra;
+        s.kh = s.kw = rng.uniformInt(3, 7);
+        s.stride = 1;
+        s.pad = rng.uniformInt(0, s.kh - 1);
+        if (s.ih + 2 * s.pad < s.kh) // kernel overhangs padded input
+            return randomParitySpec(rng);
+        s.oh = tensor::convOutDim(s.ih, s.kh, 1, s.pad);
+        s.ow = tensor::convOutDim(s.iw, s.kw, 1, s.pad);
+        if (s.oh < 1 || s.ow < 1)
+            return randomParitySpec(rng);
+        return s;
+    }
+    return randomSpec(rng);
+}
+
+/** Architectures with degenerate and ablation configurations: every
+ *  factor hits its loop bound or 1 somewhere in the rotation. */
+std::vector<std::unique_ptr<Architecture>>
+parityArchs(Rng &rng, const ConvSpec &s)
+{
+    std::vector<std::unique_ptr<Architecture>> v;
+    // factor = bound: whole dimension unrolled, tile count 1.
+    v.push_back(std::make_unique<Nlr>(
+        Unroll{.pIf = s.nif, .pOf = s.nof}));
+    v.push_back(std::make_unique<Wst>(
+        Unroll{.pOf = 1, .pKx = s.kw, .pKy = s.kh}));
+    v.push_back(std::make_unique<Ost>(
+        Unroll{.pOf = rng.uniformInt(1, 3), .pOx = s.ow, .pOy = s.oh}));
+    v.push_back(std::make_unique<Zfwst>(
+        Unroll{.pOf = s.nof, .pKx = s.kw, .pKy = s.kh}));
+    // factor = 1: fully serialized arrays.
+    v.push_back(std::make_unique<Ost>(
+        Unroll{.pOf = 1, .pOx = 1, .pOy = 1}));
+    v.push_back(std::make_unique<Zfost>(
+        Unroll{.pOf = 1, .pOx = 1, .pOy = 1}));
+    v.push_back(std::make_unique<Zfwst>(
+        Unroll{.pOf = 1, .pKx = 1, .pKy = 1}));
+    // Ablations (no closed form existed before the fast path).
+    v.push_back(std::make_unique<Nlr>(
+        Unroll{.pIf = rng.uniformInt(1, 3),
+               .pOf = rng.uniformInt(1, 4)},
+        Nlr::ZeroPolicy::Execute));
+    v.push_back(std::make_unique<Zfost>(
+        Unroll{.pOf = rng.uniformInt(1, 3),
+               .pOx = rng.uniformInt(2, 4),
+               .pOy = rng.uniformInt(2, 4)},
+        Zfost::WeightOrder::Raster));
+    // Plus the random rotation the functional fuzz uses.
+    for (auto &arch : fuzzArchs(rng))
+        v.push_back(std::move(arch));
+    return v;
+}
+
+/** Ten random jobs per shard; 20 shards = 200 fuzzed specs. */
+class FastPathParity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FastPathParity, ClosedFormBitIdenticalToWalk)
+{
+    Rng rng(0xFA57000ULL + std::uint64_t(GetParam()));
+    for (int i = 0; i < 10; ++i) {
+        const ConvSpec s = randomParitySpec(rng);
+        verify::Report report;
+        verify::checkConvSpec(s, report);
+        ASSERT_TRUE(report.ok()) << s.describe();
+
+        for (const auto &arch : parityArchs(rng, s)) {
+            RunStats walk, fast;
+            {
+                sim::ScopedSimEngine eng(sim::SimEngine::Walk);
+                ASSERT_FALSE(sim::fastPathEnabled());
+                walk = arch->run(s);
+            }
+            {
+                sim::ScopedSimEngine eng(sim::SimEngine::Fast);
+                ASSERT_TRUE(sim::fastPathEnabled());
+                fast = arch->run(s);
+            }
+            tests::expectSlotConservation(walk, arch->name());
+            tests::expectStatsEqual(
+                walk, fast,
+                arch->name() + " fast vs walk on " + s.describe());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FastPathParity,
                          ::testing::Range(0, 20));
 
 } // namespace

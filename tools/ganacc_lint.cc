@@ -21,6 +21,7 @@
 
 #include "core/unrolling.hh"
 #include "gan/models.hh"
+#include "sim/closed_form.hh"
 #include "sim/phase.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
@@ -106,6 +107,10 @@ lintSchedule(const gan::GanModel &model, core::ArchKind kind, int st_pes,
         if (!check_bounds)
             continue;
         auto arch = core::makeArch(kind, u);
+        // The bounds check compares closed form against the cycle
+        // walk; force the walk engine, else the fast path would make
+        // the comparison circular (closed form vs itself).
+        sim::ScopedSimEngine walk(sim::SimEngine::Walk);
         for (const sim::ConvSpec &job : jobs) {
             if ((kind == core::ArchKind::ZFOST ||
                  kind == core::ArchKind::ZFWST) &&
