@@ -46,6 +46,7 @@ identical(const std::vector<ganacc::core::DsePoint> &a,
             a[i].fitsDevice != b[i].fitsDevice ||
             a[i].bandwidthFeasible != b[i].bandwidthFeasible ||
             a[i].verifierRejected != b[i].verifierRejected ||
+            a[i].scheduleRejected != b[i].scheduleRejected ||
             a[i].verifierCode != b[i].verifierCode)
             return false;
     return true;
@@ -109,7 +110,9 @@ main(int argc, char **argv)
                                              : "DIVERGED (bug!)")
               << ", cycle cache " << cache.size() << " entries, "
               << core::verifierRejectedCount(pts)
-              << " points verifier-rejected"
+              << " points verifier-rejected ("
+              << core::scheduleRejectedCount(pts)
+              << " by the schedule analyzer)"
               << (cons.verify ? "" : " (pre-filter off)") << "\n\n";
 
     util::Table t({"W_Pof", "ST_Pof", "PEs", "samples/s", "DSP",

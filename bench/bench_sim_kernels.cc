@@ -43,7 +43,8 @@ simulateFamily(benchmark::State &state, core::ArchKind kind,
         benchmark::DoNotOptimize(cycles);
     }
     state.counters["sim_cycles_per_iter"] =
-        benchmark::Counter(double(cycles) / state.iterations());
+        benchmark::Counter(double(cycles) /
+                           double(state.iterations()));
 }
 
 void

@@ -118,7 +118,9 @@ main(int argc, char **argv)
     if (best)
         std::cout << "  " << pts.size() << " points evaluated ("
                   << core::verifierRejectedCount(pts)
-                  << " rejected by the verifier"
+                  << " rejected by the verifier, "
+                  << core::scheduleRejectedCount(pts)
+                  << " of those by the schedule analyzer"
                   << (cons.verify ? "" : ", pre-filter off")
                   << "); best feasible: W_Pof=" << best->wPof
                   << ", ST_Pof=" << best->stPof << " (" << best->totalPes

@@ -14,6 +14,7 @@
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "verify/legality.hh"
+#include "verify/schedule_analysis.hh"
 
 namespace ganacc {
 namespace core {
@@ -39,6 +40,8 @@ rejectedPoint(const DseConstraints &cons, int w_pof, int st_pof,
         p.verifierMessage = d.message;
         break;
     }
+    p.scheduleRejected =
+        p.verifierCode.compare(0, 9, "GA-SCHED-") == 0;
     return p;
 }
 
@@ -54,7 +57,11 @@ observePoint(const DsePoint &p)
         reg.counter("ganacc_dse_rejected_total",
                     "points the static verifier refused to simulate")
             .add(1);
-    else if (p.feasible())
+    if (p.scheduleRejected)
+        reg.counter("ganacc_dse_sched_rejected_total",
+                    "points the schedule-hazard analyzer rejected")
+            .add(1);
+    if (!p.verifierRejected && p.feasible())
         reg.counter("ganacc_dse_feasible_total",
                     "points inside every resource/bandwidth budget")
             .add(1);
@@ -67,16 +74,22 @@ observePoint(const DsePoint &p)
                 ",\"feasible\":" + (p.feasible() ? "true" : "false"));
 }
 
-/** Pre-filter one point; true when it must be skipped. */
+/** Pre-filter one point; true when it must be skipped. The schedule
+ *  analyzer only runs once the structural checks pass — its loop-nest
+ *  derivations share the walks' legality preconditions. */
 bool
 prefilter(const DseConstraints &cons, const verify::Report &model_report,
-          int w_pof, int st_pof, DsePoint &out)
+          const verify::SchedulePrefilter *sched, int w_pof, int st_pof,
+          DsePoint &out)
 {
     if (!cons.verify)
         return false;
     verify::Report pr;
     verify::checkDesignPoint(model_report, w_pof, st_pof,
                              cons.pesPerChannel, pr);
+    if (pr.ok() && sched != nullptr)
+        sched->check(w_pof * cons.pesPerChannel,
+                     st_pof * cons.pesPerChannel, pr);
     if (pr.ok())
         return false;
     out = rejectedPoint(cons, w_pof, st_pof, pr);
@@ -123,13 +136,20 @@ sweepFrontier(const DseConstraints &cons, const GanModel &model)
     verify::Report model_report;
     if (cons.verify)
         verify::checkModel(model, model_report);
+    // The phase job sets are sweep-invariant: build the schedule
+    // pre-filter once and share it across every point.
+    std::optional<verify::SchedulePrefilter> sched;
+    if (cons.verify && model_report.ok())
+        sched.emplace(model);
     obs::Span span("dse.sweep", "dse",
                    "{\"points\":" + std::to_string(cons.maxWPof) + "}");
     std::vector<DsePoint> pts;
     for (int w = 1; w <= cons.maxWPof; ++w) {
         int st = mem::deriveStPof(w);
         DsePoint rejected;
-        pts.push_back(prefilter(cons, model_report, w, st, rejected)
+        pts.push_back(prefilter(cons, model_report,
+                                sched ? &*sched : nullptr, w, st,
+                                rejected)
                           ? rejected
                           : evaluatePoint(cons, model, w, st));
         observePoint(pts.back());
@@ -147,6 +167,10 @@ sweepFrontierParallel(const DseConstraints &cons, const GanModel &model,
     verify::Report model_report;
     if (cons.verify)
         verify::checkModel(model, model_report);
+    // Shared read-only across workers: check() is const and pure.
+    std::optional<verify::SchedulePrefilter> sched;
+    if (cons.verify && model_report.ok())
+        sched.emplace(model);
     obs::Span span("dse.sweep", "dse",
                    "{\"points\":" + std::to_string(cons.maxWPof) + "}");
     std::vector<DsePoint> pts(std::size_t(cons.maxWPof));
@@ -154,7 +178,8 @@ sweepFrontierParallel(const DseConstraints &cons, const GanModel &model,
         int w = int(i) + 1;
         int st = mem::deriveStPof(w);
         DsePoint rejected;
-        pts[i] = prefilter(cons, model_report, w, st, rejected)
+        pts[i] = prefilter(cons, model_report,
+                           sched ? &*sched : nullptr, w, st, rejected)
                      ? rejected
                      : evaluatePoint(cons, model, w, st);
         observePoint(pts[i]);
@@ -168,6 +193,14 @@ verifierRejectedCount(const std::vector<DsePoint> &pts)
     return int(std::count_if(
         pts.begin(), pts.end(),
         [](const DsePoint &p) { return p.verifierRejected; }));
+}
+
+int
+scheduleRejectedCount(const std::vector<DsePoint> &pts)
+{
+    return int(std::count_if(
+        pts.begin(), pts.end(),
+        [](const DsePoint &p) { return p.scheduleRejected; }));
 }
 
 std::optional<DsePoint>

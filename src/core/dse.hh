@@ -56,6 +56,9 @@ struct DsePoint
     /// Set when the static verifier rejected the point before
     /// simulation; verifierCode/verifierMessage carry the first error.
     bool verifierRejected = false;
+    /// Set (together with verifierRejected) when the rejection came
+    /// from the schedule-hazard analyzer (a GA-SCHED-* code).
+    bool scheduleRejected = false;
     std::string verifierCode;
     std::string verifierMessage;
 
@@ -100,6 +103,10 @@ std::optional<DsePoint> bestFeasible(const std::vector<DsePoint> &pts);
 
 /** How many frontier points the static verifier rejected. */
 int verifierRejectedCount(const std::vector<DsePoint> &pts);
+
+/** How many of those rejections came from the schedule-hazard
+ *  analyzer (GA-SCHED-* codes). */
+int scheduleRejectedCount(const std::vector<DsePoint> &pts);
 
 } // namespace core
 } // namespace ganacc

@@ -25,6 +25,7 @@ Zfost::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
 {
     const bool functional = in != nullptr;
     const int n_pes = numPes();
+    sim::ScheduleRecorder *const rec = schedRec();
     RunStats st;
 
     // Zero-inserted inputs only occur under stride-1 streaming (the
@@ -68,7 +69,18 @@ Zfost::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                         const int tx_cnt =
                             std::min(unroll_.pOx, n_x - t_x0);
                         const int tile = ty_cnt * tx_cnt;
+                        // Output-stationary register window: cleared
+                        // at tile start, drained per input map (4-dim)
+                        // or once per nif loop.
+                        if (rec && !spec.fourDimOutput)
+                            rec->onWindowBegin(
+                                std::uint64_t(tile) * of_cnt,
+                                sim::WindowKind::RegisterTile);
                         for (int c = 0; c < spec.nif; ++c) {
+                            if (rec && spec.fourDimOutput)
+                                rec->onWindowBegin(
+                                    std::uint64_t(tile) * of_cnt,
+                                    sim::WindowKind::RegisterTile);
                             bool first_kpos = true;
                             for (int ky : eff_ky) {
                                 bool row_start = true;
@@ -89,21 +101,40 @@ Zfost::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                         order_ ==
                                             WeightOrder::Reordered ||
                                         spec.stride == 1;
+                                    std::uint64_t in_words;
                                     if (first_kpos) {
-                                        st.inputLoads +=
-                                            std::uint64_t(tile);
+                                        in_words = std::uint64_t(tile);
                                         first_kpos = false;
                                     } else if (!shifts) {
-                                        st.inputLoads +=
-                                            std::uint64_t(tile);
+                                        in_words = std::uint64_t(tile);
                                     } else if (row_start) {
-                                        st.inputLoads +=
-                                            std::uint64_t(tx_cnt);
+                                        in_words = std::uint64_t(tx_cnt);
                                     } else {
-                                        st.inputLoads +=
-                                            std::uint64_t(ty_cnt);
+                                        in_words = std::uint64_t(ty_cnt);
                                     }
+                                    st.inputLoads += in_words;
                                     row_start = false;
+                                    if (rec) {
+                                        rec->onCycle();
+                                        rec->onPort(
+                                            sim::SchedPort::Weight,
+                                            std::uint64_t(of_cnt));
+                                        rec->onPort(
+                                            sim::SchedPort::Input,
+                                            in_words);
+                                        for (int dy = 0; dy < ty_cnt;
+                                             ++dy)
+                                            for (int dx = 0; dx < tx_cnt;
+                                                 ++dx)
+                                                rec->onLanes(
+                                                    (dy * unroll_.pOx +
+                                                     dx) *
+                                                        unroll_.pOf,
+                                                    of_cnt);
+                                        rec->onCellWrite(
+                                            0,
+                                            std::uint64_t(tile) * of_cnt);
+                                    }
 
                                     // Occupancy: parity guarantees the
                                     // stuffing pattern is non-zero;
@@ -192,13 +223,30 @@ Zfost::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                     }
                                 }
                             }
-                            if (spec.fourDimOutput)
+                            if (spec.fourDimOutput) {
                                 st.outputWrites +=
                                     std::uint64_t(tile) * of_cnt;
+                                if (rec) {
+                                    rec->onPort(
+                                        sim::SchedPort::OutputWrite,
+                                        std::uint64_t(tile) * of_cnt);
+                                    rec->onDrain(0, std::uint64_t(tile) *
+                                                        of_cnt);
+                                    rec->onWindowEnd();
+                                }
+                            }
                         }
-                        if (!spec.fourDimOutput)
+                        if (!spec.fourDimOutput) {
                             st.outputWrites +=
                                 std::uint64_t(tile) * of_cnt;
+                            if (rec) {
+                                rec->onPort(sim::SchedPort::OutputWrite,
+                                            std::uint64_t(tile) * of_cnt);
+                                rec->onDrain(0, std::uint64_t(tile) *
+                                                    of_cnt);
+                                rec->onWindowEnd();
+                            }
+                        }
                     }
                 }
             }

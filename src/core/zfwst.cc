@@ -26,6 +26,7 @@ Zfwst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
     const bool functional = in != nullptr;
     const int n_pes = numPes();
     const int resident_cap = unroll_.pKx * unroll_.pKy;
+    sim::ScheduleRecorder *const rec = schedRec();
     RunStats st;
 
     const int z = spec.inZeroStride;
@@ -59,14 +60,29 @@ Zfwst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
             const int n_chunks =
                 int((eff.size() + resident_cap - 1) / resident_cap);
 
+            const std::uint64_t positions = std::uint64_t(n_y) * n_x;
             for (int of0 = 0; of0 < spec.nof; of0 += unroll_.pOf) {
                 const int of_cnt = std::min(unroll_.pOf, spec.nof - of0);
+                // The ping-pong partial-result buffer window for this
+                // class/of-tile: NOT zero-initialized — the first
+                // chunk's writes create every cell, later passes
+                // read-modify-write, and the final pass's writes drain
+                // the window.
+                if (rec)
+                    rec->onWindowBegin(
+                        positions * of_cnt *
+                            (spec.fourDimOutput ? std::uint64_t(spec.nif)
+                                                : 1),
+                        sim::WindowKind::AccumBuffer);
                 for (int chunk = 0; chunk < n_chunks; ++chunk) {
                     const int e0 = chunk * resident_cap;
                     const int e_cnt = std::min(
                         resident_cap, int(eff.size()) - e0);
                     // Resident weights load once per pass per channel.
                     st.weightLoads += std::uint64_t(e_cnt) * of_cnt;
+                    if (rec)
+                        rec->onPort(sim::SchedPort::Weight,
+                                    std::uint64_t(e_cnt) * of_cnt);
 
                     for (int c = 0; c < spec.nif; ++c) {
                         bool first_out = true;
@@ -134,14 +150,15 @@ Zfwst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                 // Register-array traffic: footprint on
                                 // the first output of a pass, then a
                                 // column shift per step.
+                                std::uint64_t in_words;
                                 if (first_out) {
-                                    st.inputLoads +=
-                                        std::uint64_t(e_cnt);
+                                    in_words = std::uint64_t(e_cnt);
                                     first_out = false;
                                 } else {
-                                    st.inputLoads += std::uint64_t(
+                                    in_words = std::uint64_t(
                                         std::min(e_cnt, unroll_.pKy));
                                 }
+                                st.inputLoads += in_words;
                                 // One adder-tree result per channel;
                                 // later passes accumulate through the
                                 // ping-pong partial-result buffer.
@@ -152,10 +169,47 @@ Zfwst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                 if (accumulating)
                                     st.outputReads +=
                                         std::uint64_t(of_cnt);
+                                if (rec) {
+                                    rec->onCycle();
+                                    for (int e = 0; e < e_cnt; ++e)
+                                        rec->onLanes(e * unroll_.pOf,
+                                                     of_cnt);
+                                    rec->onPort(sim::SchedPort::Input,
+                                                in_words);
+                                    rec->onPort(
+                                        sim::SchedPort::OutputWrite,
+                                        std::uint64_t(of_cnt));
+                                    if (accumulating)
+                                        rec->onPort(
+                                            sim::SchedPort::OutputRead,
+                                            std::uint64_t(of_cnt));
+                                    const std::uint64_t cell =
+                                        ((spec.fourDimOutput
+                                              ? std::uint64_t(c)
+                                              : 0) *
+                                             positions +
+                                         std::uint64_t(t_y) * n_x + t_x) *
+                                        of_cnt;
+                                    if (accumulating)
+                                        rec->onCellRead(
+                                            cell, std::uint64_t(of_cnt));
+                                    rec->onCellWrite(
+                                        cell, std::uint64_t(of_cnt));
+                                    // The final pass's writes are the
+                                    // drain: nothing reads this cell
+                                    // again inside the window.
+                                    if (chunk == n_chunks - 1 &&
+                                        (spec.fourDimOutput ||
+                                         c == spec.nif - 1))
+                                        rec->onDrain(
+                                            cell, std::uint64_t(of_cnt));
+                                }
                             }
                         }
                     }
                 }
+                if (rec)
+                    rec->onWindowEnd();
             }
         }
     }

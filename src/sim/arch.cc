@@ -46,13 +46,21 @@ Architecture::run(const ConvSpec &spec, const tensor::Tensor *in,
     // Engine dispatch: timing-only, fault-free jobs may take the
     // closed-form fast path (bit-identical to the walk by contract;
     // the differential-fuzz parity suite keeps the contract honest).
-    // Functional runs always walk — they produce real output data.
+    // Functional runs always walk — they produce real output data —
+    // and so do recorded runs: a closed form has no cycles to narrate.
     RunStats stats;
     bool fast = false;
-    if (!functional && fastPathEnabled())
+    if (!functional && fastPathEnabled() && scheduleRecorder() == nullptr)
         fast = fastStats(spec, stats);
-    if (!fast)
-        stats = doRun(spec, in, w, out);
+    if (!fast) {
+        if (ScheduleRecorder *rec = scheduleRecorder()) {
+            rec->onJobBegin(numPes(), spec);
+            stats = doRun(spec, in, w, out);
+            rec->onJobEnd();
+        } else {
+            stats = doRun(spec, in, w, out);
+        }
+    }
     stats.nPes = std::uint64_t(numPes());
     // Conservation: every PE slot of every cycle is classified exactly
     // once as effective, ineffectual or idle.

@@ -19,6 +19,7 @@
 
 #include "sim/conv_spec.hh"
 #include "sim/fault_hook.hh"
+#include "sim/schedule_recorder.hh"
 #include "sim/stats.hh"
 #include "tensor/tensor.hh"
 
@@ -86,6 +87,17 @@ class Architecture
 
     MacFaultHook *faultHook() const { return fault_; }
 
+    /**
+     * Install a schedule recorder (nullptr detaches). Non-owning; must
+     * outlive every subsequent run(). An armed recorder forces the
+     * cycle walk — the closed-form fast path has no cycles to narrate
+     * — and observes the schedule without perturbing it: RunStats stay
+     * bit-identical. Not shareable across concurrently running jobs.
+     */
+    void setScheduleRecorder(ScheduleRecorder *rec) { sched_rec_ = rec; }
+
+    ScheduleRecorder *scheduleRecorder() const { return sched_rec_; }
+
   protected:
     /**
      * The shared functional MAC path: every dataflow's inner loop
@@ -126,11 +138,16 @@ class Architecture
         return false;
     }
 
+    /** The armed schedule recorder, or nullptr (the default). Walks
+     *  test this once per site; disarmed walks are untouched. */
+    ScheduleRecorder *schedRec() const { return sched_rec_; }
+
     std::string name_;
     Unroll unroll_;
 
   private:
     MacFaultHook *fault_ = nullptr;
+    ScheduleRecorder *sched_rec_ = nullptr;
 };
 
 } // namespace sim

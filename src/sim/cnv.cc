@@ -24,7 +24,15 @@ Cnv::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                   "functional operands (timing-only runs are "
                   "impossible by construction)");
     const int n_pes = numPes();
+    ScheduleRecorder *const rec = schedRec();
     RunStats st;
+
+    // Partial sums accumulate in the zero-initialized output buffer:
+    // one job-wide write-through window.
+    if (rec)
+        rec->onWindowBegin(std::uint64_t(spec.nof) * spec.oh * spec.ow *
+                               (spec.fourDimOutput ? spec.nif : 1),
+                           WindowKind::WriteThrough);
 
     for (int of0 = 0; of0 < spec.nof; of0 += unroll_.pOf) {
         const int of_cnt = std::min(unroll_.pOf, spec.nof - of0);
@@ -68,6 +76,37 @@ Cnv::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                     std::uint64_t window_cycles = 0;
                     for (auto nz : lane_nz)
                         window_cycles = std::max(window_cycles, nz);
+                    if (rec) {
+                        // Narrate the window the walk just summed:
+                        // cycle k runs every lane still holding a
+                        // non-zero pair, and the adder tree read-
+                        // modify-writes the window's partial each
+                        // cycle. Totals match the bulk counts below.
+                        const std::uint64_t cell =
+                            schedCellIndex(spec, of0, 0, oy, ox);
+                        for (std::uint64_t k = 0; k < window_cycles;
+                             ++k) {
+                            rec->onCycle();
+                            std::uint64_t active = 0;
+                            for (int lane = 0; lane < unroll_.pIf;
+                                 ++lane)
+                                if (lane_nz[std::size_t(lane)] > k) {
+                                    rec->onLanes(lane * unroll_.pOf,
+                                                 of_cnt);
+                                    ++active;
+                                }
+                            rec->onPort(SchedPort::Input, active);
+                            rec->onPort(SchedPort::Weight,
+                                        active * of_cnt);
+                            rec->onPort(SchedPort::OutputRead,
+                                        std::uint64_t(of_cnt));
+                            rec->onPort(SchedPort::OutputWrite,
+                                        std::uint64_t(of_cnt));
+                            rec->onCellRead(cell, std::uint64_t(of_cnt));
+                            rec->onCellWrite(cell,
+                                             std::uint64_t(of_cnt));
+                        }
+                    }
                     st.cycles += window_cycles;
                     st.effectiveMacs += window_nz * of_cnt;
                     st.idlePeSlots +=
@@ -118,6 +157,25 @@ Cnv::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                 }
                             }
                         const std::uint64_t steps = nz + wasted;
+                        if (rec) {
+                            const std::uint64_t cell =
+                                schedCellIndex(spec, of0, c, oy, ox);
+                            for (std::uint64_t k = 0; k < steps; ++k) {
+                                rec->onCycle();
+                                rec->onLanes(0, of_cnt);
+                                rec->onPort(SchedPort::Input, 1);
+                                rec->onPort(SchedPort::Weight,
+                                            std::uint64_t(of_cnt));
+                                rec->onPort(SchedPort::OutputRead,
+                                            std::uint64_t(of_cnt));
+                                rec->onPort(SchedPort::OutputWrite,
+                                            std::uint64_t(of_cnt));
+                                rec->onCellRead(cell,
+                                                std::uint64_t(of_cnt));
+                                rec->onCellWrite(cell,
+                                                 std::uint64_t(of_cnt));
+                            }
+                        }
                         st.cycles += steps;
                         st.effectiveMacs += nz * of_cnt;
                         st.ineffectualMacs += wasted * of_cnt;
@@ -133,6 +191,8 @@ Cnv::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
             }
         }
     }
+    if (rec)
+        rec->onWindowEnd();
     return st;
 }
 

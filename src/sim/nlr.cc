@@ -35,7 +35,15 @@ Nlr::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
 {
     const bool functional = in != nullptr;
     const int n_pes = numPes();
+    ScheduleRecorder *const rec = schedRec();
     RunStats st;
+
+    // Partial sums live in the global output buffer, zero-initialized;
+    // one job-wide write-through window covers every accumulation.
+    if (rec)
+        rec->onWindowBegin(std::uint64_t(spec.nof) * spec.oh * spec.ow *
+                               (spec.fourDimOutput ? spec.nif : 1),
+                           WindowKind::WriteThrough);
 
     for (int of0 = 0; of0 < spec.nof; of0 += unroll_.pOf) {
         const int of_cnt = std::min(unroll_.pOf, spec.nof - of0);
@@ -74,6 +82,28 @@ Nlr::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                 // read-modify-write per channel/cycle.
                                 st.outputReads += std::uint64_t(of_cnt);
                                 st.outputWrites += std::uint64_t(of_cnt);
+                                if (rec) {
+                                    rec->onCycle();
+                                    for (int ci = 0; ci < if_cnt; ++ci)
+                                        rec->onLanes(ci * unroll_.pOf,
+                                                     of_cnt);
+                                    rec->onPort(
+                                        SchedPort::Weight,
+                                        std::uint64_t(if_cnt) * of_cnt);
+                                    rec->onPort(SchedPort::Input,
+                                                std::uint64_t(if_cnt));
+                                    rec->onPort(SchedPort::OutputRead,
+                                                std::uint64_t(of_cnt));
+                                    rec->onPort(SchedPort::OutputWrite,
+                                                std::uint64_t(of_cnt));
+                                    const std::uint64_t cell =
+                                        schedCellIndex(spec, of0, 0, oy,
+                                                       ox);
+                                    rec->onCellRead(cell,
+                                                    std::uint64_t(of_cnt));
+                                    rec->onCellWrite(
+                                        cell, std::uint64_t(of_cnt));
+                                }
                                 const std::uint64_t active =
                                     std::uint64_t(if_cnt) * of_cnt;
                                 if (in_bounds)
@@ -125,6 +155,24 @@ Nlr::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                 st.inputLoads += 1;
                                 st.outputReads += std::uint64_t(of_cnt);
                                 st.outputWrites += std::uint64_t(of_cnt);
+                                if (rec) {
+                                    rec->onCycle();
+                                    rec->onLanes(0, of_cnt);
+                                    rec->onPort(SchedPort::Weight,
+                                                std::uint64_t(of_cnt));
+                                    rec->onPort(SchedPort::Input, 1);
+                                    rec->onPort(SchedPort::OutputRead,
+                                                std::uint64_t(of_cnt));
+                                    rec->onPort(SchedPort::OutputWrite,
+                                                std::uint64_t(of_cnt));
+                                    const std::uint64_t cell =
+                                        schedCellIndex(spec, of0, c, oy,
+                                                       ox);
+                                    rec->onCellRead(cell,
+                                                    std::uint64_t(of_cnt));
+                                    rec->onCellWrite(
+                                        cell, std::uint64_t(of_cnt));
+                                }
                                 const std::uint64_t active =
                                     std::uint64_t(of_cnt);
                                 if (in_bounds)
@@ -153,6 +201,8 @@ Nlr::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
             }
         }
     }
+    if (rec)
+        rec->onWindowEnd();
     return st;
 }
 

@@ -21,6 +21,7 @@ Ost::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
 {
     const bool functional = in != nullptr;
     const int n_pes = numPes();
+    ScheduleRecorder *const rec = schedRec();
     RunStats st;
 
     for (int of0 = 0; of0 < spec.nof; of0 += unroll_.pOf) {
@@ -30,7 +31,18 @@ Ost::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
             for (int tx = 0; tx < spec.ow; tx += unroll_.pOx) {
                 const int tx_cnt = std::min(unroll_.pOx, spec.ow - tx);
                 const int tile = ty_cnt * tx_cnt;
+                // The accumulation window of the output-stationary
+                // register array: cleared at tile start, drained once
+                // the tile's contributions are complete — per input
+                // map for four-dimension outputs, per whole nif loop
+                // otherwise.
+                if (rec && !spec.fourDimOutput)
+                    rec->onWindowBegin(std::uint64_t(tile) * of_cnt,
+                                       WindowKind::RegisterTile);
                 for (int c = 0; c < spec.nif; ++c) {
+                    if (rec && spec.fourDimOutput)
+                        rec->onWindowBegin(std::uint64_t(tile) * of_cnt,
+                                           WindowKind::RegisterTile);
                     bool first_kpos = true;
                     for (int ky = 0; ky < spec.kh; ++ky) {
                         for (int kx = 0; kx < spec.kw; ++kx) {
@@ -41,14 +53,30 @@ Ost::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                             // register array shifts (one new column or
                             // row); with stride > 1 adjacent cycles
                             // share nothing and the tile reloads.
+                            std::uint64_t in_words;
                             if (first_kpos) {
-                                st.inputLoads += std::uint64_t(tile);
+                                in_words = std::uint64_t(tile);
                                 first_kpos = false;
                             } else if (spec.stride == 1) {
-                                st.inputLoads += std::uint64_t(
+                                in_words = std::uint64_t(
                                     kx == 0 ? tx_cnt : ty_cnt);
                             } else {
-                                st.inputLoads += std::uint64_t(tile);
+                                in_words = std::uint64_t(tile);
+                            }
+                            st.inputLoads += in_words;
+                            if (rec) {
+                                rec->onCycle();
+                                rec->onPort(SchedPort::Weight,
+                                            std::uint64_t(of_cnt));
+                                rec->onPort(SchedPort::Input, in_words);
+                                for (int dy = 0; dy < ty_cnt; ++dy)
+                                    for (int dx = 0; dx < tx_cnt; ++dx)
+                                        rec->onLanes(
+                                            (dy * unroll_.pOx + dx) *
+                                                unroll_.pOf,
+                                            of_cnt);
+                                rec->onCellWrite(
+                                    0, std::uint64_t(tile) * of_cnt);
                             }
 
                             int eff_pos = 0;
@@ -115,13 +143,27 @@ Ost::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                     }
                     // Four-dimension outputs leave the array per input
                     // feature map (a fresh (of, if) plane each time).
-                    if (spec.fourDimOutput)
+                    if (spec.fourDimOutput) {
                         st.outputWrites += std::uint64_t(tile) * of_cnt;
+                        if (rec) {
+                            rec->onPort(SchedPort::OutputWrite,
+                                        std::uint64_t(tile) * of_cnt);
+                            rec->onDrain(0, std::uint64_t(tile) * of_cnt);
+                            rec->onWindowEnd();
+                        }
+                    }
                 }
                 // Accumulating convs keep partial sums in the PE
                 // registers across the whole nif loop and write once.
-                if (!spec.fourDimOutput)
+                if (!spec.fourDimOutput) {
                     st.outputWrites += std::uint64_t(tile) * of_cnt;
+                    if (rec) {
+                        rec->onPort(SchedPort::OutputWrite,
+                                    std::uint64_t(tile) * of_cnt);
+                        rec->onDrain(0, std::uint64_t(tile) * of_cnt);
+                        rec->onWindowEnd();
+                    }
+                }
             }
         }
     }

@@ -20,9 +20,17 @@ Rst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
 {
     const bool functional = in != nullptr;
     const int n_pes = numPes();
+    ScheduleRecorder *const rec = schedRec();
     RunStats st;
 
     const int ktiles = (spec.kh + unroll_.pKy - 1) / unroll_.pKy;
+
+    // Partial sums read-modify-write the zero-initialized output
+    // buffer between channel passes: one job-wide window.
+    if (rec)
+        rec->onWindowBegin(std::uint64_t(spec.nof) * spec.oh * spec.ow *
+                               (spec.fourDimOutput ? spec.nif : 1),
+                           WindowKind::WriteThrough);
 
     for (int of0 = 0; of0 < spec.nof; of0 += unroll_.pOf) {
         const int of_cnt = std::min(unroll_.pOf, spec.nof - of0);
@@ -45,12 +53,29 @@ Rst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                         (spec.ow - 1) * spec.stride + spec.kw;
                     st.inputLoads +=
                         std::uint64_t(rows_touched) * cols_touched;
+                    if (rec) {
+                        rec->onPort(SchedPort::Weight,
+                                    std::uint64_t(ky_cnt) * spec.kw *
+                                        of_cnt);
+                        rec->onPort(SchedPort::Input,
+                                    std::uint64_t(rows_touched) *
+                                        cols_touched);
+                    }
 
                     for (int ox = 0; ox < spec.ow; ++ox) {
                         for (int kx = 0; kx < spec.kw; ++kx) {
                             // ---- one cycle: every PE of the grid
                             // advances its 1-D convolution ----
                             st.cycles += 1;
+                            if (rec) {
+                                rec->onCycle();
+                                for (int dk = 0; dk < ky_cnt; ++dk)
+                                    for (int dy = 0; dy < oy_cnt; ++dy)
+                                        rec->onLanes(
+                                            (dk * unroll_.pOy + dy) *
+                                                unroll_.pOf,
+                                            of_cnt);
+                            }
                             int eff = 0;
                             for (int dk = 0; dk < ky_cnt; ++dk) {
                                 int ky = ky0 + dk;
@@ -124,10 +149,30 @@ Rst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                         std::uint64_t(oy_cnt) * spec.ow * of_cnt;
                     st.outputWrites +=
                         std::uint64_t(oy_cnt) * spec.ow * of_cnt;
+                    if (rec) {
+                        rec->onPort(SchedPort::OutputRead,
+                                    std::uint64_t(oy_cnt) * spec.ow *
+                                        of_cnt);
+                        rec->onPort(SchedPort::OutputWrite,
+                                    std::uint64_t(oy_cnt) * spec.ow *
+                                        of_cnt);
+                        for (int dy = 0; dy < oy_cnt; ++dy)
+                            for (int ox = 0; ox < spec.ow; ++ox) {
+                                const std::uint64_t cell =
+                                    schedCellIndex(spec, of0, c,
+                                                   oy0 + dy, ox);
+                                rec->onCellRead(cell,
+                                                std::uint64_t(of_cnt));
+                                rec->onCellWrite(cell,
+                                                 std::uint64_t(of_cnt));
+                            }
+                    }
                 }
             }
         }
     }
+    if (rec)
+        rec->onWindowEnd();
     return st;
 }
 

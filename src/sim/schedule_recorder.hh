@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Per-cycle schedule recorder hook.
+ *
+ * The third null-by-default observation hook on Architecture (after
+ * the PR 3 MacFaultHook and the PR 5 obs::Probe): when armed, every
+ * cycle walk narrates its concrete schedule — cycle boundaries, PE-lane
+ * bookings, per-cycle buffer-port traffic, and register/partial-sum
+ * accumulation windows — to the recorder. The static schedule analyzer
+ * (verify/schedule_analysis) predicts the same relation symbolically
+ * without walking; the differential fuzz keeps the two bit-identical.
+ *
+ * Attribution convention: events attach to the most recently begun
+ * cycle; events reported before a job's first cycle (e.g. a resident
+ * weight-tile load at a pass boundary) attach to the first cycle.
+ *
+ * When no recorder is installed the walks pay one pointer test per
+ * call site and behave bit-identically to an uninstrumented walk.
+ * Recorders are not shared between concurrently running jobs: arm one
+ * architecture instance per thread.
+ */
+
+#ifndef GANACC_SIM_SCHEDULE_RECORDER_HH
+#define GANACC_SIM_SCHEDULE_RECORDER_HH
+
+#include <cstdint>
+
+#include "sim/conv_spec.hh"
+
+namespace ganacc {
+namespace sim {
+
+/** The buffer port classes a cycle walk drives. */
+enum class SchedPort
+{
+    Weight,      ///< weight buffer reads into the array
+    Input,       ///< input/activation reads into the array
+    OutputRead,  ///< partial-sum reads (read-modify-write accumulate)
+    OutputWrite, ///< partial-sum / result writes
+};
+
+/** How an accumulation window treats reads and drains. */
+enum class WindowKind
+{
+    /** Register tile cleared at window begin; reads never hazard, every
+     *  written cell must be drained before the window closes (OST /
+     *  ZFOST output-stationary register arrays). */
+    RegisterTile,
+    /** Partial-sum buffer that is NOT zero-initialized: a read of a
+     *  never-written cell is a RAW hazard, and every written cell must
+     *  be drained (ZFWST ping-pong partial-result buffer). */
+    AccumBuffer,
+    /** Zero-initialized buffer whose writes are themselves the result
+     *  export: reads never hazard and no drain is required (NLR / WST /
+     *  CNV / RST global partial sums). */
+    WriteThrough,
+};
+
+/**
+ * Observer for one job's concrete schedule. All callbacks run on the
+ * walking thread, between onJobBegin and onJobEnd.
+ */
+class ScheduleRecorder
+{
+  public:
+    virtual ~ScheduleRecorder() = default;
+
+    virtual void onJobBegin(int n_pes, const ConvSpec &spec) = 0;
+
+    /** A new scheduled cycle begins. */
+    virtual void onCycle() = 0;
+
+    /** `count` PE lanes [base, base+count) are booked this cycle. The
+     *  lane index is the MacContext slot index of the dataflow. */
+    virtual void onLanes(int base, int count) = 0;
+
+    /** `words` operand words move through `port` this cycle. */
+    virtual void onPort(SchedPort port, std::uint64_t words) = 0;
+
+    /** Open an accumulation window of `cells` register/buffer cells.
+     *  Windows never nest within one job. */
+    virtual void onWindowBegin(std::uint64_t cells, WindowKind kind) = 0;
+
+    /** Cells [base, base+count) of the open window are written. */
+    virtual void onCellWrite(std::uint64_t base, std::uint64_t count) = 0;
+
+    /** Cells [base, base+count) of the open window are read back. */
+    virtual void onCellRead(std::uint64_t base, std::uint64_t count) = 0;
+
+    /** Cells [base, base+count) are drained out of the array/buffer. */
+    virtual void onDrain(std::uint64_t base, std::uint64_t count) = 0;
+
+    virtual void onWindowEnd() = 0;
+
+    virtual void onJobEnd() = 0;
+};
+
+/** The shared output-cell linearization the walks report windows in:
+ *  f fastest within a pOf tile, then ox, oy, and (four-dimension
+ *  outputs only) the input map. */
+inline std::uint64_t
+schedCellIndex(const ConvSpec &spec, int of0, int c, int oy, int ox)
+{
+    const std::uint64_t plane =
+        (std::uint64_t(oy) * std::uint64_t(spec.ow) + std::uint64_t(ox)) *
+            std::uint64_t(spec.nof) +
+        std::uint64_t(of0);
+    if (!spec.fourDimOutput)
+        return plane;
+    return std::uint64_t(c) * std::uint64_t(spec.oh) *
+               std::uint64_t(spec.ow) * std::uint64_t(spec.nof) +
+           plane;
+}
+
+} // namespace sim
+} // namespace ganacc
+
+#endif // GANACC_SIM_SCHEDULE_RECORDER_HH

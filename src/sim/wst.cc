@@ -21,10 +21,18 @@ Wst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
 {
     const bool functional = in != nullptr;
     const int n_pes = numPes();
+    ScheduleRecorder *const rec = schedRec();
     RunStats st;
 
     const int ktiles_y = (spec.kh + unroll_.pKy - 1) / unroll_.pKy;
     const int ktiles_x = (spec.kw + unroll_.pKx - 1) / unroll_.pKx;
+
+    // Partial sums accumulate in the zero-initialized output buffer
+    // across every pass: one job-wide write-through window.
+    if (rec)
+        rec->onWindowBegin(std::uint64_t(spec.nof) * spec.oh * spec.ow *
+                               (spec.fourDimOutput ? spec.nif : 1),
+                           WindowKind::WriteThrough);
 
     for (int of0 = 0; of0 < spec.nof; of0 += unroll_.pOf) {
         const int of_cnt = std::min(unroll_.pOf, spec.nof - of0);
@@ -37,6 +45,9 @@ Wst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                 // Load the resident weight tile once per pass.
                 st.weightLoads +=
                     std::uint64_t(ky_cnt) * kx_cnt * of_cnt;
+                if (rec)
+                    rec->onPort(SchedPort::Weight,
+                                std::uint64_t(ky_cnt) * kx_cnt * of_cnt);
 
                 for (int c = 0; c < spec.nif; ++c) {
                     for (int iy = 0; iy < spec.ih; ++iy) {
@@ -44,6 +55,10 @@ Wst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                             // ---- one cycle: broadcast in(c,iy,ix) ----
                             st.cycles += 1;
                             st.inputLoads += 1;
+                            if (rec) {
+                                rec->onCycle();
+                                rec->onPort(SchedPort::Input, 1);
+                            }
                             const bool in_zero =
                                 spec.inputIsZero(iy, ix);
                             int eff = 0, ineff = 0, contrib = 0;
@@ -64,6 +79,20 @@ Wst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                     if (ox >= spec.ow)
                                         continue;
                                     ++contrib;
+                                    if (rec) {
+                                        rec->onLanes(
+                                            ((ky - ky0) * unroll_.pKx +
+                                             (kx - kx0)) *
+                                                unroll_.pOf,
+                                            of_cnt);
+                                        const std::uint64_t cell =
+                                            schedCellIndex(spec, of0, c,
+                                                           oy, ox);
+                                        rec->onCellRead(
+                                            cell, std::uint64_t(of_cnt));
+                                        rec->onCellWrite(
+                                            cell, std::uint64_t(of_cnt));
+                                    }
                                     bool useful =
                                         !in_zero &&
                                         !spec.kernelIsZero(ky, kx);
@@ -118,12 +147,22 @@ Wst::doRun(const ConvSpec &spec, const Tensor *in, const Tensor *w,
                                 std::uint64_t(contrib) * of_cnt;
                             st.outputWrites +=
                                 std::uint64_t(contrib) * of_cnt;
+                            if (rec) {
+                                rec->onPort(SchedPort::OutputRead,
+                                            std::uint64_t(contrib) *
+                                                of_cnt);
+                                rec->onPort(SchedPort::OutputWrite,
+                                            std::uint64_t(contrib) *
+                                                of_cnt);
+                            }
                         }
                     }
                 }
             }
         }
     }
+    if (rec)
+        rec->onWindowEnd();
     return st;
 }
 

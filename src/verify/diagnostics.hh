@@ -69,6 +69,16 @@ inline constexpr const char *kBoundsDiverge = "GA-BOUNDS-DIVERGE";
 // DSE point pre-filter.
 inline constexpr const char *kDsePoint = "GA-DSE-POINT";
 
+// Schedule-hazard analysis (verify/schedule_analysis).
+inline constexpr const char *kSchedSlot = "GA-SCHED-SLOT";
+inline constexpr const char *kSchedWaw = "GA-SCHED-WAW";
+inline constexpr const char *kSchedRaw = "GA-SCHED-RAW";
+inline constexpr const char *kSchedDrain = "GA-SCHED-DRAIN";
+inline constexpr const char *kSchedOob = "GA-SCHED-OOB";
+inline constexpr const char *kSchedPort = "GA-SCHED-PORT";
+inline constexpr const char *kSchedDiverge = "GA-SCHED-DIVERGE";
+inline constexpr const char *kSchedUnmodeled = "GA-SCHED-UNMODELED";
+
 } // namespace codes
 
 /** One verifier finding. */

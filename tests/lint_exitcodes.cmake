@@ -1,0 +1,47 @@
+# CTest driver pinning the ganacc-lint exit-code contract:
+#   0 - clean run (no finding at or above --fail-on)
+#   1 - findings (diagnostics at or above --fail-on)
+#   2 - usage error (bad flag or flag combination)
+# Scripts and CI depend on these values; a drift is a breaking change.
+# Variables: LINT (binary).
+
+# Clean run: the bundled DCGAN lints without findings.
+execute_process(
+    COMMAND ${LINT} --model dcgan
+    OUTPUT_QUIET ERROR_QUIET
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "clean run must exit 0, got ${rc} (--model dcgan)")
+endif()
+
+# Findings: a one-word-per-cycle port budget is far below what the
+# ZFOST schedule needs, so GA-SCHED-PORT errors must trip exit 1.
+execute_process(
+    COMMAND ${LINT} --model dcgan --arch zfost --port-budget 1
+    OUTPUT_QUIET ERROR_QUIET
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+        "findings run must exit 1, got ${rc} (--port-budget 1)")
+endif()
+
+# Usage errors: an unknown flag and an invalid combination
+# (--check-schedule without --arch) must both exit 2.
+execute_process(
+    COMMAND ${LINT} --bogus-flag
+    OUTPUT_QUIET ERROR_QUIET
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 2)
+    message(FATAL_ERROR
+        "unknown flag must exit 2, got ${rc}")
+endif()
+
+execute_process(
+    COMMAND ${LINT} --model dcgan --check-schedule
+    OUTPUT_QUIET ERROR_QUIET
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 2)
+    message(FATAL_ERROR
+        "--check-schedule without --arch must exit 2, got ${rc}")
+endif()

@@ -169,8 +169,8 @@ TEST_P(BnGradCheck, NumericalGradientsMatch)
 INSTANTIATE_TEST_SUITE_P(BothModes, BnGradCheck,
                          ::testing::Values(BatchNormLayer::Mode::Batch,
                                            BatchNormLayer::Mode::Frozen),
-                         [](const auto &info) {
-                             return info.param ==
+                         [](const auto &param_info) {
+                             return param_info.param ==
                                             BatchNormLayer::Mode::Batch
                                         ? std::string("Batch")
                                         : std::string("Frozen");

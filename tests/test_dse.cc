@@ -110,4 +110,33 @@ TEST(Dse, RejectsDegeneratePoints)
                  util::PanicError);
 }
 
+TEST(Dse, ScheduleRejectionsBitIdenticalSerialAndParallel)
+{
+    // The schedule prefilter runs inside both sweep engines; its
+    // verdicts (and the rejected-point bookkeeping) must not depend on
+    // evaluation order or worker count.
+    DseConstraints cons = paperConstraints();
+    cons.maxWPof = 20;
+    gan::GanModel dcgan = gan::makeDcgan();
+    auto serial = core::sweepFrontier(cons, dcgan);
+    auto parallel = core::sweepFrontierParallel(cons, dcgan, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].verifierRejected,
+                  parallel[i].verifierRejected) << i;
+        EXPECT_EQ(serial[i].scheduleRejected,
+                  parallel[i].scheduleRejected) << i;
+        EXPECT_EQ(serial[i].verifierCode, parallel[i].verifierCode)
+            << i;
+    }
+    EXPECT_EQ(core::scheduleRejectedCount(serial),
+              core::scheduleRejectedCount(parallel));
+    // The paper-shaped frontier is schedule-clean: every GA-SCHED
+    // invariant holds by construction for legal (w, st) splits, so
+    // rejections here would be analyzer false positives.
+    EXPECT_EQ(core::scheduleRejectedCount(serial), 0);
+    EXPECT_LE(core::scheduleRejectedCount(serial),
+              core::verifierRejectedCount(serial));
+}
+
 } // namespace

@@ -1,12 +1,19 @@
 /**
  * @file
  * Tests for the memory substrates: off-chip bandwidth derivations
- * (eqs. 7-8) and the Fig. 14 on-chip buffer plan.
+ * (eqs. 7-8), the Fig. 14 on-chip buffer plan, and the AccessTap
+ * observer contract every access path must honour — the fault
+ * injector and the schedule shadow checker both hang off it.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "gan/models.hh"
+#include "mem/access_tap.hh"
 #include "mem/offchip.hh"
 #include "mem/onchip_buffer.hh"
 #include "util/logging.hh"
@@ -149,6 +156,86 @@ TEST(BufferPlan, TotalsAreConsistent)
     EXPECT_EQ(plan.totalBytes(),
               2 * plan.inOutBytes + plan.dataBytes + plan.errorBytes +
                   plan.weightBytes + 2 * plan.gradWBytes);
+}
+
+/** Records every (bytes, is_write) event a tapped model emits. */
+class RecordingTap final : public mem::AccessTap
+{
+  public:
+    void
+    onAccess(std::uint64_t bytes, bool is_write) override
+    {
+        events.emplace_back(bytes, is_write);
+    }
+
+    std::vector<std::pair<std::uint64_t, bool>> events;
+};
+
+TEST(AccessTap, OnChipBufferFiresOnEveryAccessPath)
+{
+    mem::OnChipBuffer buf("probe", 1024);
+    RecordingTap tap;
+    buf.setAccessTap(&tap);
+    buf.read(16);
+    buf.write(32);
+    buf.read(0); // even zero-byte accesses must reach the observer
+    ASSERT_EQ(tap.events.size(), 3u);
+    EXPECT_EQ(tap.events[0], std::make_pair(std::uint64_t(16), false));
+    EXPECT_EQ(tap.events[1], std::make_pair(std::uint64_t(32), true));
+    EXPECT_EQ(tap.events[2], std::make_pair(std::uint64_t(0), false));
+    // The tap observes; it must not perturb the counters.
+    EXPECT_EQ(buf.bytesRead(), 16u);
+    EXPECT_EQ(buf.bytesWritten(), 32u);
+}
+
+TEST(AccessTap, OnChipBufferDetachStopsDelivery)
+{
+    mem::OnChipBuffer buf("probe", 1024);
+    RecordingTap tap;
+    buf.setAccessTap(&tap);
+    buf.read(8);
+    buf.setAccessTap(nullptr);
+    buf.read(8);
+    buf.write(8);
+    EXPECT_EQ(tap.events.size(), 1u);
+    EXPECT_EQ(buf.bytesRead(), 16u);
+}
+
+TEST(AccessTap, OffChipMemoryFiresOnEveryAccessPath)
+{
+    mem::OffChipMemory dram{OffChipConfig{}};
+    RecordingTap tap;
+    dram.setAccessTap(&tap);
+    dram.read(64);
+    dram.write(128);
+    ASSERT_EQ(tap.events.size(), 2u);
+    EXPECT_EQ(tap.events[0], std::make_pair(std::uint64_t(64), false));
+    EXPECT_EQ(tap.events[1], std::make_pair(std::uint64_t(128), true));
+    // reset() clears counters without synthesizing tap events.
+    dram.reset();
+    EXPECT_EQ(tap.events.size(), 2u);
+    EXPECT_EQ(dram.bytesRead(), 0u);
+    dram.setAccessTap(nullptr);
+    dram.write(1);
+    EXPECT_EQ(tap.events.size(), 2u);
+}
+
+TEST(AccessTap, PingPongHalvesAreIndependentlyTappable)
+{
+    mem::PingPongBuffer pp("pp", 256);
+    RecordingTap active_tap, shadow_tap;
+    pp.active().setAccessTap(&active_tap);
+    pp.shadow().setAccessTap(&shadow_tap);
+    pp.active().read(4);
+    pp.shadow().write(8);
+    pp.swap(); // the taps follow the halves, not the roles
+    pp.active().write(2);
+    ASSERT_EQ(active_tap.events.size(), 1u);
+    EXPECT_EQ(active_tap.events[0],
+              std::make_pair(std::uint64_t(4), false));
+    ASSERT_EQ(shadow_tap.events.size(), 2u);
+    EXPECT_EQ(shadow_tap.events[1],
+              std::make_pair(std::uint64_t(2), true));
 }
 
 } // namespace

@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Static-vs-shadow differential validation of the schedule-hazard
+ * analyzer: 200 fuzzed ConvSpecs (the same corpus generator as the
+ * functional differential suite) across all five paper dataflows plus
+ * the NLR-vanilla / ZFOST-raster ablations — the symbolically derived
+ * ScheduleRelation must be *bit-identical* to the relation the
+ * recorder-armed cycle walk reconstructs, and hazard-free. The CNV and
+ * RST baselines have no static model and are checked against their
+ * dynamic occupancy envelope instead. Negative paths (port budgets,
+ * misbehaving schedules) pin the GA-SCHED-* codes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/unrolling.hh"
+#include "core/zfost.hh"
+#include "core/zfwst.hh"
+#include "gan/models.hh"
+#include "mem/offchip.hh"
+#include "sim/arch.hh"
+#include "sim/closed_form.hh"
+#include "sim/conv_spec.hh"
+#include "sim/nlr.hh"
+#include "sim/phase.hh"
+#include "sim/schedule_recorder.hh"
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+#include "verify/diagnostics.hh"
+#include "verify/legality.hh"
+#include "verify/schedule_analysis.hh"
+
+namespace {
+
+using namespace ganacc;
+using core::ArchKind;
+using sim::ConvSpec;
+using sim::RunStats;
+using sim::Unroll;
+using util::Rng;
+using verify::ScheduleRelation;
+
+/** Draw one random job over the three GAN convolution patterns (same
+ *  distribution as the functional differential fuzz). */
+ConvSpec
+randomSpec(Rng &rng)
+{
+    ConvSpec s;
+    s.label = "fuzz";
+    s.nif = rng.uniformInt(1, 4);
+    s.nof = rng.uniformInt(1, 4);
+    const int kind = rng.uniformInt(0, 3);
+    if (kind == 3) { // head-layer T-CONV: 1x1 map, single-cycle passes
+        s.nif = 1;
+        s.nof = rng.uniformInt(2, 8);
+        s.ih = s.iw = 1;
+        s.kh = s.kw = rng.uniformInt(2, 7);
+        s.stride = 1;
+        s.pad = s.kh - 1;
+        s.oh = s.ow = s.kh;
+        return s;
+    }
+    if (kind == 0) { // dense strided S-CONV
+        s.ih = s.iw = rng.uniformInt(5, 16);
+        s.kh = s.kw = rng.uniformInt(1, 5);
+        s.stride = rng.uniformInt(1, 3);
+        s.pad = rng.uniformInt(0, s.kh / 2);
+        s.oh = tensor::convOutDim(s.ih, s.kh, s.stride, s.pad);
+        s.ow = tensor::convOutDim(s.iw, s.kw, s.stride, s.pad);
+    } else if (kind == 1) { // zero-stuffed T-CONV
+        const int dense = rng.uniformInt(2, 7);
+        const int z = rng.uniformInt(2, 3);
+        const int extra = rng.uniformInt(0, z - 1);
+        s.inZeroStride = z;
+        s.inOrigH = s.inOrigW = dense;
+        s.ih = s.iw = (dense - 1) * z + 1 + extra;
+        s.kh = s.kw = rng.uniformInt(2, 5);
+        s.stride = 1;
+        s.pad = rng.uniformInt(0, s.kh - 1);
+        if (s.ih + 2 * s.pad < s.kh) // kernel overhangs padded input
+            return randomSpec(rng);
+        s.oh = tensor::convOutDim(s.ih, s.kh, 1, s.pad);
+        s.ow = tensor::convOutDim(s.iw, s.kw, 1, s.pad);
+    } else { // dilated-kernel W-CONV (4-D output)
+        s.ih = s.iw = rng.uniformInt(7, 16);
+        const int err = rng.uniformInt(2, 5);
+        s.kZeroStride = 2;
+        s.kOrigH = s.kOrigW = err;
+        s.kh = s.kw = (err - 1) * 2 + 1;
+        s.stride = 1;
+        s.pad = rng.uniformInt(0, 2);
+        s.fourDimOutput = true;
+        const int natural = s.ih + 2 * s.pad - s.kh + 1;
+        if (natural < 1)
+            return randomSpec(rng); // degenerate draw, redo
+        s.oh = s.ow = std::min(natural, rng.uniformInt(2, 6));
+    }
+    if (s.oh < 1 || s.ow < 1)
+        return randomSpec(rng);
+    return s;
+}
+
+/** A random unroll for each dataflow kind, mixing degenerate factors
+ *  (1, full bound) with mid-range ones. */
+Unroll
+randomUnroll(ArchKind kind, const ConvSpec &s, Rng &rng)
+{
+    switch (kind) {
+      case ArchKind::NLR:
+        return Unroll{.pIf = rng.uniformInt(1, 5),
+                      .pOf = rng.uniformInt(1, 5)};
+      case ArchKind::WST:
+      case ArchKind::ZFWST:
+        return Unroll{.pOf = rng.uniformInt(1, 4),
+                      .pKx = rng.uniformInt(1, s.kw + 1),
+                      .pKy = rng.uniformInt(1, s.kh + 1)};
+      case ArchKind::OST:
+      case ArchKind::ZFOST:
+        return Unroll{.pOf = rng.uniformInt(1, 4),
+                      .pOx = rng.uniformInt(1, 4),
+                      .pOy = rng.uniformInt(1, 4)};
+    }
+    return Unroll{};
+}
+
+constexpr ArchKind kAllKinds[] = {ArchKind::NLR, ArchKind::WST,
+                                  ArchKind::OST, ArchKind::ZFOST,
+                                  ArchKind::ZFWST};
+
+/** Ten random jobs per shard; 20 shards = 200 fuzzed specs. */
+class ScheduleShadowFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ScheduleShadowFuzz, StaticRelationBitIdenticalToShadow)
+{
+    // The recorder must observe the real cycle walk even when the
+    // environment prefers the fast path.
+    Rng rng(0x5CED0000ULL + std::uint64_t(GetParam()));
+    for (int i = 0; i < 10; ++i) {
+        const ConvSpec s = randomSpec(rng);
+        verify::Report legal;
+        verify::checkConvSpec(s, legal);
+        ASSERT_TRUE(legal.ok()) << s.describe();
+
+        for (ArchKind kind : kAllKinds) {
+            const Unroll u = randomUnroll(kind, s, rng);
+
+            // The full differential contract, through the public
+            // checker: agree bit-for-bit and stay hazard-free.
+            verify::Report report;
+            EXPECT_TRUE(
+                verify::checkScheduleAgainstShadow(kind, u, s, report))
+                << core::archKindName(kind) << " on " << s.describe()
+                << "\npredicted {"
+                << verify::staticScheduleRelation(kind, u, s).str()
+                << "}";
+            EXPECT_TRUE(report.ok()) << [&] {
+                std::ostringstream os;
+                report.renderText(os);
+                return os.str();
+            }();
+
+            // And the static side must satisfy its own checks under
+            // the default port budget (peaks never exceed the array).
+            verify::Report static_report;
+            verify::checkSchedule(kind, u, s, verify::PortBudget{},
+                                  static_report);
+            EXPECT_TRUE(static_report.ok())
+                << core::archKindName(kind) << " on " << s.describe();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ScheduleShadowFuzz,
+                         ::testing::Range(0, 20));
+
+/** The ablation configurations carry different schedules (executed
+ *  zeros, raster weight feed) and must shadow-match too. */
+TEST(ScheduleShadowAblations, VanillaNlrAndRasterZfostMatch)
+{
+    Rng rng(0x5CEDAB1AULL);
+    for (int i = 0; i < 40; ++i) {
+        const ConvSpec s = randomSpec(rng);
+        verify::Report legal;
+        verify::checkConvSpec(s, legal);
+        ASSERT_TRUE(legal.ok()) << s.describe();
+
+        {
+            const Unroll u = randomUnroll(ArchKind::NLR, s, rng);
+            sim::Nlr arch(u, sim::Nlr::ZeroPolicy::Execute);
+            const ScheduleRelation got =
+                verify::recordedScheduleRelation(arch, s);
+            const ScheduleRelation want =
+                verify::staticNlrSchedule(u, s, /*zero_skip=*/false);
+            EXPECT_EQ(want, got)
+                << "NLR-vanilla on " << s.describe() << "\npredicted {"
+                << want.str() << "} recorded {" << got.str() << "}";
+            EXPECT_TRUE(got.hazardFree()) << got.str();
+        }
+        {
+            const Unroll u = randomUnroll(ArchKind::ZFOST, s, rng);
+            core::Zfost arch(u, core::Zfost::WeightOrder::Raster);
+            const ScheduleRelation got =
+                verify::recordedScheduleRelation(arch, s);
+            const ScheduleRelation want = verify::staticZfostSchedule(
+                u, s, /*reordered_feed=*/false);
+            EXPECT_EQ(want, got)
+                << "ZFOST-raster on " << s.describe() << "\npredicted {"
+                << want.str() << "} recorded {" << got.str() << "}";
+            EXPECT_TRUE(got.hazardFree()) << got.str();
+        }
+    }
+}
+
+/** CNV and RST have no static model: the recorded relation must stay
+ *  hazard-free and inside the occupancy envelope, and the checker must
+ *  note the modeling gap with GA-SCHED-UNMODELED. */
+TEST(ScheduleShadowBaselines, CnvAndRstStayInEnvelope)
+{
+    Rng rng(0x5CEDBA5EULL);
+    for (int i = 0; i < 25; ++i) {
+        const ConvSpec s = randomSpec(rng);
+        verify::Report legal;
+        verify::checkConvSpec(s, legal);
+        ASSERT_TRUE(legal.ok()) << s.describe();
+
+        for (verify::BaselineKind kind :
+             {verify::BaselineKind::CNV, verify::BaselineKind::RST}) {
+            const Unroll u =
+                kind == verify::BaselineKind::CNV
+                    ? Unroll{.pIf = rng.uniformInt(1, 4),
+                             .pOf = rng.uniformInt(1, 4)}
+                    : Unroll{.pOf = rng.uniformInt(1, 3),
+                             .pKy = rng.uniformInt(1, s.kh + 1),
+                             .pOy = rng.uniformInt(1, 4)};
+            verify::Report report;
+            EXPECT_TRUE(
+                verify::checkBaselineSchedule(kind, u, s, report))
+                << verify::baselineName(kind) << " on " << s.describe();
+            EXPECT_TRUE(report.ok());
+            EXPECT_TRUE(report.has(verify::codes::kSchedUnmodeled));
+        }
+    }
+}
+
+/** A recorder-armed run must force the cycle walk (the fast path has
+ *  no schedule to record) and leave the fast path untouched after. */
+TEST(ScheduleShadow, RecorderForcesWalkEngine)
+{
+    ConvSpec s;
+    s.label = "engine";
+    s.nif = 2;
+    s.nof = 3;
+    s.ih = s.iw = 6;
+    s.kh = s.kw = 3;
+    s.stride = 1;
+    s.pad = 1;
+    s.oh = s.ow = 6;
+
+    sim::ScopedSimEngine eng(sim::SimEngine::Fast);
+    ASSERT_TRUE(sim::fastPathEnabled());
+    auto arch = core::makeArch(ArchKind::OST, Unroll{.pOf = 2,
+                                                     .pOx = 2,
+                                                     .pOy = 2});
+    const RunStats fast = arch->run(s);
+    RunStats walked;
+    const ScheduleRelation rel = verify::recordedScheduleRelation(
+        *arch, s, /*functional=*/false, &walked);
+    // The recorder saw every cycle the fast path would have skipped...
+    EXPECT_EQ(rel.cycles, fast.cycles);
+    EXPECT_GT(rel.scheduledSlots, 0u);
+    // ...the walk agreed with the fast path, and the recorder is
+    // disarmed again afterwards.
+    EXPECT_EQ(walked.str(), fast.str());
+    EXPECT_EQ(arch->scheduleRecorder(), nullptr);
+}
+
+/** Regression: a head-layer T-CONV streams a 1x1 error map, so every
+ *  resident-weight pass is a single cycle and the first cycle carries
+ *  two coalesced tile loads (the pended first load plus the second
+ *  pass's prefetch). The static model must predict that peak, and the
+ *  default (double-buffered) weight budget must absorb it. */
+TEST(ScheduleShadow, SingleCyclePassCoalescesWeightLoads)
+{
+    ConvSpec s;
+    s.label = "head-tconv";
+    s.nif = 1;
+    s.nof = 128;
+    s.ih = s.iw = 1;
+    s.kh = s.kw = 7;
+    s.stride = 1;
+    s.pad = 6;
+    s.oh = s.ow = 7;
+
+    const Unroll u{.pOf = 48, .pKx = 5, .pKy = 5};
+    auto arch = core::makeArch(ArchKind::WST, u);
+    const ScheduleRelation rec =
+        verify::recordedScheduleRelation(*arch, s);
+    const ScheduleRelation stat =
+        verify::staticScheduleRelation(ArchKind::WST, u, s);
+    // 5x5 tile + 5x2 boundary tile, 48 channels each, on one cycle.
+    EXPECT_EQ(rec.peakWeightLoads, (25u + 10u) * 48u);
+    EXPECT_EQ(stat, rec);
+
+    verify::Report report;
+    verify::checkSchedule(ArchKind::WST, u, s, verify::PortBudget{},
+                          report);
+    std::ostringstream rendered;
+    report.renderText(rendered);
+    EXPECT_TRUE(report.ok()) << rendered.str();
+
+    // ZFWST has the same resident-load pattern; a one-position output
+    // (a head layer's 1x1 kernel gradient) gives it single-cycle
+    // passes, and 49 effective weights against a 4-slot resident
+    // capacity force the multi-chunk coalescing branch.
+    ConvSpec g = s;
+    g.label = "head-wconv";
+    g.nof = 8;
+    g.kh = g.kw = 7;
+    g.oh = g.ow = 1;
+    g.ih = g.iw = 7;
+    g.pad = 0;
+    const Unroll uw{.pOf = 4, .pKx = 2, .pKy = 2};
+    auto zarch = core::makeArch(ArchKind::ZFWST, uw);
+    EXPECT_EQ(verify::staticScheduleRelation(ArchKind::ZFWST, uw, g),
+              verify::recordedScheduleRelation(*zarch, g));
+}
+
+/** Negative path: a one-word port budget must trip GA-SCHED-PORT on
+ *  any schedule whose peak traffic exceeds it. */
+TEST(ScheduleNegative, TinyPortBudgetTripsSchedPort)
+{
+    ConvSpec s;
+    s.label = "tiny-port";
+    s.nif = 2;
+    s.nof = 4;
+    s.ih = s.iw = 8;
+    s.kh = s.kw = 3;
+    s.stride = 1;
+    s.pad = 1;
+    s.oh = s.ow = 8;
+
+    verify::PortBudget budget;
+    budget.weight = 1; // the NLR adder tree loads pIf*pOf words/cycle
+    verify::Report report;
+    verify::checkSchedule(ArchKind::NLR,
+                          Unroll{.pIf = 2, .pOf = 4}, s, budget,
+                          report);
+    EXPECT_FALSE(report.ok());
+    ASSERT_TRUE(report.has(verify::codes::kSchedPort));
+    EXPECT_EQ(report.find(verify::codes::kSchedPort)->severity,
+              verify::Severity::Error);
+}
+
+/** Negative path: a deliberately misbehaving recorder feed — here a
+ *  hand-driven replay double-booking a lane, reading an unwritten
+ *  accumulator cell, writing out of bounds and skipping a drain — must
+ *  light up every hazard counter through the public relation. */
+class HazardReplay
+{
+  public:
+    /** Drive `rec` through one bad cycle. */
+    static void
+    drive(sim::ScheduleRecorder &rec, const ConvSpec &s)
+    {
+        rec.onJobBegin(4, s);
+        rec.onWindowBegin(8, sim::WindowKind::AccumBuffer);
+        rec.onCycle();
+        rec.onLanes(0, 2);
+        rec.onLanes(1, 1);  // lane 1 double-booked
+        rec.onLanes(4, 1);  // beyond the 4-lane array
+        rec.onCellRead(2, 1);  // never written: RAW
+        rec.onCellWrite(0, 2);
+        rec.onCellWrite(1, 2); // overlaps cell 1: WAW
+        rec.onCellWrite(6, 4); // cells 8,9 out of the 8-cell window
+        rec.onCycle();
+        rec.onDrain(0, 2); // cells 1..7 written but never drained
+        rec.onWindowEnd();
+        rec.onJobEnd();
+    }
+};
+
+TEST(ScheduleNegative, ShadowRecorderCountsEveryHazardClass)
+{
+    ConvSpec s;
+    s.label = "hazards";
+    s.nif = s.nof = 1;
+    s.ih = s.iw = 4;
+    s.kh = s.kw = 1;
+    s.stride = 1;
+    s.pad = 0;
+    s.oh = s.ow = 4;
+
+    // Reach the concrete recorder through an armed architecture run is
+    // impossible here (the walks are well-formed by construction), so
+    // replay the bad schedule against the recorder the verifier uses:
+    // recordedScheduleRelation on a trivial job, then the hand replay
+    // through the same hook interface via a capturing architecture.
+    class CapturingArch final : public sim::Nlr
+    {
+      public:
+        using sim::Nlr::Nlr;
+
+      protected:
+        RunStats
+        doRun(const ConvSpec &spec, const tensor::Tensor *,
+              const tensor::Tensor *, tensor::Tensor *) const override
+        {
+            // Replace the walk with the misbehaving schedule.
+            HazardReplay::drive(*scheduleRecorder(), spec);
+            return RunStats{};
+        }
+    };
+
+    CapturingArch arch(Unroll{.pIf = 1, .pOf = 1});
+    const ScheduleRelation rel =
+        verify::recordedScheduleRelation(arch, s);
+    EXPECT_EQ(rel.slotConflicts, 2u); // double-booked + out-of-array
+    EXPECT_EQ(rel.wawHazards, 1u);
+    EXPECT_EQ(rel.rawHazards, 1u);
+    EXPECT_EQ(rel.oobAccesses, 2u);
+    EXPECT_EQ(rel.undrainedWrites, 3u); // written {0,1,2,6,7}, drained
+                                        // {0,1}: cells 2, 6, 7 leak
+    EXPECT_FALSE(rel.hazardFree());
+    EXPECT_EQ(rel.cycles, 2u);
+    EXPECT_EQ(rel.windows, 1u);
+}
+
+/** The sweep prefilter accepts every paper-shaped point and reports
+ *  through the same GA-SCHED-* codes. */
+TEST(SchedulePrefilter, PaperPointsAreClean)
+{
+    const gan::GanModel model = gan::makeDcgan();
+    const verify::SchedulePrefilter pre(model);
+    for (int w = 1; w <= 4; ++w) {
+        verify::Report report;
+        pre.check(w * 16, mem::deriveStPof(w) * 16, report);
+        EXPECT_TRUE(report.ok()) << [&] {
+            std::ostringstream os;
+            report.renderText(os);
+            return os.str();
+        }();
+    }
+}
+
+} // namespace

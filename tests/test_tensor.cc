@@ -79,7 +79,7 @@ TEST(Tensor, FillAndAccess)
     EXPECT_FLOAT_EQ(t.at(1, 2, 3, 4), 1.5f);
     t.at(1, 2, 3, 4) = 7.0f;
     EXPECT_FLOAT_EQ(t.get(1, 2, 3, 4), 7.0f);
-    EXPECT_FLOAT_EQ(t.sum(), 1.5f * 119 + 7.0f);
+    EXPECT_FLOAT_EQ(float(t.sum()), 1.5f * 119 + 7.0f);
 }
 
 TEST(Tensor, BoundsCheckedAccessPanics)

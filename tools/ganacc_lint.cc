@@ -5,9 +5,12 @@
  *
  * Validates designs without simulating them: network shape/chaining
  * legality, every phase's streamed-job geometry, fixed-point range
- * analysis, buffer capacity, and (with --arch) unrolling legality per
- * phase family. --check-bounds additionally simulates every job and
- * cross-checks the cycle walk against the closed-form bounds.
+ * analysis, buffer capacity, and (with --arch) unrolling legality plus
+ * schedule-hazard analysis (GA-SCHED-*) per phase family.
+ * --check-bounds additionally simulates every job and cross-checks the
+ * cycle walk against the closed-form bounds; --check-schedule walks
+ * every job with the schedule recorder armed and diffs the recorded
+ * access/occupancy relation against the static prediction.
  *
  * Exit codes: 0 clean, 1 diagnostics at or above --fail-on, 2 usage
  * error. --format=json emits one JSON object per model, one per line.
@@ -26,6 +29,7 @@
 #include "util/args.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
+#include "verify/schedule_analysis.hh"
 #include "verify/static_bounds.hh"
 #include "verify/verifier.hh"
 
@@ -90,10 +94,22 @@ familyRole(sim::PhaseFamily f)
                : core::BankRole::ST;
 }
 
+/** True when the walks (and so the schedule derivations) assert on
+ *  this job under the zero-free dataflows. */
+bool
+zeroFreeUnwalkable(core::ArchKind kind, const sim::ConvSpec &job)
+{
+    return (kind == core::ArchKind::ZFOST ||
+            kind == core::ArchKind::ZFWST) &&
+           job.inZeroStride > 1 && job.stride != 1;
+}
+
 /** Schedule checks per phase family with the published unrolling. */
 void
 lintSchedule(const gan::GanModel &model, core::ArchKind kind, int st_pes,
-             int w_pes, bool check_bounds, verify::Report &report)
+             int w_pes, bool check_bounds, bool check_schedule,
+             const verify::PortBudget &port_budget,
+             verify::Report &report)
 {
     using sim::PhaseFamily;
     for (PhaseFamily f : {PhaseFamily::D, PhaseFamily::G,
@@ -104,6 +120,17 @@ lintSchedule(const gan::GanModel &model, core::ArchKind kind, int st_pes,
         std::vector<sim::ConvSpec> jobs = sim::familyJobs(model, f);
         verify::checkUnroll(kind, u, jobs, report);
 
+        // Symbolic schedule-hazard analysis: cheap enough to run on
+        // every lint (no cycles walked).
+        for (const sim::ConvSpec &job : jobs) {
+            if (zeroFreeUnwalkable(kind, job))
+                continue; // already an error from checkConvSpec
+            verify::checkSchedule(kind, u, job, port_budget, report);
+            if (check_schedule)
+                verify::checkScheduleAgainstShadow(kind, u, job,
+                                                  report);
+        }
+
         if (!check_bounds)
             continue;
         auto arch = core::makeArch(kind, u);
@@ -112,9 +139,7 @@ lintSchedule(const gan::GanModel &model, core::ArchKind kind, int st_pes,
         // the comparison circular (closed form vs itself).
         sim::ScopedSimEngine walk(sim::SimEngine::Walk);
         for (const sim::ConvSpec &job : jobs) {
-            if ((kind == core::ArchKind::ZFOST ||
-                 kind == core::ArchKind::ZFWST) &&
-                job.inZeroStride > 1 && job.stride != 1)
+            if (zeroFreeUnwalkable(kind, job))
                 continue; // already an error from checkConvSpec
             verify::checkBoundsAgainstSim(kind, u, job, arch->run(job),
                                           report);
@@ -127,7 +152,7 @@ lintSchedule(const gan::GanModel &model, core::ArchKind kind, int st_pes,
 void
 lintBaselineSchedule(const gan::GanModel &model,
                      verify::BaselineKind kind, int st_pes,
-                     verify::Report &report)
+                     bool check_schedule, verify::Report &report)
 {
     sim::Unroll u;
     if (kind == verify::BaselineKind::CNV) {
@@ -140,9 +165,17 @@ lintBaselineSchedule(const gan::GanModel &model,
     }
     using sim::PhaseFamily;
     for (PhaseFamily f : {PhaseFamily::D, PhaseFamily::G,
-                          PhaseFamily::Dw, PhaseFamily::Gw})
-        verify::checkBaselineUnroll(kind, u, sim::familyJobs(model, f),
-                                    report);
+                          PhaseFamily::Dw, PhaseFamily::Gw}) {
+        std::vector<sim::ConvSpec> jobs = sim::familyJobs(model, f);
+        verify::checkBaselineUnroll(kind, u, jobs, report);
+        if (!check_schedule)
+            continue;
+        // No static model exists for the baselines: walk each job with
+        // the recorder armed and check the dynamic envelope instead
+        // (CNV builds functional operands, so this is the slow path).
+        for (const sim::ConvSpec &job : jobs)
+            verify::checkBaselineSchedule(kind, u, job, report);
+    }
 }
 
 void
@@ -189,6 +222,15 @@ try {
         "check-bounds",
         "simulate every job and cross-check the closed-form bounds "
         "(needs --arch)");
+    const bool check_schedule = args.getFlag(
+        "check-schedule",
+        "walk every job with the schedule recorder armed and diff "
+        "against the static schedule relation (needs --arch)");
+    const int port_budget = args.getInt(
+        "port-budget", 0,
+        "per-cycle word budget for each buffer port in the schedule "
+        "checks (0: the PE-array width; 2x for the double-buffered "
+        "weight port)");
     const bool no_ranges =
         args.getFlag("no-ranges", "skip fixed-point range analysis");
     const bool no_buffers =
@@ -234,6 +276,14 @@ try {
         util::fatal("--check-bounds: no closed-form bounds for ",
                     arch_name,
                     " (CNV skips by value inspection; RST is gated)");
+    if (check_schedule && !have_arch)
+        util::fatal("--check-schedule needs --arch");
+    if (port_budget < 0)
+        util::fatal("--port-budget must be >= 0");
+    verify::PortBudget ports;
+    ports.weight = std::uint64_t(port_budget);
+    ports.input = std::uint64_t(port_budget);
+    ports.output = std::uint64_t(port_budget);
 
     verify::VerifyOptions opts;
     opts.checkRanges = !no_ranges;
@@ -254,10 +304,11 @@ try {
         verify::Report report = verify::verifyModel(model, opts);
         if (have_arch && report.ok()) {
             if (is_baseline)
-                lintBaselineSchedule(model, baseline, st_pes, report);
+                lintBaselineSchedule(model, baseline, st_pes,
+                                     check_schedule, report);
             else
                 lintSchedule(model, kind, st_pes, w_pes, check_bounds,
-                             report);
+                             check_schedule, ports, report);
         }
         errors += report.errorCount();
         warnings += report.warningCount();
