@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Minimal istream/ostream adapters over POSIX file descriptors.
+ *
+ * The pipe-mode SUT runs serve::runPipeServer — whose interface is
+ * std::istream/std::ostream — over real pipe(2) descriptors, so the
+ * conformance harness exercises the same EOF and flush behaviour a
+ * daemon behind a shell pipeline sees, not an in-memory stringstream.
+ * Reads and writes retry on EINTR (the harness raises signals in the
+ * drain tests) and the output buffer is unbuffered-by-line: every
+ * flush() lands the bytes with write(2) before returning.
+ */
+
+#ifndef GANACC_CONFORM_FDSTREAM_HH
+#define GANACC_CONFORM_FDSTREAM_HH
+
+#include <cerrno>
+#include <istream>
+#include <ostream>
+#include <streambuf>
+
+#include <unistd.h>
+
+namespace ganacc {
+namespace conform {
+
+/** Read-side streambuf over an fd (non-owning). */
+class FdInBuf : public std::streambuf
+{
+  public:
+    explicit FdInBuf(int fd) : fd_(fd) {}
+
+  protected:
+    int_type
+    underflow() override
+    {
+        ssize_t n;
+        do {
+            n = ::read(fd_, buf_, sizeof buf_);
+        } while (n < 0 && errno == EINTR);
+        if (n <= 0)
+            return traits_type::eof();
+        setg(buf_, buf_, buf_ + n);
+        return traits_type::to_int_type(buf_[0]);
+    }
+
+  private:
+    int fd_;
+    char buf_[4096];
+};
+
+/** Write-side streambuf over an fd (non-owning, write-through). */
+class FdOutBuf : public std::streambuf
+{
+  public:
+    explicit FdOutBuf(int fd) : fd_(fd) {}
+
+  protected:
+    int_type
+    overflow(int_type ch) override
+    {
+        if (ch == traits_type::eof())
+            return traits_type::not_eof(ch);
+        const char c = traits_type::to_char_type(ch);
+        return writeAll(&c, 1) ? ch : traits_type::eof();
+    }
+
+    std::streamsize
+    xsputn(const char *s, std::streamsize n) override
+    {
+        return writeAll(s, std::size_t(n)) ? n : 0;
+    }
+
+  private:
+    bool
+    writeAll(const char *p, std::size_t n)
+    {
+        std::size_t off = 0;
+        while (off < n) {
+            ssize_t w = ::write(fd_, p + off, n - off);
+            if (w < 0 && errno == EINTR)
+                continue;
+            if (w <= 0)
+                return false;
+            off += std::size_t(w);
+        }
+        return true;
+    }
+
+    int fd_;
+};
+
+/** std::istream over an fd. */
+class FdIStream : public std::istream
+{
+  public:
+    explicit FdIStream(int fd) : std::istream(&buf_), buf_(fd) {}
+
+  private:
+    FdInBuf buf_;
+};
+
+/** std::ostream over an fd. */
+class FdOStream : public std::ostream
+{
+  public:
+    explicit FdOStream(int fd) : std::ostream(&buf_), buf_(fd) {}
+
+  private:
+    FdOutBuf buf_;
+};
+
+} // namespace conform
+} // namespace ganacc
+
+#endif // GANACC_CONFORM_FDSTREAM_HH

@@ -1,0 +1,765 @@
+/**
+ * @file
+ * Conformance-harness implementation: the two SUT wrappers, the
+ * response/counter/store differs and the lockstep driver.
+ */
+
+#include "conform/harness.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+#include "conform/fdstream.hh"
+#include "conform/reference.hh"
+#include "core/cycle_cache.hh"
+#include "fault/fs_faults.hh"
+#include "obs/metrics.hh"
+#include "serve/client.hh"
+#include "serve/daemon.hh"
+#include "serve/engine.hh"
+#include "sim/json.hh"
+#include "sim/stats_diff.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace ganacc {
+namespace conform {
+
+namespace {
+
+bool
+writeAllFd(int fd, const std::string &bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        ssize_t n =
+            ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        off += std::size_t(n);
+    }
+    return true;
+}
+
+/** Line-buffered reader over a pipe fd (mirror of the daemon's). */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    bool
+    getline(std::string &line)
+    {
+        while (true) {
+            auto nl = buf_.find('\n');
+            if (nl != std::string::npos) {
+                line = buf_.substr(0, nl);
+                buf_.erase(0, nl + 1);
+                return true;
+            }
+            char chunk[4096];
+            ssize_t n = ::read(fd_, chunk, sizeof chunk);
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0) {
+                if (buf_.empty())
+                    return false;
+                line.swap(buf_);
+                buf_.clear();
+                return true;
+            }
+            buf_.append(chunk, std::size_t(n));
+        }
+    }
+
+  private:
+    int fd_;
+    std::string buf_;
+};
+
+/** A daemon under test: start, exchange lines, stop-and-drain. */
+class Sut
+{
+  public:
+    virtual ~Sut() = default;
+
+    virtual void start() = 0;
+
+    /** Pipeline `lines`, then read one response line per request.
+     *  Throws util::FatalError when the transport dies. */
+    virtual std::vector<std::string>
+    transact(const std::vector<std::string> &lines) = 0;
+
+    /** Stop the daemon and drain. Returns "" when every accepted
+     *  request was answered, else a description of the violation. */
+    virtual std::string stop() = 0;
+
+    /** Emulate process death: stop-drain, wipe the memory tier the
+     *  way an exec() would, start a fresh daemon over the same
+     *  store directory. */
+    std::string
+    restart()
+    {
+        const std::string err = stop();
+        core::CycleCache::instance().clear();
+        start();
+        return err;
+    }
+
+  protected:
+    /** Shared drain verdict: every line sent must have been read and
+     *  answered by the transport before it returned. */
+    static std::string
+    drainVerdict(const serve::ServeTotals &totals,
+                 std::uint64_t sent, const std::string &threadError)
+    {
+        if (!threadError.empty())
+            return "daemon thread failed: " + threadError;
+        if (totals.lines != sent)
+            return "daemon read " + std::to_string(totals.lines) +
+                   " of " + std::to_string(sent) + " request lines";
+        if (totals.responses != totals.lines)
+            return "daemon answered " +
+                   std::to_string(totals.responses) + " of " +
+                   std::to_string(totals.lines) +
+                   " accepted requests";
+        return "";
+    }
+
+    static serve::EngineOptions
+    engineOptions(const RunOptions &opt, const std::string &storeDir)
+    {
+        serve::EngineOptions eo;
+        eo.maxQueue = opt.maxQueue;
+        eo.cacheDir = storeDir;
+        eo.deterministic = true;
+        return eo;
+    }
+};
+
+/** AF_UNIX daemon: serve::runSocketServer + serve::Client. */
+class UnixSut : public Sut
+{
+  public:
+    UnixSut(const RunOptions &opt, std::string storeDir)
+        : opt_(opt), storeDir_(std::move(storeDir)),
+          socket_(opt.scratchDir + "/sock")
+    {
+    }
+
+    ~UnixSut() override
+    {
+        try {
+            if (thread_.joinable())
+                stop();
+        } catch (...) {
+        }
+    }
+
+    void
+    start() override
+    {
+        sent_ = 0;
+        totals_ = {};
+        threadError_.clear();
+        stop_.store(false);
+        engine_ = std::make_unique<serve::Engine>(
+            engineOptions(opt_, storeDir_));
+        thread_ = std::thread([this] {
+            try {
+                totals_ =
+                    serve::runSocketServer(socket_, *engine_, stop_);
+            } catch (const std::exception &e) {
+                threadError_ = e.what();
+            }
+        });
+        client_ = std::make_unique<serve::Client>();
+        for (int attempt = 0;; ++attempt) {
+            try {
+                client_->connect(socket_);
+                break;
+            } catch (const std::exception &) {
+                if (!threadError_.empty() || attempt > 2500)
+                    util::fatal("conform: cannot reach daemon at ",
+                                socket_, threadError_.empty()
+                                             ? ""
+                                             : ": " + threadError_);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+            }
+        }
+    }
+
+    std::vector<std::string>
+    transact(const std::vector<std::string> &lines) override
+    {
+        for (const std::string &line : lines)
+            client_->sendLine(line);
+        sent_ += lines.size();
+        std::vector<std::string> out;
+        out.reserve(lines.size());
+        for (std::size_t i = 0; i < lines.size(); ++i)
+            out.push_back(client_->recvLine());
+        return out;
+    }
+
+    std::string
+    stop() override
+    {
+        client_->close();
+        stop_.store(true);
+        thread_.join();
+        const std::string err =
+            drainVerdict(totals_, sent_, threadError_);
+        engine_.reset();
+        return err;
+    }
+
+  private:
+    RunOptions opt_;
+    std::string storeDir_;
+    std::string socket_;
+    std::unique_ptr<serve::Engine> engine_;
+    std::unique_ptr<serve::Client> client_;
+    std::thread thread_;
+    std::atomic<bool> stop_{false};
+    serve::ServeTotals totals_;
+    std::string threadError_;
+    std::uint64_t sent_ = 0;
+};
+
+/** Pipe daemon: serve::runPipeServer over real pipe(2) pairs. */
+class PipeSut : public Sut
+{
+  public:
+    PipeSut(const RunOptions &opt, std::string storeDir)
+        : opt_(opt), storeDir_(std::move(storeDir))
+    {
+    }
+
+    ~PipeSut() override
+    {
+        try {
+            if (thread_.joinable())
+                stop();
+        } catch (...) {
+        }
+    }
+
+    void
+    start() override
+    {
+        sent_ = 0;
+        totals_ = {};
+        threadError_.clear();
+        if (::pipe(toSrv_) != 0 || ::pipe(fromSrv_) != 0)
+            util::fatal("conform: pipe(2): ", std::strerror(errno));
+        engine_ = std::make_unique<serve::Engine>(
+            engineOptions(opt_, storeDir_));
+        thread_ = std::thread([this] {
+            try {
+                FdIStream in(toSrv_[0]);
+                FdOStream out(fromSrv_[1]);
+                totals_ = serve::runPipeServer(in, out, *engine_);
+                engine_->drain();
+            } catch (const std::exception &e) {
+                threadError_ = e.what();
+            }
+        });
+        reader_ = std::make_unique<LineReader>(fromSrv_[0]);
+    }
+
+    std::vector<std::string>
+    transact(const std::vector<std::string> &lines) override
+    {
+        std::string block;
+        for (const std::string &line : lines) {
+            block += line;
+            block += '\n';
+        }
+        if (!writeAllFd(toSrv_[1], block))
+            util::fatal("conform: pipe write failed");
+        sent_ += lines.size();
+        std::vector<std::string> out;
+        out.reserve(lines.size());
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+            std::string line;
+            if (!reader_->getline(line))
+                util::fatal("conform: daemon closed the pipe with ",
+                            lines.size() - i, " responses pending");
+            out.push_back(std::move(line));
+        }
+        return out;
+    }
+
+    std::string
+    stop() override
+    {
+        ::close(toSrv_[1]); // EOF: the pump loop drains and returns
+        toSrv_[1] = -1;
+        thread_.join();
+        ::close(toSrv_[0]);
+        ::close(fromSrv_[1]);
+        toSrv_[0] = fromSrv_[1] = -1;
+        std::string leftover;
+        if (reader_->getline(leftover) && !leftover.empty())
+            return "daemon wrote an unsolicited response: " +
+                   leftover;
+        ::close(fromSrv_[0]);
+        fromSrv_[0] = -1;
+        reader_.reset();
+        const std::string err =
+            drainVerdict(totals_, sent_, threadError_);
+        engine_.reset();
+        return err;
+    }
+
+  private:
+    RunOptions opt_;
+    std::string storeDir_;
+    std::unique_ptr<serve::Engine> engine_;
+    std::unique_ptr<LineReader> reader_;
+    std::thread thread_;
+    serve::ServeTotals totals_;
+    std::string threadError_;
+    std::uint64_t sent_ = 0;
+    int toSrv_[2] = {-1, -1};
+    int fromSrv_[2] = {-1, -1};
+};
+
+std::unique_ptr<Sut>
+makeSut(const RunOptions &opt, const std::string &storeDir)
+{
+    if (opt.mode == SutMode::Unix)
+        return std::make_unique<UnixSut>(opt, storeDir);
+    return std::make_unique<PipeSut>(opt, storeDir);
+}
+
+/** The wire lines one operation sends. */
+std::vector<std::string>
+wireLines(const Op &op)
+{
+    switch (op.kind) {
+      case OpKind::SimRequest: {
+        serve::Request req;
+        req.id = op.id;
+        req.kind = op.arch;
+        req.unroll = op.unroll;
+        req.spec = op.spec;
+        req.hasSpec = true;
+        return {serve::encodeRequest(req)};
+      }
+      case OpKind::NetRequest: {
+        serve::Request req;
+        req.id = op.id;
+        req.kind = op.arch;
+        req.unroll = op.unroll;
+        req.model = op.model;
+        req.family = op.family;
+        return {serve::encodeRequest(req)};
+      }
+      case OpKind::DupBurst: {
+        std::vector<std::string> lines;
+        for (int i = 0; i < op.count; ++i) {
+            serve::Request req;
+            req.id = op.id + std::uint64_t(i);
+            req.kind = op.arch;
+            req.unroll = op.unroll;
+            req.spec = op.spec;
+            req.hasSpec = true;
+            lines.push_back(serve::encodeRequest(req));
+        }
+        return lines;
+      }
+      case OpKind::Malformed:
+        return {op.raw};
+      case OpKind::StatsProbe: {
+        serve::Request req;
+        req.id = op.id;
+        req.statsProbe = true;
+        return {serve::encodeRequest(req)};
+      }
+      default:
+        return {};
+    }
+}
+
+/** Compare one decoded response against the model's expectation;
+ *  "" when they agree. */
+std::string
+diffOneResponse(const serve::Response &got,
+                const ExpectedResponse &want)
+{
+    if (got.id != want.id)
+        return "id " + std::to_string(got.id) + ", model expects " +
+               std::to_string(want.id);
+    if (got.ok != want.ok)
+        return std::string("ok=") + (got.ok ? "true" : "false") +
+               ", model expects " + (want.ok ? "true" : "false") +
+               (got.ok ? "" : " (error: " + got.error + ")");
+    if (!want.ok) {
+        if (want.checkError && got.error != want.error)
+            return "error \"" + got.error + "\", model expects \"" +
+                   want.error + "\"";
+        return "";
+    }
+    if (got.simVersion != serve::simulatorVersion())
+        return "sim version \"" + got.simVersion + "\"";
+    if (want.isProbe) {
+        if (got.telemetry.empty())
+            return "probe response carries no telemetry";
+        return "";
+    }
+    if (got.arch != want.arch)
+        return "arch \"" + got.arch + "\", model expects \"" +
+               want.arch + "\"";
+    if (sim::toJson(got.unroll) != want.unrollJson)
+        return "unroll " + sim::toJson(got.unroll) +
+               ", model expects " + want.unrollJson;
+    bool tierOk = false;
+    for (const std::string &t : want.allowedTiers)
+        tierOk = tierOk || t == got.cache;
+    if (!tierOk) {
+        std::string tiers;
+        for (const std::string &t : want.allowedTiers)
+            tiers += (tiers.empty() ? "" : "/") + t;
+        return "cache tier \"" + got.cache + "\", model admits " +
+               tiers;
+    }
+    if (got.latencyUs != 0)
+        return "latencyUs " + std::to_string(got.latencyUs) +
+               " in deterministic mode";
+    const std::string d = sim::diffRunStats(got.stats, want.stats);
+    if (!d.empty())
+        return "stats diverge: " + d;
+    return "";
+}
+
+std::map<std::string, std::uint64_t>
+snapshotCounters()
+{
+    std::map<std::string, std::uint64_t> out;
+    const obs::Snapshot snap = obs::Registry::instance().snapshot();
+    for (const auto &[name, v] : snap.counters())
+        out[name] = v;
+    return out;
+}
+
+/** Check a probe's telemetry payload against the model's counter
+ *  expectations. */
+void
+checkCounters(std::size_t opIndex, const std::string &telemetry,
+              const CounterExpectations &c,
+              const std::map<std::string, std::uint64_t> &baseline,
+              std::vector<Divergence> &out)
+{
+    const util::json::Value doc = util::json::parse(telemetry);
+    const util::json::Object &root = doc.asObject();
+    const util::json::Object &counters =
+        root.at("counters").asObject();
+    const util::json::Object &gauges = root.at("gauges").asObject();
+    auto cval = [&](const char *name) -> std::uint64_t {
+        const util::json::Value *v = counters.find(name);
+        return v ? v->asUint64() : 0;
+    };
+    auto gval = [&](const char *name) -> std::uint64_t {
+        const util::json::Value *v = gauges.find(name);
+        return v ? v->asUint64() : 0;
+    };
+    auto base = [&](const char *name) -> std::uint64_t {
+        auto it = baseline.find(name);
+        return it == baseline.end() ? 0 : it->second;
+    };
+    // The serve counters are process-cumulative (the obs registry
+    // outlives engines), so the model's expectations are deltas
+    // against the run-start snapshot.
+    auto serveDelta = [&](const char *name) {
+        return cval(name) - base(name);
+    };
+    auto check = [&](const char *label, std::uint64_t got,
+                     const Interval &want) {
+        if (!want.admits(got))
+            out.push_back(
+                {opIndex, std::string("probe: ") + label + " = " +
+                              std::to_string(got) +
+                              ", model expects " + want.str()});
+    };
+    check("serve requests",
+          serveDelta("ganacc_serve_requests_total"), c.requests);
+    check("serve errors", serveDelta("ganacc_serve_errors_total"),
+          c.errors);
+    check("serve stats probes",
+          serveDelta("ganacc_serve_stats_probes_total"), c.probes);
+    check("serve disk hits",
+          serveDelta("ganacc_serve_disk_hits_total"), c.diskHits);
+    check("serve simulated",
+          serveDelta("ganacc_serve_simulated_total"), c.simulated);
+    const std::uint64_t mem =
+        serveDelta("ganacc_serve_mem_hits_total");
+    const std::uint64_t dup = serveDelta("ganacc_serve_deduped_total");
+    check("serve mem hits", mem, c.memHits);
+    check("serve deduped", dup, c.deduped);
+    check("serve mem+dup", mem + dup, c.memPlusDup);
+    // Cache counters reset with CycleCache::clear(), store counters
+    // with each store session: both compare absolute.
+    check("cache hits", cval("ganacc_cache_mem_hits_total"),
+          c.cacheHits);
+    check("cache misses", cval("ganacc_cache_misses_total"),
+          c.cacheMisses);
+    check("cache disk hits", cval("ganacc_cache_disk_hits_total"),
+          c.cacheDiskHits);
+    check("cache simulated", cval("ganacc_cache_simulated_total"),
+          c.cacheSimulated);
+    check("store hits", cval("ganacc_store_hits_total"),
+          c.storeHits);
+    check("store misses", cval("ganacc_store_misses_total"),
+          c.storeMisses);
+    check("store stale misses",
+          cval("ganacc_store_stale_misses_total"), c.storeStale);
+    check("store corrupt misses",
+          cval("ganacc_store_corrupt_misses_total"), c.storeCorrupt);
+    check("store writes", cval("ganacc_store_writes_total"),
+          c.storeWrites);
+    if (gval("ganacc_cache_entries") != c.cacheEntries)
+        out.push_back(
+            {opIndex,
+             "probe: cache entries = " +
+                 std::to_string(gval("ganacc_cache_entries")) +
+                 ", model expects " +
+                 std::to_string(c.cacheEntries)});
+    if (gval("ganacc_serve_inflight") != 0)
+        out.push_back({opIndex,
+                       "probe: inflight gauge nonzero in lockstep"});
+}
+
+/** Perform a CorruptEntry op on the real filesystem. */
+void
+corruptFile(const ReferenceModel &model, const Op &op)
+{
+    const fs::path path =
+        model.entryPath(op.arch, op.unroll, op.spec);
+    std::error_code ec;
+    fs::create_directories(path.parent_path(), ec);
+    std::string bytes;
+    switch (op.corrupt) {
+      case CorruptMode::Garbage:
+        bytes = "@@not json@@ {{{ \xff\xfe broken";
+        break;
+      case CorruptMode::Truncate: {
+        std::ifstream is(path, std::ios::binary);
+        std::ostringstream text;
+        text << is.rdbuf();
+        bytes = text.str();
+        if (bytes.empty())
+            bytes = ReferenceModel::entryBody(
+                op.arch, op.unroll, op.spec,
+                ReferenceModel::directStats(op.arch, op.unroll,
+                                            op.spec),
+                serve::simulatorVersion());
+        bytes.resize(bytes.size() / 2);
+        break;
+      }
+      case CorruptMode::ZeroByte:
+        break; // empty file
+    }
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << bytes;
+}
+
+/** Perform a PlantStale op: a fully valid entry whose version stamp
+ *  names a foreign simulator and whose counters are deliberately
+ *  perturbed — a store that skips stale-version invalidation serves
+ *  these wrong numbers, which is exactly what the harness's
+ *  self-test must catch. */
+void
+plantStaleFile(const ReferenceModel &model, const Op &op)
+{
+    const fs::path path =
+        model.entryPath(op.arch, op.unroll, op.spec);
+    std::error_code ec;
+    fs::create_directories(path.parent_path(), ec);
+    sim::RunStats st =
+        ReferenceModel::directStats(op.arch, op.unroll, op.spec);
+    st.cycles += 1; // provably wrong, minimally so
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << ReferenceModel::entryBody(op.arch, op.unroll, op.spec, st,
+                                    "ganacc-0.0.0+conform-stale");
+}
+
+/** RAII: disarm the store bug and the fault budgets on every exit
+ *  path, so a throwing run cannot poison the next one. */
+struct ProcessStateGuard
+{
+    ~ProcessStateGuard()
+    {
+        serve::setStoreBugForTesting(serve::StoreBug::None);
+        fault::clearFsFaults();
+    }
+};
+
+} // namespace
+
+std::string
+sutModeName(SutMode m)
+{
+    return m == SutMode::Unix ? "unix" : "pipe";
+}
+
+std::string
+defaultScratchDir()
+{
+    return (fs::temp_directory_path() /
+            ("ganacc-conform-" + std::to_string(::getpid())))
+        .string();
+}
+
+std::string
+Report::text() const
+{
+    std::ostringstream os;
+    for (const Divergence &d : divergences)
+        os << "op " << d.opIndex << ": " << d.what << "\n";
+    os << opsApplied << " ops applied, " << linesSent
+       << " lines sent, " << divergences.size() << " divergences";
+    return os.str();
+}
+
+Report
+runConformance(const std::vector<Op> &seq, const RunOptions &opt)
+{
+    if (opt.scratchDir.empty())
+        util::fatal("conform: RunOptions.scratchDir must be set");
+    Report rep;
+    ProcessStateGuard guard;
+    fault::clearFsFaults();
+    serve::setStoreBugForTesting(opt.bug);
+    fs::remove_all(opt.scratchDir);
+    fs::create_directories(opt.scratchDir);
+    const std::string storeDir = opt.scratchDir + "/store";
+    core::CycleCache::instance().clear();
+    const auto baseline = snapshotCounters();
+
+    ReferenceModel model(storeDir);
+    std::unique_ptr<Sut> sut = makeSut(opt, storeDir);
+    sut->start();
+
+    auto diverged = [&] {
+        return int(rep.divergences.size()) >= opt.maxDivergences;
+    };
+
+    for (std::size_t i = 0; i < seq.size() && !diverged(); ++i) {
+        const Op &op = seq[i];
+        rep.opsApplied = i + 1;
+        try {
+            if (op.sendsRequests()) {
+                const std::vector<std::string> lines = wireLines(op);
+                rep.linesSent += lines.size();
+                const std::vector<std::string> raw =
+                    sut->transact(lines);
+                const std::vector<ExpectedResponse> want =
+                    model.apply(op);
+                if (raw.size() != want.size()) {
+                    rep.divergences.push_back(
+                        {i, std::to_string(raw.size()) +
+                                " responses to " +
+                                std::to_string(want.size()) +
+                                " requests"});
+                    continue;
+                }
+                for (std::size_t r = 0; r < raw.size(); ++r) {
+                    serve::Response rsp;
+                    try {
+                        rsp = serve::decodeResponse(raw[r]);
+                    } catch (const std::exception &e) {
+                        rep.divergences.push_back(
+                            {i, std::string(
+                                    "undecodable response: ") +
+                                    e.what() + ": " + raw[r]});
+                        continue;
+                    }
+                    const std::string d =
+                        diffOneResponse(rsp, want[r]);
+                    if (!d.empty())
+                        rep.divergences.push_back({i, d});
+                    if (want[r].isProbe && rsp.ok &&
+                        !rsp.telemetry.empty())
+                        checkCounters(i, rsp.telemetry,
+                                      model.counters(), baseline,
+                                      rep.divergences);
+                }
+            } else {
+                switch (op.kind) {
+                  case OpKind::EvictMemory:
+                    core::CycleCache::instance().clear();
+                    break;
+                  case OpKind::EvictEntry: {
+                    std::error_code ec;
+                    fs::remove(model.entryPath(op.arch, op.unroll,
+                                               op.spec),
+                               ec);
+                    break;
+                  }
+                  case OpKind::CorruptEntry:
+                    corruptFile(model, op);
+                    break;
+                  case OpKind::PlantStale:
+                    plantStaleFile(model, op);
+                    break;
+                  case OpKind::FsFault:
+                    fault::armFsFaults(op.faults);
+                    break;
+                  case OpKind::Restart: {
+                    const std::string err = sut->restart();
+                    if (!err.empty())
+                        rep.divergences.push_back({i, err});
+                    break;
+                  }
+                  default:
+                    break;
+                }
+                model.apply(op);
+            }
+        } catch (const std::exception &e) {
+            rep.divergences.push_back(
+                {i, std::string("harness: ") + e.what()});
+            break;
+        }
+        if (opt.storeCheckInterval &&
+            (i + 1) % opt.storeCheckInterval == 0) {
+            const std::string d = model.diffStore();
+            if (!d.empty())
+                rep.divergences.push_back({i, "store scan: " + d});
+        }
+    }
+
+    try {
+        const std::string err = sut->stop();
+        if (!err.empty())
+            rep.divergences.push_back({seq.size(), "drain: " + err});
+    } catch (const std::exception &e) {
+        rep.divergences.push_back(
+            {seq.size(), std::string("drain: ") + e.what()});
+    }
+    const std::string d = model.diffStore();
+    if (!d.empty())
+        rep.divergences.push_back(
+            {seq.size(), "final store scan: " + d});
+    return rep;
+}
+
+} // namespace conform
+} // namespace ganacc

@@ -1,0 +1,565 @@
+/**
+ * @file
+ * Operation grammar implementation: codec, generator, malformed table.
+ */
+
+#include "conform/ops.hh"
+
+#include <utility>
+
+#include "serve/protocol.hh"
+#include "sim/json.hh"
+#include "tensor/shape.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace ganacc {
+namespace conform {
+
+namespace {
+
+const std::pair<OpKind, const char *> kOpNames[] = {
+    {OpKind::SimRequest, "request"},
+    {OpKind::NetRequest, "net"},
+    {OpKind::DupBurst, "burst"},
+    {OpKind::Malformed, "malformed"},
+    {OpKind::StatsProbe, "probe"},
+    {OpKind::EvictMemory, "evict-mem"},
+    {OpKind::EvictEntry, "evict-entry"},
+    {OpKind::CorruptEntry, "corrupt-entry"},
+    {OpKind::PlantStale, "plant-stale"},
+    {OpKind::FsFault, "fs-fault"},
+    {OpKind::Restart, "restart"},
+};
+
+const std::pair<CorruptMode, const char *> kCorruptNames[] = {
+    {CorruptMode::Garbage, "garbage"},
+    {CorruptMode::Truncate, "truncate"},
+    {CorruptMode::ZeroByte, "zero"},
+};
+
+OpKind
+opKindFromName(const std::string &name)
+{
+    for (const auto &[k, n] : kOpNames)
+        if (name == n)
+            return k;
+    util::fatal("conform trace: unknown op \"", name, "\"");
+}
+
+CorruptMode
+corruptModeFromName(const std::string &name)
+{
+    for (const auto &[m, n] : kCorruptNames)
+        if (name == n)
+            return m;
+    util::fatal("conform trace: unknown corrupt mode \"", name, "\"");
+}
+
+/** Does this op's encoding carry the (arch, unroll, spec) triple? */
+bool
+carriesTriple(OpKind k)
+{
+    switch (k) {
+      case OpKind::SimRequest:
+      case OpKind::DupBurst:
+      case OpKind::EvictEntry:
+      case OpKind::CorruptEntry:
+      case OpKind::PlantStale:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+std::string
+opKindName(OpKind k)
+{
+    for (const auto &[kk, n] : kOpNames)
+        if (kk == k)
+            return n;
+    return "?";
+}
+
+std::string
+corruptModeName(CorruptMode m)
+{
+    for (const auto &[mm, n] : kCorruptNames)
+        if (mm == m)
+            return n;
+    return "?";
+}
+
+bool
+Op::sendsRequests() const
+{
+    switch (kind) {
+      case OpKind::SimRequest:
+      case OpKind::NetRequest:
+      case OpKind::DupBurst:
+      case OpKind::Malformed:
+      case OpKind::StatsProbe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+encodeOp(const Op &op)
+{
+    using util::json::Object;
+    using util::json::Value;
+    Object o;
+    o.set("op", Value(opKindName(op.kind)));
+    if (op.sendsRequests() && op.kind != OpKind::Malformed)
+        o.set("id", Value(op.id));
+    if (carriesTriple(op.kind) || op.kind == OpKind::NetRequest) {
+        o.set("arch", Value(core::archKindName(op.arch)));
+        o.set("unroll", util::json::parse(sim::toJson(op.unroll)));
+    }
+    if (carriesTriple(op.kind))
+        o.set("spec", util::json::parse(sim::toJson(op.spec)));
+    switch (op.kind) {
+      case OpKind::NetRequest:
+        o.set("model", Value(op.model));
+        o.set("family", Value(op.family));
+        break;
+      case OpKind::DupBurst:
+        o.set("count", Value(op.count));
+        break;
+      case OpKind::Malformed:
+        o.set("raw", Value(op.raw));
+        break;
+      case OpKind::CorruptEntry:
+        o.set("mode", Value(corruptModeName(op.corrupt)));
+        break;
+      case OpKind::FsFault:
+        o.set("failReads", Value(std::uint64_t(op.faults.failReads)));
+        o.set("failWrites",
+              Value(std::uint64_t(op.faults.failWrites)));
+        o.set("tornWrites",
+              Value(std::uint64_t(op.faults.tornWrites)));
+        break;
+      default:
+        break;
+    }
+    return Value(std::move(o)).dump();
+}
+
+Op
+decodeOp(const std::string &line)
+{
+    const util::json::Value doc = util::json::parse(line);
+    const util::json::Object &o = doc.asObject();
+    Op op;
+    op.kind = opKindFromName(o.at("op").asString());
+    if (o.contains("id"))
+        op.id = o.at("id").asUint64();
+    if (o.contains("arch")) {
+        const std::string arch = o.at("arch").asString();
+        auto kind = core::archKindFromName(arch);
+        if (!kind)
+            util::fatal("conform trace: unknown architecture \"", arch,
+                        "\"");
+        op.arch = *kind;
+    }
+    if (o.contains("unroll"))
+        op.unroll = sim::unrollFromJson(o.at("unroll"));
+    if (o.contains("spec"))
+        op.spec = sim::convSpecFromJson(o.at("spec"));
+    if (o.contains("model"))
+        op.model = o.at("model").asString();
+    if (o.contains("family"))
+        op.family = o.at("family").asString();
+    if (o.contains("count"))
+        op.count = o.at("count").asInt();
+    if (o.contains("raw"))
+        op.raw = o.at("raw").asString();
+    if (o.contains("mode"))
+        op.corrupt = corruptModeFromName(o.at("mode").asString());
+    if (o.contains("failReads"))
+        op.faults.failReads =
+            std::uint32_t(o.at("failReads").asUint64());
+    if (o.contains("failWrites"))
+        op.faults.failWrites =
+            std::uint32_t(o.at("failWrites").asUint64());
+    if (o.contains("tornWrites"))
+        op.faults.tornWrites =
+            std::uint32_t(o.at("tornWrites").asUint64());
+    return op;
+}
+
+std::string
+encodeTrace(const std::vector<Op> &seq)
+{
+    std::string out;
+    for (const Op &op : seq) {
+        out += encodeOp(op);
+        out += '\n';
+    }
+    return out;
+}
+
+std::vector<Op>
+decodeTrace(const std::string &text)
+{
+    std::vector<Op> seq;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = text.size();
+        const std::string line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (!line.empty())
+            seq.push_back(decodeOp(line));
+    }
+    return seq;
+}
+
+namespace {
+
+using util::Rng;
+
+/** Random *legal* spec over the three GAN convolution patterns (the
+ *  same families tests/test_serve_service.cc fuzzes with). */
+sim::ConvSpec
+randomSpec(Rng &rng)
+{
+    sim::ConvSpec s;
+    s.label = "conform";
+    s.nif = rng.uniformInt(1, 4);
+    s.nof = rng.uniformInt(1, 4);
+    const int kind = rng.uniformInt(0, 2);
+    if (kind == 0) { // dense strided S-CONV
+        s.ih = s.iw = rng.uniformInt(5, 16);
+        s.kh = s.kw = rng.uniformInt(1, 5);
+        s.stride = rng.uniformInt(1, 3);
+        s.pad = rng.uniformInt(0, s.kh / 2);
+        s.oh = tensor::convOutDim(s.ih, s.kh, s.stride, s.pad);
+        s.ow = tensor::convOutDim(s.iw, s.kw, s.stride, s.pad);
+    } else if (kind == 1) { // zero-stuffed T-CONV
+        const int dense = rng.uniformInt(2, 7);
+        const int z = rng.uniformInt(2, 3);
+        const int extra = rng.uniformInt(0, z - 1);
+        s.inZeroStride = z;
+        s.inOrigH = s.inOrigW = dense;
+        s.ih = s.iw = (dense - 1) * z + 1 + extra;
+        s.kh = s.kw = rng.uniformInt(2, 5);
+        s.stride = 1;
+        s.pad = rng.uniformInt(0, s.kh - 1);
+        if (s.ih + 2 * s.pad < s.kh) // convOutDim panics on this
+            return randomSpec(rng);
+        s.oh = tensor::convOutDim(s.ih, s.kh, 1, s.pad);
+        s.ow = tensor::convOutDim(s.iw, s.kw, 1, s.pad);
+    } else { // dilated-kernel W-CONV (4-D output)
+        s.ih = s.iw = rng.uniformInt(7, 16);
+        const int err = rng.uniformInt(2, 5);
+        s.kZeroStride = 2;
+        s.kOrigH = s.kOrigW = err;
+        s.kh = s.kw = (err - 1) * 2 + 1;
+        s.stride = 1;
+        s.pad = rng.uniformInt(0, 2);
+        s.fourDimOutput = true;
+        const int natural = s.ih + 2 * s.pad - s.kh + 1;
+        if (natural < 1)
+            return randomSpec(rng);
+        s.oh = s.ow = std::min(natural, rng.uniformInt(2, 6));
+    }
+    if (s.oh < 1 || s.ow < 1)
+        return randomSpec(rng);
+    return s;
+}
+
+sim::Unroll
+smallUnroll(Rng &rng)
+{
+    sim::Unroll u;
+    u.pIf = rng.uniformInt(1, 3);
+    u.pOf = rng.uniformInt(1, 4);
+    u.pKx = rng.uniformInt(1, 4);
+    u.pKy = rng.uniformInt(1, 4);
+    u.pOx = rng.uniformInt(1, 4);
+    u.pOy = rng.uniformInt(1, 4);
+    return u;
+}
+
+core::ArchKind
+randomKind(Rng &rng)
+{
+    const auto kinds = core::allArchKinds();
+    return kinds[std::size_t(
+        rng.uniformInt(0, int(kinds.size()) - 1))];
+}
+
+/** A fresh or reused (arch, unroll, spec) triple. The pool keeps the
+ *  triples already in play so later ops hit warm tiers and target
+ *  entries that actually exist. */
+struct TriplePool
+{
+    std::vector<Op> triples; ///< kind/arch/unroll/spec fields only
+
+    Op
+    pick(Rng &rng, bool preferReuse)
+    {
+        if (!triples.empty() &&
+            (preferReuse ? rng.uniformInt(0, 99) < 60
+                         : rng.uniformInt(0, 99) < 25)) {
+            return triples[std::size_t(
+                rng.uniformInt(0, int(triples.size()) - 1))];
+        }
+        Op t;
+        t.arch = randomKind(rng);
+        t.unroll = smallUnroll(rng);
+        t.spec = randomSpec(rng);
+        triples.push_back(t);
+        return t;
+    }
+
+    bool
+    any() const
+    {
+        return !triples.empty();
+    }
+
+    Op
+    existing(Rng &rng)
+    {
+        return triples[std::size_t(
+            rng.uniformInt(0, int(triples.size()) - 1))];
+    }
+};
+
+/** A randomly broken frame: either a fixed table case or a mutation
+ *  of a valid request (truncation, byte flip, payload confusion). */
+std::string
+randomMalformedLine(Rng &rng, std::uint64_t id, TriplePool &pool)
+{
+    const int pick = rng.uniformInt(0, 9);
+    if (pick < 4) {
+        const auto &table = malformedFrames();
+        return table[std::size_t(
+                         rng.uniformInt(0, int(table.size()) - 1))]
+            .line;
+    }
+    // Mutate a valid frame.
+    serve::Request req;
+    req.id = id;
+    const Op t = pool.pick(rng, true);
+    req.kind = t.arch;
+    req.unroll = t.unroll;
+    req.spec = t.spec;
+    req.hasSpec = true;
+    std::string line = serve::encodeRequest(req);
+    switch (pick) {
+      case 4: // truncate mid-object
+        line.resize(std::size_t(
+            rng.uniformInt(1, int(line.size()) - 1)));
+        break;
+      case 5: { // flip one structural byte to whitespace
+        const std::size_t at = std::size_t(
+            rng.uniformInt(0, int(line.size()) - 1));
+        line[at] = ' ';
+        break;
+      }
+      case 6: // wrong version
+        line.replace(line.find("\"v\":1"), 5, "\"v\":9");
+        break;
+      case 7: // unknown architecture
+        line.replace(line.find("\"arch\":\""), 8,
+                     "\"arch\":\"Q");
+        break;
+      case 8: // semantic error: unknown model (decodes fine)
+        return "{\"v\":1,\"id\":" + std::to_string(id) +
+               ",\"arch\":\"NLR\",\"unroll\":" +
+               sim::toJson(t.unroll) +
+               ",\"model\":\"no-such-model\",\"family\":\"D\"}";
+      default: // semantic error: unknown family (decodes fine)
+        return "{\"v\":1,\"id\":" + std::to_string(id) +
+               ",\"arch\":\"NLR\",\"unroll\":" +
+               sim::toJson(t.unroll) +
+               ",\"model\":\"mnist-gan\",\"family\":\"Q\"}";
+    }
+    return line;
+}
+
+} // namespace
+
+std::vector<Op>
+generateSequence(std::uint64_t seed, const GenOptions &opt)
+{
+    Rng rng(seed);
+    TriplePool pool;
+    std::vector<Op> seq;
+    std::uint64_t nextId = 1;
+
+    auto request = [&](const Op &t) {
+        Op op;
+        op.kind = OpKind::SimRequest;
+        op.id = nextId++;
+        op.arch = t.arch;
+        op.unroll = t.unroll;
+        op.spec = t.spec;
+        seq.push_back(op);
+    };
+
+    while (seq.size() < opt.ops) {
+        const int roll = rng.uniformInt(0, 99);
+        if (roll < 42) { // plain simulation request
+            request(pool.pick(rng, true));
+        } else if (roll < 50) { // single-flight burst
+            Op op;
+            const Op t = pool.pick(rng, true);
+            op.kind = OpKind::DupBurst;
+            op.id = nextId;
+            op.arch = t.arch;
+            op.unroll = t.unroll;
+            op.spec = t.spec;
+            op.count = rng.uniformInt(2, opt.burstMax);
+            nextId += std::uint64_t(op.count);
+            seq.push_back(op);
+        } else if (roll < 58) { // malformed frame
+            Op op;
+            op.kind = OpKind::Malformed;
+            op.raw = randomMalformedLine(rng, nextId++, pool);
+            seq.push_back(op);
+        } else if (roll < 65) { // telemetry probe
+            Op op;
+            op.kind = OpKind::StatsProbe;
+            op.id = nextId++;
+            seq.push_back(op);
+        } else if (roll < 72) { // evict the memory tier
+            Op op;
+            op.kind = OpKind::EvictMemory;
+            seq.push_back(op);
+        } else if (roll < 78) { // evict one store entry
+            if (!pool.any())
+                continue;
+            Op op;
+            const Op t = pool.existing(rng);
+            op.kind = OpKind::EvictEntry;
+            op.arch = t.arch;
+            op.unroll = t.unroll;
+            op.spec = t.spec;
+            seq.push_back(op);
+        } else if (roll < 86) { // corrupt, then observe the damage
+            if (!pool.any())
+                continue;
+            Op op;
+            const Op t = pool.existing(rng);
+            op.kind = OpKind::CorruptEntry;
+            op.arch = t.arch;
+            op.unroll = t.unroll;
+            op.spec = t.spec;
+            op.corrupt = CorruptMode(rng.uniformInt(0, 2));
+            seq.push_back(op);
+            Op evict;
+            evict.kind = OpKind::EvictMemory;
+            seq.push_back(evict);
+            request(t);
+        } else if (roll < 91) { // plant stale, then observe
+            if (!pool.any())
+                continue;
+            Op op;
+            const Op t = pool.existing(rng);
+            op.kind = OpKind::PlantStale;
+            op.arch = t.arch;
+            op.unroll = t.unroll;
+            op.spec = t.spec;
+            seq.push_back(op);
+            Op evict;
+            evict.kind = OpKind::EvictMemory;
+            seq.push_back(evict);
+            request(t);
+        } else if (roll < 95) { // arm filesystem faults
+            if (!opt.fsFaults)
+                continue;
+            Op op;
+            op.kind = OpKind::FsFault;
+            op.faults.failReads =
+                std::uint32_t(rng.uniformInt(0, 2));
+            op.faults.failWrites =
+                std::uint32_t(rng.uniformInt(0, 1));
+            op.faults.tornWrites =
+                std::uint32_t(rng.uniformInt(0, 1));
+            if (!op.faults.any())
+                op.faults.failReads = 1;
+            seq.push_back(op);
+        } else if (roll < 99) { // whole-network request
+            if (!opt.nets)
+                continue;
+            Op op;
+            op.kind = OpKind::NetRequest;
+            op.id = nextId++;
+            op.arch = randomKind(rng);
+            op.unroll = smallUnroll(rng);
+            op.model = "mnist-gan";
+            const char *fams[] = {"D", "G", "Dw", "Gw"};
+            op.family = fams[rng.uniformInt(0, 3)];
+            seq.push_back(op);
+        } else { // daemon restart (drain + fresh process state)
+            if (!opt.restarts)
+                continue;
+            Op op;
+            op.kind = OpKind::Restart;
+            seq.push_back(op);
+        }
+    }
+    return seq;
+}
+
+const std::vector<MalformedFrame> &
+malformedFrames()
+{
+    static const std::vector<MalformedFrame> table = [] {
+        std::vector<MalformedFrame> t;
+        t.push_back({"truncated_json",
+                     "{\"v\":1,\"id\":31,\"arch\":\"NLR\"",
+                     "fatal: json: expected '}' at byte 27"});
+        t.push_back({"not_json",
+                     "simulate all the things \"id\":32 please",
+                     "fatal: json: expected a value at byte 0"});
+        t.push_back({"oversized_line",
+                     "{\"v\":1,\"id\":33,\"pad\":\"" +
+                         std::string(8192, 'x') + "\"",
+                     "fatal: json: expected '}' at byte 8215"});
+        t.push_back({"bad_version",
+                     "{\"v\":99,\"id\":34,\"stats\":true}",
+                     "fatal: unsupported protocol version 99 (this "
+                     "daemon speaks v1)"});
+        t.push_back(
+            {"unknown_arch",
+             "{\"v\":1,\"id\":35,\"arch\":\"TPU\",\"unroll\":{"
+             "\"pIf\":1,\"pOf\":1,\"pKx\":1,\"pKy\":1,\"pOx\":1,"
+             "\"pOy\":1},\"model\":\"dcgan\",\"family\":\"D\"}",
+             "fatal: unknown architecture \"TPU\" (NLR, WST, OST, "
+             "ZFOST, ZFWST)"});
+        t.push_back({"probe_with_payload",
+                     "{\"v\":1,\"id\":36,\"stats\":true,\"model\":"
+                     "\"dcgan\"}",
+                     "fatal: a stats probe carries no simulation "
+                     "payload"});
+        t.push_back({"stats_not_true",
+                     "{\"v\":1,\"id\":37,\"stats\":false}",
+                     "fatal: \"stats\" must be true when present"});
+        t.push_back(
+            {"neither_payload",
+             "{\"v\":1,\"id\":38,\"arch\":\"NLR\",\"unroll\":{"
+             "\"pIf\":1,\"pOf\":1,\"pKx\":1,\"pKy\":1,\"pOx\":1,"
+             "\"pOy\":1}}",
+             "fatal: request must carry exactly one of \"spec\" or "
+             "\"model\"+\"family\""});
+        t.push_back({"missing_id",
+                     "{\"v\":1,\"stats\":true}",
+                     "fatal: json: missing key \"id\""});
+        return t;
+    }();
+    return table;
+}
+
+} // namespace conform
+} // namespace ganacc

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The operation grammar of the serve/store conformance harness.
+ *
+ * A conformance run is a sequence of *operations*: wire-visible
+ * requests (simulation requests, duplicate bursts that exercise the
+ * single-flight layer, deliberately malformed frames, telemetry
+ * probes) interleaved with out-of-band perturbations (memory-tier
+ * eviction, store-entry eviction/corruption, planting stale-version
+ * entries, arming filesystem faults, daemon restart). The harness
+ * applies the same sequence to a live daemon and to the in-process
+ * reference model (conform/reference.hh) and diffs every observable.
+ *
+ * Operations are self-contained values: a perturbation op carries the
+ * full (arch, unroll, spec) triple it targets rather than an index
+ * into earlier ops, so delta-debug shrinking (conform/shrink.hh) can
+ * drop any subset of a failing sequence without renumbering anything,
+ * and a dumped trace replays byte-identically from the file alone.
+ *
+ * The JSONL codec here is the trace format of
+ * `ganacc-conform --dump-trace` / `--replay`: one op per line,
+ * canonical encoding (encode(decode(encode(op))) == encode(op)).
+ */
+
+#ifndef GANACC_CONFORM_OPS_HH
+#define GANACC_CONFORM_OPS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/unrolling.hh"
+#include "fault/fs_faults.hh"
+#include "sim/conv_spec.hh"
+#include "sim/arch.hh"
+
+namespace ganacc {
+namespace conform {
+
+/** Every operation the harness can apply. */
+enum class OpKind
+{
+    SimRequest,   ///< one {"spec":…} request over the wire
+    NetRequest,   ///< one {"model":…,"family":…} request
+    DupBurst,     ///< K identical spec requests pipelined at once
+    Malformed,    ///< one raw (usually broken) frame, sent verbatim
+    StatsProbe,   ///< one {"stats":true} telemetry probe
+    EvictMemory,  ///< clear the in-process CycleCache memory tier
+    EvictEntry,   ///< delete the store entry of a triple
+    CorruptEntry, ///< overwrite the entry file with damaged bytes
+    PlantStale,   ///< write a valid entry with a wrong version stamp
+    FsFault,      ///< arm fault::FsFaultPlan budgets on the store
+    Restart,      ///< stop-drain the daemon and start a fresh one
+};
+
+std::string opKindName(OpKind k);
+
+/** How CorruptEntry damages the entry file. */
+enum class CorruptMode
+{
+    Garbage,  ///< overwrite with non-JSON bytes
+    Truncate, ///< keep only the first half of the entry (torn write)
+    ZeroByte, ///< truncate to an empty file
+};
+
+std::string corruptModeName(CorruptMode m);
+
+/** One operation. Which fields are meaningful depends on `kind`:
+ *  the (arch, unroll, spec) triple for SimRequest / DupBurst /
+ *  EvictEntry / CorruptEntry / PlantStale; (arch, unroll, model,
+ *  family) for NetRequest; `raw` for Malformed; `count` for DupBurst;
+ *  `corrupt` for CorruptEntry; `faults` for FsFault; `id` is the wire
+ *  id of the first request the op sends (request-like ops only). */
+struct Op
+{
+    OpKind kind = OpKind::SimRequest;
+    std::uint64_t id = 0;
+
+    core::ArchKind arch = core::ArchKind::NLR;
+    sim::Unroll unroll;
+    sim::ConvSpec spec;
+
+    int count = 0;             ///< DupBurst: burst size (>= 2)
+    std::string model;         ///< NetRequest
+    std::string family;        ///< NetRequest
+    std::string raw;           ///< Malformed: the frame, verbatim
+    CorruptMode corrupt = CorruptMode::Garbage;
+    fault::FsFaultPlan faults; ///< FsFault
+
+    /** True for ops that put at least one line on the wire. */
+    bool sendsRequests() const;
+};
+
+/** Canonical one-line JSONL encoding (no trailing newline). */
+std::string encodeOp(const Op &op);
+
+/** Parse one trace line; throws util::FatalError on malformed input. */
+Op decodeOp(const std::string &line);
+
+/** Encode a whole sequence, one op per line, trailing newline each. */
+std::string encodeTrace(const std::vector<Op> &seq);
+
+/** Parse a whole trace (empty lines ignored). */
+std::vector<Op> decodeTrace(const std::string &text);
+
+/** Generator knobs. */
+struct GenOptions
+{
+    std::size_t ops = 200; ///< sequence length (patterns may add +2)
+    bool fsFaults = true;  ///< emit FsFault ops
+    bool nets = true;      ///< emit NetRequest ops
+    bool restarts = true;  ///< emit Restart ops
+    int burstMax = 10;     ///< DupBurst size upper bound
+};
+
+/**
+ * The seeded sequence generator. Deterministic: the same (seed,
+ * options) always yields the same sequence, which is what makes
+ * `ganacc-conform --seed S` bit-reproducible. Draws legal specs from
+ * the same three GAN convolution patterns as the differential fuzzer,
+ * reuses earlier triples often enough to exercise every cache tier,
+ * and follows each corruption/planting with an eviction plus a
+ * re-request of the same triple so the damage is actually observed.
+ */
+std::vector<Op> generateSequence(std::uint64_t seed,
+                                 const GenOptions &opt);
+
+/** One named malformed frame with its exact expected decode error. */
+struct MalformedFrame
+{
+    std::string name;  ///< stable test-case name
+    std::string line;  ///< the broken frame, sent verbatim
+    std::string error; ///< exact expected "error" field text
+};
+
+/**
+ * The table of deterministic malformed frames: truncated JSON, not
+ * JSON at all, an oversized garbage line, unknown protocol version,
+ * unknown architecture, a stats probe carrying a payload, a request
+ * carrying both or neither payload. Shared between the generator
+ * (which also mutates random valid frames) and the table-driven
+ * negative-path protocol test, so the wire contract for every broken
+ * frame is pinned in exactly one place.
+ */
+const std::vector<MalformedFrame> &malformedFrames();
+
+} // namespace conform
+} // namespace ganacc
+
+#endif // GANACC_CONFORM_OPS_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * ddmin over conformance sequences (see shrink.hh).
+ */
+
+#include "conform/shrink.hh"
+
+#include <algorithm>
+
+namespace ganacc {
+namespace conform {
+
+namespace {
+
+/** `seq` minus the half-open index range [from, to). */
+std::vector<Op>
+without(const std::vector<Op> &seq, std::size_t from, std::size_t to)
+{
+    std::vector<Op> out;
+    out.reserve(seq.size() - (to - from));
+    for (std::size_t i = 0; i < seq.size(); ++i)
+        if (i < from || i >= to)
+            out.push_back(seq[i]);
+    return out;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkSequence(const std::vector<Op> &seq, const RunOptions &opt,
+               std::size_t maxRuns)
+{
+    ShrinkResult res;
+    res.ops = seq;
+
+    auto fails = [&](const std::vector<Op> &cand) {
+        ++res.runs;
+        return !runConformance(cand, opt).clean();
+    };
+
+    if (!fails(res.ops))
+        return res; // not reproducible; report the input unchanged
+
+    std::size_t chunk = std::max<std::size_t>(1, res.ops.size() / 2);
+    while (chunk >= 1 && res.runs < maxRuns) {
+        bool shrunk = false;
+        for (std::size_t from = 0;
+             from < res.ops.size() && res.runs < maxRuns;) {
+            const std::size_t to =
+                std::min(from + chunk, res.ops.size());
+            std::vector<Op> cand = without(res.ops, from, to);
+            if (!cand.empty() && fails(cand)) {
+                res.ops.swap(cand);
+                shrunk = true;
+                // same `from` now addresses the next chunk
+            } else {
+                from = to;
+            }
+        }
+        if (chunk == 1 && !shrunk)
+            break; // 1-minimal: no single op can be dropped
+        if (!shrunk)
+            chunk = std::max<std::size_t>(1, chunk / 2);
+    }
+    return res;
+}
+
+} // namespace conform
+} // namespace ganacc

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Delta-debugging shrinker for failing conformance sequences.
+ *
+ * Given a sequence that produced divergences, find a (locally)
+ * minimal subsequence that still diverges, by classic ddmin: try
+ * dropping chunks of geometrically shrinking size, keeping any drop
+ * that preserves the failure. Operations are self-contained (every
+ * perturbation op carries its full triple inline), so any subsequence
+ * is a valid sequence and the minimized trace replays standalone.
+ */
+
+#ifndef GANACC_CONFORM_SHRINK_HH
+#define GANACC_CONFORM_SHRINK_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "conform/harness.hh"
+#include "conform/ops.hh"
+
+namespace ganacc {
+namespace conform {
+
+/** The outcome of a shrink. */
+struct ShrinkResult
+{
+    std::vector<Op> ops; ///< minimal failing subsequence
+    std::size_t runs = 0; ///< conformance runs spent shrinking
+};
+
+/**
+ * Minimize `seq` (which must diverge under `opt`) while it keeps
+ * diverging, spending at most `maxRuns` conformance runs. Returns the
+ * smallest failing subsequence found; if `seq` unexpectedly passes,
+ * returns it unchanged with runs == 1.
+ */
+ShrinkResult shrinkSequence(const std::vector<Op> &seq,
+                            const RunOptions &opt,
+                            std::size_t maxRuns = 200);
+
+} // namespace conform
+} // namespace ganacc
+
+#endif // GANACC_CONFORM_SHRINK_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fallible-filesystem shim implementation.
+ */
+
+#include "fault/fs_faults.hh"
+
+#include <atomic>
+
+namespace ganacc {
+namespace fault {
+
+namespace {
+
+std::atomic<std::uint32_t> g_fail_reads{0};
+std::atomic<std::uint32_t> g_fail_writes{0};
+std::atomic<std::uint32_t> g_torn_writes{0};
+
+std::atomic<std::uint32_t> g_fired_reads{0};
+std::atomic<std::uint32_t> g_fired_writes{0};
+std::atomic<std::uint32_t> g_fired_torn{0};
+
+/** Decrement `budget` if positive; true when a fault fires. */
+bool
+consume(std::atomic<std::uint32_t> &budget,
+        std::atomic<std::uint32_t> &fired)
+{
+    // Fast path: nothing armed (the common, fault-free case).
+    if (budget.load(std::memory_order_relaxed) == 0)
+        return false;
+    std::uint32_t n = budget.load(std::memory_order_relaxed);
+    while (n > 0) {
+        if (budget.compare_exchange_weak(n, n - 1,
+                                         std::memory_order_relaxed)) {
+            fired.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+void
+armFsFaults(const FsFaultPlan &plan)
+{
+    g_fail_reads.fetch_add(plan.failReads, std::memory_order_relaxed);
+    g_fail_writes.fetch_add(plan.failWrites,
+                            std::memory_order_relaxed);
+    g_torn_writes.fetch_add(plan.tornWrites,
+                            std::memory_order_relaxed);
+}
+
+void
+clearFsFaults()
+{
+    g_fail_reads.store(0, std::memory_order_relaxed);
+    g_fail_writes.store(0, std::memory_order_relaxed);
+    g_torn_writes.store(0, std::memory_order_relaxed);
+}
+
+FsFaultPlan
+armedFsFaults()
+{
+    FsFaultPlan p;
+    p.failReads = g_fail_reads.load(std::memory_order_relaxed);
+    p.failWrites = g_fail_writes.load(std::memory_order_relaxed);
+    p.tornWrites = g_torn_writes.load(std::memory_order_relaxed);
+    return p;
+}
+
+FsFaultPlan
+firedFsFaults()
+{
+    FsFaultPlan p;
+    p.failReads = g_fired_reads.load(std::memory_order_relaxed);
+    p.failWrites = g_fired_writes.load(std::memory_order_relaxed);
+    p.tornWrites = g_fired_torn.load(std::memory_order_relaxed);
+    return p;
+}
+
+bool
+consumeReadFault()
+{
+    return consume(g_fail_reads, g_fired_reads);
+}
+
+bool
+consumeWriteFault()
+{
+    return consume(g_fail_writes, g_fired_writes);
+}
+
+bool
+consumeTornWrite()
+{
+    return consume(g_torn_writes, g_fired_torn);
+}
+
+} // namespace fault
+} // namespace ganacc

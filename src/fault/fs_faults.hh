@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fallible-filesystem shim for the persistent result store.
+ *
+ * The MAC-path injector (fault/injector.hh) perturbs the *datapath*;
+ * this module perturbs the *storage path*: the conformance harness
+ * (src/conform/) arms a budget of filesystem failures and the result
+ * store consumes them at its read/write seams, so "the disk returned
+ * EIO", "the write never landed" and "the writer died mid-file" are
+ * reproducible operations in a test sequence instead of flaky
+ * hardware events.
+ *
+ * Three failure shapes, each a counted budget:
+ *  - *failReads*: the next N entry loads act as if the file were
+ *    unreadable (the store records a plain miss and re-simulates);
+ *  - *failWrites*: the next N write-throughs are dropped before the
+ *    tmp file is created (the entry simply never lands);
+ *  - *tornWrites*: the next N writes truncate the body mid-object
+ *    and still rename into place — the torn entry a pre-atomic
+ *    writer crash would have left, which the store's quarantine path
+ *    must absorb on the next load.
+ *
+ * The budgets are process-wide atomics consumed first-come. A
+ * single-threaded (lockstep) driver therefore knows exactly which
+ * store operation each fault lands on, which is what lets the
+ * conformance reference model predict the observable outcome.
+ * Disarmed (all budgets zero, the default) the seams cost one relaxed
+ * atomic load each.
+ */
+
+#ifndef GANACC_FAULT_FS_FAULTS_HH
+#define GANACC_FAULT_FS_FAULTS_HH
+
+#include <cstdint>
+
+namespace ganacc {
+namespace fault {
+
+/** A budget of storage faults to arm (counts add to any armed). */
+struct FsFaultPlan
+{
+    std::uint32_t failReads = 0;  ///< loads that act unreadable
+    std::uint32_t failWrites = 0; ///< writes dropped entirely
+    std::uint32_t tornWrites = 0; ///< writes truncated mid-object
+
+    bool
+    any() const
+    {
+        return failReads || failWrites || tornWrites;
+    }
+};
+
+/** Add `plan`'s budgets to the armed process-wide budgets. */
+void armFsFaults(const FsFaultPlan &plan);
+
+/** Drop every armed budget (end of a harness run). */
+void clearFsFaults();
+
+/** The budgets still armed (not yet consumed). */
+FsFaultPlan armedFsFaults();
+
+/** Faults consumed so far in this process (monotonic). */
+FsFaultPlan firedFsFaults();
+
+/**
+ * Consumption seams, called by serve::ResultStore. Each returns true
+ * — and decrements the corresponding budget — when a fault should
+ * fire on this operation; false (the common case) costs one relaxed
+ * atomic load.
+ */
+bool consumeReadFault();
+bool consumeWriteFault();
+bool consumeTornWrite();
+
+} // namespace fault
+} // namespace ganacc
+
+#endif // GANACC_FAULT_FS_FAULTS_HH

@@ -12,6 +12,7 @@
 
 #include <unistd.h>
 
+#include "fault/fs_faults.hh"
 #include "obs/metrics.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -22,6 +23,8 @@ namespace ganacc {
 namespace serve {
 
 namespace {
+
+std::atomic<StoreBug> g_store_bug{StoreBug::None};
 
 /** Read a whole file; nullopt when it does not exist or is unreadable. */
 std::optional<std::string>
@@ -36,6 +39,18 @@ slurp(const fs::path &path)
 }
 
 } // namespace
+
+void
+setStoreBugForTesting(StoreBug bug)
+{
+    g_store_bug.store(bug, std::memory_order_relaxed);
+}
+
+StoreBug
+storeBugForTesting()
+{
+    return g_store_bug.load(std::memory_order_relaxed);
+}
 
 ResultStore::ResultStore(std::string dir, std::string version)
     : dir_(std::move(dir)), version_(std::move(version))
@@ -82,24 +97,34 @@ ResultStore::load(core::ArchKind kind, const sim::Unroll &u,
                   const sim::ConvSpec &spec)
 {
     const fs::path path = entryPath(kind, u, spec);
+    // Fallible-filesystem seam: an armed read fault makes this entry
+    // unreadable (EIO-equivalent), which the store reports as a plain
+    // miss — the caller re-simulates and write-through repairs.
+    if (fault::consumeReadFault()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
     std::optional<std::string> text = slurp(path);
     if (!text) {
         misses_.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
     }
     auto quarantine = [&](const char *why) {
+        corrupt_.fetch_add(1, std::memory_order_relaxed);
+        if (storeBugForTesting() == StoreBug::SkipQuarantine)
+            return; // deliberate bug: corrupt entry left in place
         std::error_code ec;
         fs::rename(path, fs::path(path.string() + ".quarantined"), ec);
         if (ec)
             fs::remove(path, ec);
         util::warn("result store: quarantined ", path.string(), " (",
                    why, ")");
-        corrupt_.fetch_add(1, std::memory_order_relaxed);
     };
     try {
         const util::json::Value doc = util::json::parse(*text);
         const util::json::Object &o = doc.asObject();
-        if (o.at("version").asString() != version_) {
+        if (o.at("version").asString() != version_ &&
+            storeBugForTesting() != StoreBug::SkipStaleCheck) {
             // Written by a different simulator: self-invalidates.
             stale_.fetch_add(1, std::memory_order_relaxed);
             return std::nullopt;
@@ -137,12 +162,23 @@ ResultStore::store(core::ArchKind kind, const sim::Unroll &u,
         return;
     }
 
+    // Fallible-filesystem seam: an armed write fault drops this
+    // write-through on the floor — the entry simply never lands.
+    if (fault::consumeWriteFault())
+        return;
+
     std::ostringstream body;
     body << "{\"version\":\"" << version_ << "\",\"arch\":\""
          << core::archKindName(kind)
          << "\",\"unroll\":" << sim::toJson(u)
          << ",\"spec\":" << sim::specShapeKey(spec)
          << ",\"stats\":" << sim::toJson(stats) << "}\n";
+    std::string bytes = body.str();
+    // A torn write emulates a writer that died mid-file *before* the
+    // atomic-rename discipline existed: half an object lands at the
+    // live address, which the next load must quarantine.
+    if (fault::consumeTornWrite())
+        bytes.resize(bytes.size() / 2);
 
     // Private tmp name (pid + process-wide sequence disambiguate
     // concurrent writers), then an atomic rename into place. The
@@ -162,7 +198,7 @@ ResultStore::store(core::ArchKind kind, const sim::Unroll &u,
             util::warn("result store: cannot write ", tmp.string());
             return;
         }
-        os << body.str();
+        os << bytes;
         os.flush();
         if (!os) {
             util::warn("result store: short write to ", tmp.string());

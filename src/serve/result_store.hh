@@ -47,6 +47,24 @@
 namespace ganacc {
 namespace serve {
 
+/**
+ * Deliberately breakable store behaviours, for the conformance
+ * harness's self-test only (tools/ganacc-conform --inject-bug): CI
+ * proves the harness *catches* a store that skips stale-version
+ * invalidation or forgets to quarantine corrupt entries, by switching
+ * the bug on and requiring a divergence. Never set outside tests.
+ */
+enum class StoreBug
+{
+    None,           ///< correct behaviour (the default)
+    SkipStaleCheck, ///< serve entries whose version stamp mismatches
+    SkipQuarantine, ///< leave corrupt entries in place un-renamed
+};
+
+/** Arm (or with StoreBug::None disarm) a deliberate store bug. */
+void setStoreBugForTesting(StoreBug bug);
+StoreBug storeBugForTesting();
+
 /** Counters of one store's session (all monotonically increasing). */
 struct StoreCounters
 {

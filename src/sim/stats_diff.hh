@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Field-by-field RunStats comparison, shared by the test helpers
+ * (tests/stats_helpers.hh), the protocol round-trip tests and the
+ * conformance harness's differ.
+ *
+ * The equality story of this repo is always *exact*: two runs that
+ * claim to be twins must agree on every counter bit for bit, and a
+ * served response must equal direct simulation the same way. Stating
+ * the comparison once — and returning a diff that names each
+ * disagreeing field with both values — keeps every consumer's failure
+ * message equally diagnosable.
+ */
+
+#ifndef GANACC_SIM_STATS_DIFF_HH
+#define GANACC_SIM_STATS_DIFF_HH
+
+#include <string>
+
+#include "sim/stats.hh"
+
+namespace ganacc {
+namespace sim {
+
+/**
+ * A human-readable diff of two RunStats: empty when every counter is
+ * equal, otherwise "field: left != right" clauses joined with "; ".
+ */
+inline std::string
+diffRunStats(const RunStats &a, const RunStats &b)
+{
+    std::string out;
+    auto field = [&](const char *name, std::uint64_t x,
+                     std::uint64_t y) {
+        if (x == y)
+            return;
+        if (!out.empty())
+            out += "; ";
+        out += name;
+        out += ": ";
+        out += std::to_string(x);
+        out += " != ";
+        out += std::to_string(y);
+    };
+    field("cycles", a.cycles, b.cycles);
+    field("nPes", a.nPes, b.nPes);
+    field("effectiveMacs", a.effectiveMacs, b.effectiveMacs);
+    field("ineffectualMacs", a.ineffectualMacs, b.ineffectualMacs);
+    field("idlePeSlots", a.idlePeSlots, b.idlePeSlots);
+    field("gatedSlots", a.gatedSlots, b.gatedSlots);
+    field("weightLoads", a.weightLoads, b.weightLoads);
+    field("inputLoads", a.inputLoads, b.inputLoads);
+    field("outputReads", a.outputReads, b.outputReads);
+    field("outputWrites", a.outputWrites, b.outputWrites);
+    return out;
+}
+
+/** True when every counter of the two RunStats agrees. */
+inline bool
+statsEqual(const RunStats &a, const RunStats &b)
+{
+    return diffRunStats(a, b).empty();
+}
+
+} // namespace sim
+} // namespace ganacc
+
+#endif // GANACC_SIM_STATS_DIFF_HH

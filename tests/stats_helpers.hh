@@ -22,6 +22,7 @@
 #include <string>
 
 #include "sim/stats.hh"
+#include "sim/stats_diff.hh"
 
 namespace ganacc {
 namespace tests {
@@ -37,21 +38,14 @@ expectSlotConservation(const sim::RunStats &st, const std::string &context)
         << context << ": gated slots are a subset of ineffectual slots";
 }
 
-/** Assert two RunStats agree on every counter. */
+/** Assert two RunStats agree on every counter. The comparison itself
+ *  lives in sim/stats_diff.hh, shared with the conformance differ —
+ *  a failure message names every disagreeing field with both values. */
 inline void
 expectStatsEqual(const sim::RunStats &a, const sim::RunStats &b,
                  const std::string &context)
 {
-    EXPECT_EQ(a.cycles, b.cycles) << context;
-    EXPECT_EQ(a.nPes, b.nPes) << context;
-    EXPECT_EQ(a.effectiveMacs, b.effectiveMacs) << context;
-    EXPECT_EQ(a.ineffectualMacs, b.ineffectualMacs) << context;
-    EXPECT_EQ(a.idlePeSlots, b.idlePeSlots) << context;
-    EXPECT_EQ(a.gatedSlots, b.gatedSlots) << context;
-    EXPECT_EQ(a.weightLoads, b.weightLoads) << context;
-    EXPECT_EQ(a.inputLoads, b.inputLoads) << context;
-    EXPECT_EQ(a.outputReads, b.outputReads) << context;
-    EXPECT_EQ(a.outputWrites, b.outputWrites) << context;
+    EXPECT_EQ(sim::diffRunStats(a, b), std::string()) << context;
 }
 
 } // namespace tests

@@ -184,6 +184,42 @@ TEST_F(ResultStoreTest, CorruptEntryIsQuarantined)
     EXPECT_TRUE(store.load(kind, u, spec).has_value());
 }
 
+TEST_F(ResultStoreTest, ZeroByteEntryIsQuarantined)
+{
+    // Regression: a crash between open and the first write (or an
+    // interrupted copy) leaves a zero-byte file at the live address.
+    // It must be treated exactly like any other corrupt entry —
+    // counted, quarantined out of the way, address reusable — not
+    // looped over as a parse error forever.
+    serve::ResultStore store(dir_);
+    const core::ArchKind kind = core::ArchKind::NLR;
+    const sim::Unroll u = core::paperUnroll(
+        kind, core::BankRole::ST, sim::PhaseFamily::D, 1200);
+    const sim::ConvSpec spec = sampleSpec(3);
+
+    const std::string path = store.entryPath(kind, u, spec);
+    fs::create_directories(fs::path(path).parent_path());
+    { std::ofstream os(path, std::ios::trunc); }
+    ASSERT_TRUE(fs::exists(path));
+    ASSERT_EQ(fs::file_size(path), 0u);
+
+    EXPECT_FALSE(store.load(kind, u, spec).has_value());
+    EXPECT_EQ(store.counters().corruptMisses, 1u);
+    EXPECT_EQ(store.counters().misses, 0u)
+        << "a present-but-empty entry is corruption, not absence";
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_TRUE(fs::exists(path + ".quarantined"));
+
+    // A second probe is a clean miss, and write-through repairs it.
+    EXPECT_FALSE(store.load(kind, u, spec).has_value());
+    EXPECT_EQ(store.counters().misses, 1u);
+    store.store(kind, u, spec, simulate(kind, u, spec));
+    const auto back = store.load(kind, u, spec);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(sim::toJson(*back),
+              sim::toJson(simulate(kind, u, spec)));
+}
+
 TEST_F(ResultStoreTest, ConcurrentWritersAgree)
 {
     const core::ArchKind kind = core::ArchKind::ZFOST;

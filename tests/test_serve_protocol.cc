@@ -16,6 +16,7 @@
 #include "serve/protocol.hh"
 #include "sim/conv_spec.hh"
 #include "sim/json.hh"
+#include "stats_helpers.hh"
 #include "tensor/shape.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -144,11 +145,9 @@ TEST(ServeProtocol, ResponsesRoundTripLargeCountersBitExact)
         const std::string wire = serve::encodeResponse(rsp);
         const serve::Response back = serve::decodeResponse(wire);
         EXPECT_EQ(serve::encodeResponse(back), wire);
-        EXPECT_EQ(back.stats.cycles, rsp.stats.cycles);
-        EXPECT_EQ(back.stats.effectiveMacs, rsp.stats.effectiveMacs);
-        EXPECT_EQ(back.stats.ineffectualMacs,
-                  rsp.stats.ineffectualMacs);
-        EXPECT_EQ(back.stats.weightLoads, rsp.stats.weightLoads);
+        tests::expectStatsEqual(back.stats, rsp.stats,
+                                "response round-trip " +
+                                    std::to_string(i));
         EXPECT_EQ(back.latencyUs, rsp.latencyUs);
     }
 }

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * ganacc-conform — randomized serve/store conformance runner.
+ *
+ * Generates a seeded operation sequence (or replays a trace), applies
+ * it to a live in-process daemon in Unix-socket and/or pipe mode while
+ * a single-threaded reference model predicts every observable, and
+ * reports any divergence. Failing sequences are delta-debug shrunk to
+ * a minimal repro and dumped as a replayable JSONL trace.
+ *
+ *   ganacc-conform --seed 42 --ops 5000 --mode both
+ *   ganacc-conform --replay repro.jsonl --mode unix
+ *   ganacc-conform --seed 7 --inject-bug stale-version   # expect exit 1
+ *
+ * Exit codes: 0 = conformant, 1 = divergence found, 2 = usage error.
+ * Output for a clean run is a pure function of (seed, flags), so CI
+ * can diff two runs byte for byte (docs/conformance.md).
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "conform/harness.hh"
+#include "conform/ops.hh"
+#include "conform/shrink.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ganacc;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        util::fatal("cannot open ", path);
+    std::ostringstream text;
+    text << is.rdbuf();
+    return text.str();
+}
+
+void
+spit(const std::string &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        util::fatal("cannot write ", path);
+    os << bytes;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    util::ArgParser args(argc, argv);
+    const int seed =
+        args.getInt("seed", 1, "sequence generator seed");
+    const int ops = args.getInt(
+        "ops", 500, "generated sequence length (ignored by --replay)");
+    const std::string mode_name = args.getString(
+        "mode", "both", "daemon transport: unix | pipe | both");
+    const std::string replay = args.getString(
+        "replay", "", "run this JSONL trace instead of generating");
+    const std::string dump_trace = args.getString(
+        "dump-trace", "", "write the sequence under test to FILE");
+    const std::string repro = args.getString(
+        "repro", "conform_repro.jsonl",
+        "where to dump the minimized failing trace");
+    const std::string bug_name = args.getString(
+        "inject-bug", "",
+        "arm a deliberate store bug (self-test): "
+        "stale-version | skip-quarantine");
+    const std::string scratch = args.getString(
+        "scratch", conform::defaultScratchDir(),
+        "scratch root for store + socket (wiped per run)");
+    const bool no_shrink = args.getFlag(
+        "no-shrink", "report the first failing sequence unminimized");
+    const bool no_faults = args.getFlag(
+        "no-faults", "generate no filesystem-fault ops");
+    const bool no_restarts = args.getFlag(
+        "no-restarts", "generate no daemon-restart ops");
+    if (args.helpRequested()) {
+        args.usage(std::cout);
+        return 0;
+    }
+    args.finish();
+
+    if (ops <= 0)
+        util::fatal("--ops must be positive");
+    std::vector<conform::SutMode> modes;
+    if (mode_name == "unix")
+        modes = {conform::SutMode::Unix};
+    else if (mode_name == "pipe")
+        modes = {conform::SutMode::Pipe};
+    else if (mode_name == "both")
+        modes = {conform::SutMode::Unix, conform::SutMode::Pipe};
+    else
+        util::fatal("--mode must be unix, pipe or both, not \"",
+                    mode_name, "\"");
+    serve::StoreBug bug = serve::StoreBug::None;
+    if (bug_name == "stale-version")
+        bug = serve::StoreBug::SkipStaleCheck;
+    else if (bug_name == "skip-quarantine")
+        bug = serve::StoreBug::SkipQuarantine;
+    else if (!bug_name.empty())
+        util::fatal("--inject-bug must be stale-version or "
+                    "skip-quarantine, not \"",
+                    bug_name, "\"");
+
+    std::vector<conform::Op> seq;
+    if (!replay.empty()) {
+        seq = conform::decodeTrace(slurp(replay));
+        std::cout << "ganacc-conform: replaying " << seq.size()
+                  << " ops\n";
+    } else {
+        conform::GenOptions gopt;
+        gopt.ops = std::size_t(ops);
+        gopt.fsFaults = !no_faults;
+        gopt.restarts = !no_restarts;
+        seq = conform::generateSequence(std::uint64_t(seed), gopt);
+        std::cout << "ganacc-conform: seed " << seed << ", "
+                  << seq.size() << " ops\n";
+    }
+    if (!dump_trace.empty())
+        spit(dump_trace, conform::encodeTrace(seq));
+
+    for (const conform::SutMode mode : modes) {
+        conform::RunOptions opt;
+        opt.mode = mode;
+        opt.scratchDir = scratch + "-" + conform::sutModeName(mode);
+        opt.bug = bug;
+        const conform::Report rep = conform::runConformance(seq, opt);
+        std::cout << conform::sutModeName(mode) << ": "
+                  << rep.opsApplied << " ops applied, "
+                  << rep.linesSent << " lines sent, "
+                  << rep.divergences.size() << " divergences\n";
+        if (rep.clean())
+            continue;
+
+        std::cout << rep.text() << "\n";
+        std::vector<conform::Op> failing = seq;
+        if (!no_shrink) {
+            const conform::ShrinkResult sr =
+                conform::shrinkSequence(seq, opt);
+            failing = sr.ops;
+            std::cout << "shrunk to " << failing.size() << " ops in "
+                      << sr.runs << " runs:\n";
+            const conform::Report min =
+                conform::runConformance(failing, opt);
+            std::cout << min.text() << "\n";
+        }
+        spit(repro, conform::encodeTrace(failing));
+        std::cout << "repro trace: " << repro << " (replay with "
+                  << "ganacc-conform --replay " << repro << " --mode "
+                  << conform::sutModeName(mode) << ")\n";
+        std::cout << "ganacc-conform: FAIL\n";
+        return 1;
+    }
+    std::cout << "ganacc-conform: PASS\n";
+    return 0;
+} catch (const ganacc::util::FatalError &e) {
+    std::cerr << "ganacc-conform: " << e.what() << "\n";
+    return 2;
+}
