@@ -12,17 +12,23 @@
  * subsystem is expected to keep above 5x.
  */
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.hh"
 #include "core/cycle_cache.hh"
 #include "core/unrolling.hh"
+#include "fleet/router.hh"
 #include "gan/models.hh"
+#include "serve/daemon.hh"
 #include "serve/engine.hh"
 #include "sim/phase.hh"
 #include "util/args.hh"
@@ -125,6 +131,120 @@ runPhase(serve::Engine &engine, const std::vector<serve::Request> &reqs,
     return r;
 }
 
+/** One in-process TCP fleet: N shards on ephemeral loopback ports,
+ *  each with its own cache tiers and store directory. */
+class BenchFleet
+{
+  public:
+    BenchFleet(int n, int jobs, const std::string &root)
+    {
+        namespace fs = std::filesystem;
+        fs::remove_all(root);
+        fs::create_directories(root);
+        for (int i = 0; i < n; ++i) {
+            auto sh = std::make_unique<Shard>();
+            serve::EngineOptions eo;
+            eo.jobs = jobs;
+            eo.cacheDir = root + "/store" + std::to_string(i);
+            eo.ownCache = true;
+            eo.shedOverload = true;
+            sh->engine = std::make_unique<serve::Engine>(eo);
+            const int listener =
+                serve::listenTcp("127.0.0.1:0", &sh->bound);
+            Shard *raw = sh.get();
+            sh->thread = std::thread([raw, listener] {
+                serve::serveListener(listener, *raw->engine,
+                                     raw->stop);
+            });
+            shards_.push_back(std::move(sh));
+        }
+    }
+
+    ~BenchFleet()
+    {
+        for (auto &sh : shards_) {
+            sh->stop.store(true);
+            sh->thread.join();
+        }
+    }
+
+    std::vector<std::string>
+    addresses() const
+    {
+        std::vector<std::string> out;
+        for (const auto &sh : shards_)
+            out.push_back(sh->bound);
+        return out;
+    }
+
+  private:
+    struct Shard
+    {
+        std::string bound;
+        std::unique_ptr<serve::Engine> engine;
+        std::thread thread;
+        std::atomic<bool> stop{false};
+    };
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+std::uint64_t
+percentile(std::vector<std::uint64_t> sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t idx =
+        std::size_t(q * double(sorted.size() - 1) + 0.5);
+    return sorted[idx];
+}
+
+/** Fleet scaling: route the full population through 1/2/4 TCP shards
+ *  and report throughput plus the service-side latency tail per cache
+ *  tier (Response.latencyUs, so socket time is excluded — the curve
+ *  isolates shard-side queueing). */
+void
+runFleetScaling(const std::vector<serve::Request> &reqs, int jobs,
+                const std::string &scratch, util::Table &t,
+                std::map<int, double> &coldRate)
+{
+    std::vector<std::string> lines;
+    for (const auto &req : reqs)
+        lines.push_back(serve::encodeRequest(req));
+
+    for (int shards : {1, 2, 4}) {
+        BenchFleet fleet(shards, jobs,
+                         scratch + "-fleet" + std::to_string(shards));
+        fleet::RouterOptions ropt;
+        ropt.topology.shards = fleet.addresses();
+        fleet::Router router(std::move(ropt));
+
+        for (const char *pass : {"cold", "warm"}) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto out = router.transactLines(lines);
+            const auto t1 = std::chrono::steady_clock::now();
+            const double secs =
+                std::chrono::duration<double>(t1 - t0).count();
+
+            // Latency tail per serving tier.
+            std::map<std::string, std::vector<std::uint64_t>> byTier;
+            for (const std::string &line : out) {
+                const serve::Response rsp =
+                    serve::decodeResponse(line);
+                if (rsp.ok)
+                    byTier[rsp.cache].push_back(rsp.latencyUs);
+            }
+            for (const auto &[tier, lat] : byTier)
+                t.addRow(shards, pass, secs,
+                         double(lines.size()) / secs, tier,
+                         lat.size(), percentile(lat, 0.50),
+                         percentile(lat, 0.99));
+            if (std::string(pass) == "cold")
+                coldRate[shards] = double(lines.size()) / secs;
+        }
+    }
+}
+
 } // namespace
 
 int
@@ -202,5 +322,18 @@ main(int argc, char **argv)
     std::cout << "\nwarm-over-cold (1 client): disk "
               << warm_disk1 / cold1 << "x, memory "
               << warm_mem1 / cold1 << "x (target: >= 5x)\n";
+
+    // --- Fleet scaling: the same population through 1/2/4 TCP
+    // shards behind fleet::Router (RF=2 replication on) ---
+    std::cout << "\nFleet scaling — " << jobs
+              << " workers per shard, loopback TCP, RF=2\n\n";
+    util::Table ft({"shards", "pass", "seconds", "req/s", "tier",
+                    "n", "p50us", "p99us"});
+    std::map<int, double> coldRate;
+    runFleetScaling(reqs, jobs, cache_dir, ft, coldRate);
+    ft.print(std::cout);
+    std::cout << "\nfleet cold scaling vs 1 shard: 2 shards "
+              << coldRate[2] / coldRate[1] << "x, 4 shards "
+              << coldRate[4] / coldRate[1] << "x\n";
     return 0;
 }

@@ -23,6 +23,8 @@
 #include "conform/reference.hh"
 #include "core/cycle_cache.hh"
 #include "fault/fs_faults.hh"
+#include "fleet/ring.hh"
+#include "fleet/router.hh"
 #include "obs/metrics.hh"
 #include "serve/client.hh"
 #include "serve/daemon.hh"
@@ -108,10 +110,20 @@ class Sut
      *  request was answered, else a description of the violation. */
     virtual std::string stop() = 0;
 
+    /** The EvictMemory op: clear whatever memory tier this SUT's
+     *  daemon actually reads (the process singleton by default; a
+     *  fleet clears every shard's private cache). */
+    virtual void
+    evictMemory()
+    {
+        core::CycleCache::instance().clear();
+    }
+
     /** Emulate process death: stop-drain, wipe the memory tier the
      *  way an exec() would, start a fresh daemon over the same
-     *  store directory. */
-    std::string
+     *  store directory. A fleet overrides this with a rolling
+     *  restart of one shard. */
+    virtual std::string
     restart()
     {
         const std::string err = stop();
@@ -341,12 +353,284 @@ class PipeSut : public Sut
     int fromSrv_[2] = {-1, -1};
 };
 
+/** Loopback-TCP daemon: serve::listenTcp + serveListener. */
+class TcpSut : public Sut
+{
+  public:
+    TcpSut(const RunOptions &opt, std::string storeDir)
+        : opt_(opt), storeDir_(std::move(storeDir))
+    {
+    }
+
+    ~TcpSut() override
+    {
+        try {
+            if (thread_.joinable())
+                stop();
+        } catch (...) {
+        }
+    }
+
+    void
+    start() override
+    {
+        sent_ = 0;
+        totals_ = {};
+        threadError_.clear();
+        stop_.store(false);
+        engine_ = std::make_unique<serve::Engine>(
+            engineOptions(opt_, storeDir_));
+        // Bind synchronously, then serve on a thread: the listen
+        // backlog holds the client's connect until the first poll,
+        // so no connect-retry loop is needed.
+        const int listener =
+            serve::listenTcp("127.0.0.1:0", &bound_);
+        thread_ = std::thread([this, listener] {
+            try {
+                totals_ =
+                    serve::serveListener(listener, *engine_, stop_);
+            } catch (const std::exception &e) {
+                threadError_ = e.what();
+            }
+        });
+        client_ = std::make_unique<serve::Client>();
+        client_->connect(bound_);
+    }
+
+    std::vector<std::string>
+    transact(const std::vector<std::string> &lines) override
+    {
+        for (const std::string &line : lines)
+            client_->sendLine(line);
+        sent_ += lines.size();
+        std::vector<std::string> out;
+        out.reserve(lines.size());
+        for (std::size_t i = 0; i < lines.size(); ++i)
+            out.push_back(client_->recvLine());
+        return out;
+    }
+
+    std::string
+    stop() override
+    {
+        client_->close();
+        stop_.store(true);
+        thread_.join();
+        const std::string err =
+            drainVerdict(totals_, sent_, threadError_);
+        engine_.reset();
+        return err;
+    }
+
+  private:
+    RunOptions opt_;
+    std::string storeDir_;
+    std::string bound_;
+    std::unique_ptr<serve::Engine> engine_;
+    std::unique_ptr<serve::Client> client_;
+    std::thread thread_;
+    std::atomic<bool> stop_{false};
+    serve::ServeTotals totals_;
+    std::string threadError_;
+    std::uint64_t sent_ = 0;
+};
+
+/// Fleet conformance runs replicate at the paper fleet's default.
+constexpr int kFleetRf = 2;
+
+/**
+ * A multi-shard TCP fleet behind a fleet::Router. Every shard is an
+ * in-process daemon with a *private* cache and store
+ * (serve::EngineOptions::ownCache — the singleton memory tier would
+ * otherwise be one shared cache across shards and hide all routing
+ * behaviour). A Restart op rolls one shard at a time, round-robin,
+ * rebinding the shard's original address so the ring placement never
+ * moves; the router is disconnected from that shard first, which is
+ * exactly the drain contract a SIGTERMed production shard honours.
+ */
+class FleetSut : public Sut
+{
+  public:
+    FleetSut(const RunOptions &opt, const std::string &scratch)
+        : opt_(opt)
+    {
+        for (int i = 0; i < opt.shards; ++i) {
+            auto sh = std::make_unique<Shard>();
+            sh->storeDir = scratch + "/store" + std::to_string(i);
+            shards_.push_back(std::move(sh));
+        }
+    }
+
+    ~FleetSut() override
+    {
+        try {
+            if (running_)
+                stop();
+        } catch (...) {
+        }
+    }
+
+    void
+    start() override
+    {
+        for (std::size_t i = 0; i < shards_.size(); ++i)
+            startShard(int(i), "127.0.0.1:0");
+        fleet::RouterOptions ropt;
+        for (const auto &sh : shards_)
+            ropt.topology.shards.push_back(sh->bound);
+        ropt.topology.rf = kFleetRf;
+        router_ = std::make_unique<fleet::Router>(std::move(ropt));
+        running_ = true;
+    }
+
+    std::vector<std::string>
+    transact(const std::vector<std::string> &lines) override
+    {
+        return router_->transactLines(lines);
+    }
+
+    std::string
+    stop() override
+    {
+        std::string err;
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+            router_->disconnect(int(i));
+            const std::string e = stopShard(int(i));
+            if (!e.empty() && err.empty())
+                err = e;
+        }
+        router_.reset();
+        running_ = false;
+        return err;
+    }
+
+    void
+    evictMemory() override
+    {
+        for (const auto &sh : shards_)
+            sh->engine->clearMemoryCache();
+    }
+
+    std::string
+    restart() override
+    {
+        // Rolling restart: one shard, round-robin — the same order
+        // the fleet model assumes. The shard keeps its address and
+        // its store; it loses its memory tier and its connection.
+        const int k = nextRestart_;
+        nextRestart_ = (nextRestart_ + 1) % int(shards_.size());
+        router_->disconnect(k);
+        const std::string err = stopShard(k);
+        startShard(k, shards_[std::size_t(k)]->bound);
+        return err;
+    }
+
+    std::vector<std::string>
+    addresses() const
+    {
+        std::vector<std::string> out;
+        for (const auto &sh : shards_)
+            out.push_back(sh->bound);
+        return out;
+    }
+
+    std::vector<std::string>
+    storeDirs() const
+    {
+        std::vector<std::string> out;
+        for (const auto &sh : shards_)
+            out.push_back(sh->storeDir);
+        return out;
+    }
+
+  private:
+    struct Shard
+    {
+        std::string storeDir;
+        std::string bound;
+        std::unique_ptr<serve::Engine> engine;
+        std::thread thread;
+        std::atomic<bool> stop{false};
+        serve::ServeTotals totals;
+        std::string threadError;
+        /// Router lines sent to this shard before its current
+        /// daemon session started (the router counter is cumulative
+        /// across restarts, the daemon's is not).
+        std::uint64_t sentBase = 0;
+    };
+
+    void
+    startShard(int i, const std::string &addr)
+    {
+        Shard &sh = *shards_[std::size_t(i)];
+        sh.totals = {};
+        sh.threadError.clear();
+        sh.stop.store(false);
+        serve::EngineOptions eo = engineOptions(opt_, sh.storeDir);
+        eo.ownCache = true;
+        sh.engine = std::make_unique<serve::Engine>(eo);
+        const int listener = serve::listenTcp(addr, &sh.bound);
+        sh.thread = std::thread([&sh, listener] {
+            try {
+                sh.totals = serve::serveListener(listener, *sh.engine,
+                                                 sh.stop);
+            } catch (const std::exception &e) {
+                sh.threadError = e.what();
+            }
+        });
+        sh.sentBase =
+            router_ ? router_->counters().sentPerShard[std::size_t(i)]
+                    : 0;
+    }
+
+    /** Stop one drained shard; the caller has already disconnected
+     *  the router from it (a live connection would hold the drain). */
+    std::string
+    stopShard(int i)
+    {
+        Shard &sh = *shards_[std::size_t(i)];
+        sh.stop.store(true);
+        sh.thread.join();
+        std::string err;
+        const std::uint64_t sent =
+            router_->counters().sentPerShard[std::size_t(i)] -
+            sh.sentBase;
+        if (!sh.threadError.empty())
+            err = "daemon thread failed: " + sh.threadError;
+        else if (sh.totals.responses != sh.totals.lines)
+            err = "daemon answered " +
+                  std::to_string(sh.totals.responses) + " of " +
+                  std::to_string(sh.totals.lines) +
+                  " accepted requests";
+        else if (sh.totals.lines != sent)
+            err = "daemon read " + std::to_string(sh.totals.lines) +
+                  " request lines, the router sent " +
+                  std::to_string(sent);
+        sh.engine.reset();
+        if (!err.empty())
+            err = "shard " + std::to_string(i) + ": " + err;
+        return err;
+    }
+
+    RunOptions opt_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::unique_ptr<fleet::Router> router_;
+    int nextRestart_ = 0;
+    bool running_ = false;
+};
+
 std::unique_ptr<Sut>
 makeSut(const RunOptions &opt, const std::string &storeDir)
 {
-    if (opt.mode == SutMode::Unix)
+    switch (opt.mode) {
+      case SutMode::Unix:
         return std::make_unique<UnixSut>(opt, storeDir);
-    return std::make_unique<PipeSut>(opt, storeDir);
+      case SutMode::Pipe:
+        return std::make_unique<PipeSut>(opt, storeDir);
+      case SutMode::Tcp:
+        return std::make_unique<TcpSut>(opt, storeDir);
+    }
+    return std::make_unique<UnixSut>(opt, storeDir);
 }
 
 /** The wire lines one operation sends. */
@@ -397,6 +681,197 @@ wireLines(const Op &op)
         return {};
     }
 }
+
+/**
+ * Reference model of a whole fleet: one ReferenceModel per shard plus
+ * an exact mirror of the router's placement (the same Ring math over
+ * the same route keys). A request op applies to the primary shard of
+ * its route key; a fresh "sim" spec result additionally lands on
+ * every other replica of the key as a modelled put — the router
+ * replicates synchronously inside transactLines, so lockstep holds.
+ * Counter expectations sum across shards: the serve counters are one
+ * process-global registry series every engine bumps, and the obs
+ * snapshot sums the per-shard cache/store collector series.
+ */
+class FleetModel
+{
+  public:
+    FleetModel(const std::vector<std::string> &addrs,
+               const std::vector<std::string> &stores)
+        : ring_(topologyOf(addrs)),
+          rf_(std::min(kFleetRf, int(addrs.size())))
+    {
+        for (const std::string &dir : stores)
+            shards_.push_back(
+                std::make_unique<ReferenceModel>(dir));
+    }
+
+    std::vector<ExpectedResponse>
+    apply(const Op &op)
+    {
+        switch (op.kind) {
+          case OpKind::EvictMemory:
+            for (const auto &m : shards_)
+                m->noteEvictMemory();
+            return {};
+          case OpKind::EvictEntry:
+          case OpKind::CorruptEntry:
+          case OpKind::PlantStale:
+            // A store perturbation touches one file: the copy in the
+            // key's primary store (entryPath() resolves there too).
+            return owner(op).apply(op);
+          case OpKind::FsFault:
+            util::fatal(
+                "conform: FsFault ops are unsupported in fleet runs "
+                "(the budgets are process-global; which shard "
+                "consumes them is scheduling, not model state)");
+          case OpKind::Restart:
+            // Mirrors FleetSut::restart(): same round-robin order,
+            // same starting shard.
+            shards_[std::size_t(nextRestart_)]->noteRestart();
+            nextRestart_ = (nextRestart_ + 1) % int(shards_.size());
+            return {};
+          default:
+            return applyRequest(op);
+        }
+    }
+
+    /** Fleet-wide expectations (a stats probe's telemetry covers
+     *  every shard: global serve series, summed collector series). */
+    CounterExpectations
+    counters() const
+    {
+        CounterExpectations sum;
+        for (const auto &m : shards_) {
+            m->syncCacheEntries();
+            merge(sum, m->counters());
+        }
+        return sum;
+    }
+
+    std::string
+    diffStore() const
+    {
+        std::string out;
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+            const std::string d = shards_[i]->diffStore();
+            if (d.empty())
+                continue;
+            if (!out.empty())
+                out += "; ";
+            out += "shard " + std::to_string(i) + ": " + d;
+        }
+        return out;
+    }
+
+    /** The live store address of a triple: under its primary shard's
+     *  store directory. */
+    std::string
+    entryPath(core::ArchKind kind, const sim::Unroll &u,
+              const sim::ConvSpec &spec) const
+    {
+        const std::string key = serve::contentKey(kind, u, spec);
+        return shards_[std::size_t(ring_.primary(key))]->entryPath(
+            kind, u, spec);
+    }
+
+  private:
+    static fleet::Topology
+    topologyOf(const std::vector<std::string> &addrs)
+    {
+        fleet::Topology t;
+        t.shards = addrs;
+        t.rf = kFleetRf;
+        return t;
+    }
+
+    ReferenceModel &
+    owner(const Op &op)
+    {
+        const std::string key =
+            serve::contentKey(op.arch, op.unroll, op.spec);
+        return *shards_[std::size_t(ring_.primary(key))];
+    }
+
+    static void
+    add(Interval &a, const Interval &b)
+    {
+        a.lo += b.lo;
+        a.hi += b.hi;
+    }
+
+    static void
+    merge(CounterExpectations &sum, const CounterExpectations &c)
+    {
+        add(sum.requests, c.requests);
+        add(sum.errors, c.errors);
+        add(sum.probes, c.probes);
+        add(sum.memHits, c.memHits);
+        add(sum.diskHits, c.diskHits);
+        add(sum.simulated, c.simulated);
+        add(sum.deduped, c.deduped);
+        add(sum.memPlusDup, c.memPlusDup);
+        add(sum.puts, c.puts);
+        add(sum.overloaded, c.overloaded);
+        add(sum.cacheHits, c.cacheHits);
+        add(sum.cacheMisses, c.cacheMisses);
+        add(sum.cacheDiskHits, c.cacheDiskHits);
+        add(sum.cacheSimulated, c.cacheSimulated);
+        sum.cacheEntries += c.cacheEntries;
+        add(sum.storeHits, c.storeHits);
+        add(sum.storeMisses, c.storeMisses);
+        add(sum.storeStale, c.storeStale);
+        add(sum.storeCorrupt, c.storeCorrupt);
+        add(sum.storeWrites, c.storeWrites);
+    }
+
+    std::vector<ExpectedResponse>
+    applyRequest(const Op &op)
+    {
+        // Mirror the router's per-line routing off the op's first
+        // wire line; all lines of one op share a route key (a
+        // DupBurst repeats one triple). Undecodable lines route on
+        // their raw bytes, exactly like the router.
+        const std::vector<std::string> lines = wireLines(op);
+        serve::Request req;
+        bool decoded = true;
+        try {
+            req = serve::decodeRequest(lines.at(0));
+        } catch (...) {
+            decoded = false;
+        }
+        std::string key;
+        int primary = 0;
+        if (decoded) {
+            key = fleet::routeKeyOf(req);
+            if (!key.empty())
+                primary = ring_.primary(key);
+        } else {
+            primary = ring_.primary(lines.at(0));
+        }
+        std::vector<ExpectedResponse> out =
+            shards_[std::size_t(primary)]->apply(op);
+        // Replication: at most one fresh "sim" spec result per op
+        // (burst followers never report "sim") lands on every other
+        // replica of the key as a put.
+        const bool fresh =
+            decoded && req.hasSpec && !req.put && !out.empty() &&
+            out.front().ok &&
+            out.front().allowedTiers ==
+                std::vector<std::string>{"sim"};
+        if (fresh && rf_ > 1)
+            for (int r : ring_.replicas(key, rf_))
+                if (r != primary)
+                    shards_[std::size_t(r)]->notePut(
+                        req.kind, req.unroll, req.spec);
+        return out;
+    }
+
+    fleet::Ring ring_;
+    int rf_;
+    std::vector<std::unique_ptr<ReferenceModel>> shards_;
+    int nextRestart_ = 0;
+};
 
 /** Compare one decoded response against the model's expectation;
  *  "" when they agree. */
@@ -514,6 +989,10 @@ checkCounters(std::size_t opIndex, const std::string &telemetry,
     check("serve mem hits", mem, c.memHits);
     check("serve deduped", dup, c.deduped);
     check("serve mem+dup", mem + dup, c.memPlusDup);
+    check("serve puts", serveDelta("ganacc_serve_puts_total"),
+          c.puts);
+    check("serve overloaded",
+          serveDelta("ganacc_serve_overloaded_total"), c.overloaded);
     // Cache counters reset with CycleCache::clear(), store counters
     // with each store session: both compare absolute.
     check("cache hits", cval("ganacc_cache_mem_hits_total"),
@@ -546,9 +1025,12 @@ checkCounters(std::size_t opIndex, const std::string &telemetry,
                        "probe: inflight gauge nonzero in lockstep"});
 }
 
-/** Perform a CorruptEntry op on the real filesystem. */
+/** Perform a CorruptEntry op on the real filesystem. `Model` is
+ *  ReferenceModel or FleetModel — entryPath() resolves the store
+ *  (fleet: the key's primary shard) holding the file to damage. */
+template <typename Model>
 void
-corruptFile(const ReferenceModel &model, const Op &op)
+corruptFile(const Model &model, const Op &op)
 {
     const fs::path path =
         model.entryPath(op.arch, op.unroll, op.spec);
@@ -585,8 +1067,9 @@ corruptFile(const ReferenceModel &model, const Op &op)
  *  perturbed — a store that skips stale-version invalidation serves
  *  these wrong numbers, which is exactly what the harness's
  *  self-test must catch. */
+template <typename Model>
 void
-plantStaleFile(const ReferenceModel &model, const Op &op)
+plantStaleFile(const Model &model, const Op &op)
 {
     const fs::path path =
         model.entryPath(op.arch, op.unroll, op.spec);
@@ -611,52 +1094,17 @@ struct ProcessStateGuard
     }
 };
 
-} // namespace
-
-std::string
-sutModeName(SutMode m)
+/**
+ * The lockstep loop plus the final drain and store scan, shared by
+ * the single-daemon and fleet paths. `Model` is ReferenceModel or
+ * FleetModel (same apply/counters/diffStore/entryPath surface).
+ */
+template <typename Model>
+void
+driveSequence(const std::vector<Op> &seq, const RunOptions &opt,
+              Sut &sut, Model &model, Report &rep,
+              const std::map<std::string, std::uint64_t> &baseline)
 {
-    return m == SutMode::Unix ? "unix" : "pipe";
-}
-
-std::string
-defaultScratchDir()
-{
-    return (fs::temp_directory_path() /
-            ("ganacc-conform-" + std::to_string(::getpid())))
-        .string();
-}
-
-std::string
-Report::text() const
-{
-    std::ostringstream os;
-    for (const Divergence &d : divergences)
-        os << "op " << d.opIndex << ": " << d.what << "\n";
-    os << opsApplied << " ops applied, " << linesSent
-       << " lines sent, " << divergences.size() << " divergences";
-    return os.str();
-}
-
-Report
-runConformance(const std::vector<Op> &seq, const RunOptions &opt)
-{
-    if (opt.scratchDir.empty())
-        util::fatal("conform: RunOptions.scratchDir must be set");
-    Report rep;
-    ProcessStateGuard guard;
-    fault::clearFsFaults();
-    serve::setStoreBugForTesting(opt.bug);
-    fs::remove_all(opt.scratchDir);
-    fs::create_directories(opt.scratchDir);
-    const std::string storeDir = opt.scratchDir + "/store";
-    core::CycleCache::instance().clear();
-    const auto baseline = snapshotCounters();
-
-    ReferenceModel model(storeDir);
-    std::unique_ptr<Sut> sut = makeSut(opt, storeDir);
-    sut->start();
-
     auto diverged = [&] {
         return int(rep.divergences.size()) >= opt.maxDivergences;
     };
@@ -669,7 +1117,7 @@ runConformance(const std::vector<Op> &seq, const RunOptions &opt)
                 const std::vector<std::string> lines = wireLines(op);
                 rep.linesSent += lines.size();
                 const std::vector<std::string> raw =
-                    sut->transact(lines);
+                    sut.transact(lines);
                 const std::vector<ExpectedResponse> want =
                     model.apply(op);
                 if (raw.size() != want.size()) {
@@ -704,7 +1152,7 @@ runConformance(const std::vector<Op> &seq, const RunOptions &opt)
             } else {
                 switch (op.kind) {
                   case OpKind::EvictMemory:
-                    core::CycleCache::instance().clear();
+                    sut.evictMemory();
                     break;
                   case OpKind::EvictEntry: {
                     std::error_code ec;
@@ -723,7 +1171,7 @@ runConformance(const std::vector<Op> &seq, const RunOptions &opt)
                     fault::armFsFaults(op.faults);
                     break;
                   case OpKind::Restart: {
-                    const std::string err = sut->restart();
+                    const std::string err = sut.restart();
                     if (!err.empty())
                         rep.divergences.push_back({i, err});
                     break;
@@ -747,7 +1195,7 @@ runConformance(const std::vector<Op> &seq, const RunOptions &opt)
     }
 
     try {
-        const std::string err = sut->stop();
+        const std::string err = sut.stop();
         if (!err.empty())
             rep.divergences.push_back({seq.size(), "drain: " + err});
     } catch (const std::exception &e) {
@@ -758,6 +1206,70 @@ runConformance(const std::vector<Op> &seq, const RunOptions &opt)
     if (!d.empty())
         rep.divergences.push_back(
             {seq.size(), "final store scan: " + d});
+}
+
+} // namespace
+
+std::string
+sutModeName(SutMode m)
+{
+    switch (m) {
+      case SutMode::Unix: return "unix";
+      case SutMode::Pipe: return "pipe";
+      case SutMode::Tcp:  return "tcp";
+    }
+    return "unix";
+}
+
+std::string
+defaultScratchDir()
+{
+    return (fs::temp_directory_path() /
+            ("ganacc-conform-" + std::to_string(::getpid())))
+        .string();
+}
+
+std::string
+Report::text() const
+{
+    std::ostringstream os;
+    for (const Divergence &d : divergences)
+        os << "op " << d.opIndex << ": " << d.what << "\n";
+    os << opsApplied << " ops applied, " << linesSent
+       << " lines sent, " << divergences.size() << " divergences";
+    return os.str();
+}
+
+Report
+runConformance(const std::vector<Op> &seq, const RunOptions &opt)
+{
+    if (opt.scratchDir.empty())
+        util::fatal("conform: RunOptions.scratchDir must be set");
+    if (opt.shards < 1)
+        util::fatal("conform: RunOptions.shards must be >= 1");
+    Report rep;
+    ProcessStateGuard guard;
+    fault::clearFsFaults();
+    serve::setStoreBugForTesting(opt.bug);
+    fs::remove_all(opt.scratchDir);
+    fs::create_directories(opt.scratchDir);
+    core::CycleCache::instance().clear();
+    const auto baseline = snapshotCounters();
+
+    if (opt.shards > 1) {
+        FleetSut sut(opt, opt.scratchDir);
+        sut.start();
+        // The ring places on bound addresses, so the model can only
+        // exist once the shards are up.
+        FleetModel model(sut.addresses(), sut.storeDirs());
+        driveSequence(seq, opt, sut, model, rep, baseline);
+    } else {
+        const std::string storeDir = opt.scratchDir + "/store";
+        ReferenceModel model(storeDir);
+        std::unique_ptr<Sut> sut = makeSut(opt, storeDir);
+        sut->start();
+        driveSequence(seq, opt, *sut, model, rep, baseline);
+    }
     return rep;
 }
 

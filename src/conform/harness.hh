@@ -3,11 +3,12 @@
  * The conformance harness: drive a live daemon and the reference
  * model in lockstep, diff every observable.
  *
- * Two systems-under-test wrap the real transports — a Unix-domain
- *-socket daemon behind serve::Client, and a pipe daemon behind real
- * pipe(2) descriptors — both running in-process threads so the
- * harness can reach the fault seams, the CycleCache and the obs
- * registry the daemon shares. Operations are applied in lockstep
+ * The systems-under-test wrap the real transports — a Unix-domain
+ *-socket daemon behind serve::Client, a pipe daemon behind real
+ * pipe(2) descriptors, a loopback-TCP daemon, and a multi-shard TCP
+ * fleet behind fleet::Router — all running in-process threads so the
+ * harness can reach the fault seams, the caches and the obs
+ * registry the daemons share. Operations are applied in lockstep
  * (every response of op N is read and checked before op N+1 is sent),
  * which is what makes every counter exactly predictable; a Restart op
  * emulates process death (drain, verify every accepted request was
@@ -38,6 +39,7 @@ enum class SutMode
 {
     Unix, ///< AF_UNIX socket server + serve::Client
     Pipe, ///< pipe(2) pair through serve::runPipeServer
+    Tcp,  ///< loopback TCP listener + serve::Client
 };
 
 std::string sutModeName(SutMode m);
@@ -46,6 +48,12 @@ std::string sutModeName(SutMode m);
 struct RunOptions
 {
     SutMode mode = SutMode::Unix;
+    /// Fleet width. 1 = a single daemon of `mode`. >= 2 = that many
+    /// TCP shards with private caches behind a fleet::Router (RF=2,
+    /// routing and replication modelled per shard; `mode` is
+    /// ignored, FsFault ops are unsupported). A Restart op restarts
+    /// one shard round-robin on its original address.
+    int shards = 1;
     /// Scratch root for the store and the socket; wiped at run start.
     /// Must be non-empty and short (AF_UNIX path limit).
     std::string scratchDir;

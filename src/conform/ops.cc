@@ -437,7 +437,7 @@ generateSequence(std::uint64_t seed, const GenOptions &opt)
             op.kind = OpKind::EvictMemory;
             seq.push_back(op);
         } else if (roll < 78) { // evict one store entry
-            if (!pool.any())
+            if (!pool.any() || !opt.storeOps)
                 continue;
             Op op;
             const Op t = pool.existing(rng);
@@ -447,7 +447,7 @@ generateSequence(std::uint64_t seed, const GenOptions &opt)
             op.spec = t.spec;
             seq.push_back(op);
         } else if (roll < 86) { // corrupt, then observe the damage
-            if (!pool.any())
+            if (!pool.any() || !opt.storeOps)
                 continue;
             Op op;
             const Op t = pool.existing(rng);
@@ -462,7 +462,7 @@ generateSequence(std::uint64_t seed, const GenOptions &opt)
             seq.push_back(evict);
             request(t);
         } else if (roll < 91) { // plant stale, then observe
-            if (!pool.any())
+            if (!pool.any() || !opt.storeOps)
                 continue;
             Op op;
             const Op t = pool.existing(rng);
@@ -556,6 +556,22 @@ malformedFrames()
         t.push_back({"missing_id",
                      "{\"v\":1,\"stats\":true}",
                      "fatal: json: missing key \"id\""});
+        t.push_back({"fleet_with_payload",
+                     "{\"v\":1,\"id\":40,\"fleet\":true,\"model\":"
+                     "\"dcgan\"}",
+                     "fatal: a fleet probe carries no simulation "
+                     "payload"});
+        t.push_back({"fleet_not_true",
+                     "{\"v\":1,\"id\":41,\"fleet\":false}",
+                     "fatal: \"fleet\" must be true when present"});
+        t.push_back({"put_mixed_payload",
+                     "{\"v\":1,\"id\":42,\"put\":true,\"stats\":"
+                     "true}",
+                     "fatal: a put carries exactly arch, unroll, "
+                     "spec, result and sim"});
+        t.push_back({"put_not_true",
+                     "{\"v\":1,\"id\":43,\"put\":false}",
+                     "fatal: \"put\" must be true when present"});
         return t;
     }();
     return table;

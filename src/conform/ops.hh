@@ -110,6 +110,10 @@ struct GenOptions
     bool fsFaults = true;  ///< emit FsFault ops
     bool nets = true;      ///< emit NetRequest ops
     bool restarts = true;  ///< emit Restart ops
+    /// Emit EvictEntry / CorruptEntry / PlantStale ops. Supported in
+    /// fleet runs too: each perturbation addresses the one file in
+    /// the key's primary store, which the fleet model mirrors.
+    bool storeOps = true;
     int burstMax = 10;     ///< DupBurst size upper bound
 };
 

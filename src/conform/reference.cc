@@ -239,10 +239,19 @@ ReferenceModel::lookupJob(core::ArchKind kind, const sim::Unroll &u,
             break;
         }
     }
-    // Cycle walk plus write-through, mirroring ResultStore::store's
-    // seam order: a write fault drops the entry entirely (previous
-    // disk state survives), a torn write lands half an entry.
+    // Cycle walk plus write-through.
     c_.cacheSimulated.bump();
+    writeThrough(e);
+    mem_.insert(key);
+    return "sim";
+}
+
+void
+ReferenceModel::writeThrough(Entry &e)
+{
+    // Mirrors ResultStore::store's seam order: a write fault drops
+    // the entry entirely (previous disk state survives), a torn
+    // write lands half an entry.
     if (writeFaults_ > 0) {
         --writeFaults_;
     } else if (tornWrites_ > 0) {
@@ -253,8 +262,16 @@ ReferenceModel::lookupJob(core::ArchKind kind, const sim::Unroll &u,
         c_.storeWrites.bump();
         e.state = DiskState::Good;
     }
-    mem_.insert(key);
-    return "sim";
+}
+
+void
+ReferenceModel::notePut(core::ArchKind kind, const sim::Unroll &u,
+                        const sim::ConvSpec &spec)
+{
+    c_.requests.bump();
+    c_.puts.bump();
+    writeThrough(entryOf(kind, u, spec));
+    mem_.insert(serve::contentKey(kind, u, spec));
 }
 
 ExpectedResponse
@@ -267,6 +284,39 @@ ReferenceModel::handleDecoded(const serve::Request &req)
         c_.cacheEntries = mem_.size();
         r.ok = true;
         r.isProbe = true;
+        return r;
+    }
+    if (req.fleetProbe) {
+        // A daemon started without --fleet answers topology probes
+        // with this exact error, outside the request counters (the
+        // probe bypasses admission like a stats probe).
+        r.ok = false;
+        r.checkError = true;
+        r.error = "daemon is not part of a fleet";
+        return r;
+    }
+    if (req.put) {
+        try {
+            req.spec.validate();
+            if (req.putSimVersion != serve::simulatorVersion())
+                util::fatal("put carries simulator version \"",
+                            req.putSimVersion,
+                            "\", this daemon runs \"",
+                            serve::simulatorVersion(), "\"");
+        } catch (const std::exception &e) {
+            c_.requests.bump();
+            c_.errors.bump();
+            r.ok = false;
+            r.checkError = true;
+            r.error = e.what();
+            return r;
+        }
+        notePut(req.kind, req.unroll, req.spec);
+        r.ok = true;
+        r.arch = core::archKindName(req.kind);
+        r.unrollJson = sim::toJson(req.unroll);
+        r.stats = req.putStats;
+        r.allowedTiers = {"put"};
         return r;
     }
     try {

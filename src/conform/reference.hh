@@ -91,6 +91,11 @@ struct CounterExpectations
     Interval requests, errors, probes;
     Interval memHits, diskHits, simulated, deduped;
     Interval memPlusDup; ///< memHits + deduped: exact even in bursts
+    /// Replication writes acknowledged / requests shed at admission.
+    /// Both pin to zero on a single daemon in lockstep; puts count in
+    /// fleet runs, overloaded stays zero even there (lockstep never
+    /// fills a 256-deep queue).
+    Interval puts, overloaded;
     Interval cacheHits, cacheMisses, cacheDiskHits, cacheSimulated;
     std::uint64_t cacheEntries = 0;
     Interval storeHits, storeMisses, storeStale, storeCorrupt,
@@ -157,6 +162,20 @@ class ReferenceModel
     void noteFsFaults(const fault::FsFaultPlan &plan);
     void noteRestart();
 
+    /** Model a replication write landing on this daemon: the triple
+     *  enters the memory tier and writes through to the store (same
+     *  fault seams as a simulate-and-store), requests and puts count.
+     *  The fleet model calls this on each replica of a fresh result;
+     *  the entry is modelled Good, i.e. carrying the reference stats —
+     *  which is what a genuine peer-simulated result holds. */
+    void notePut(core::ArchKind kind, const sim::Unroll &u,
+                 const sim::ConvSpec &spec);
+
+    /** Refresh the modelled cache-entries gauge (mem-tier size).
+     *  Probe handling does this for the probed model; the fleet
+     *  model must refresh every shard before summing. */
+    void syncCacheEntries() { c_.cacheEntries = mem_.size(); }
+
   private:
     struct Entry
     {
@@ -170,6 +189,10 @@ class ReferenceModel
     /** The entry slot of a triple, creating it on first touch. */
     Entry &entryOf(core::ArchKind kind, const sim::Unroll &u,
                    const sim::ConvSpec &spec);
+
+    /** Store write-through of a fresh result, mirroring
+     *  ResultStore::store's fault-seam order. */
+    void writeThrough(Entry &e);
 
     /** One cache-level lookup: mirrors CycleCache::stats over the
      *  modelled tiers, mutating counters, fault budgets and disk

@@ -65,6 +65,29 @@ cacheOutcomeName(CacheOutcome o)
     return "?";
 }
 
+CycleCache::CycleCache(bool publishMetrics)
+{
+    if (!publishMetrics)
+        return;
+    collector_ = obs::Registry::instance().addCollector(
+        [this](obs::Snapshot &snap) {
+            const CacheStats s = cacheStats();
+            snap.counter("ganacc_cache_mem_hits_total", s.hits);
+            snap.counter("ganacc_cache_misses_total", s.misses);
+            snap.counter("ganacc_cache_disk_hits_total", s.diskHits);
+            snap.counter("ganacc_cache_simulated_total",
+                         s.simulated());
+            snap.gauge("ganacc_cache_entries",
+                       std::int64_t(s.entries));
+        });
+}
+
+CycleCache::~CycleCache()
+{
+    if (collector_ >= 0)
+        obs::Registry::instance().removeCollector(collector_);
+}
+
 CycleCache &
 CycleCache::instance()
 {
@@ -133,6 +156,19 @@ CycleCache::stats(ArchKind kind, const sim::Unroll &u,
     if (outcome)
         *outcome = got;
     return st;
+}
+
+void
+CycleCache::insert(ArchKind kind, const sim::Unroll &u,
+                   const sim::ConvSpec &spec,
+                   const sim::RunStats &stats)
+{
+    {
+        std::unique_lock<std::shared_mutex> lk(m_);
+        map_[keyOf(kind, u, spec)] = stats;
+    }
+    if (disk_)
+        disk_->store(kind, u, spec, stats);
 }
 
 void

@@ -89,11 +89,30 @@ class StatsDiskTier
                        const sim::RunStats &stats) = 0;
 };
 
-/** Process-wide memo of timing-only runs. */
+/**
+ * Memo of timing-only runs. Historically a process singleton
+ * (instance()); fleet shards hosted in one process (serve::Engine
+ * with ownCache, the conformance harness, unit tests) construct
+ * private instances instead so each shard has its own memory tier
+ * and disk-tier attachment.
+ */
 class CycleCache
 {
   public:
     static CycleCache &instance();
+
+    /**
+     * A private cache. When `publishMetrics` is set, the instance
+     * registers a telemetry collector publishing the same
+     * ganacc_cache_* series as the singleton (the registry snapshot
+     * accumulates repeated names, so multi-shard totals come out as
+     * sums) and unregisters it on destruction.
+     */
+    explicit CycleCache(bool publishMetrics = false);
+    ~CycleCache();
+
+    CycleCache(const CycleCache &) = delete;
+    CycleCache &operator=(const CycleCache &) = delete;
 
     /**
      * The RunStats of a timing-only run of `spec` on `kind` with
@@ -103,6 +122,18 @@ class CycleCache
     sim::RunStats stats(ArchKind kind, const sim::Unroll &u,
                         const sim::ConvSpec &spec,
                         CacheOutcome *outcome = nullptr);
+
+    /**
+     * Insert an externally computed result for the triple: memory
+     * entry plus write-through to the attached disk tier. This is the
+     * replication path — a fleet peer simulated the triple and pushed
+     * the finished stats here, so the local shard can serve future
+     * lookups without its own cycle walk. Touches no hit/miss
+     * counters (nothing was looked up). Idempotent: re-inserting a
+     * resident key overwrites with identical bytes.
+     */
+    void insert(ArchKind kind, const sim::Unroll &u,
+                const sim::ConvSpec &spec, const sim::RunStats &stats);
 
     /**
      * Attach (or with nullptr detach) the persistent tier. Non-owning;
@@ -133,14 +164,13 @@ class CycleCache
     std::string summary() const;
 
   private:
-    CycleCache() = default;
-
     mutable std::shared_mutex m_;
     std::unordered_map<std::string, sim::RunStats> map_;
     StatsDiskTier *disk_ = nullptr;
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
     std::atomic<std::uint64_t> diskHits_{0};
+    int collector_ = -1; ///< registry token of a publishing instance
 };
 
 /** Convenience: CycleCache::instance().stats(...). */

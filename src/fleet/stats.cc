@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Telemetry merge implementation.
+ */
+
+#include "fleet/stats.hh"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace ganacc {
+namespace fleet {
+
+namespace {
+
+/** Insertion-ordered accumulator: fleet totals should list metrics
+ *  in the order the first shard reported them, not alphabetically —
+ *  that keeps the aggregate visually diffable against one shard. */
+template <typename V> class OrderedSums
+{
+  public:
+    V &
+    slot(const std::string &name)
+    {
+        auto it = index_.find(name);
+        if (it == index_.end()) {
+            index_.emplace(name, entries_.size());
+            entries_.emplace_back(name, V{});
+            return entries_.back().second;
+        }
+        return entries_[it->second].second;
+    }
+
+    const std::vector<std::pair<std::string, V>> &
+    entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    std::map<std::string, std::size_t> index_;
+    std::vector<std::pair<std::string, V>> entries_;
+};
+
+struct HistSum
+{
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::vector<std::uint64_t> buckets;
+};
+
+} // namespace
+
+std::string
+mergeTelemetry(const std::vector<std::string> &snapshots)
+{
+    OrderedSums<std::uint64_t> counters;
+    OrderedSums<std::int64_t> gauges;
+    OrderedSums<HistSum> histograms;
+
+    for (const std::string &text : snapshots) {
+        if (text.empty())
+            continue; // unreachable shard: contributes nothing
+        const util::json::Value doc = util::json::parse(text);
+        const util::json::Object &o = doc.asObject();
+        for (const auto &[name, v] :
+             o.at("counters").asObject().entries())
+            counters.slot(name) += v.asUint64();
+        for (const auto &[name, v] :
+             o.at("gauges").asObject().entries())
+            gauges.slot(name) += std::int64_t(v.asUint64());
+        for (const auto &[name, v] :
+             o.at("histograms").asObject().entries()) {
+            const util::json::Object &h = v.asObject();
+            HistSum &acc = histograms.slot(name);
+            acc.count += h.at("count").asUint64();
+            acc.sum += h.at("sum").asUint64();
+            const util::json::Array &buckets =
+                h.at("buckets").asArray();
+            if (acc.buckets.empty())
+                acc.buckets.assign(buckets.size(), 0);
+            if (acc.buckets.size() != buckets.size())
+                util::fatal("fleet stats: histogram \"", name,
+                            "\" bucket layouts differ across shards (",
+                            acc.buckets.size(), " vs ",
+                            buckets.size(), ")");
+            for (std::size_t i = 0; i < buckets.size(); ++i)
+                acc.buckets[i] += buckets[i].asUint64();
+        }
+    }
+
+    util::json::Object countersOut;
+    for (const auto &[name, v] : counters.entries())
+        countersOut.set(name, util::json::Value(v));
+    util::json::Object gaugesOut;
+    for (const auto &[name, v] : gauges.entries())
+        gaugesOut.set(name, util::json::Value(std::uint64_t(
+                                v < 0 ? 0 : v)));
+    util::json::Object histogramsOut;
+    for (const auto &[name, h] : histograms.entries()) {
+        util::json::Object hist;
+        hist.set("count", util::json::Value(h.count));
+        hist.set("sum", util::json::Value(h.sum));
+        util::json::Array buckets;
+        for (std::uint64_t b : h.buckets)
+            buckets.push_back(util::json::Value(b));
+        hist.set("buckets", util::json::Value(std::move(buckets)));
+        histogramsOut.set(name, util::json::Value(std::move(hist)));
+    }
+    util::json::Object root;
+    root.set("counters", util::json::Value(std::move(countersOut)));
+    root.set("gauges", util::json::Value(std::move(gaugesOut)));
+    root.set("histograms",
+             util::json::Value(std::move(histogramsOut)));
+    return util::json::Value(std::move(root)).dump();
+}
+
+std::string
+fleetStatsReport(
+    const std::vector<std::pair<std::string, std::string>> &perShard)
+{
+    std::vector<std::string> snapshots;
+    std::size_t reachable = 0;
+    for (const auto &[addr, telemetry] : perShard) {
+        (void)addr;
+        snapshots.push_back(telemetry);
+        if (!telemetry.empty())
+            ++reachable;
+    }
+    const std::string aggregate = mergeTelemetry(snapshots);
+
+    util::json::Object fleet;
+    fleet.set("shards",
+              util::json::Value(std::uint64_t(perShard.size())));
+    fleet.set("reachable",
+              util::json::Value(std::uint64_t(reachable)));
+    util::json::Array rows;
+    for (std::size_t s = 0; s < perShard.size(); ++s) {
+        util::json::Object row;
+        row.set("shard", util::json::Value(std::uint64_t(s)));
+        row.set("address", util::json::Value(perShard[s].first));
+        if (perShard[s].second.empty())
+            row.set("telemetry", util::json::Value());
+        else
+            row.set("telemetry",
+                    util::json::parse(perShard[s].second));
+        rows.push_back(util::json::Value(std::move(row)));
+    }
+    util::json::Object root;
+    root.set("fleet", util::json::Value(std::move(fleet)));
+    root.set("perShard", util::json::Value(std::move(rows)));
+    root.set("aggregate", util::json::parse(aggregate));
+    return util::json::Value(std::move(root)).dump();
+}
+
+} // namespace fleet
+} // namespace ganacc

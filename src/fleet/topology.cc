@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Topology codec implementation.
+ */
+
+#include "fleet/topology.hh"
+
+#include <sstream>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace ganacc {
+namespace fleet {
+
+int
+Topology::effectiveRf() const
+{
+    const int n = int(shards.size());
+    return rf < n ? rf : n;
+}
+
+namespace {
+
+void
+validate(const Topology &topo)
+{
+    if (topo.shards.empty())
+        util::fatal("fleet topology needs at least one shard");
+    if (topo.vnodes < 1)
+        util::fatal("fleet topology: vnodes must be positive");
+    if (topo.rf < 1)
+        util::fatal("fleet topology: rf must be positive");
+    if (topo.self < -1 || topo.self >= int(topo.shards.size()))
+        util::fatal("fleet topology: self index ", topo.self,
+                    " out of range for ", topo.shards.size(),
+                    " shards");
+    for (const std::string &addr : topo.shards)
+        if (addr.empty())
+            util::fatal("fleet topology: empty shard address");
+}
+
+} // namespace
+
+std::string
+toJson(const Topology &topo)
+{
+    validate(topo);
+    std::ostringstream os;
+    os << "{\"shards\":[";
+    for (std::size_t i = 0; i < topo.shards.size(); ++i)
+        os << (i ? "," : "") << '"'
+           << util::escapeJson(topo.shards[i]) << '"';
+    os << "],\"vnodes\":" << topo.vnodes << ",\"rf\":" << topo.rf
+       << ",\"self\":" << topo.self << "}";
+    return os.str();
+}
+
+Topology
+topologyFromJson(const std::string &text)
+{
+    const util::json::Value doc = util::json::parse(text);
+    const util::json::Object &o = doc.asObject();
+    Topology topo;
+    topo.shards.clear();
+    for (const util::json::Value &v : o.at("shards").asArray())
+        topo.shards.push_back(v.asString());
+    topo.vnodes = o.at("vnodes").asInt();
+    topo.rf = o.at("rf").asInt();
+    topo.self = o.at("self").asInt();
+    validate(topo);
+    return topo;
+}
+
+Topology
+parseShardList(const std::string &csv, int vnodes, int rf)
+{
+    Topology topo;
+    topo.vnodes = vnodes;
+    topo.rf = rf;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        std::size_t comma = csv.find(',', start);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        const std::string addr =
+            csv.substr(start, comma - start);
+        if (!addr.empty())
+            topo.shards.push_back(addr);
+        start = comma + 1;
+    }
+    validate(topo);
+    return topo;
+}
+
+} // namespace fleet
+} // namespace ganacc

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The shard map of a serving fleet.
+ *
+ * A fleet is N ganacc-served shards speaking the same JSONL protocol
+ * (TCP for cross-host fleets, AF_UNIX paths work too for same-host
+ * testing), plus a routing convention every client and every shard
+ * agree on: consistent hashing of the request's content key over a
+ * ring of virtual nodes (fleet/ring.hh), replication factor `rf`
+ * copies per key.
+ *
+ * The topology is configuration, not consensus: every shard is
+ * started with the same ordered shard list and answers it verbatim
+ * to {"fleet":true} probes, so a client can bootstrap the whole-fleet
+ * view from any one address (Router::bootstrap). Changing the member
+ * list is a redeploy, not a runtime operation — the ring only
+ * rebalances 1/N of the keyspace per changed shard, and the
+ * content-addressed store makes mis-routed history merely cold, never
+ * wrong.
+ */
+
+#ifndef GANACC_FLEET_TOPOLOGY_HH
+#define GANACC_FLEET_TOPOLOGY_HH
+
+#include <string>
+#include <vector>
+
+namespace ganacc {
+namespace fleet {
+
+/** The fleet-wide routing agreement. */
+struct Topology
+{
+    /// Ordered shard addresses ("host:port" or socket paths). Order
+    /// matters: ring points hash (address, vnode) pairs, so every
+    /// participant must hold the identical list.
+    std::vector<std::string> shards;
+
+    /// Virtual nodes per shard on the hash ring. More vnodes =
+    /// smoother key distribution at slightly larger ring; 64 keeps
+    /// the max/min shard load within ~30% for small fleets.
+    int vnodes = 64;
+
+    /// Replication factor: each key is owned by `rf` distinct shards
+    /// (clamped to the fleet size). RF=2 means one shard loss costs
+    /// latency (failover to the replica), never recomputation.
+    int rf = 2;
+
+    /// Index of the answering shard in `shards`, or -1 when this
+    /// topology describes the fleet from outside (a client's view).
+    int self = -1;
+
+    /** rf clamped to the actual fleet size. */
+    int effectiveRf() const;
+};
+
+/** Canonical JSON object text, e.g.
+ *  {"shards":["127.0.0.1:7741","127.0.0.1:7742"],"vnodes":64,
+ *   "rf":2,"self":0}. This is the payload of a fleet-probe response
+ *  and the value of serve::EngineOptions::fleetJson. */
+std::string toJson(const Topology &topo);
+
+/** Parse the toJson() form; throws util::FatalError on malformed or
+ *  inconsistent input (no shards, rf < 1, vnodes < 1, self out of
+ *  range). */
+Topology topologyFromJson(const std::string &text);
+
+/**
+ * Build a topology from a comma-separated shard list (the
+ * ganacc-client --fleet / ganacc-served --fleet flag format).
+ */
+Topology parseShardList(const std::string &csv, int vnodes = 64,
+                        int rf = 2);
+
+} // namespace fleet
+} // namespace ganacc
+
+#endif // GANACC_FLEET_TOPOLOGY_HH

@@ -6,8 +6,13 @@
 #include "serve/client.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -17,34 +22,109 @@
 namespace ganacc {
 namespace serve {
 
-Client::~Client()
-{
-    close();
-}
+namespace {
 
-void
-Client::connect(const std::string &socket_path)
+/**
+ * One connect attempt; returns the connected fd or -1 with errno-like
+ * detail in `error`.
+ */
+int
+connectOnce(const std::string &address, std::string &error)
 {
-    close();
+    if (isTcpAddress(address)) {
+        const auto colon = address.rfind(':');
+        const std::string host = address.substr(0, colon);
+        const std::string port = address.substr(colon + 1);
+        addrinfo hints;
+        std::memset(&hints, 0, sizeof hints);
+        hints.ai_family = AF_UNSPEC;
+        hints.ai_socktype = SOCK_STREAM;
+        addrinfo *res = nullptr;
+        const int gai =
+            ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+        if (gai != 0) {
+            error = gai_strerror(gai);
+            return -1;
+        }
+        int fd = -1;
+        for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+            fd = ::socket(ai->ai_family, ai->ai_socktype,
+                          ai->ai_protocol);
+            if (fd < 0)
+                continue;
+            if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+                break;
+            ::close(fd);
+            fd = -1;
+        }
+        error = fd < 0 ? std::strerror(errno) : "";
+        ::freeaddrinfo(res);
+        if (fd >= 0) {
+            // Pipelined one-line requests: don't let Nagle batch them.
+            int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof one);
+        }
+        return fd;
+    }
     sockaddr_un addr;
     std::memset(&addr, 0, sizeof addr);
     addr.sun_family = AF_UNIX;
-    if (socket_path.size() >= sizeof addr.sun_path)
-        util::fatal("socket path too long: ", socket_path);
-    std::strncpy(addr.sun_path, socket_path.c_str(),
+    if (address.size() >= sizeof addr.sun_path)
+        util::fatal("socket path too long: ", address);
+    std::strncpy(addr.sun_path, address.c_str(),
                  sizeof addr.sun_path - 1);
     int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0)
         util::fatal("socket(AF_UNIX): ", std::strerror(errno));
     if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
                   sizeof addr) != 0) {
-        int err = errno;
+        error = std::strerror(errno);
         ::close(fd);
-        util::fatal("connect(", socket_path, "): ",
-                    std::strerror(err),
-                    " (is ganacc-served running?)");
+        return -1;
     }
-    fd_ = fd;
+    return fd;
+}
+
+} // namespace
+
+bool
+isTcpAddress(const std::string &address)
+{
+    if (address.empty() || address[0] == '/' || address[0] == '.')
+        return false;
+    return address.find(':') != std::string::npos;
+}
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::connect(const std::string &address, const ConnectOptions &opt)
+{
+    close();
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(opt.timeoutMs);
+    std::string error;
+    int delayMs = opt.backoffMs > 0 ? opt.backoffMs : 1;
+    for (int attempt = 0;; ++attempt) {
+        const int fd = connectOnce(address, error);
+        if (fd >= 0) {
+            fd_ = fd;
+            return;
+        }
+        if (attempt >= opt.retries ||
+            std::chrono::steady_clock::now() >= deadline)
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delayMs));
+        delayMs = delayMs < 1000 ? delayMs * 2 : 1000;
+    }
+    util::fatal("connect(", address, "): ", error,
+                " (is ganacc-served running?)");
 }
 
 void
@@ -65,8 +145,11 @@ Client::sendLine(const std::string &line)
     wire += '\n';
     std::size_t off = 0;
     while (off < wire.size()) {
-        ssize_t n =
-            ::write(fd_, wire.data() + off, wire.size() - off);
+        // MSG_NOSIGNAL: a daemon draining for restart closes the
+        // connection; surface that as a catchable error (EPIPE), not
+        // a process-killing SIGPIPE — fleet::Router fails over on it.
+        ssize_t n = ::send(fd_, wire.data() + off, wire.size() - off,
+                           MSG_NOSIGNAL);
         if (n < 0 && errno == EINTR)
             continue; // interrupted by a signal (e.g. SIGUSR1
                       // metrics dump) — not an error, retry

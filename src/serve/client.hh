@@ -21,6 +21,26 @@
 namespace ganacc {
 namespace serve {
 
+/**
+ * Connection establishment policy. A refused connection is retried
+ * `retries` times with exponential backoff starting at `backoffMs`
+ * (doubling, capped at one second per sleep) until `timeoutMs` of
+ * wall clock has been spent; only then is the failure fatal. The
+ * defaults preserve the historical fail-fast behavior.
+ */
+struct ConnectOptions
+{
+    int retries = 0;    ///< extra attempts after the first failure
+    int backoffMs = 50; ///< first retry delay; doubles per attempt
+    int timeoutMs = 5000; ///< total connect budget across attempts
+};
+
+/**
+ * True when `address` names a TCP endpoint (contains a ':' and does
+ * not start with '/' or '.'), false for an AF_UNIX socket path.
+ */
+bool isTcpAddress(const std::string &address);
+
 /** A blocking JSON-lines connection to a running ganacc-served. */
 class Client
 {
@@ -31,8 +51,14 @@ class Client
     Client(const Client &) = delete;
     Client &operator=(const Client &) = delete;
 
-    /** Connect to the daemon's socket; throws FatalError on failure. */
-    void connect(const std::string &socket_path);
+    /**
+     * Connect to the daemon. `address` is an AF_UNIX socket path
+     * (starts with '/' or '.', or contains no ':') or a TCP
+     * "host:port" endpoint. Throws FatalError once the retry budget
+     * in `opt` is exhausted.
+     */
+    void connect(const std::string &address,
+                 const ConnectOptions &opt = ConnectOptions());
 
     bool connected() const { return fd_ >= 0; }
 

@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include <netdb.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -196,7 +198,10 @@ writeAll(int fd, const std::string &bytes)
 {
     std::size_t off = 0;
     while (off < bytes.size()) {
-        ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+        // MSG_NOSIGNAL: a client that disconnects mid-stream must
+        // cost the daemon one failed connection, not a SIGPIPE.
+        ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                           MSG_NOSIGNAL);
         if (n < 0 && errno == EINTR)
             continue; // the writer thread shares the process's signal
                       // dispositions (SIGUSR1 metrics dump) — retry
@@ -240,29 +245,9 @@ installStopHandlers(std::atomic<bool> &flag)
 }
 
 ServeTotals
-runSocketServer(const std::string &path, Engine &engine,
-                const std::atomic<bool> &stop)
+serveListener(int listener, Engine &engine,
+              const std::atomic<bool> &stop)
 {
-    if (path.empty())
-        util::fatal("socket server needs a non-empty path");
-    sockaddr_un addr;
-    std::memset(&addr, 0, sizeof addr);
-    addr.sun_family = AF_UNIX;
-    if (path.size() >= sizeof addr.sun_path)
-        util::fatal("socket path too long: ", path);
-    std::strncpy(addr.sun_path, path.c_str(),
-                 sizeof addr.sun_path - 1);
-
-    int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listener < 0)
-        util::fatal("socket(AF_UNIX): ", std::strerror(errno));
-    ::unlink(path.c_str()); // stale socket from a dead daemon
-    if (::bind(listener, reinterpret_cast<sockaddr *>(&addr),
-               sizeof addr) != 0)
-        util::fatal("bind(", path, "): ", std::strerror(errno));
-    if (::listen(listener, 64) != 0)
-        util::fatal("listen(", path, "): ", std::strerror(errno));
-
     std::atomic<std::uint64_t> lines{0};
     std::atomic<std::uint64_t> responses{0};
     std::vector<std::thread> conns;
@@ -288,12 +273,113 @@ runSocketServer(const std::string &path, Engine &engine,
     for (auto &t : conns)
         t.join();
     engine.drain();
-    ::unlink(path.c_str());
 
     ServeTotals totals;
     totals.lines = lines.load();
     totals.responses = responses.load();
     return totals;
+}
+
+ServeTotals
+runSocketServer(const std::string &path, Engine &engine,
+                const std::atomic<bool> &stop)
+{
+    if (path.empty())
+        util::fatal("socket server needs a non-empty path");
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path)
+        util::fatal("socket path too long: ", path);
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof addr.sun_path - 1);
+
+    int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listener < 0)
+        util::fatal("socket(AF_UNIX): ", std::strerror(errno));
+    ::unlink(path.c_str()); // stale socket from a dead daemon
+    if (::bind(listener, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0)
+        util::fatal("bind(", path, "): ", std::strerror(errno));
+    if (::listen(listener, 64) != 0)
+        util::fatal("listen(", path, "): ", std::strerror(errno));
+
+    const ServeTotals totals = serveListener(listener, engine, stop);
+    ::unlink(path.c_str());
+    return totals;
+}
+
+int
+listenTcp(const std::string &hostport, std::string *boundAddr)
+{
+    const auto colon = hostport.rfind(':');
+    if (colon == std::string::npos)
+        util::fatal("TCP listen address must be host:port, not \"",
+                    hostport, "\"");
+    std::string host = hostport.substr(0, colon);
+    const std::string port = hostport.substr(colon + 1);
+    if (host.empty())
+        host = "127.0.0.1";
+
+    addrinfo hints;
+    std::memset(&hints, 0, sizeof hints);
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    addrinfo *res = nullptr;
+    const int gai =
+        ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+    if (gai != 0)
+        util::fatal("getaddrinfo(", hostport, "): ",
+                    gai_strerror(gai));
+
+    int listener = -1;
+    std::string error = "no usable address";
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        listener = ::socket(ai->ai_family, ai->ai_socktype,
+                            ai->ai_protocol);
+        if (listener < 0)
+            continue;
+        int one = 1;
+        ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof one);
+        if (::bind(listener, ai->ai_addr, ai->ai_addrlen) == 0 &&
+            ::listen(listener, 64) == 0)
+            break;
+        error = std::strerror(errno);
+        ::close(listener);
+        listener = -1;
+    }
+    ::freeaddrinfo(res);
+    if (listener < 0)
+        util::fatal("bind(", hostport, "): ", error);
+
+    if (boundAddr) {
+        // Resolve a kernel-assigned port (":0") for announcement.
+        sockaddr_storage ss;
+        socklen_t len = sizeof ss;
+        if (::getsockname(listener,
+                          reinterpret_cast<sockaddr *>(&ss),
+                          &len) != 0)
+            util::fatal("getsockname(", hostport, "): ",
+                        std::strerror(errno));
+        char hostbuf[NI_MAXHOST], portbuf[NI_MAXSERV];
+        if (::getnameinfo(reinterpret_cast<sockaddr *>(&ss), len,
+                          hostbuf, sizeof hostbuf, portbuf,
+                          sizeof portbuf,
+                          NI_NUMERICHOST | NI_NUMERICSERV) != 0)
+            util::fatal("getnameinfo(", hostport, ") failed");
+        *boundAddr = std::string(hostbuf) + ":" + portbuf;
+    }
+    return listener;
+}
+
+ServeTotals
+runTcpServer(const std::string &hostport, Engine &engine,
+             const std::atomic<bool> &stop, std::string *boundAddr)
+{
+    return serveListener(listenTcp(hostport, boundAddr), engine,
+                         stop);
 }
 
 } // namespace serve

@@ -53,6 +53,36 @@ ServeTotals runPipeServer(std::istream &in, std::ostream &out,
 ServeTotals runSocketServer(const std::string &path, Engine &engine,
                             const std::atomic<bool> &stop);
 
+/**
+ * Create a listening TCP socket for `hostport` ("host:port"; a bare
+ * ":port" binds 127.0.0.1; port 0 picks a free port). Returns the
+ * listener fd and writes the actually bound "host:port" (with the
+ * kernel-assigned port resolved) to `*boundAddr` when non-null, so a
+ * caller can hand the address to clients before serving. Throws
+ * util::FatalError on failure.
+ */
+int listenTcp(const std::string &hostport, std::string *boundAddr);
+
+/**
+ * Serve an already-listening socket (from listenTcp(), or any bound +
+ * listening stream socket) with the shared accept loop: one thread
+ * per connection, ordered responses, SIGUSR1 metrics dumps serviced
+ * between polls. Returns once `*stop` becomes true, live connections
+ * finish their buffered requests, and the engine drains. Closes the
+ * listener.
+ */
+ServeTotals serveListener(int listener, Engine &engine,
+                          const std::atomic<bool> &stop);
+
+/**
+ * TCP mode: listenTcp() + serveListener(). The same JSONL protocol
+ * and drain semantics as the Unix transport, addressable across
+ * hosts — this is the transport fleet shards speak.
+ */
+ServeTotals runTcpServer(const std::string &hostport, Engine &engine,
+                         const std::atomic<bool> &stop,
+                         std::string *boundAddr = nullptr);
+
 /** Install SIGTERM/SIGINT handlers that set `flag`. */
 void installStopHandlers(std::atomic<bool> &flag);
 

@@ -21,10 +21,14 @@ namespace serve {
 
 namespace {
 
-/** The dedupe key of a request: everything but the id. */
+/** The dedupe key of a request: everything but the id. A put never
+ *  coalesces with a simulation of the same triple — the "put|" prefix
+ *  keeps their flights separate. */
 std::string
 flightKey(const Request &req)
 {
+    if (req.put)
+        return "put|" + contentKey(req.kind, req.unroll, req.spec);
     if (req.hasSpec)
         return contentKey(req.kind, req.unroll, req.spec);
     return "net|" + core::archKindName(req.kind) + '|' +
@@ -77,7 +81,8 @@ coldness(core::CacheOutcome o)
 } // namespace
 
 Engine::Engine(const EngineOptions &opts)
-    : opts_(opts), cache_(opts.cacheDir),
+    : opts_(opts),
+      cache_(opts.ownCache ? std::string() : opts.cacheDir),
       pool_(std::make_unique<util::ThreadPool>(opts.jobs)),
       mRequests_(obs::Registry::instance().counter(
           "ganacc_serve_requests_total", "requests admitted")),
@@ -97,6 +102,15 @@ Engine::Engine(const EngineOptions &opts)
       mStatsProbes_(obs::Registry::instance().counter(
           "ganacc_serve_stats_probes_total",
           "telemetry probes answered")),
+      mFleetProbes_(obs::Registry::instance().counter(
+          "ganacc_serve_fleet_probes_total",
+          "fleet-topology probes answered")),
+      mPuts_(obs::Registry::instance().counter(
+          "ganacc_serve_puts_total",
+          "replication writes acknowledged")),
+      mOverloaded_(obs::Registry::instance().counter(
+          "ganacc_serve_overloaded_total",
+          "requests shed at admission")),
       mInFlight_(obs::Registry::instance().gauge(
           "ganacc_serve_inflight",
           "requests admitted and not yet answered")),
@@ -106,6 +120,26 @@ Engine::Engine(const EngineOptions &opts)
 {
     if (opts_.maxQueue == 0)
         util::fatal("engine: maxQueue must be positive");
+    if (opts_.ownCache) {
+        ownCache_ =
+            std::make_unique<core::CycleCache>(/*publishMetrics=*/true);
+        if (!opts_.cacheDir.empty()) {
+            ownStore_ = std::make_unique<ResultStore>(opts_.cacheDir);
+            ownCache_->attachDiskTier(ownStore_.get());
+        }
+    }
+}
+
+core::CycleCache &
+Engine::liveCache()
+{
+    return ownCache_ ? *ownCache_ : core::CycleCache::instance();
+}
+
+void
+Engine::clearMemoryCache()
+{
+    liveCache().clear();
 }
 
 Engine::~Engine()
@@ -123,7 +157,7 @@ Engine::executeSpec(const Request &req)
     Response rsp;
     rsp.id = req.id;
     core::CacheOutcome worst = core::CacheOutcome::MemoryHit;
-    auto &cache = core::CycleCache::instance();
+    auto &cache = liveCache();
     if (req.hasSpec) {
         req.spec.validate();
         rsp.stats = cache.stats(req.kind, req.unroll, req.spec, &worst);
@@ -150,6 +184,30 @@ Engine::executeSpec(const Request &req)
 }
 
 Response
+Engine::executePut(const Request &req)
+{
+    // A replication write: a peer simulated the triple and pushed the
+    // finished stats. Insert into this shard's tiers (memory plus
+    // write-through) without simulating; stale stamps are rejected so
+    // a mixed-version fleet cannot poison a store.
+    req.spec.validate();
+    if (req.putSimVersion != simulatorVersion())
+        util::fatal("put carries simulator version \"",
+                    req.putSimVersion, "\", this daemon runs \"",
+                    simulatorVersion(), "\"");
+    liveCache().insert(req.kind, req.unroll, req.spec, req.putStats);
+    Response rsp;
+    rsp.id = req.id;
+    rsp.ok = true;
+    rsp.simVersion = simulatorVersion();
+    rsp.arch = core::archKindName(req.kind);
+    rsp.unroll = req.unroll;
+    rsp.stats = req.putStats;
+    rsp.cache = "put";
+    return rsp;
+}
+
+Response
 Engine::execute(const Request &req)
 {
     obs::Span span("serve.request", "serve",
@@ -157,7 +215,7 @@ Engine::execute(const Request &req)
     const auto t0 = std::chrono::steady_clock::now();
     Response rsp;
     try {
-        rsp = executeSpec(req);
+        rsp = req.put ? executePut(req) : executeSpec(req);
     } catch (const std::exception &e) {
         rsp = errorResponse(req.id, e.what());
     }
@@ -171,6 +229,8 @@ Engine::execute(const Request &req)
         ++counters_.requests;
         if (!rsp.ok)
             ++counters_.errors;
+        else if (rsp.cache == "put")
+            ++counters_.puts;
         else if (rsp.cache == "mem")
             ++counters_.memHits;
         else if (rsp.cache == "disk")
@@ -182,6 +242,8 @@ Engine::execute(const Request &req)
     mRequests_.add(1);
     if (!rsp.ok)
         mErrors_.add(1);
+    else if (rsp.cache == "put")
+        mPuts_.add(1);
     else if (rsp.cache == "mem")
         mMemHits_.add(1);
     else if (rsp.cache == "disk")
@@ -214,17 +276,23 @@ Engine::submit(const Request &req)
         ready.set_value(statsResponse(req.id));
         return ready.get_future();
     }
+    // Fleet-topology probes answer from configuration the same way.
+    if (req.fleetProbe) {
+        mFleetProbes_.add(1);
+        std::promise<Response> ready;
+        ready.set_value(fleetResponse(req.id));
+        return ready.get_future();
+    }
 
     std::unique_lock<std::mutex> lk(m_);
-    queueCv_.wait(lk, [&] {
-        return draining_ || inFlight_ < opts_.maxQueue;
-    });
     if (draining_)
         util::fatal("engine: submit after drain");
 
     // Single-flight: piggyback on an identical in-flight request.
     // The follower future is deferred — it costs no worker and only
-    // re-labels the leader's response with its own id.
+    // re-labels the leader's response with its own id. Checked before
+    // admission: a duplicate costs no queue slot, so it must neither
+    // block nor shed behind a full queue.
     const std::string key = flightKey(req);
     auto it = inflightByKey_.find(key);
     if (it != inflightByKey_.end()) {
@@ -245,6 +313,31 @@ Engine::submit(const Request &req)
                               rsp.latencyUs = 0;
                               return rsp;
                           });
+    }
+
+    if (opts_.shedOverload) {
+        // Admission control for fleet shards: a full queue answers
+        // immediately instead of blocking, and the caller (usually
+        // fleet::Router) retries with backoff. The reader thread
+        // stays live, so probes and drains keep working under load.
+        if (inFlight_ >= opts_.maxQueue) {
+            {
+                std::lock_guard<std::mutex> clk(counters_m_);
+                ++counters_.requests;
+                ++counters_.overloaded;
+            }
+            mRequests_.add(1);
+            mOverloaded_.add(1);
+            std::promise<Response> shed;
+            shed.set_value(errorResponse(req.id, kOverloadedError));
+            return shed.get_future();
+        }
+    } else {
+        queueCv_.wait(lk, [&] {
+            return draining_ || inFlight_ < opts_.maxQueue;
+        });
+        if (draining_)
+            util::fatal("engine: submit after drain");
     }
 
     ++inFlight_;
@@ -338,6 +431,19 @@ Engine::statsResponse(std::uint64_t id) const
     return rsp;
 }
 
+Response
+Engine::fleetResponse(std::uint64_t id) const
+{
+    if (opts_.fleetJson.empty())
+        return errorResponse(id, "daemon is not part of a fleet");
+    Response rsp;
+    rsp.id = id;
+    rsp.ok = true;
+    rsp.simVersion = simulatorVersion();
+    rsp.fleet = opts_.fleetJson;
+    return rsp;
+}
+
 EngineCounters
 Engine::counters() const
 {
@@ -355,9 +461,11 @@ Engine::summary() const
         std::to_string(c.diskHits) + " disk, " +
         std::to_string(c.simulated) + " simulated, " +
         std::to_string(c.deduped) + " deduped, " +
+        std::to_string(c.puts) + " puts, " +
+        std::to_string(c.overloaded) + " overloaded, " +
         std::to_string(c.errors) + " errors";
-    if (cache_.store())
-        out += "; " + cache_.store()->summary();
+    if (store())
+        out += "; " + store()->summary();
     return out;
 }
 

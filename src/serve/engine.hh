@@ -54,6 +54,26 @@ struct EngineOptions
     std::string cacheDir;       ///< persistent tier; "" = memory only
     /// Golden mode: report latencyUs as 0 so responses byte-compare.
     bool deterministic = false;
+
+    /// Own the memory tier (a private core::CycleCache + ResultStore)
+    /// instead of sharing the process singleton. Fleet shards hosted
+    /// in one process (tests, the conformance harness, the bench)
+    /// need this so each shard has its own tiers; a standalone
+    /// ganacc-served keeps the singleton so sweeps and the daemon
+    /// share warm entries.
+    bool ownCache = false;
+
+    /// Admission policy at a full queue: false = block the submitter
+    /// (historical backpressure), true = shed with an immediate
+    /// ok:false kOverloadedError response that the fleet router
+    /// retries with backoff. Shards run with shedding so one slow
+    /// client cannot wedge its peers' replication writes.
+    bool shedOverload = false;
+
+    /// Shard map answered to {"fleet":true} probes, as canonical JSON
+    /// object text (see fleet/topology.hh). Empty = not part of a
+    /// fleet; the probe then answers ok:false.
+    std::string fleetJson;
 };
 
 /** Aggregate service counters. */
@@ -64,7 +84,9 @@ struct EngineCounters
     std::uint64_t memHits = 0;
     std::uint64_t diskHits = 0;
     std::uint64_t simulated = 0;
-    std::uint64_t deduped = 0; ///< single-flight followers
+    std::uint64_t deduped = 0;    ///< single-flight followers
+    std::uint64_t puts = 0;       ///< replication writes acknowledged
+    std::uint64_t overloaded = 0; ///< requests shed at admission
 };
 
 /** The long-lived execution core of the simulation service. */
@@ -95,7 +117,14 @@ class Engine
     /** One-line load/cache summary for logs and bench output. */
     std::string summary() const;
 
-    ResultStore *store() const { return cache_.store(); }
+    ResultStore *store() const
+    {
+        return ownStore_ ? ownStore_.get() : cache_.store();
+    }
+
+    /** Drop every memory-tier entry of the cache this engine uses
+     *  (the private one under ownCache, the singleton otherwise). */
+    void clearMemoryCache();
 
     /**
      * The metric-registry snapshot as canonical JSON object text —
@@ -107,10 +136,16 @@ class Engine
   private:
     Response execute(const Request &req);
     Response executeSpec(const Request &req);
+    Response executePut(const Request &req);
     Response statsResponse(std::uint64_t id) const;
+    Response fleetResponse(std::uint64_t id) const;
+    core::CycleCache &liveCache();
 
     EngineOptions opts_;
     ScopedDiskCache cache_;
+    /// ownCache mode only: this engine's private tiers.
+    std::unique_ptr<ResultStore> ownStore_;
+    std::unique_ptr<core::CycleCache> ownCache_;
     std::unique_ptr<util::ThreadPool> pool_;
 
     mutable std::mutex m_;
@@ -134,6 +169,9 @@ class Engine
     obs::Counter &mSimulated_;
     obs::Counter &mDeduped_;
     obs::Counter &mStatsProbes_;
+    obs::Counter &mFleetProbes_;
+    obs::Counter &mPuts_;
+    obs::Counter &mOverloaded_;
     obs::Gauge &mInFlight_;
     obs::Histogram &mLatencyUs_;
 };

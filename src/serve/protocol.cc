@@ -33,6 +33,20 @@ encodeRequest(const Request &req)
         os << ",\"stats\":true}";
         return os.str();
     }
+    if (req.fleetProbe) {
+        os << ",\"fleet\":true}";
+        return os.str();
+    }
+    if (req.put) {
+        os << ",\"put\":true,\"arch\":\""
+           << core::archKindName(req.kind) << "\""
+           << ",\"unroll\":" << sim::toJson(req.unroll)
+           << ",\"spec\":" << sim::toJson(req.spec)
+           << ",\"result\":" << sim::toJson(req.putStats)
+           << ",\"sim\":\"" << util::escapeJson(req.putSimVersion)
+           << "\"}";
+        return os.str();
+    }
     os << ",\"arch\":\"" << core::archKindName(req.kind) << "\""
        << ",\"unroll\":" << sim::toJson(req.unroll);
     if (req.hasSpec)
@@ -55,6 +69,40 @@ decodeRequest(const std::string &line)
                     "daemon speaks v", kProtocolVersion, ")");
     Request req;
     req.id = o.at("id").asUint64();
+    if (o.contains("put")) {
+        // Replication write: a finished result plus the full triple
+        // it belongs to and the stamp it was computed under.
+        if (!o.at("put").asBool())
+            util::fatal("\"put\" must be true when present");
+        if (o.contains("model") || o.contains("family") ||
+            o.contains("stats") || o.contains("fleet"))
+            util::fatal("a put carries exactly arch, unroll, spec, "
+                        "result and sim");
+        req.put = true;
+        const std::string arch = o.at("arch").asString();
+        auto kind = core::archKindFromName(arch);
+        if (!kind)
+            util::fatal("unknown architecture \"", arch,
+                        "\" (NLR, WST, OST, ZFOST, ZFWST)");
+        req.kind = *kind;
+        req.unroll = sim::unrollFromJson(o.at("unroll"));
+        req.hasSpec = true;
+        req.spec = sim::convSpecFromJson(o.at("spec"));
+        req.putStats = sim::runStatsFromJson(o.at("result"));
+        req.putSimVersion = o.at("sim").asString();
+        return req;
+    }
+    if (o.contains("fleet")) {
+        // Topology probe: {"v":1,"id":N,"fleet":true}, nothing else.
+        if (!o.at("fleet").asBool())
+            util::fatal("\"fleet\" must be true when present");
+        if (o.contains("spec") || o.contains("model") ||
+            o.contains("family") || o.contains("arch") ||
+            o.contains("stats"))
+            util::fatal("a fleet probe carries no simulation payload");
+        req.fleetProbe = true;
+        return req;
+    }
     if (o.contains("stats")) {
         // Telemetry probe: {"v":1,"id":N,"stats":true}, nothing else.
         if (!o.at("stats").asBool())
@@ -104,6 +152,12 @@ encodeResponse(const Response &rsp)
            << "\",\"telemetry\":" << rsp.telemetry << "}";
         return os.str();
     }
+    if (!rsp.fleet.empty()) {
+        // Fleet-probe responses carry the shard map instead.
+        os << ",\"sim\":\"" << util::escapeJson(rsp.simVersion)
+           << "\",\"fleet\":" << rsp.fleet << "}";
+        return os.str();
+    }
     os << ",\"sim\":\"" << util::escapeJson(rsp.simVersion) << "\""
        << ",\"arch\":\"" << util::escapeJson(rsp.arch) << "\""
        << ",\"unroll\":" << sim::toJson(rsp.unroll) << ",\"cache\":\""
@@ -133,6 +187,10 @@ decodeResponse(const std::string &line)
         // Round-trips byte-identically: util::json objects preserve
         // insertion order and the snapshot holds only exact integers.
         rsp.telemetry = o.at("telemetry").dump();
+        return rsp;
+    }
+    if (o.contains("fleet")) {
+        rsp.fleet = o.at("fleet").dump();
         return rsp;
     }
     rsp.arch = o.at("arch").asString();

@@ -52,6 +52,16 @@ namespace serve {
 inline constexpr int kProtocolVersion = 1;
 
 /**
+ * The exact error text of a shed request. A daemon running with
+ * admission shedding (fleet shards, --shed) answers with this instead
+ * of blocking when its bounded queue is full; fleet::Router retries
+ * with backoff on it. Pinned by tests — treat like the malformed-frame
+ * table, do not rephrase.
+ */
+inline constexpr const char *kOverloadedError =
+    "overloaded: admission queue full, retry with backoff";
+
+/**
  * The simulator-version stamp written into every response and every
  * result-store entry. Bump the suffix whenever a change can alter any
  * counter of any cycle walk: stale store entries then self-invalidate
@@ -69,6 +79,20 @@ struct Request
     /// Telemetry probe ({"stats":true}): carries no simulation
     /// payload; the daemon answers with its metric snapshot.
     bool statsProbe = false;
+
+    /// Fleet-topology probe ({"fleet":true}): the daemon answers with
+    /// its shard map (see fleet/topology.hh) so a client can bootstrap
+    /// a whole-fleet view from any one shard address.
+    bool fleetProbe = false;
+
+    /// Replication write ({"put":true,...,"result":{...},"sim":"..."}):
+    /// carries a finished RunStats for (arch, unroll, spec); the
+    /// daemon inserts it into its cache tiers without simulating and
+    /// answers with cache:"put". fleet::Router uses this to copy
+    /// freshly simulated results to the other replicas of a key.
+    bool put = false;
+    sim::RunStats putStats;    ///< the result being replicated
+    std::string putSimVersion; ///< stamp the result was computed under
 
     /// Otherwise exactly one of the two payloads is set:
     bool hasSpec = false;
@@ -89,13 +113,18 @@ struct Response
     sim::Unroll unroll;     ///< provenance: unrolling executed
     sim::RunStats stats;
     /// "mem" | "disk" | "sim" | "dup" (coalesced into an identical
-    /// in-flight request by the single-flight layer).
+    /// in-flight request by the single-flight layer) | "put"
+    /// (replication write acknowledged).
     std::string cache;
     std::uint64_t latencyUs = 0;
 
     /// Stats-probe responses only: the metric snapshot as canonical
     /// JSON object text (empty for simulation responses).
     std::string telemetry;
+
+    /// Fleet-probe responses only: the shard map as canonical JSON
+    /// object text (opaque to serve/; decoded by fleet/topology.hh).
+    std::string fleet;
 };
 
 /** Canonical one-line encodings (no trailing newline). */

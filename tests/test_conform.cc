@@ -167,6 +167,53 @@ TEST(ConformHarness, PipeDaemonConformsWithFaultsArmed)
     EXPECT_EQ(seq.size(), rep.opsApplied);
 }
 
+TEST(ConformHarness, TcpDaemonConformsWithFaultsArmed)
+{
+    const auto seq = sampleSequence(5, 250);
+    const conform::Report rep = conform::runConformance(
+        seq, testRunOptions(conform::SutMode::Tcp, "clean"));
+    EXPECT_TRUE(rep.clean()) << rep.text();
+    EXPECT_EQ(seq.size(), rep.opsApplied);
+}
+
+/** A 2-shard TCP fleet behind fleet::Router must conform to the
+ *  sharded reference model: ring placement, RF=2 replication and
+ *  per-shard stores all predicted op for op. Filesystem-fault ops are
+ *  process-global, so the fleet generator profile drops them. */
+TEST(ConformHarness, TwoShardFleetConforms)
+{
+    conform::GenOptions gopt;
+    gopt.ops = 250;
+    gopt.fsFaults = false;
+    const auto seq = conform::generateSequence(13, gopt);
+
+    conform::RunOptions opt;
+    opt.shards = 2;
+    opt.scratchDir = conform::defaultScratchDir() + "-tfleet2";
+    const conform::Report rep = conform::runConformance(seq, opt);
+    EXPECT_TRUE(rep.clean()) << rep.text();
+    EXPECT_EQ(seq.size(), rep.opsApplied);
+}
+
+/** The fleet harness self-test: the same injected store bug the
+ *  single-daemon runs catch must also be caught through the router —
+ *  sharding must not blunt the differential check. */
+TEST(ConformHarness, FleetCatchesInjectedStaleVersionBug)
+{
+    conform::GenOptions gopt;
+    gopt.ops = 500;
+    gopt.fsFaults = false;
+    const auto seq = conform::generateSequence(7, gopt);
+
+    conform::RunOptions opt;
+    opt.shards = 2;
+    opt.scratchDir = conform::defaultScratchDir() + "-tfleetbug";
+    opt.bug = serve::StoreBug::SkipStaleCheck;
+    const conform::Report rep = conform::runConformance(seq, opt);
+    ASSERT_FALSE(rep.clean())
+        << "injected stale-version bug went undetected in the fleet";
+}
+
 TEST(ConformHarness, ReportsAreDeterministic)
 {
     const auto seq = sampleSequence(11, 150);

@@ -321,4 +321,86 @@ TEST(ServeProtocol, TelemetryResponsesRoundTripBitExact)
               std::string::npos);
 }
 
+TEST(ServeProtocol, FleetProbeRequestsRoundTripBitExact)
+{
+    serve::Request req;
+    req.id = 41;
+    req.fleetProbe = true;
+    const std::string wire = serve::encodeRequest(req);
+    EXPECT_EQ(wire, "{\"v\":1,\"id\":41,\"fleet\":true}");
+    const serve::Request back = serve::decodeRequest(wire);
+    EXPECT_TRUE(back.fleetProbe);
+    EXPECT_FALSE(back.statsProbe);
+    EXPECT_FALSE(back.hasSpec);
+    EXPECT_EQ(serve::encodeRequest(back), wire);
+}
+
+TEST(ServeProtocol, FleetResponsesCarryTheShardMapVerbatim)
+{
+    serve::Response rsp;
+    rsp.id = 41;
+    rsp.ok = true;
+    rsp.simVersion = serve::simulatorVersion();
+    rsp.fleet = "{\"shards\":[\"h1:1\",\"h2:2\"],\"vnodes\":64,"
+                "\"rf\":2,\"self\":0}";
+    const std::string wire = serve::encodeResponse(rsp);
+    const serve::Response back = serve::decodeResponse(wire);
+    EXPECT_TRUE(back.ok);
+    EXPECT_EQ(back.fleet, rsp.fleet);
+    EXPECT_EQ(serve::encodeResponse(back), wire);
+
+    // Non-fleet responses must not gain the key.
+    EXPECT_EQ(serve::encodeResponse(serve::errorResponse(1, "x"))
+                  .find("fleet"),
+              std::string::npos);
+}
+
+TEST(ServeProtocol, PutRequestsRoundTripBitExact)
+{
+    Rng rng(0x907);
+    for (int i = 0; i < 100; ++i) {
+        serve::Request req;
+        req.id = std::uint64_t(rng.uniformInt(0, 1 << 30));
+        req.kind = randomKind(rng);
+        req.unroll = randomUnroll(rng);
+        req.spec = randomSpec(rng);
+        req.put = true;
+        req.putSimVersion = serve::simulatorVersion();
+        req.putStats.cycles = (std::uint64_t(1) << 53) + 1;
+        req.putStats.effectiveMacs =
+            std::uint64_t(rng.uniformInt(0, 1 << 30));
+        req.putStats.weightLoads =
+            std::uint64_t(rng.uniformInt(0, 1 << 30));
+
+        const std::string wire = serve::encodeRequest(req);
+        const serve::Request back = serve::decodeRequest(wire);
+        EXPECT_TRUE(back.put);
+        EXPECT_TRUE(back.hasSpec) << "a put names its triple";
+        EXPECT_EQ(back.id, req.id);
+        EXPECT_EQ(back.kind, req.kind);
+        EXPECT_EQ(back.putSimVersion, req.putSimVersion);
+        EXPECT_EQ(back.putStats.cycles, req.putStats.cycles);
+        EXPECT_EQ(back.putStats.effectiveMacs,
+                  req.putStats.effectiveMacs);
+        EXPECT_EQ(serve::encodeRequest(back), wire);
+    }
+}
+
+TEST(ServeProtocol, PutAckResponsesRoundTripBitExact)
+{
+    serve::Response rsp;
+    rsp.id = 12;
+    rsp.ok = true;
+    rsp.simVersion = serve::simulatorVersion();
+    rsp.arch = "NLR";
+    rsp.cache = "put";
+    rsp.stats.cycles = 1234;
+    const std::string wire = serve::encodeResponse(rsp);
+    const serve::Response back = serve::decodeResponse(wire);
+    EXPECT_TRUE(back.ok);
+    EXPECT_EQ(back.cache, "put");
+    EXPECT_EQ(back.stats.cycles, 1234u);
+    EXPECT_EQ(serve::encodeResponse(back), wire);
+}
+
 } // namespace

@@ -21,14 +21,25 @@
  *
  * Requests are pipelined in windows, so a thousand-line replay is a
  * handful of syscall rounds, not a thousand round trips.
+ *
+ * Fleet mode (--fleet "host:port,host:port,..." or --fleet-seed
+ * ADDR to bootstrap the shard list from one live shard) routes each
+ * request to its owning shard by consistent hashing, pipelines per
+ * connection, retries `overloaded` responses with backoff, fails
+ * over to replicas, and replicates fresh results (docs/serving.md
+ * "Fleet"). --stats --fleet merges every shard's telemetry snapshot
+ * into one report with per-shard and aggregate rows.
  */
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <vector>
 
 #include "core/unrolling.hh"
+#include "fleet/router.hh"
+#include "fleet/stats.hh"
 #include "gan/models.hh"
 #include "serve/client.hh"
 #include "serve/protocol.hh"
@@ -92,7 +103,24 @@ main(int argc, char **argv)
 try {
     util::ArgParser args(argc, argv);
     const std::string socket_path = args.getString(
-        "socket", "", "Unix-domain socket of a running ganacc-served");
+        "socket", "",
+        "address of a running ganacc-served (socket path or TCP "
+        "host:port)");
+    const std::string fleet_csv = args.getString(
+        "fleet", "",
+        "comma-separated shard addresses: route requests across a "
+        "fleet instead of one daemon");
+    const std::string fleet_seed = args.getString(
+        "fleet-seed", "",
+        "bootstrap the shard list from this one live shard "
+        "(fleet probe)");
+    const int connect_timeout = args.getInt(
+        "connect-timeout", 5000,
+        "total connect budget per daemon in ms");
+    const int retries = args.getInt(
+        "retries", 0,
+        "extra connect attempts (exponential backoff) before "
+        "failing");
     const std::string requests_file = args.getString(
         "requests", "",
         "JSON-lines request file to replay (\"-\" = stdin)");
@@ -124,12 +152,39 @@ try {
         return 0;
     }
 
-    if (socket_path.empty())
-        util::fatal("--socket PATH is required (or use --emit)");
+    serve::ConnectOptions copt;
+    copt.retries = retries;
+    copt.timeoutMs = connect_timeout;
+
+    if (!fleet_csv.empty() && !fleet_seed.empty())
+        util::fatal("pass --fleet or --fleet-seed, not both");
+    const bool fleet_mode = !fleet_csv.empty() || !fleet_seed.empty();
+    if (fleet_mode && !socket_path.empty())
+        util::fatal("--fleet/--fleet-seed replace --socket");
+    if (!fleet_mode && socket_path.empty())
+        util::fatal("--socket ADDR is required (or --fleet, "
+                    "--fleet-seed, --emit)");
+
+    std::unique_ptr<fleet::Router> router;
     serve::Client client;
-    client.connect(socket_path);
+    if (fleet_mode) {
+        fleet::RouterOptions ropt;
+        ropt.connect = copt;
+        ropt.topology =
+            fleet_seed.empty()
+                ? fleet::parseShardList(fleet_csv, 64, 2)
+                : fleet::Router::bootstrap(fleet_seed, copt);
+        router = std::make_unique<fleet::Router>(std::move(ropt));
+    } else {
+        client.connect(socket_path, copt);
+    }
 
     if (stats_probe) {
+        if (router) {
+            std::cout << fleet::fleetStatsReport(router->statsAll())
+                      << "\n";
+            return 0;
+        }
         serve::Request req;
         req.id = 1;
         req.statsProbe = true;
@@ -153,8 +208,10 @@ try {
                 util::fatal("cannot open ", requests_file);
             lines = readLines(is);
         }
-        for (const std::string &rsp :
-             serve::replayLines(client, lines))
+        const std::vector<std::string> responses =
+            router ? router->transactLines(lines)
+                   : serve::replayLines(client, lines);
+        for (const std::string &rsp : responses)
             std::cout << rsp << "\n";
         return 0;
     }
@@ -186,7 +243,8 @@ try {
         family, st_family ? 1200 : 480);
     req.model = model_name;
     req.family = family_name;
-    serve::Response rsp = client.roundTrip(req);
+    serve::Response rsp =
+        router ? router->call(req) : client.roundTrip(req);
     if (!rsp.ok)
         util::fatal("daemon error: ", rsp.error);
     std::cout << rsp.arch << " on " << model_name << "/" << family_name

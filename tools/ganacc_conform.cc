@@ -3,13 +3,17 @@
  * ganacc-conform — randomized serve/store conformance runner.
  *
  * Generates a seeded operation sequence (or replays a trace), applies
- * it to a live in-process daemon in Unix-socket and/or pipe mode while
- * a single-threaded reference model predicts every observable, and
- * reports any divergence. Failing sequences are delta-debug shrunk to
- * a minimal repro and dumped as a replayable JSONL trace.
+ * it to a live in-process daemon in Unix-socket, pipe and/or loopback
+ * TCP mode while a single-threaded reference model predicts every
+ * observable, and reports any divergence. Failing sequences are
+ * delta-debug shrunk to a minimal repro and dumped as a replayable
+ * JSONL trace. With --shards N (N >= 2) the daemon side is instead a
+ * TCP fleet behind fleet::Router, and the reference side models the
+ * ring placement and RF=2 replication per shard.
  *
- *   ganacc-conform --seed 42 --ops 5000 --mode both
+ *   ganacc-conform --seed 42 --ops 5000 --mode all
  *   ganacc-conform --replay repro.jsonl --mode unix
+ *   ganacc-conform --seed 9 --shards 2 --ops 2000
  *   ganacc-conform --seed 7 --inject-bug stale-version   # expect exit 1
  *
  * Exit codes: 0 = conformant, 1 = divergence found, 2 = usage error.
@@ -63,7 +67,13 @@ try {
     const int ops = args.getInt(
         "ops", 500, "generated sequence length (ignored by --replay)");
     const std::string mode_name = args.getString(
-        "mode", "both", "daemon transport: unix | pipe | both");
+        "mode", "both",
+        "daemon transport: unix | pipe | tcp | both (unix+pipe) | "
+        "all");
+    const int shards = args.getInt(
+        "shards", 1,
+        "fleet width; >= 2 runs a TCP fleet behind fleet::Router "
+        "(--mode is ignored, filesystem-fault ops are not generated)");
     const std::string replay = args.getString(
         "replay", "", "run this JSONL trace instead of generating");
     const std::string dump_trace = args.getString(
@@ -92,15 +102,23 @@ try {
 
     if (ops <= 0)
         util::fatal("--ops must be positive");
+    if (shards < 1)
+        util::fatal("--shards must be >= 1");
     std::vector<conform::SutMode> modes;
     if (mode_name == "unix")
         modes = {conform::SutMode::Unix};
     else if (mode_name == "pipe")
         modes = {conform::SutMode::Pipe};
+    else if (mode_name == "tcp")
+        modes = {conform::SutMode::Tcp};
     else if (mode_name == "both")
         modes = {conform::SutMode::Unix, conform::SutMode::Pipe};
+    else if (mode_name == "all")
+        modes = {conform::SutMode::Unix, conform::SutMode::Pipe,
+                 conform::SutMode::Tcp};
     else
-        util::fatal("--mode must be unix, pipe or both, not \"",
+        util::fatal("--mode must be unix, pipe, tcp, both or all, "
+                    "not \"",
                     mode_name, "\"");
     serve::StoreBug bug = serve::StoreBug::None;
     if (bug_name == "stale-version")
@@ -120,7 +138,10 @@ try {
     } else {
         conform::GenOptions gopt;
         gopt.ops = std::size_t(ops);
-        gopt.fsFaults = !no_faults;
+        // Fault budgets are process-global: which shard of a fleet
+        // consumes them is scheduling, so the fleet model cannot
+        // mirror them — generation drops FsFault ops there.
+        gopt.fsFaults = !no_faults && shards == 1;
         gopt.restarts = !no_restarts;
         seq = conform::generateSequence(std::uint64_t(seed), gopt);
         std::cout << "ganacc-conform: seed " << seed << ", "
@@ -129,16 +150,37 @@ try {
     if (!dump_trace.empty())
         spit(dump_trace, conform::encodeTrace(seq));
 
-    for (const conform::SutMode mode : modes) {
+    struct Run
+    {
+        std::string label;      ///< output + scratch suffix
+        std::string replayHint; ///< flag that reproduces this SUT
         conform::RunOptions opt;
-        opt.mode = mode;
-        opt.scratchDir = scratch + "-" + conform::sutModeName(mode);
+    };
+    std::vector<Run> runs;
+    if (shards > 1) {
+        Run run;
+        run.label = "fleet" + std::to_string(shards);
+        run.replayHint = "--shards " + std::to_string(shards);
+        run.opt.shards = shards;
+        runs.push_back(std::move(run));
+    } else {
+        for (const conform::SutMode mode : modes) {
+            Run run;
+            run.label = conform::sutModeName(mode);
+            run.replayHint = "--mode " + run.label;
+            run.opt.mode = mode;
+            runs.push_back(std::move(run));
+        }
+    }
+    for (Run &run : runs) {
+        conform::RunOptions &opt = run.opt;
+        opt.scratchDir = scratch + "-" + run.label;
         opt.bug = bug;
         const conform::Report rep = conform::runConformance(seq, opt);
-        std::cout << conform::sutModeName(mode) << ": "
-                  << rep.opsApplied << " ops applied, "
-                  << rep.linesSent << " lines sent, "
-                  << rep.divergences.size() << " divergences\n";
+        std::cout << run.label << ": " << rep.opsApplied
+                  << " ops applied, " << rep.linesSent
+                  << " lines sent, " << rep.divergences.size()
+                  << " divergences\n";
         if (rep.clean())
             continue;
 
@@ -156,8 +198,8 @@ try {
         }
         spit(repro, conform::encodeTrace(failing));
         std::cout << "repro trace: " << repro << " (replay with "
-                  << "ganacc-conform --replay " << repro << " --mode "
-                  << conform::sutModeName(mode) << ")\n";
+                  << "ganacc-conform --replay " << repro << " "
+                  << run.replayHint << ")\n";
         std::cout << "ganacc-conform: FAIL\n";
         return 1;
     }
