@@ -677,6 +677,18 @@ wireLines(const Op &op)
         req.statsProbe = true;
         return {serve::encodeRequest(req)};
       }
+      case OpKind::MetricsProbe: {
+        serve::Request req;
+        req.id = op.id;
+        req.metricsProbe = true;
+        return {serve::encodeRequest(req)};
+      }
+      case OpKind::TraceDrain: {
+        serve::Request req;
+        req.id = op.id;
+        req.traceDrainProbe = true;
+        return {serve::encodeRequest(req)};
+      }
       default:
         return {};
     }
@@ -806,6 +818,8 @@ class FleetModel
         add(sum.requests, c.requests);
         add(sum.errors, c.errors);
         add(sum.probes, c.probes);
+        add(sum.metricsProbes, c.metricsProbes);
+        add(sum.traceDrains, c.traceDrains);
         add(sum.memHits, c.memHits);
         add(sum.diskHits, c.diskHits);
         add(sum.simulated, c.simulated);
@@ -899,6 +913,17 @@ diffOneResponse(const serve::Response &got,
             return "probe response carries no telemetry";
         return "";
     }
+    if (want.isMetricsProbe) {
+        if (got.metricsText.empty())
+            return "metrics probe response carries no Prometheus "
+                   "text";
+        return "";
+    }
+    if (want.isTraceDrain) {
+        if (got.spans.empty())
+            return "trace-drain response carries no span batch";
+        return "";
+    }
     if (got.arch != want.arch)
         return "arch \"" + got.arch + "\", model expects \"" +
                want.arch + "\"";
@@ -979,6 +1004,12 @@ checkCounters(std::size_t opIndex, const std::string &telemetry,
           c.errors);
     check("serve stats probes",
           serveDelta("ganacc_serve_stats_probes_total"), c.probes);
+    check("serve metrics probes",
+          serveDelta("ganacc_serve_metrics_probes_total"),
+          c.metricsProbes);
+    check("serve trace drains",
+          serveDelta("ganacc_serve_trace_drains_total"),
+          c.traceDrains);
     check("serve disk hits",
           serveDelta("ganacc_serve_disk_hits_total"), c.diskHits);
     check("serve simulated",

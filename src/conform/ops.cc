@@ -25,6 +25,8 @@ const std::pair<OpKind, const char *> kOpNames[] = {
     {OpKind::DupBurst, "burst"},
     {OpKind::Malformed, "malformed"},
     {OpKind::StatsProbe, "probe"},
+    {OpKind::MetricsProbe, "metrics"},
+    {OpKind::TraceDrain, "trace-drain"},
     {OpKind::EvictMemory, "evict-mem"},
     {OpKind::EvictEntry, "evict-entry"},
     {OpKind::CorruptEntry, "corrupt-entry"},
@@ -102,6 +104,8 @@ Op::sendsRequests() const
       case OpKind::DupBurst:
       case OpKind::Malformed:
       case OpKind::StatsProbe:
+      case OpKind::MetricsProbe:
+      case OpKind::TraceDrain:
         return true;
       default:
         return false;
@@ -427,9 +431,14 @@ generateSequence(std::uint64_t seed, const GenOptions &opt)
             op.kind = OpKind::Malformed;
             op.raw = randomMalformedLine(rng, nextId++, pool);
             seq.push_back(op);
-        } else if (roll < 65) { // telemetry probe
+        } else if (roll < 65) { // observability probes
+            // The 7-point probe share splits across the three probe
+            // forms so every run exercises the scrape and drain
+            // paths, not just the JSON snapshot.
             Op op;
-            op.kind = OpKind::StatsProbe;
+            op.kind = roll < 61   ? OpKind::StatsProbe
+                      : roll < 63 ? OpKind::MetricsProbe
+                                  : OpKind::TraceDrain;
             op.id = nextId++;
             seq.push_back(op);
         } else if (roll < 72) { // evict the memory tier
@@ -572,6 +581,23 @@ malformedFrames()
         t.push_back({"put_not_true",
                      "{\"v\":1,\"id\":43,\"put\":false}",
                      "fatal: \"put\" must be true when present"});
+        t.push_back({"metrics_with_payload",
+                     "{\"v\":1,\"id\":44,\"metrics\":true,\"model\":"
+                     "\"dcgan\"}",
+                     "fatal: a metrics probe carries no simulation "
+                     "payload"});
+        t.push_back({"metrics_not_true",
+                     "{\"v\":1,\"id\":45,\"metrics\":false}",
+                     "fatal: \"metrics\" must be true when present"});
+        t.push_back({"trace_drain_with_payload",
+                     "{\"v\":1,\"id\":46,\"trace-drain\":true,"
+                     "\"arch\":\"NLR\"}",
+                     "fatal: a trace-drain probe carries no "
+                     "simulation payload"});
+        t.push_back({"trace_drain_not_true",
+                     "{\"v\":1,\"id\":47,\"trace-drain\":false}",
+                     "fatal: \"trace-drain\" must be true when "
+                     "present"});
         return t;
     }();
     return table;

@@ -45,6 +45,8 @@ enum class OpKind
     DupBurst,     ///< K identical spec requests pipelined at once
     Malformed,    ///< one raw (usually broken) frame, sent verbatim
     StatsProbe,   ///< one {"stats":true} telemetry probe
+    MetricsProbe, ///< one {"metrics":true} Prometheus scrape probe
+    TraceDrain,   ///< one {"trace-drain":true} span-batch probe
     EvictMemory,  ///< clear the in-process CycleCache memory tier
     EvictEntry,   ///< delete the store entry of a triple
     CorruptEntry, ///< overwrite the entry file with damaged bytes

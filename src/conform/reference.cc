@@ -286,6 +286,18 @@ ReferenceModel::handleDecoded(const serve::Request &req)
         r.isProbe = true;
         return r;
     }
+    if (req.metricsProbe) {
+        c_.metricsProbes.bump();
+        r.ok = true;
+        r.isMetricsProbe = true;
+        return r;
+    }
+    if (req.traceDrainProbe) {
+        c_.traceDrains.bump();
+        r.ok = true;
+        r.isTraceDrain = true;
+        return r;
+    }
     if (req.fleetProbe) {
         // A daemon started without --fleet answers topology probes
         // with this exact error, outside the request counters (the
@@ -437,6 +449,18 @@ ReferenceModel::apply(const Op &op)
         serve::Request req;
         req.id = op.id;
         req.statsProbe = true;
+        return {handleDecoded(req)};
+      }
+      case OpKind::MetricsProbe: {
+        serve::Request req;
+        req.id = op.id;
+        req.metricsProbe = true;
+        return {handleDecoded(req)};
+      }
+      case OpKind::TraceDrain: {
+        serve::Request req;
+        req.id = op.id;
+        req.traceDrainProbe = true;
         return {handleDecoded(req)};
       }
       case OpKind::EvictMemory:

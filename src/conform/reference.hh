@@ -45,6 +45,8 @@ struct ExpectedResponse
     bool checkError = false; ///< compare `error` text exactly
     std::string error;
     bool isProbe = false; ///< telemetry response (counters checked)
+    bool isMetricsProbe = false; ///< Prometheus-text response
+    bool isTraceDrain = false;   ///< span-batch response
     std::string arch;     ///< ok simulation responses only:
     std::string unrollJson;
     sim::RunStats stats;
@@ -89,6 +91,9 @@ struct Interval
 struct CounterExpectations
 {
     Interval requests, errors, probes;
+    /// The live-collection probe forms: metrics (Prometheus text)
+    /// and trace-drain (span batch), each with its own counter.
+    Interval metricsProbes, traceDrains;
     Interval memHits, diskHits, simulated, deduped;
     Interval memPlusDup; ///< memHits + deduped: exact even in bursts
     /// Replication writes acknowledged / requests shed at admission.

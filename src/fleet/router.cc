@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "core/unrolling.hh"
+#include "obs/trace.hh"
 #include "sim/json.hh"
 #include "util/logging.hh"
 
@@ -57,7 +58,8 @@ salvageId(const std::string &line)
 std::string
 routeKeyOf(const serve::Request &req)
 {
-    if (req.statsProbe || req.fleetProbe)
+    if (req.statsProbe || req.fleetProbe || req.metricsProbe ||
+        req.traceDrainProbe)
         return ""; // probes pin to shard 0 (any shard would do)
     // A put routes like the spec it carries: replication copies must
     // land on the same shard set the content key owns.
@@ -243,6 +245,17 @@ Router::transactLines(const std::vector<std::string> &lines)
     const int n = int(opt_.topology.shards.size());
     const int rf = opt_.topology.effectiveRf();
 
+    obs::TraceSink &sink = obs::TraceSink::instance();
+    const bool tracing = sink.enabled();
+    /// Root trace identity + start stamp per line (invalid when the
+    /// line is untraced: undecodable, a probe, or tracing is off).
+    struct RootTrace
+    {
+        obs::TraceContext ctx;
+        std::uint64_t t0 = 0;
+    };
+    std::vector<RootTrace> roots(lines.size());
+
     std::vector<Pending> pendings(lines.size());
     for (std::size_t i = 0; i < lines.size(); ++i) {
         Pending &p = pendings[i];
@@ -253,6 +266,18 @@ Router::transactLines(const std::vector<std::string> &lines)
             p.decoded = true;
         } catch (...) {
             p.decoded = false;
+        }
+        if (tracing && p.decoded && !p.req.statsProbe &&
+            !p.req.fleetProbe && !p.req.metricsProbe &&
+            !p.req.traceDrainProbe && p.req.trace.empty()) {
+            // Open this request's trace: a fresh root context rides
+            // the re-encoded line to the serving shard (and, for
+            // fresh results, on to the replicas). Lines that already
+            // carry a context pass through untouched.
+            roots[i].ctx = obs::newTraceContext();
+            roots[i].t0 = sink.nowUs();
+            p.req.trace = obs::encodeTraceContext(roots[i].ctx);
+            p.line = serve::encodeRequest(p.req);
         }
         if (p.decoded) {
             const std::string key = routeKeyOf(p.req);
@@ -306,6 +331,31 @@ Router::transactLines(const std::vector<std::string> &lines)
         p.done = true;
     }
 
+    if (tracing) {
+        // Close the root spans now that every line has its answer.
+        // The same head-sample hash every shard used decides here
+        // too, plus the tail-keep threshold on router-side latency.
+        const std::uint64_t t1 = sink.nowUs();
+        for (const Pending &p : pendings) {
+            const RootTrace &rt = roots[p.index];
+            if (!rt.ctx.valid())
+                continue;
+            const std::uint64_t lat = t1 > rt.t0 ? t1 - rt.t0 : 1;
+            if (!sink.keep(rt.ctx, lat))
+                continue;
+            obs::TraceEvent ev;
+            ev.name = "fleet.request";
+            ev.cat = "fleet";
+            ev.tid = obs::TraceSink::threadLane();
+            ev.ts = rt.t0;
+            ev.dur = lat;
+            ev.args = obs::spanArgs(rt.ctx, rt.ctx.span, 0,
+                                    "\"id\":" +
+                                        std::to_string(p.req.id));
+            sink.record(std::move(ev));
+        }
+    }
+
     if (opt_.replicate && rf > 1)
         replicateFresh(pendings, responses);
     return responses;
@@ -340,6 +390,10 @@ Router::replicateFresh(const std::vector<Pending> &lines,
         const int servedBy = p.route[p.routePos];
         serve::Request put;
         put.id = p.req.id;
+        // Forward the request's trace context: the replica's put
+        // spans then parent under the same root as the serving
+        // shard's, so a merged trace shows the whole replication fan.
+        put.trace = p.req.trace;
         put.put = true;
         put.kind = p.req.kind;
         put.unroll = p.req.unroll;
@@ -433,6 +487,64 @@ Router::statsAll()
             }
         }
         out.emplace_back(addr, telemetry);
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, std::string>>
+Router::scrapeAll()
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    const int n = int(opt_.topology.shards.size());
+    for (int s = 0; s < n; ++s) {
+        const std::string &addr =
+            opt_.topology.shards[std::size_t(s)];
+        std::string text;
+        if (ensureConnected(s, &counters_.reconnects)) {
+            try {
+                serve::Request probe;
+                probe.id = std::uint64_t(s) + 1;
+                probe.metricsProbe = true;
+                ++counters_.sentPerShard[std::size_t(s)];
+                const serve::Response rsp =
+                    clients_[std::size_t(s)]->roundTrip(probe);
+                if (rsp.ok)
+                    text = rsp.metricsText;
+            } catch (const util::FatalError &) {
+                clients_[std::size_t(s)]->close();
+                connected_[std::size_t(s)] = false;
+            }
+        }
+        out.emplace_back(addr, text);
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, std::string>>
+Router::drainTracesAll()
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    const int n = int(opt_.topology.shards.size());
+    for (int s = 0; s < n; ++s) {
+        const std::string &addr =
+            opt_.topology.shards[std::size_t(s)];
+        std::string spans;
+        if (ensureConnected(s, &counters_.reconnects)) {
+            try {
+                serve::Request probe;
+                probe.id = std::uint64_t(s) + 1;
+                probe.traceDrainProbe = true;
+                ++counters_.sentPerShard[std::size_t(s)];
+                const serve::Response rsp =
+                    clients_[std::size_t(s)]->roundTrip(probe);
+                if (rsp.ok)
+                    spans = rsp.spans;
+            } catch (const util::FatalError &) {
+                clients_[std::size_t(s)]->close();
+                connected_[std::size_t(s)] = false;
+            }
+        }
+        out.emplace_back(addr, spans);
     }
     return out;
 }

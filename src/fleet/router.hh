@@ -21,7 +21,13 @@
  *    pushes the finished stats to the key's other replicas with a
  *    `put` request — which doubles as read-repair, because a replica
  *    that lost its copy gets it back the next time the key misses
- *    anywhere and re-simulates.
+ *    anywhere and re-simulates,
+ *  - traces: while the process's TraceSink is armed, every decoded
+ *    non-probe line gains a fresh root trace context ("trace" field)
+ *    and the router records a fleet.request root span per line;
+ *    replication puts forward the same context so the replica's spans
+ *    parent under the root. With tracing off, lines are forwarded
+ *    byte-identically (the fleet goldens pin this).
  *
  * Responses come back in the original request order, byte-identical
  * to what the serving shard wrote (the router never rewrites a
@@ -103,6 +109,21 @@ class Router
      * Unreachable shards are skipped (their address maps to "").
      */
     std::vector<std::pair<std::string, std::string>> statsAll();
+
+    /**
+     * One metrics probe per shard: (address, Prometheus text) pairs
+     * in shard order, "" for unreachable shards — the live scrape
+     * path behind `ganacc-client --scrape --fleet`.
+     */
+    std::vector<std::pair<std::string, std::string>> scrapeAll();
+
+    /**
+     * One trace-drain probe per shard: (address, span-batch JSON)
+     * pairs in shard order, "" for unreachable shards. Feed the rows
+     * plus the router's own drained events to fleet::mergeTraces for
+     * one cross-process Perfetto trace.
+     */
+    std::vector<std::pair<std::string, std::string>> drainTracesAll();
 
     /** Drop the connection to one shard (before restarting it). */
     void disconnect(int shard);

@@ -9,6 +9,7 @@
 #include <map>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 
@@ -52,6 +53,32 @@ struct HistSum
     std::uint64_t sum = 0;
     std::vector<std::uint64_t> buckets;
 };
+
+/**
+ * The smallest bucket upper bound covering `pct` percent of the
+ * samples, as the Prometheus le string ("64", "+Inf", …). Exact
+ * integer arithmetic (cum * 100 >= pct * count); "0" when the
+ * histogram is empty. Bounds come from obs::Histogram's fixed
+ * power-of-two layout — the same one every shard records under.
+ */
+std::string
+quantileLe(const std::vector<std::uint64_t> &buckets,
+           std::uint64_t count, std::uint64_t pct)
+{
+    if (count == 0)
+        return "0";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        cum += buckets[i];
+        if (cum * 100 >= pct * count) {
+            if (i + 1 == buckets.size())
+                return "+Inf";
+            return std::to_string(
+                obs::Histogram::bucketBound(int(i)));
+        }
+    }
+    return "+Inf";
+}
 
 } // namespace
 
@@ -150,8 +177,39 @@ fleetStatsReport(
                     util::json::parse(perShard[s].second));
         rows.push_back(util::json::Value(std::move(row)));
     }
+    // Derived fleet-wide latency summary from the aggregate
+    // ganacc_serve_latency_us histogram: request count, total
+    // microseconds, and the bucket bounds covering p50/p99. The le
+    // values are strings so "+Inf" needs no special case; all
+    // arithmetic is exact integers, which is what lets a ctest pin
+    // this report byte-for-byte.
+    util::json::Object latency;
+    {
+        std::uint64_t count = 0, sumUs = 0;
+        std::vector<std::uint64_t> buckets;
+        const util::json::Value aggDoc = util::json::parse(aggregate);
+        const util::json::Object &hists =
+            aggDoc.asObject().at("histograms").asObject();
+        if (hists.contains("ganacc_serve_latency_us")) {
+            const util::json::Object &h =
+                hists.at("ganacc_serve_latency_us").asObject();
+            count = h.at("count").asUint64();
+            sumUs = h.at("sum").asUint64();
+            for (const util::json::Value &b :
+                 h.at("buckets").asArray())
+                buckets.push_back(b.asUint64());
+        }
+        latency.set("count", util::json::Value(count));
+        latency.set("sumUs", util::json::Value(sumUs));
+        latency.set("p50Le",
+                    util::json::Value(quantileLe(buckets, count, 50)));
+        latency.set("p99Le",
+                    util::json::Value(quantileLe(buckets, count, 99)));
+    }
+
     util::json::Object root;
     root.set("fleet", util::json::Value(std::move(fleet)));
+    root.set("latency", util::json::Value(std::move(latency)));
     root.set("perShard", util::json::Value(std::move(rows)));
     root.set("aggregate", util::json::parse(aggregate));
     return util::json::Value(std::move(root)).dump();

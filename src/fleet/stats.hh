@@ -32,11 +32,16 @@ std::string mergeTelemetry(const std::vector<std::string> &snapshots);
 
 /**
  * The ganacc-client --stats --fleet report: one JSON object with the
- * shard count, a per-shard array of (address, telemetry) rows —
- * unreachable shards carry "telemetry":null — and the aggregate
- * merge of the reachable ones:
+ * shard count, a derived fleet-wide latency summary (request count,
+ * total microseconds, and the smallest le bucket bounds covering
+ * p50/p99 of the merged ganacc_serve_latency_us histogram — le
+ * values are strings so "+Inf" is uniform, "0" when empty), a
+ * per-shard array of (address, telemetry) rows — unreachable shards
+ * carry "telemetry":null — and the aggregate merge of the reachable
+ * ones:
  *
  *   {"fleet":{"shards":3,"reachable":3},
+ *    "latency":{"count":12,"sumUs":8192,"p50Le":"512","p99Le":"4096"},
  *    "perShard":[{"shard":0,"address":"...","telemetry":{...}},...],
  *    "aggregate":{...}}
  */

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Cross-process trace stitching implementation.
+ */
+
+#include "fleet/trace_merge.hh"
+
+#include <sstream>
+
+#include "serve/protocol.hh"
+#include "util/strings.hh"
+
+namespace ganacc {
+namespace fleet {
+
+namespace {
+
+/** A process_name metadata event labelling `pid` in the viewer. */
+obs::TraceEvent
+processName(int pid, const std::string &name)
+{
+    obs::TraceEvent ev;
+    ev.name = "process_name";
+    ev.ph = 'M';
+    ev.pid = pid;
+    ev.args = "{\"name\":\"" + util::escapeJson(name) + "\"}";
+    return ev;
+}
+
+} // namespace
+
+std::string
+mergeTraces(
+    const std::vector<std::pair<std::string, std::string>> &perShard,
+    const std::vector<obs::TraceEvent> &localEvents)
+{
+    std::vector<obs::TraceEvent> merged;
+    merged.push_back(processName(0, "router"));
+    for (std::size_t s = 0; s < perShard.size(); ++s)
+        merged.push_back(processName(
+            int(s) + 1,
+            "shard" + std::to_string(s) + " (" + perShard[s].first +
+                ")"));
+
+    for (const obs::TraceEvent &ev : localEvents) {
+        merged.push_back(ev);
+        merged.back().pid = 0;
+    }
+    for (std::size_t s = 0; s < perShard.size(); ++s) {
+        if (perShard[s].second.empty())
+            continue; // unreachable shard: label only, no spans
+        for (obs::TraceEvent &ev :
+             serve::decodeSpanBatch(perShard[s].second)) {
+            ev.pid = int(s) + 1;
+            merged.push_back(std::move(ev));
+        }
+    }
+
+    std::ostringstream os;
+    obs::writeChromeTraceJson(
+        os, merged,
+        {{"source", "ganacc fleet trace collector"},
+         {"shards", std::to_string(perShard.size())}});
+    return os.str();
+}
+
+} // namespace fleet
+} // namespace ganacc

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Cross-process trace stitching.
+ *
+ * Each process in a fleet buffers its own spans (obs::TraceSink in
+ * live mode) and hands them out through trace-drain probes as
+ * canonical span batches (serve::encodeSpanBatch). This module merges
+ * those per-shard batches, plus the collecting process's own local
+ * events (the router's fleet.request root spans), into one Chrome
+ * trace_event JSON document Perfetto and chrome://tracing open
+ * directly:
+ *
+ *  - the local (router) events get pid 0, each shard s gets
+ *    pid s + 1, and a process_name metadata event labels every pid
+ *    with its role and address,
+ *  - cross-process parentage survives as-is: every span's args carry
+ *    its {"trace","span","parent"} identity (obs::spanArgs), so a
+ *    shard's serve.request span still names the router's root span
+ *    as its parent after the merge — that is what the CI fleet-smoke
+ *    parentage assertions walk.
+ *
+ * Timestamps are each process's own microseconds-since-enable clock;
+ * the merge does not attempt cross-host clock alignment (spans nest
+ * logically by parent id, not by timestamp overlap).
+ */
+
+#ifndef GANACC_FLEET_TRACE_MERGE_HH
+#define GANACC_FLEET_TRACE_MERGE_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace ganacc {
+namespace fleet {
+
+/**
+ * Merge per-shard span batches with the collector's local events
+ * into one Chrome trace JSON document. `perShard` rows are
+ * (address, span-batch JSON) as returned by Router::drainTracesAll();
+ * rows with an empty batch (unreachable shards) still get their
+ * process_name metadata so shard pids stay stable. Throws
+ * util::FatalError on a malformed span batch.
+ */
+std::string mergeTraces(
+    const std::vector<std::pair<std::string, std::string>> &perShard,
+    const std::vector<obs::TraceEvent> &localEvents);
+
+} // namespace fleet
+} // namespace ganacc
+
+#endif // GANACC_FLEET_TRACE_MERGE_HH

@@ -23,6 +23,14 @@ HistogramSnapshot::merge(const HistogramSnapshot &o)
         buckets[i] += o.buckets[i];
     count += o.count;
     sum += o.sum;
+    if (!o.exemplars.empty()) {
+        if (exemplars.empty())
+            exemplars.resize(buckets.size());
+        for (std::size_t i = 0;
+             i < exemplars.size() && i < o.exemplars.size(); ++i)
+            if (exemplars[i].traceId.empty())
+                exemplars[i] = o.exemplars[i];
+    }
 }
 
 int
@@ -32,6 +40,19 @@ Histogram::bucketIndex(std::uint64_t v)
         if (v <= bucketBound(i))
             return i;
     return kFiniteBuckets; // +Inf
+}
+
+void
+Histogram::exemplar(std::uint64_t v, const std::string &traceId)
+{
+    if (traceId.empty())
+        return;
+    std::lock_guard<std::mutex> lk(exemplars_m_);
+    if (exemplars_.empty())
+        exemplars_.resize(kBuckets);
+    Exemplar &slot = exemplars_[std::size_t(bucketIndex(v))];
+    slot.value = v;
+    slot.traceId = traceId;
 }
 
 HistogramSnapshot
@@ -46,6 +67,10 @@ Histogram::snapshot() const
         s.count += b;
     }
     s.sum = sum_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lk(exemplars_m_);
+        s.exemplars = exemplars_;
+    }
     return s;
 }
 
@@ -208,7 +233,16 @@ renderPrometheus(const Snapshot &snap)
                     : std::to_string(Histogram::bucketBound(int(i)));
             os << withLabel(base + "_bucket" + labels,
                             "le=\"" + le + "\"")
-               << ' ' << cum << '\n';
+               << ' ' << cum;
+            // OpenMetrics-style exemplar: links this bucket to one
+            // concrete distributed trace. Only rendered when a
+            // sampled trace actually landed here, so histograms
+            // without exemplars dump byte-identically to before.
+            if (i < h.exemplars.size() &&
+                !h.exemplars[i].traceId.empty())
+                os << " # {trace_id=\"" << h.exemplars[i].traceId
+                   << "\"} " << h.exemplars[i].value;
+            os << '\n';
         }
         os << base << "_sum" << labels << ' ' << h.sum << '\n';
         os << base << "_count" << labels << ' ' << h.count << '\n';

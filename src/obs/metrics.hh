@@ -90,6 +90,19 @@ class Gauge
     std::atomic<std::int64_t> v_{0};
 };
 
+/**
+ * A trace-id exemplar: the most recent sampled trace that landed in a
+ * bucket, so a latency spike in a dashboard links to one concrete
+ * distributed trace (OpenMetrics-style `# {trace_id="…"} v` in the
+ * text dump). Purely observational — absent from the JSON telemetry
+ * snapshot, so stats-probe responses stay byte-stable.
+ */
+struct Exemplar
+{
+    std::uint64_t value = 0; ///< the sample that set the exemplar
+    std::string traceId;     ///< 32-hex trace id ("" = none yet)
+};
+
 /** Point-in-time copy of one histogram (see Histogram for buckets). */
 struct HistogramSnapshot
 {
@@ -99,8 +112,11 @@ struct HistogramSnapshot
     std::vector<std::uint64_t> buckets;
     std::uint64_t count = 0;
     std::uint64_t sum = 0;
+    /// Per-bucket exemplars; empty when none were ever attached.
+    std::vector<Exemplar> exemplars;
 
-    /** Merge another snapshot of the same series (element-wise add). */
+    /** Merge another snapshot of the same series (element-wise add;
+     *  exemplars keep the first non-empty entry per bucket). */
     void merge(const HistogramSnapshot &o);
 };
 
@@ -134,11 +150,21 @@ class Histogram
         sum_.fetch_add(v, std::memory_order_relaxed);
     }
 
+    /**
+     * Attach a trace-id exemplar to the bucket `v` lands in (last
+     * writer wins). Off the hot path — called at most once per
+     * *sampled* request, never when tracing is disabled — so a small
+     * mutex is fine here where observe() must stay lock-free.
+     */
+    void exemplar(std::uint64_t v, const std::string &traceId);
+
     HistogramSnapshot snapshot() const;
 
   private:
     std::atomic<std::uint64_t> buckets_[kBuckets] = {};
     std::atomic<std::uint64_t> sum_{0};
+    mutable std::mutex exemplars_m_;
+    std::vector<Exemplar> exemplars_; ///< lazily sized to kBuckets
 };
 
 /**

@@ -60,6 +60,22 @@ configFromEnv()
     cfg.tracePath = envOr("GANACC_TRACE");
     cfg.eventsPath = envOr("GANACC_EVENTS");
     cfg.metricsPath = envOr("GANACC_METRICS");
+    const std::string rate = envOr("GANACC_TRACE_SAMPLE");
+    if (!rate.empty()) {
+        try {
+            cfg.traceSampleRate = std::stod(rate);
+        } catch (...) {
+            util::warn("GANACC_TRACE_SAMPLE is not a number: ", rate);
+        }
+    }
+    const std::string tail = envOr("GANACC_TRACE_TAIL_US");
+    if (!tail.empty()) {
+        try {
+            cfg.traceTailUs = std::stoull(tail);
+        } catch (...) {
+            util::warn("GANACC_TRACE_TAIL_US is not a number: ", tail);
+        }
+    }
     return cfg;
 }
 
@@ -85,7 +101,11 @@ enableTelemetry(const TelemetryConfig &cfg)
     }
     s.cfg = cfg;
     s.enabled = true;
-    if (!cfg.tracePath.empty())
+    TraceSink::instance().setSampling(cfg.traceSampleRate,
+                                      cfg.traceTailUs);
+    if (!cfg.tracePath.empty() || cfg.traceLive)
+        // An empty path is the sink's live mode: spans buffer for
+        // trace-drain probes and nothing touches the filesystem.
         TraceSink::instance().enable(cfg.tracePath);
     if (!cfg.eventsPath.empty())
         EventLog::instance().open(cfg.eventsPath);
@@ -103,6 +123,8 @@ shutdownTelemetry()
     setRunProbe(nullptr);
     if (!s.cfg.tracePath.empty() && TraceSink::instance().flush())
         util::inform("trace written to ", s.cfg.tracePath);
+    else if (s.cfg.traceLive)
+        TraceSink::instance().disable(); // live mode: nothing to write
     EventLog::instance().close();
     if (!s.cfg.metricsPath.empty()) {
         std::ofstream os(s.cfg.metricsPath, std::ios::trunc);

@@ -18,6 +18,7 @@
 #ifndef GANACC_OBS_TELEMETRY_HH
 #define GANACC_OBS_TELEMETRY_HH
 
+#include <cstdint>
 #include <string>
 
 namespace ganacc {
@@ -31,11 +32,25 @@ struct TelemetryConfig
     std::string metricsPath; ///< Prometheus dump at shutdown
                              ///  (GANACC_METRICS)
 
+    /// Buffer spans for live trace-drain probes even with no trace
+    /// file configured (the daemon/router side of distributed
+    /// tracing; see docs/observability.md "Distributed tracing").
+    bool traceLive = false;
+
+    /// Head-sampling rate for request traces, [0, 1]
+    /// (GANACC_TRACE_SAMPLE; default keep everything).
+    double traceSampleRate = 1.0;
+
+    /// Tail-keep threshold: requests at or above this end-to-end
+    /// latency keep their spans even when head sampling dropped the
+    /// trace (GANACC_TRACE_TAIL_US; 0 = off).
+    std::uint64_t traceTailUs = 0;
+
     bool
     any() const
     {
         return !tracePath.empty() || !eventsPath.empty() ||
-               !metricsPath.empty();
+               !metricsPath.empty() || traceLive;
     }
 };
 

@@ -5,14 +5,157 @@
 
 #include "obs/trace.hh"
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+
+#include <unistd.h>
 
 #include "util/logging.hh"
 #include "util/strings.hh"
 
 namespace ganacc {
 namespace obs {
+
+namespace {
+
+/** splitmix64: cheap, well-mixed 64-bit hash/PRNG step. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Process-unique id stream: seeded once per process from the clock
+ *  and the pid so two shards started in the same microsecond still
+ *  diverge, then stepped by a golden-ratio stride. Ids are only ever
+ *  generated while tracing is armed, so this never perturbs the
+ *  deterministic (telemetry-off) outputs. */
+std::uint64_t
+nextId()
+{
+    static std::atomic<std::uint64_t> state{
+        std::uint64_t(std::chrono::steady_clock::now()
+                          .time_since_epoch()
+                          .count()) ^
+        (std::uint64_t(::getpid()) << 32)};
+    const std::uint64_t id =
+        mix64(state.fetch_add(0x9e3779b97f4a7c15ULL,
+                              std::memory_order_relaxed));
+    return id == 0 ? 1 : id;
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::uint64_t
+parseHex16(const std::string &text, std::size_t at)
+{
+    std::uint64_t v = 0;
+    for (std::size_t i = at; i < at + 16; ++i) {
+        const char c = text[i];
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else
+            util::fatal("trace context has a non-hex digit at offset ",
+                        i, ": \"", text, "\"");
+        v = (v << 4) | std::uint64_t(digit);
+    }
+    return v;
+}
+
+} // namespace
+
+std::string
+TraceContext::traceIdHex() const
+{
+    return hex16(traceHi) + hex16(traceLo);
+}
+
+std::string
+TraceContext::spanIdHex() const
+{
+    return hex16(span);
+}
+
+std::string
+encodeTraceContext(const TraceContext &ctx)
+{
+    return ctx.traceIdHex() + '-' + ctx.spanIdHex();
+}
+
+TraceContext
+decodeTraceContext(const std::string &text)
+{
+    if (text.size() != 49 || text[32] != '-')
+        util::fatal("trace context must be 32 hex digits, '-', 16 hex "
+                    "digits, got \"",
+                    text, "\"");
+    TraceContext ctx;
+    ctx.traceHi = parseHex16(text, 0);
+    ctx.traceLo = parseHex16(text, 16);
+    ctx.span = parseHex16(text, 33);
+    if (!ctx.valid())
+        util::fatal("trace context has an all-zero trace id");
+    return ctx;
+}
+
+TraceContext
+newTraceContext()
+{
+    TraceContext ctx;
+    ctx.traceHi = nextId();
+    ctx.traceLo = nextId();
+    ctx.span = nextId();
+    return ctx;
+}
+
+std::uint64_t
+newSpanId()
+{
+    return nextId();
+}
+
+std::string
+spanArgs(const TraceContext &ctx, std::uint64_t span,
+         std::uint64_t parent, const std::string &extraFields)
+{
+    std::string out = "{\"trace\":\"" + ctx.traceIdHex() +
+                      "\",\"span\":\"" + hex16(span) + "\"";
+    if (parent != 0)
+        out += ",\"parent\":\"" + hex16(parent) + "\"";
+    if (!extraFields.empty())
+        out += ',' + extraFields;
+    out += '}';
+    return out;
+}
+
+std::string
+spanArgs(const std::string &traceIdHex, std::uint64_t span,
+         std::uint64_t parent, const std::string &extraFields)
+{
+    std::string out = "{\"trace\":\"" + traceIdHex +
+                      "\",\"span\":\"" + hex16(span) + "\"";
+    if (parent != 0)
+        out += ",\"parent\":\"" + hex16(parent) + "\"";
+    if (!extraFields.empty())
+        out += ',' + extraFields;
+    out += '}';
+    return out;
+}
 
 void
 writeChromeTraceJson(
@@ -73,7 +216,6 @@ flushAtExit()
 void
 TraceSink::enable(const std::string &path)
 {
-    GANACC_ASSERT(!path.empty(), "trace sink needs an output path");
     {
         std::lock_guard<std::mutex> lk(m_);
         path_ = path;
@@ -91,6 +233,45 @@ void
 TraceSink::disable()
 {
     enabled_.store(false, std::memory_order_relaxed);
+}
+
+void
+TraceSink::setSampling(double rate, std::uint64_t tailUs)
+{
+    if (rate < 0.0)
+        rate = 0.0;
+    if (rate > 1.0)
+        rate = 1.0;
+    samplePpm_.store(std::uint32_t(std::llround(rate * 1000000.0)),
+                     std::memory_order_relaxed);
+    tailUs_.store(tailUs, std::memory_order_relaxed);
+}
+
+bool
+TraceSink::headSampled(const TraceContext &ctx) const
+{
+    const std::uint32_t ppm =
+        samplePpm_.load(std::memory_order_relaxed);
+    if (ppm >= 1000000)
+        return true;
+    if (ppm == 0)
+        return false;
+    // Hash the trace id, not the raw bits: sequentially generated ids
+    // must not alias the sampling stride. Every process computes the
+    // same verdict for the same trace id at the same rate.
+    return mix64(ctx.traceHi ^ (ctx.traceLo * 0x9e3779b97f4a7c15ULL)) %
+               1000000 <
+           ppm;
+}
+
+bool
+TraceSink::keep(const TraceContext &ctx,
+                std::uint64_t latencyUs) const
+{
+    if (headSampled(ctx))
+        return true;
+    const std::uint64_t tail = tailUs_.load(std::memory_order_relaxed);
+    return tail > 0 && latencyUs >= tail;
 }
 
 std::uint64_t
@@ -124,6 +305,25 @@ TraceSink::record(TraceEvent ev)
     events_.push_back(std::move(ev));
 }
 
+void
+TraceSink::recordBatch(std::vector<TraceEvent> events)
+{
+    if (!enabled() || events.empty())
+        return;
+    std::lock_guard<std::mutex> lk(m_);
+    for (TraceEvent &ev : events)
+        events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent>
+TraceSink::drain()
+{
+    std::vector<TraceEvent> out;
+    std::lock_guard<std::mutex> lk(m_);
+    out.swap(events_);
+    return out;
+}
+
 std::size_t
 TraceSink::eventCount() const
 {
@@ -138,12 +338,12 @@ TraceSink::flush()
     std::string path;
     {
         std::lock_guard<std::mutex> lk(m_);
-        events.swap(events_);
         path = path_;
+        if (path.empty())
+            return false; // live mode: drain() is the only reader
+        events.swap(events_);
     }
     disable();
-    if (path.empty())
-        return false;
     std::ofstream os(path, std::ios::trunc);
     if (!os) {
         util::warn("cannot write trace to ", path);

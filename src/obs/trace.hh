@@ -37,6 +37,64 @@
 namespace ganacc {
 namespace obs {
 
+/**
+ * Distributed trace context: the identity a request carries across
+ * process boundaries so the router's root span and every shard's
+ * child spans stitch into one trace. 128-bit trace id plus the
+ * sender's span id (the parent of whatever span the receiver opens).
+ *
+ * Wire form (the serve protocol's optional "trace" field):
+ * 32 lowercase hex digits, '-', 16 lowercase hex digits —
+ * "0123…cdef-89ab…0123". Strictly observational: the field is only
+ * ever attached when tracing is armed, and no simulation output
+ * depends on it.
+ */
+struct TraceContext
+{
+    std::uint64_t traceHi = 0; ///< trace id, high 64 bits
+    std::uint64_t traceLo = 0; ///< trace id, low 64 bits
+    std::uint64_t span = 0;    ///< this hop's span id
+
+    bool
+    valid() const
+    {
+        return (traceHi | traceLo) != 0;
+    }
+
+    /** The 32-hex-digit trace id. */
+    std::string traceIdHex() const;
+    /** The 16-hex-digit span id. */
+    std::string spanIdHex() const;
+};
+
+/** "<32 hex>-<16 hex>" (see TraceContext). */
+std::string encodeTraceContext(const TraceContext &ctx);
+
+/** Parse the wire form; throws util::FatalError on malformed input. */
+TraceContext decodeTraceContext(const std::string &text);
+
+/** A fresh root context: new random trace id + span id. */
+TraceContext newTraceContext();
+
+/** A fresh span id (for child spans within a known trace). */
+std::uint64_t newSpanId();
+
+/**
+ * The canonical span-args JSON for a distributed span:
+ * {"trace":"<32hex>","span":"<16hex>"[,"parent":"<16hex>"][,extra]}.
+ * `extraFields` is raw JSON object *content* (e.g. "\"id\":7") pasted
+ * verbatim, or "". Parent 0 means root (field omitted).
+ */
+std::string spanArgs(const TraceContext &ctx, std::uint64_t span,
+                     std::uint64_t parent,
+                     const std::string &extraFields = std::string());
+
+/** Same, for callers that only hold the 32-hex trace id. */
+std::string spanArgs(const std::string &traceIdHex,
+                     std::uint64_t span, std::uint64_t parent,
+                     const std::string &extraFields = std::string());
+
+
 /** One Chrome trace_event entry. */
 struct TraceEvent
 {
@@ -77,12 +135,30 @@ class TraceSink
     /**
      * Start recording; spans ending from now on are buffered and
      * flushed to `path` (by flush(), shutdownTelemetry() or atexit).
-     * Re-enabling clears previously buffered events.
+     * Re-enabling clears previously buffered events. An empty path is
+     * *live* mode: events buffer for drain() (the trace-drain probe)
+     * and flush() is a no-op — nothing is ever written to disk.
      */
     void enable(const std::string &path);
 
     /** Stop recording; buffered events stay until flush/enable. */
     void disable();
+
+    /**
+     * Head-sampling + tail-keep policy for request traces. `rate` in
+     * [0, 1] head-samples by a pure hash of the trace id, so every
+     * process in a fleet makes the same decision for the same trace
+     * without extra wire bits; `tailUs` > 0 additionally keeps any
+     * request whose end-to-end latency reaches the threshold even
+     * when head sampling dropped it. Defaults: rate 1, tail off.
+     */
+    void setSampling(double rate, std::uint64_t tailUs);
+
+    /** The head-sampling decision for a trace id (pure, shared). */
+    bool headSampled(const TraceContext &ctx) const;
+
+    /** headSampled(ctx) || the latency crossed the tail threshold. */
+    bool keep(const TraceContext &ctx, std::uint64_t latencyUs) const;
 
     /** Microseconds since enable() on the steady clock. */
     std::uint64_t nowUs() const;
@@ -92,6 +168,17 @@ class TraceSink
 
     /** Buffer one event (dropped when disabled). */
     void record(TraceEvent ev);
+
+    /** Buffer a whole batch at once (dropped when disabled). */
+    void recordBatch(std::vector<TraceEvent> events);
+
+    /**
+     * Take every buffered event and keep recording — the trace-drain
+     * probe's read side. Unlike flush(), the sink stays enabled and
+     * nothing touches the filesystem, so a live daemon can be drained
+     * repeatedly while requests are still opening spans.
+     */
+    std::vector<TraceEvent> drain();
 
     std::size_t eventCount() const;
 
@@ -108,6 +195,10 @@ class TraceSink
     TraceSink() = default;
 
     std::atomic<bool> enabled_{false};
+    /// Head-sampling threshold in parts per million (1e6 = keep all).
+    std::atomic<std::uint32_t> samplePpm_{1000000};
+    /// Tail-keep latency threshold in microseconds (0 = off).
+    std::atomic<std::uint64_t> tailUs_{0};
     mutable std::mutex m_;
     std::string path_;
     std::vector<TraceEvent> events_;

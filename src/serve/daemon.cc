@@ -26,6 +26,7 @@
 
 #include "obs/metrics.hh"
 #include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace ganacc {
@@ -42,6 +43,17 @@ std::future<Response>
 submitLine(Engine &engine, const std::string &line)
 {
     try {
+        obs::TraceSink &sink = obs::TraceSink::instance();
+        if (sink.enabled()) {
+            // Stamp transport-side decode timing (never on the wire)
+            // so the engine's span batch covers the whole hop.
+            const std::uint64_t t0 = sink.nowUs();
+            Request req = decodeRequest(line);
+            const std::uint64_t t1 = sink.nowUs();
+            req.decodeTs = t0;
+            req.decodeDurUs = t1 > t0 ? t1 - t0 : 1;
+            return engine.submit(req);
+        }
         return engine.submit(decodeRequest(line));
     } catch (const std::exception &e) {
         std::uint64_t id = 0;
@@ -100,7 +112,24 @@ pumpOrderedStream(Engine &engine,
             cv.notify_all(); // a window slot freed up for the reader
             lk.unlock();
             const Response rsp = fut.get();
+            obs::TraceSink &sink = obs::TraceSink::instance();
+            const bool traceEncode = rsp.traceKept && sink.enabled();
+            const std::uint64_t encT0 = traceEncode ? sink.nowUs() : 0;
             const bool ok = put(encodeResponse(rsp) + "\n");
+            if (traceEncode) {
+                // Close the hop with the transport's encode+write
+                // span, parented under the engine's request span.
+                obs::TraceEvent ev;
+                ev.name = "serve.encode";
+                ev.cat = "serve";
+                ev.tid = obs::TraceSink::threadLane();
+                ev.ts = encT0;
+                const std::uint64_t encT1 = sink.nowUs();
+                ev.dur = encT1 > encT0 ? encT1 - encT0 : 1;
+                ev.args = obs::spanArgs(rsp.traceId, obs::newSpanId(),
+                                        rsp.traceSpan);
+                sink.record(std::move(ev));
+            }
             lk.lock();
             if (ok)
                 ++written;

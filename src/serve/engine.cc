@@ -105,6 +105,12 @@ Engine::Engine(const EngineOptions &opts)
       mFleetProbes_(obs::Registry::instance().counter(
           "ganacc_serve_fleet_probes_total",
           "fleet-topology probes answered")),
+      mMetricsProbes_(obs::Registry::instance().counter(
+          "ganacc_serve_metrics_probes_total",
+          "Prometheus scrape probes answered")),
+      mTraceDrains_(obs::Registry::instance().counter(
+          "ganacc_serve_trace_drains_total",
+          "trace-drain probes answered")),
       mPuts_(obs::Registry::instance().counter(
           "ganacc_serve_puts_total",
           "replication writes acknowledged")),
@@ -208,11 +214,34 @@ Engine::executePut(const Request &req)
 }
 
 Response
-Engine::execute(const Request &req)
+Engine::execute(const Request &req, std::uint64_t admitUs)
 {
-    obs::Span span("serve.request", "serve",
-                   "{\"id\":" + std::to_string(req.id) + "}");
+    obs::TraceSink &sink = obs::TraceSink::instance();
+    const bool tracing = sink.enabled();
+    // Resolve the hop's distributed identity: continue the sender's
+    // trace when the request carries a parseable context (the hop
+    // span's parent is the sender's span), start a fresh root
+    // otherwise. Ids are only generated while tracing is armed.
+    obs::TraceContext ctx;
+    std::uint64_t parentSpan = 0;
+    std::uint64_t hopTs = 0;
+    if (tracing) {
+        if (!req.trace.empty()) {
+            try {
+                ctx = obs::decodeTraceContext(req.trace);
+                parentSpan = ctx.span;
+                ctx.span = obs::newSpanId();
+            } catch (const util::FatalError &) {
+                // An unparseable context must not fail the request —
+                // trace the hop as a fresh root instead.
+            }
+        }
+        if (!ctx.valid())
+            ctx = obs::newTraceContext();
+        hopTs = req.decodeTs != 0 ? req.decodeTs : sink.nowUs();
+    }
     const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t bodyTs = tracing ? sink.nowUs() : 0;
     Response rsp;
     try {
         rsp = req.put ? executePut(req) : executeSpec(req);
@@ -224,6 +253,59 @@ Engine::execute(const Request &req)
         std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
             .count());
     rsp.latencyUs = opts_.deterministic ? 0 : elapsed_us;
+    if (tracing) {
+        // Build the hop's span batch locally, then commit it in one
+        // shot iff the sampling policy keeps this request — which is
+        // what makes tail-keep possible: the verdict needs the final
+        // latency, so spans cannot stream into the sink as they
+        // close.
+        const std::uint64_t bodyEnd = sink.nowUs();
+        const int lane = obs::TraceSink::threadLane();
+        std::vector<obs::TraceEvent> evs;
+        auto push = [&](const char *name, std::uint64_t ts,
+                        std::uint64_t dur, std::uint64_t span,
+                        std::uint64_t parent,
+                        const std::string &extra) {
+            obs::TraceEvent ev;
+            ev.name = name;
+            ev.cat = "serve";
+            ev.pid = 0;
+            ev.tid = lane;
+            ev.ts = ts;
+            ev.dur = dur;
+            ev.args = obs::spanArgs(ctx, span, parent, extra);
+            evs.push_back(std::move(ev));
+        };
+        const std::uint64_t hopSpan = ctx.span;
+        if (req.decodeDurUs != 0)
+            push("serve.decode", req.decodeTs, req.decodeDurUs,
+                 obs::newSpanId(), hopSpan, "");
+        if (admitUs != 0 && bodyTs >= admitUs)
+            push("serve.queue_wait", admitUs, bodyTs - admitUs,
+                 obs::newSpanId(), hopSpan, "");
+        if (rsp.ok && req.put) {
+            push("serve.put", bodyTs, bodyEnd - bodyTs,
+                 obs::newSpanId(), hopSpan, "");
+        } else if (rsp.ok) {
+            const std::uint64_t cacheSpan = obs::newSpanId();
+            push("serve.cache", bodyTs, bodyEnd - bodyTs, cacheSpan,
+                 hopSpan, "\"tier\":\"" + rsp.cache + "\"");
+            if (rsp.cache == "sim")
+                push("serve.simulate", bodyTs, bodyEnd - bodyTs,
+                     obs::newSpanId(), cacheSpan, "");
+        }
+        push("serve.request", hopTs,
+             bodyEnd >= hopTs ? bodyEnd - hopTs : 0, hopSpan,
+             parentSpan, "\"id\":" + std::to_string(req.id));
+        const bool keepIt = sink.keep(ctx, elapsed_us);
+        if (keepIt) {
+            sink.recordBatch(std::move(evs));
+            mLatencyUs_.exemplar(elapsed_us, ctx.traceIdHex());
+        }
+        rsp.traceKept = keepIt;
+        rsp.traceId = ctx.traceIdHex();
+        rsp.traceSpan = hopSpan;
+    }
     {
         std::lock_guard<std::mutex> lk(counters_m_);
         ++counters_.requests;
@@ -281,6 +363,20 @@ Engine::submit(const Request &req)
         mFleetProbes_.add(1);
         std::promise<Response> ready;
         ready.set_value(fleetResponse(req.id));
+        return ready.get_future();
+    }
+    // So do the live-collection probes: a saturated queue must not
+    // stop a scrape or a trace drain.
+    if (req.metricsProbe) {
+        mMetricsProbes_.add(1);
+        std::promise<Response> ready;
+        ready.set_value(metricsResponse(req.id));
+        return ready.get_future();
+    }
+    if (req.traceDrainProbe) {
+        mTraceDrains_.add(1);
+        std::promise<Response> ready;
+        ready.set_value(traceDrainResponse(req.id));
         return ready.get_future();
     }
 
@@ -342,9 +438,15 @@ Engine::submit(const Request &req)
 
     ++inFlight_;
     mInFlight_.add(1);
+    // Admission timestamp on the trace clock: the gap until the
+    // worker picks the request up becomes the serve.queue_wait span.
+    const std::uint64_t admitUs =
+        obs::TraceSink::instance().enabled()
+            ? obs::TraceSink::instance().nowUs()
+            : 0;
     auto task = std::make_shared<std::packaged_task<Response()>>(
-        [this, req, key] {
-            const Response rsp = execute(req);
+        [this, req, key, admitUs] {
+            const Response rsp = execute(req, admitUs);
             // Unregister before the future becomes ready: a caller
             // that has already observed .get() must miss the flight
             // table on its next submit, or an immediate resubmit
@@ -441,6 +543,34 @@ Engine::fleetResponse(std::uint64_t id) const
     rsp.ok = true;
     rsp.simVersion = simulatorVersion();
     rsp.fleet = opts_.fleetJson;
+    return rsp;
+}
+
+Response
+Engine::metricsResponse(std::uint64_t id) const
+{
+    Response rsp;
+    rsp.id = id;
+    rsp.ok = true;
+    rsp.simVersion = simulatorVersion();
+    // Never empty: this engine's own counters are registered at
+    // construction, so the encode branch always fires.
+    rsp.metricsText =
+        obs::renderPrometheus(obs::Registry::instance().snapshot());
+    return rsp;
+}
+
+Response
+Engine::traceDrainResponse(std::uint64_t id) const
+{
+    Response rsp;
+    rsp.id = id;
+    rsp.ok = true;
+    rsp.simVersion = simulatorVersion();
+    // With tracing off (or nothing buffered) this is {"events":[]} —
+    // still non-empty text, so the response form stays a drain.
+    rsp.spans =
+        encodeSpanBatch(obs::TraceSink::instance().drain());
     return rsp;
 }
 

@@ -134,11 +134,13 @@ class Engine
     static std::string telemetryJson();
 
   private:
-    Response execute(const Request &req);
+    Response execute(const Request &req, std::uint64_t admitUs);
     Response executeSpec(const Request &req);
     Response executePut(const Request &req);
     Response statsResponse(std::uint64_t id) const;
     Response fleetResponse(std::uint64_t id) const;
+    Response metricsResponse(std::uint64_t id) const;
+    Response traceDrainResponse(std::uint64_t id) const;
     core::CycleCache &liveCache();
 
     EngineOptions opts_;
@@ -170,6 +172,8 @@ class Engine
     obs::Counter &mDeduped_;
     obs::Counter &mStatsProbes_;
     obs::Counter &mFleetProbes_;
+    obs::Counter &mMetricsProbes_;
+    obs::Counter &mTraceDrains_;
     obs::Counter &mPuts_;
     obs::Counter &mOverloaded_;
     obs::Gauge &mInFlight_;

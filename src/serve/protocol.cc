@@ -29,12 +29,26 @@ encodeRequest(const Request &req)
 {
     std::ostringstream os;
     os << "{\"v\":" << kProtocolVersion << ",\"id\":" << req.id;
+    // The trace context rides along on any request form. Omitted
+    // entirely when absent, so untraced requests encode byte-
+    // identically to the pre-tracing wire format (the serve golden
+    // replay pins this).
+    if (!req.trace.empty())
+        os << ",\"trace\":\"" << util::escapeJson(req.trace) << "\"";
     if (req.statsProbe) {
         os << ",\"stats\":true}";
         return os.str();
     }
     if (req.fleetProbe) {
         os << ",\"fleet\":true}";
+        return os.str();
+    }
+    if (req.metricsProbe) {
+        os << ",\"metrics\":true}";
+        return os.str();
+    }
+    if (req.traceDrainProbe) {
+        os << ",\"trace-drain\":true}";
         return os.str();
     }
     if (req.put) {
@@ -69,13 +83,17 @@ decodeRequest(const std::string &line)
                     "daemon speaks v", kProtocolVersion, ")");
     Request req;
     req.id = o.at("id").asUint64();
+    // The optional distributed-tracing context; legal on every form.
+    if (o.contains("trace"))
+        req.trace = o.at("trace").asString();
     if (o.contains("put")) {
         // Replication write: a finished result plus the full triple
         // it belongs to and the stamp it was computed under.
         if (!o.at("put").asBool())
             util::fatal("\"put\" must be true when present");
         if (o.contains("model") || o.contains("family") ||
-            o.contains("stats") || o.contains("fleet"))
+            o.contains("stats") || o.contains("fleet") ||
+            o.contains("metrics") || o.contains("trace-drain"))
             util::fatal("a put carries exactly arch, unroll, spec, "
                         "result and sim");
         req.put = true;
@@ -98,7 +116,8 @@ decodeRequest(const std::string &line)
             util::fatal("\"fleet\" must be true when present");
         if (o.contains("spec") || o.contains("model") ||
             o.contains("family") || o.contains("arch") ||
-            o.contains("stats"))
+            o.contains("stats") || o.contains("metrics") ||
+            o.contains("trace-drain"))
             util::fatal("a fleet probe carries no simulation payload");
         req.fleetProbe = true;
         return req;
@@ -108,9 +127,33 @@ decodeRequest(const std::string &line)
         if (!o.at("stats").asBool())
             util::fatal("\"stats\" must be true when present");
         if (o.contains("spec") || o.contains("model") ||
-            o.contains("family") || o.contains("arch"))
+            o.contains("family") || o.contains("arch") ||
+            o.contains("metrics") || o.contains("trace-drain"))
             util::fatal("a stats probe carries no simulation payload");
         req.statsProbe = true;
+        return req;
+    }
+    if (o.contains("metrics")) {
+        // Prometheus scrape probe: {"v":1,"id":N,"metrics":true}.
+        if (!o.at("metrics").asBool())
+            util::fatal("\"metrics\" must be true when present");
+        if (o.contains("spec") || o.contains("model") ||
+            o.contains("family") || o.contains("arch") ||
+            o.contains("trace-drain"))
+            util::fatal("a metrics probe carries no simulation "
+                        "payload");
+        req.metricsProbe = true;
+        return req;
+    }
+    if (o.contains("trace-drain")) {
+        // Span-batch drain probe: {"v":1,"id":N,"trace-drain":true}.
+        if (!o.at("trace-drain").asBool())
+            util::fatal("\"trace-drain\" must be true when present");
+        if (o.contains("spec") || o.contains("model") ||
+            o.contains("family") || o.contains("arch"))
+            util::fatal("a trace-drain probe carries no simulation "
+                        "payload");
+        req.traceDrainProbe = true;
         return req;
     }
     const std::string arch = o.at("arch").asString();
@@ -158,6 +201,21 @@ encodeResponse(const Response &rsp)
            << "\",\"fleet\":" << rsp.fleet << "}";
         return os.str();
     }
+    if (!rsp.metricsText.empty()) {
+        // Metrics-probe responses carry the Prometheus text as one
+        // JSON string (it is not JSON itself).
+        os << ",\"sim\":\"" << util::escapeJson(rsp.simVersion)
+           << "\",\"metrics\":\"" << util::escapeJson(rsp.metricsText)
+           << "\"}";
+        return os.str();
+    }
+    if (!rsp.spans.empty()) {
+        // Trace-drain responses carry the (already canonical JSON)
+        // span batch.
+        os << ",\"sim\":\"" << util::escapeJson(rsp.simVersion)
+           << "\",\"spans\":" << rsp.spans << "}";
+        return os.str();
+    }
     os << ",\"sim\":\"" << util::escapeJson(rsp.simVersion) << "\""
        << ",\"arch\":\"" << util::escapeJson(rsp.arch) << "\""
        << ",\"unroll\":" << sim::toJson(rsp.unroll) << ",\"cache\":\""
@@ -193,6 +251,14 @@ decodeResponse(const std::string &line)
         rsp.fleet = o.at("fleet").dump();
         return rsp;
     }
+    if (o.contains("metrics")) {
+        rsp.metricsText = o.at("metrics").asString();
+        return rsp;
+    }
+    if (o.contains("spans")) {
+        rsp.spans = o.at("spans").dump();
+        return rsp;
+    }
     rsp.arch = o.at("arch").asString();
     rsp.unroll = sim::unrollFromJson(o.at("unroll"));
     rsp.cache = o.at("cache").asString();
@@ -220,6 +286,58 @@ fnv1a64(const std::string &bytes)
         h *= 0x100000001b3ULL;
     }
     return h;
+}
+
+std::string
+encodeSpanBatch(const std::vector<obs::TraceEvent> &events)
+{
+    util::json::Array out;
+    for (const obs::TraceEvent &e : events) {
+        util::json::Object ev;
+        ev.set("name", util::json::Value(e.name));
+        if (!e.cat.empty())
+            ev.set("cat", util::json::Value(e.cat));
+        ev.set("ph", util::json::Value(std::string(1, e.ph)));
+        ev.set("tid", util::json::Value(
+                          std::uint64_t(e.tid < 0 ? 0 : e.tid)));
+        ev.set("ts", util::json::Value(e.ts));
+        ev.set("dur", util::json::Value(e.dur));
+        if (!e.args.empty())
+            ev.set("args", util::json::parse(e.args));
+        out.push_back(util::json::Value(std::move(ev)));
+    }
+    util::json::Object root;
+    root.set("events", util::json::Value(std::move(out)));
+    return util::json::Value(std::move(root)).dump();
+}
+
+std::vector<obs::TraceEvent>
+decodeSpanBatch(const std::string &text)
+{
+    const util::json::Value doc = util::json::parse(text);
+    const util::json::Array &events =
+        doc.asObject().at("events").asArray();
+    std::vector<obs::TraceEvent> out;
+    out.reserve(events.size());
+    for (const util::json::Value &v : events) {
+        const util::json::Object &o = v.asObject();
+        obs::TraceEvent e;
+        e.name = o.at("name").asString();
+        if (o.contains("cat"))
+            e.cat = o.at("cat").asString();
+        const std::string ph = o.at("ph").asString();
+        if (ph.size() != 1)
+            util::fatal("span batch event has a malformed ph \"", ph,
+                        "\"");
+        e.ph = ph[0];
+        e.tid = int(o.at("tid").asUint64());
+        e.ts = o.at("ts").asUint64();
+        e.dur = o.at("dur").asUint64();
+        if (o.contains("args"))
+            e.args = o.at("args").dump();
+        out.push_back(std::move(e));
+    }
+    return out;
 }
 
 std::string

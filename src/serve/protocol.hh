@@ -15,6 +15,8 @@
  *   {"v":1,"id":8,"arch":"ZFWST","unroll":{...},
  *    "model":"dcgan","family":"Gw"}
  *   {"v":1,"id":12,"stats":true}
+ *   {"v":1,"id":13,"metrics":true}
+ *   {"v":1,"id":14,"trace-drain":true}
  *
  *   {"v":1,"id":7,"ok":true,"sim":"ganacc-1.0.0","arch":"ZFOST",
  *    "unroll":{...},"cache":"sim","latencyUs":412,"stats":{...}}
@@ -25,7 +27,14 @@
  * The third request form is the telemetry probe: a live daemon
  * answers with a snapshot of its metric registry (cache and store
  * tiers, queue occupancy, request-latency histogram — see
- * docs/observability.md) without touching the simulation path.
+ * docs/observability.md) without touching the simulation path. The
+ * `metrics` and `trace-drain` probes are its live-collection
+ * siblings: Prometheus text and the buffered distributed-tracing
+ * span batch, also answered without touching the simulation path.
+ * Any request may additionally carry an optional
+ * "trace":"<32hex>-<16hex>" context (obs::TraceContext) linking the
+ * spans this hop opens to the sender's trace; it is attached only
+ * while tracing is armed and never affects a response.
  *
  * Requests with an unknown protocol version, unknown architecture or
  * malformed JSON produce an ok:false response carrying the parse
@@ -39,8 +48,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/unrolling.hh"
+#include "obs/trace.hh"
 #include "sim/conv_spec.hh"
 #include "sim/json.hh"
 #include "sim/stats.hh"
@@ -85,6 +96,30 @@ struct Request
     /// a whole-fleet view from any one shard address.
     bool fleetProbe = false;
 
+    /// Metrics probe ({"metrics":true}): the daemon answers with its
+    /// registry rendered as Prometheus text — the live scrape path
+    /// (ganacc-client --scrape), no signals or restarts needed.
+    bool metricsProbe = false;
+
+    /// Trace-drain probe ({"trace-drain":true}): the daemon answers
+    /// with every span buffered since the last drain and keeps
+    /// recording. The fleet collector stitches per-shard batches into
+    /// one Perfetto trace (fleet/trace_merge.hh).
+    bool traceDrainProbe = false;
+
+    /// Distributed trace context ("trace":"<32hex>-<16hex>", see
+    /// obs::TraceContext). Optional and strictly observational:
+    /// absent on the wire unless the sender is tracing, and never
+    /// consulted by the simulation path.
+    std::string trace;
+
+    /// Transport-side decode-span timing (never on the wire): the
+    /// daemon stamps when and how long decoding this request took on
+    /// the trace clock, so the engine's span batch can cover the
+    /// whole hop. Zero for requests constructed in-process.
+    std::uint64_t decodeTs = 0;
+    std::uint64_t decodeDurUs = 0;
+
     /// Replication write ({"put":true,...,"result":{...},"sim":"..."}):
     /// carries a finished RunStats for (arch, unroll, spec); the
     /// daemon inserts it into its cache tiers without simulating and
@@ -125,6 +160,24 @@ struct Response
     /// Fleet-probe responses only: the shard map as canonical JSON
     /// object text (opaque to serve/; decoded by fleet/topology.hh).
     std::string fleet;
+
+    /// Metrics-probe responses only: the registry as Prometheus text
+    /// (exemplars included), carried as one JSON string.
+    std::string metricsText;
+
+    /// Trace-drain responses only: the drained span batch as
+    /// canonical JSON object text (serve::encodeSpanBatch; always
+    /// non-empty for a drain response — no buffered spans yields
+    /// {"events":[]}).
+    std::string spans;
+
+    /// Trace bookkeeping (never on the wire): whether the engine kept
+    /// this request's spans under the sampling policy, and the hop's
+    /// identity, so the transport can parent its encode span. Unset
+    /// for untraced requests and on decoded responses.
+    bool traceKept = false;
+    std::string traceId;        ///< 32-hex trace id
+    std::uint64_t traceSpan = 0; ///< the hop span's id
 };
 
 /** Canonical one-line encodings (no trailing newline). */
@@ -150,6 +203,19 @@ std::string contentKey(core::ArchKind kind, const sim::Unroll &u,
 
 /** FNV-1a 64-bit hash of a byte string. */
 std::uint64_t fnv1a64(const std::string &bytes);
+
+/**
+ * Canonical JSON batch codec for drained span events — the payload of
+ * a trace-drain probe response: {"events":[{"name":…,"cat":…,"ph":"X",
+ * "tid":…,"ts":…,"dur":…,"args":{…}},…]}. Round-trips byte-identically
+ * through util::json (encode(decode(encode(b))) == encode(b)). The
+ * pid is deliberately absent: the collector assigns one pid per
+ * drained process when merging (fleet/trace_merge.hh). Lives here
+ * rather than in obs/ because it is a wire format of this protocol —
+ * and obs/ stays free of non-header util dependencies.
+ */
+std::string encodeSpanBatch(const std::vector<obs::TraceEvent> &events);
+std::vector<obs::TraceEvent> decodeSpanBatch(const std::string &text);
 
 } // namespace serve
 } // namespace ganacc

@@ -28,7 +28,9 @@
 #include "fleet/router.hh"
 #include "fleet/stats.hh"
 #include "fleet/topology.hh"
+#include "fleet/trace_merge.hh"
 #include "gan/models.hh"
+#include "obs/trace.hh"
 #include "serve/daemon.hh"
 #include "serve/engine.hh"
 #include "serve/protocol.hh"
@@ -157,6 +159,48 @@ TEST(FleetStats, MergeArithmeticIsPinnedByteExact)
         "{\"h\":{\"count\":1,\"sum\":1,\"buckets\":[1]}}}";
     EXPECT_THROW(fleet::mergeTelemetry({a, shortBuckets}),
                  util::FatalError);
+}
+
+/** Satellite: the merged latency summary is exact integer arithmetic
+ *  over the aggregate power-of-two histogram — pin the whole report. */
+TEST(FleetStats, LatencyQuantilesArePinnedByteExact)
+{
+    // 4-bucket layout (le 1, 2, 4, +Inf) keeps the fixture readable;
+    // the quantile walk only depends on the shared bucket bounds.
+    const std::string a =
+        "{\"counters\":{},\"gauges\":{},\"histograms\":"
+        "{\"ganacc_serve_latency_us\":{\"count\":3,\"sum\":30,"
+        "\"buckets\":[1,1,1,0]}}}";
+    const std::string b =
+        "{\"counters\":{},\"gauges\":{},\"histograms\":"
+        "{\"ganacc_serve_latency_us\":{\"count\":1,\"sum\":70,"
+        "\"buckets\":[0,0,0,1]}}}";
+    // Merged: count 4, sum 100, buckets [1,1,1,1]. p50 lands on le=2
+    // (cumulative 2 of 4); p99 needs the +Inf bucket.
+    EXPECT_EQ(
+        fleet::fleetStatsReport({{"h1:1", a}, {"h2:2", b}}),
+        "{\"fleet\":{\"shards\":2,\"reachable\":2},"
+        "\"latency\":{\"count\":4,\"sumUs\":100,\"p50Le\":\"2\","
+        "\"p99Le\":\"+Inf\"},"
+        "\"perShard\":[{\"shard\":0,\"address\":\"h1:1\","
+        "\"telemetry\":" +
+            a +
+            "},{\"shard\":1,\"address\":\"h2:2\",\"telemetry\":" + b +
+            "}],"
+            "\"aggregate\":{\"counters\":{},\"gauges\":{},"
+            "\"histograms\":{\"ganacc_serve_latency_us\":"
+            "{\"count\":4,\"sum\":100,\"buckets\":[1,1,1,1]}}}}");
+
+    // No latency histogram anywhere: the summary stays, zeroed.
+    const std::string bare =
+        "{\"counters\":{\"x\":1},\"gauges\":{},\"histograms\":{}}";
+    const auto doc =
+        util::json::parse(fleet::fleetStatsReport({{"h1:1", bare}}));
+    const auto &lat = doc.asObject().at("latency").asObject();
+    EXPECT_EQ(lat.at("count").asUint64(), 0u);
+    EXPECT_EQ(lat.at("sumUs").asUint64(), 0u);
+    EXPECT_EQ(lat.at("p50Le").asString(), "0");
+    EXPECT_EQ(lat.at("p99Le").asString(), "0");
 }
 
 TEST(FleetStats, ReportCountsReachableAndKeepsShardRows)
@@ -572,6 +616,159 @@ TEST(FleetLive, BootstrapLearnsTheTopologyFromOneShard)
 
     stop.store(true);
     daemon.join();
+}
+
+TEST(FleetTrace, MergedTraceAssignsPidsAndKeepsParentage)
+{
+    // A router root span and one child span per "shard", parented via
+    // the args identity the merge must carry through verbatim.
+    obs::TraceContext ctx;
+    ctx.traceHi = 0x11;
+    ctx.traceLo = 0x22;
+    ctx.span = 0xA0;
+
+    std::vector<obs::TraceEvent> local(1);
+    local[0].name = "fleet.request";
+    local[0].cat = "fleet";
+    local[0].ts = 1;
+    local[0].dur = 100;
+    local[0].args = obs::spanArgs(ctx, ctx.span, 0);
+
+    std::vector<obs::TraceEvent> shardEv(1);
+    shardEv[0].name = "serve.request";
+    shardEv[0].cat = "serve";
+    shardEv[0].ts = 10;
+    shardEv[0].dur = 50;
+    shardEv[0].args = obs::spanArgs(ctx, 0xB0, ctx.span);
+
+    const std::string merged = fleet::mergeTraces(
+        {{"127.0.0.1:7741", serve::encodeSpanBatch(shardEv)},
+         {"127.0.0.1:7742", ""}}, // unreachable: label only
+        local);
+
+    const auto doc = util::json::parse(merged);
+    const auto &events = doc.asObject().at("traceEvents").asArray();
+    // 3 process_name labels + 1 local + 1 shard span.
+    ASSERT_EQ(events.size(), 5u);
+    std::uint64_t rootSpanSeen = 0;
+    bool sawShardLabel = false, sawChild = false;
+    for (const auto &evv : events) {
+        const auto &ev = evv.asObject();
+        const std::string name = ev.at("name").asString();
+        if (name == "process_name") {
+            if (ev.at("args").asObject().at("name").asString() ==
+                "shard0 (127.0.0.1:7741)")
+                sawShardLabel = ev.at("pid").asUint64() == 1u;
+            continue;
+        }
+        const auto &args = ev.at("args").asObject();
+        EXPECT_EQ(args.at("trace").asString(),
+                  ctx.traceIdHex());
+        if (name == "fleet.request") {
+            EXPECT_EQ(ev.at("pid").asUint64(), 0u);
+            EXPECT_FALSE(args.contains("parent")) << "root has no parent";
+            rootSpanSeen = 1;
+        } else if (name == "serve.request") {
+            EXPECT_EQ(ev.at("pid").asUint64(), 1u);
+            // The cross-process edge: the shard span still names the
+            // router's root span after the merge.
+            EXPECT_EQ(args.at("parent").asString(),
+                      ctx.spanIdHex());
+            sawChild = true;
+        }
+    }
+    EXPECT_EQ(rootSpanSeen, 1u);
+    EXPECT_TRUE(sawShardLabel);
+    EXPECT_TRUE(sawChild);
+}
+
+TEST(FleetLive, ScrapeAndTraceDrainReachEveryShard)
+{
+    TestFleet shards(2, scratchRoot("scrape"));
+    fleet::RouterOptions ropt;
+    ropt.topology.shards = shards.addresses();
+    fleet::Router router(std::move(ropt));
+
+    const auto scraped = router.scrapeAll();
+    ASSERT_EQ(scraped.size(), 2u);
+    for (std::size_t s = 0; s < scraped.size(); ++s) {
+        EXPECT_EQ(scraped[s].first, shards.addresses()[s]);
+        EXPECT_NE(scraped[s].second.find("# TYPE"),
+                  std::string::npos)
+            << "shard " << s << " returned no Prometheus text";
+    }
+
+    // Drains answer even with tracing off: the pinned empty batch.
+    const auto drainedOff = router.drainTracesAll();
+    ASSERT_EQ(drainedOff.size(), 2u);
+    for (const auto &[addr, batch] : drainedOff) {
+        (void)addr;
+        EXPECT_TRUE(serve::decodeSpanBatch(batch).empty());
+    }
+
+    // Armed, a traced workload leaves spans behind to drain. (The
+    // in-process fleet shares one TraceSink, so per-shard attribution
+    // is meaningless here — the 3-process CI smoke covers that; this
+    // pins the probe plumbing end to end.)
+    obs::TraceSink &sink = obs::TraceSink::instance();
+    sink.enable("");
+    sink.setSampling(1.0, 0);
+    const auto reqs = sampleWorkload();
+    std::vector<std::string> lines;
+    for (const auto &req : reqs)
+        lines.push_back(serve::encodeRequest(req));
+    for (const std::string &line : router.transactLines(lines))
+        ASSERT_TRUE(serve::decodeResponse(line).ok);
+
+    std::size_t total = 0;
+    bool sawServeSpan = false, sawRootSpan = false;
+    for (const auto &[addr, batch] : router.drainTracesAll()) {
+        (void)addr;
+        for (const obs::TraceEvent &ev :
+             serve::decodeSpanBatch(batch)) {
+            ++total;
+            if (ev.name == "serve.request")
+                sawServeSpan = true;
+            if (ev.name == "fleet.request")
+                sawRootSpan = true;
+        }
+    }
+    sink.disable();
+    sink.drain();
+    EXPECT_GT(total, 0u);
+    EXPECT_TRUE(sawServeSpan);
+    EXPECT_TRUE(sawRootSpan);
+}
+
+TEST(FleetLive, TracingIsInvisibleInResponseBytes)
+{
+    TestFleet shards(2, scratchRoot("parity"));
+    fleet::RouterOptions ropt;
+    ropt.topology.shards = shards.addresses();
+    fleet::Router router(std::move(ropt));
+
+    const auto reqs = sampleWorkload();
+    std::vector<std::string> lines;
+    for (const auto &req : reqs)
+        lines.push_back(serve::encodeRequest(req));
+
+    // Warm the caches, then compare a warm untraced pass against a
+    // warm traced pass: telemetry must never leak into responses.
+    for (const std::string &line : router.transactLines(lines))
+        ASSERT_TRUE(serve::decodeResponse(line).ok);
+    const auto untraced = router.transactLines(lines);
+
+    obs::TraceSink &sink = obs::TraceSink::instance();
+    sink.enable("");
+    sink.setSampling(1.0, 0);
+    const auto traced = router.transactLines(lines);
+    sink.disable();
+    sink.drain();
+
+    ASSERT_EQ(traced.size(), untraced.size());
+    for (std::size_t i = 0; i < traced.size(); ++i)
+        EXPECT_EQ(traced[i], untraced[i])
+            << "line " << i << " changed under tracing";
 }
 
 } // namespace

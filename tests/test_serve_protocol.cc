@@ -11,8 +11,10 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "core/unrolling.hh"
+#include "obs/trace.hh"
 #include "serve/protocol.hh"
 #include "sim/conv_spec.hh"
 #include "sim/json.hh"
@@ -401,6 +403,181 @@ TEST(ServeProtocol, PutAckResponsesRoundTripBitExact)
     EXPECT_EQ(back.cache, "put");
     EXPECT_EQ(back.stats.cycles, 1234u);
     EXPECT_EQ(serve::encodeResponse(back), wire);
+}
+
+TEST(ServeProtocol, MetricsProbeRequestsRoundTripBitExact)
+{
+    serve::Request req;
+    req.id = 51;
+    req.metricsProbe = true;
+    const std::string wire = serve::encodeRequest(req);
+    EXPECT_EQ(wire, "{\"v\":1,\"id\":51,\"metrics\":true}");
+    const serve::Request back = serve::decodeRequest(wire);
+    EXPECT_TRUE(back.metricsProbe);
+    EXPECT_FALSE(back.statsProbe);
+    EXPECT_FALSE(back.hasSpec);
+    EXPECT_EQ(serve::encodeRequest(back), wire);
+}
+
+TEST(ServeProtocol, TraceDrainRequestsRoundTripBitExact)
+{
+    serve::Request req;
+    req.id = 52;
+    req.traceDrainProbe = true;
+    const std::string wire = serve::encodeRequest(req);
+    EXPECT_EQ(wire, "{\"v\":1,\"id\":52,\"trace-drain\":true}");
+    const serve::Request back = serve::decodeRequest(wire);
+    EXPECT_TRUE(back.traceDrainProbe);
+    EXPECT_FALSE(back.metricsProbe);
+    EXPECT_FALSE(back.hasSpec);
+    EXPECT_EQ(serve::encodeRequest(back), wire);
+}
+
+TEST(ServeProtocol, LiveCollectionProbesRejectMalformedForms)
+{
+    EXPECT_THROW(
+        serve::decodeRequest(R"({"v":1,"id":1,"metrics":false})"),
+        util::FatalError);
+    EXPECT_THROW(serve::decodeRequest(
+                     R"({"v":1,"id":1,"metrics":true,"model":"dcgan",)"
+                     R"("family":"D","arch":"NLR"})"),
+                 util::FatalError);
+    EXPECT_THROW(
+        serve::decodeRequest(R"({"v":1,"id":1,"trace-drain":false})"),
+        util::FatalError);
+    EXPECT_THROW(
+        serve::decodeRequest(
+            R"({"v":1,"id":1,"trace-drain":true,"model":"dcgan",)"
+            R"("family":"D","arch":"NLR"})"),
+        util::FatalError);
+}
+
+TEST(ServeProtocol, TraceContextRidesAnyRequestForm)
+{
+    const std::string ctx =
+        "0123456789abcdef0123456789abcdef-00000000000000aa";
+
+    serve::Request probe;
+    probe.id = 7;
+    probe.statsProbe = true;
+    probe.trace = ctx;
+    const std::string wire = serve::encodeRequest(probe);
+    EXPECT_EQ(wire, "{\"v\":1,\"id\":7,\"trace\":\"" + ctx +
+                        "\",\"stats\":true}");
+    const serve::Request back = serve::decodeRequest(wire);
+    EXPECT_EQ(back.trace, ctx);
+    EXPECT_TRUE(back.statsProbe);
+    EXPECT_EQ(serve::encodeRequest(back), wire);
+
+    // Simulation requests carry it too, and only when set: with an
+    // empty context the field never appears on the wire, so traced
+    // and untraced streams replay byte-identically.
+    Rng rng(0x7247);
+    serve::Request sim;
+    sim.id = 8;
+    sim.kind = randomKind(rng);
+    sim.unroll = randomUnroll(rng);
+    sim.hasSpec = true;
+    sim.spec = randomSpec(rng);
+    const std::string untraced = serve::encodeRequest(sim);
+    EXPECT_EQ(untraced.find("trace"), std::string::npos);
+    sim.trace = ctx;
+    const std::string traced = serve::encodeRequest(sim);
+    const serve::Request simBack = serve::decodeRequest(traced);
+    EXPECT_EQ(simBack.trace, ctx);
+    EXPECT_EQ(serve::encodeRequest(simBack), traced);
+    serve::Request stripped = simBack;
+    stripped.trace.clear();
+    EXPECT_EQ(serve::encodeRequest(stripped), untraced);
+}
+
+TEST(ServeProtocol, MetricsResponsesCarryPrometheusTextAsAString)
+{
+    serve::Response rsp;
+    rsp.id = 51;
+    rsp.ok = true;
+    rsp.simVersion = serve::simulatorVersion();
+    rsp.metricsText = "# TYPE a_total counter\na_total 3\n"
+                      "b_us_bucket{le=\"1\"} 2 # "
+                      "{trace_id=\"00ff\"} 1\n";
+    const std::string wire = serve::encodeResponse(rsp);
+    const serve::Response back = serve::decodeResponse(wire);
+    EXPECT_TRUE(back.ok);
+    EXPECT_EQ(back.metricsText, rsp.metricsText);
+    EXPECT_EQ(serve::encodeResponse(back), wire);
+
+    EXPECT_EQ(serve::encodeResponse(serve::errorResponse(1, "x"))
+                  .find("metrics"),
+              std::string::npos);
+}
+
+TEST(ServeProtocol, SpanBatchCodecRoundTripsBitExact)
+{
+    std::vector<obs::TraceEvent> events(2);
+    events[0].name = "serve.simulate";
+    events[0].cat = "serve";
+    events[0].tid = 3;
+    events[0].ts = 100;
+    events[0].dur = 42;
+    events[0].args = "{\"trace\":\"00ff\",\"span\":\"0a\","
+                     "\"parent\":\"0b\"}";
+    events[1].name = "with \"quotes\" and \\ backslash";
+    events[1].ts = 7;
+    events[1].dur = 1;
+
+    const std::string batch = serve::encodeSpanBatch(events);
+    const std::vector<obs::TraceEvent> back =
+        serve::decodeSpanBatch(batch);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].name, events[0].name);
+    EXPECT_EQ(back[0].cat, events[0].cat);
+    EXPECT_EQ(back[0].tid, events[0].tid);
+    EXPECT_EQ(back[0].ts, events[0].ts);
+    EXPECT_EQ(back[0].dur, events[0].dur);
+    EXPECT_EQ(back[0].ph, 'X');
+    EXPECT_EQ(back[1].name, events[1].name);
+    EXPECT_EQ(serve::encodeSpanBatch(back), batch);
+
+    // Args survive as canonical JSON the merge step can re-dump.
+    const auto doc = util::json::parse(batch);
+    EXPECT_EQ(doc.asObject()
+                  .at("events")
+                  .asArray()[0]
+                  .asObject()
+                  .at("args")
+                  .asObject()
+                  .at("span")
+                  .asString(),
+              "0a");
+
+    // The empty batch is the pinned no-spans drain payload.
+    EXPECT_EQ(serve::encodeSpanBatch({}), "{\"events\":[]}");
+    EXPECT_TRUE(serve::decodeSpanBatch("{\"events\":[]}").empty());
+    EXPECT_THROW(serve::decodeSpanBatch("nope"), util::FatalError);
+    EXPECT_THROW(serve::decodeSpanBatch("{}"), util::FatalError);
+}
+
+TEST(ServeProtocol, SpanResponsesCarryTheBatchVerbatim)
+{
+    serve::Response rsp;
+    rsp.id = 52;
+    rsp.ok = true;
+    rsp.simVersion = serve::simulatorVersion();
+    std::vector<obs::TraceEvent> events(1);
+    events[0].name = "serve.request";
+    events[0].ts = 5;
+    events[0].dur = 9;
+    rsp.spans = serve::encodeSpanBatch(events);
+    const std::string wire = serve::encodeResponse(rsp);
+    const serve::Response back = serve::decodeResponse(wire);
+    EXPECT_TRUE(back.ok);
+    EXPECT_EQ(back.spans, rsp.spans);
+    EXPECT_EQ(serve::encodeResponse(back), wire);
+    ASSERT_EQ(serve::decodeSpanBatch(back.spans).size(), 1u);
+
+    EXPECT_EQ(serve::encodeResponse(serve::errorResponse(1, "x"))
+                  .find("spans"),
+              std::string::npos);
 }
 
 } // namespace

@@ -20,6 +20,7 @@
 #include "core/cycle_cache.hh"
 #include "core/unrolling.hh"
 #include "gan/models.hh"
+#include "obs/trace.hh"
 #include "serve/daemon.hh"
 #include "serve/engine.hh"
 #include "serve/protocol.hh"
@@ -450,6 +451,164 @@ TEST_F(ServeServiceTest, StatsProbeAnswersThroughThePipeTransport)
     EXPECT_EQ(rsp.id, 7u);
     EXPECT_FALSE(rsp.telemetry.empty());
     EXPECT_NO_THROW(util::json::parse(rsp.telemetry));
+}
+
+TEST_F(ServeServiceTest, MetricsProbeAnswersWithPrometheusText)
+{
+    serve::EngineOptions opts;
+    opts.jobs = 1;
+    serve::Engine engine(opts);
+
+    serve::Request probe;
+    probe.id = 61;
+    probe.metricsProbe = true;
+    const serve::Response rsp = engine.handle(probe);
+    ASSERT_TRUE(rsp.ok) << rsp.error;
+    EXPECT_EQ(rsp.id, 61u);
+    ASSERT_FALSE(rsp.metricsText.empty());
+    EXPECT_NE(rsp.metricsText.find(
+                  "# TYPE ganacc_serve_requests_total counter"),
+              std::string::npos);
+    EXPECT_NE(rsp.metricsText.find("ganacc_serve_metrics_probes_total"),
+              std::string::npos);
+
+    // Like stats probes: no queueing, no request accounting, and the
+    // wire round-trip is byte-stable.
+    EXPECT_EQ(engine.counters().requests, 0u);
+    const std::string wire = serve::encodeResponse(rsp);
+    EXPECT_EQ(serve::encodeResponse(serve::decodeResponse(wire)),
+              wire);
+    engine.drain();
+}
+
+TEST_F(ServeServiceTest, TracedRequestsOpenCorrectlyParentedSpans)
+{
+    obs::TraceSink &sink = obs::TraceSink::instance();
+    sink.enable(""); // live mode
+    sink.setSampling(1.0, 0);
+
+    serve::EngineOptions opts;
+    opts.jobs = 1;
+    serve::Engine engine(opts);
+
+    Rng rng(0x5AA5);
+    serve::Request req;
+    req.id = 5;
+    req.kind = core::ArchKind::ZFOST;
+    req.hasSpec = true;
+    req.spec = randomSpec(rng);
+    req.unroll = smallUnroll(rng);
+    req.trace = "00112233445566778899aabbccddeeff-0000000000000042";
+    const serve::Response rsp = engine.handle(req);
+    ASSERT_TRUE(rsp.ok) << rsp.error;
+    EXPECT_TRUE(rsp.traceKept);
+    EXPECT_EQ(rsp.traceId, "00112233445566778899aabbccddeeff");
+    EXPECT_NE(rsp.traceSpan, 0u);
+
+    // Drain through the probe path, exactly as a collector would.
+    serve::Request drain;
+    drain.id = 62;
+    drain.traceDrainProbe = true;
+    const serve::Response dr = engine.handle(drain);
+    ASSERT_TRUE(dr.ok) << dr.error;
+    const std::vector<obs::TraceEvent> evs =
+        serve::decodeSpanBatch(dr.spans);
+    ASSERT_FALSE(evs.empty());
+
+    // Walk the batch: serve.request carries the sender's span as its
+    // parent, serve.cache hangs off serve.request, and a sim-tier
+    // request nests serve.simulate under serve.cache. (The batch may
+    // also hold plain RAII spans from deeper layers — only the
+    // request's distributed spans carry the trace identity.)
+    std::string hopSpan, cacheSpan;
+    for (const obs::TraceEvent &ev : evs) {
+        if (ev.name.rfind("serve.", 0) != 0)
+            continue;
+        const auto args = util::json::parse(ev.args).asObject();
+        EXPECT_EQ(args.at("trace").asString(),
+                  "00112233445566778899aabbccddeeff");
+        if (ev.name == "serve.request") {
+            EXPECT_EQ(args.at("parent").asString(),
+                      "0000000000000042");
+            hopSpan = args.at("span").asString();
+        }
+    }
+    ASSERT_FALSE(hopSpan.empty()) << "no serve.request span drained";
+    for (const obs::TraceEvent &ev : evs) {
+        const auto args = util::json::parse(ev.args).asObject();
+        if (ev.name == "serve.cache") {
+            EXPECT_EQ(args.at("parent").asString(), hopSpan);
+            EXPECT_EQ(args.at("tier").asString(), rsp.cache);
+            cacheSpan = args.at("span").asString();
+        }
+    }
+    ASSERT_EQ(rsp.cache, "sim") << "fresh spec must simulate";
+    ASSERT_FALSE(cacheSpan.empty());
+    bool sawSimulate = false;
+    for (const obs::TraceEvent &ev : evs) {
+        if (ev.name != "serve.simulate")
+            continue;
+        sawSimulate = true;
+        const auto args = util::json::parse(ev.args).asObject();
+        EXPECT_EQ(args.at("parent").asString(), cacheSpan);
+    }
+    EXPECT_TRUE(sawSimulate);
+
+    // A second drain with nothing new buffered is the empty batch.
+    const serve::Response again = engine.handle(drain);
+    ASSERT_TRUE(again.ok);
+    EXPECT_EQ(again.spans, "{\"events\":[]}");
+
+    engine.drain();
+    sink.disable();
+    sink.drain();
+}
+
+TEST_F(ServeServiceTest, HeadDroppedRequestsLeaveNoSpans)
+{
+    obs::TraceSink &sink = obs::TraceSink::instance();
+    sink.enable("");
+    sink.setSampling(0.0, 0); // drop everything, no tail rescue
+
+    serve::EngineOptions opts;
+    opts.jobs = 1;
+    serve::Engine engine(opts);
+
+    Rng rng(0xD20b);
+    serve::Request req;
+    req.id = 6;
+    req.kind = core::ArchKind::NLR;
+    req.hasSpec = true;
+    req.spec = randomSpec(rng);
+    req.unroll = smallUnroll(rng);
+    req.trace = "00112233445566778899aabbccddeeff-0000000000000042";
+    const serve::Response rsp = engine.handle(req);
+    ASSERT_TRUE(rsp.ok) << rsp.error;
+    EXPECT_FALSE(rsp.traceKept);
+    // Plain RAII spans from deeper layers may still record; the
+    // request's own span batch must not.
+    for (const obs::TraceEvent &ev : sink.drain())
+        EXPECT_NE(ev.name.rfind("serve.", 0), 0u)
+            << "head-dropped request leaked span " << ev.name;
+
+    // Tail-keep rescues the same request at a 1us threshold (any
+    // simulated request takes at least that long end to end).
+    sink.setSampling(0.0, 1);
+    serve::Request again = req;
+    again.id = 7;
+    again.spec = randomSpec(rng); // fresh shape: forces a simulate
+    const serve::Response rescued = engine.handle(again);
+    ASSERT_TRUE(rescued.ok) << rescued.error;
+    EXPECT_TRUE(rescued.traceKept);
+    bool sawRequestSpan = false;
+    for (const obs::TraceEvent &ev : sink.drain())
+        sawRequestSpan |= ev.name == "serve.request";
+    EXPECT_TRUE(sawRequestSpan);
+
+    sink.setSampling(1.0, 0);
+    engine.drain();
+    sink.disable();
+    sink.drain();
 }
 
 } // namespace

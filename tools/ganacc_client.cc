@@ -10,7 +10,9 @@
  *                     request file on stdout ("table5" emits the full
  *                     Table V matrix of a model — the request set the
  *                     golden smoke replay and the warm-cache recipes
- *                     use);
+ *                     use; "specs" emits the same matrix as per-layer
+ *                     single-job spec requests, which a fleet replay
+ *                     replicates to standby shards);
  *   a single ad-hoc probe: --arch/--model/--family flags build one
  *                     network request, send it, and pretty-print the
  *                     reply;
@@ -28,7 +30,19 @@
  * connection, retries `overloaded` responses with backoff, fails
  * over to replicas, and replicates fresh results (docs/serving.md
  * "Fleet"). --stats --fleet merges every shard's telemetry snapshot
- * into one report with per-shard and aggregate rows.
+ * into one report with per-shard rows, a fleet-wide latency summary
+ * and the aggregate merge.
+ *
+ * Live collection (docs/observability.md "Distributed tracing"):
+ *   --scrape          pull the Prometheus text of a daemon (or, with
+ *                     --fleet, of every live shard, each section
+ *                     headed by a "# ganacc shard" comment);
+ *   --trace-collect F drain every shard's buffered spans over
+ *                     trace-drain probes and write one merged
+ *                     Perfetto-loadable Chrome trace to F. Combined
+ *                     with --requests, this process records router
+ *                     root spans for the replayed lines and the merge
+ *                     stitches the cross-process parentage together.
  */
 
 #include <fstream>
@@ -40,7 +54,10 @@
 #include "core/unrolling.hh"
 #include "fleet/router.hh"
 #include "fleet/stats.hh"
+#include "fleet/trace_merge.hh"
 #include "gan/models.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "serve/client.hh"
 #include "serve/protocol.hh"
 #include "sim/phase.hh"
@@ -80,6 +97,61 @@ table5Requests(const std::string &model)
             req.model = model;
             req.family = row.name;
             reqs.push_back(req);
+        }
+    }
+    return reqs;
+}
+
+/**
+ * The same Table V matrix broken down into single-job spec requests:
+ * one request per (family, arch, layer) with the layer's ConvSpec
+ * inlined. Unlike the model/family form the daemon treats each line
+ * as an independent simulation job, so a fleet replay of this file
+ * exercises the replication path (fresh spec results are `put` to
+ * replica shards; model-form requests never replicate).
+ */
+std::vector<serve::Request>
+specRequests(const std::string &model_name)
+{
+    gan::GanModel model;
+    if (model_name == "dcgan")
+        model = gan::makeDcgan();
+    else if (model_name == "mnist-gan")
+        model = gan::makeMnistGan();
+    else if (model_name == "cgan")
+        model = gan::makeCgan();
+    else
+        util::fatal("--emit specs: unknown model '", model_name,
+                    "' (dcgan, mnist-gan, cgan)");
+
+    struct Row
+    {
+        sim::PhaseFamily family;
+        core::BankRole role;
+        int pes;
+    };
+    const Row rows[] = {
+        {sim::PhaseFamily::D, core::BankRole::ST, 1200},
+        {sim::PhaseFamily::G, core::BankRole::ST, 1200},
+        {sim::PhaseFamily::Dw, core::BankRole::W, 480},
+        {sim::PhaseFamily::Gw, core::BankRole::W, 480},
+    };
+    std::vector<serve::Request> reqs;
+    std::uint64_t id = 1;
+    for (const Row &row : rows) {
+        const std::vector<sim::ConvSpec> jobs =
+            sim::familyJobs(model, row.family);
+        for (core::ArchKind kind : core::allArchKinds()) {
+            for (const sim::ConvSpec &job : jobs) {
+                serve::Request req;
+                req.id = id++;
+                req.kind = kind;
+                req.unroll = core::paperUnroll(kind, row.role,
+                                               row.family, row.pes);
+                req.hasSpec = true;
+                req.spec = job;
+                reqs.push_back(req);
+            }
         }
     }
     return reqs;
@@ -127,7 +199,9 @@ try {
     const std::string emit = args.getString(
         "emit", "",
         "emit a request file to stdout instead of connecting: "
-        "\"table5\"");
+        "\"table5\" (model/family form) or \"specs\" (same matrix "
+        "as per-layer single-job spec requests, which a fleet "
+        "replay replicates)");
     const std::string model_name = args.getString(
         "model", "dcgan",
         "model for --emit or an ad-hoc probe request");
@@ -138,6 +212,14 @@ try {
     const bool stats_probe = args.getFlag(
         "stats",
         "probe a live daemon for its telemetry snapshot (JSON)");
+    const bool scrape = args.getFlag(
+        "scrape",
+        "probe for Prometheus metrics text (with --fleet: every "
+        "shard, each section headed by a comment)");
+    const std::string trace_collect = args.getString(
+        "trace-collect", "",
+        "drain every shard's buffered spans (--fleet) and write one "
+        "merged Chrome trace to FILE");
     if (args.helpRequested()) {
         args.usage(std::cout);
         return 0;
@@ -145,9 +227,15 @@ try {
     args.finish();
 
     if (!emit.empty()) {
-        if (emit != "table5")
-            util::fatal("unknown --emit mode '", emit, "'");
-        for (const auto &req : table5Requests(model_name))
+        std::vector<serve::Request> reqs;
+        if (emit == "table5")
+            reqs = table5Requests(model_name);
+        else if (emit == "specs")
+            reqs = specRequests(model_name);
+        else
+            util::fatal("unknown --emit mode '", emit,
+                        "' (table5, specs)");
+        for (const auto &req : reqs)
             std::cout << serve::encodeRequest(req) << "\n";
         return 0;
     }
@@ -164,6 +252,21 @@ try {
     if (!fleet_mode && socket_path.empty())
         util::fatal("--socket ADDR is required (or --fleet, "
                     "--fleet-seed, --emit)");
+
+    if (stats_probe && scrape)
+        util::fatal("pass --stats or --scrape, not both");
+    if (!trace_collect.empty() && !fleet_mode)
+        util::fatal("--trace-collect needs --fleet/--fleet-seed "
+                    "(it drains and merges per-shard span batches)");
+
+    // Arm live tracing before the router exists so the root spans it
+    // opens for a --requests replay are buffered here and land in the
+    // merged trace alongside the shards' drained batches.
+    if (!trace_collect.empty()) {
+        obs::TelemetryConfig tcfg;
+        tcfg.traceLive = true;
+        obs::enableTelemetry(tcfg);
+    }
 
     std::unique_ptr<fleet::Router> router;
     serve::Client client;
@@ -198,6 +301,47 @@ try {
         return 0;
     }
 
+    if (scrape) {
+        if (router) {
+            const auto perShard = router->scrapeAll();
+            for (std::size_t s = 0; s < perShard.size(); ++s) {
+                std::cout << "# ganacc shard " << s << " ("
+                          << perShard[s].first << ")"
+                          << (perShard[s].second.empty()
+                                  ? " unreachable"
+                                  : "")
+                          << "\n"
+                          << perShard[s].second;
+            }
+            return 0;
+        }
+        serve::Request req;
+        req.id = 1;
+        req.metricsProbe = true;
+        serve::Response rsp = client.roundTrip(req);
+        if (!rsp.ok)
+            util::fatal("daemon error: ", rsp.error);
+        std::cout << rsp.metricsText;
+        return 0;
+    }
+
+    // Drain + merge the fleet's span batches to FILE; done after a
+    // --requests replay so the replay's own root spans are included.
+    auto collectTraces = [&] {
+        const auto perShard = router->drainTracesAll();
+        const std::vector<obs::TraceEvent> local =
+            obs::TraceSink::instance().drain();
+        const std::string doc =
+            fleet::mergeTraces(perShard, local);
+        std::ofstream os(trace_collect, std::ios::trunc);
+        if (!os)
+            util::fatal("cannot write ", trace_collect);
+        os << doc;
+        std::cerr << "ganacc-client: merged trace -> "
+                  << trace_collect << " (" << local.size()
+                  << " local events)\n";
+    };
+
     if (!requests_file.empty()) {
         std::vector<std::string> lines;
         if (requests_file == "-") {
@@ -213,6 +357,13 @@ try {
                    : serve::replayLines(client, lines);
         for (const std::string &rsp : responses)
             std::cout << rsp << "\n";
+        if (!trace_collect.empty())
+            collectTraces();
+        return 0;
+    }
+
+    if (!trace_collect.empty()) {
+        collectTraces();
         return 0;
     }
 

@@ -84,8 +84,22 @@ try {
     const std::string metrics_dump = args.getString(
         "metrics-dump", "",
         "file SIGUSR1 dumps a Prometheus metrics snapshot to "
-        "(socket mode)");
+        "(socket and TCP modes; live scrapes go through the "
+        "{\"metrics\":true} probe instead)");
     const std::string trace_path = args.getTracePath();
+    const bool trace_live = args.getFlag(
+        "trace-live",
+        "buffer spans for {\"trace-drain\":true} probes instead of "
+        "writing a trace file at shutdown");
+    const double trace_sample = args.getDouble(
+        "trace-sample", -1.0,
+        "head-sampling rate for request traces, 0..1 (hash of the "
+        "trace id, so every fleet process agrees; default: "
+        "GANACC_TRACE_SAMPLE or 1)");
+    const int trace_tail_us = args.getInt(
+        "trace-tail-us", 0,
+        "tail sampling: always keep spans of requests at least this "
+        "slow, in microseconds (0 = off)");
     if (args.helpRequested()) {
         args.usage(std::cout);
         return 0;
@@ -110,6 +124,17 @@ try {
     obs::TelemetryConfig tcfg = obs::configFromEnv();
     if (!trace_path.empty())
         tcfg.tracePath = trace_path;
+    if (trace_live)
+        tcfg.traceLive = true;
+    if (trace_sample >= 0.0) {
+        if (trace_sample > 1.0)
+            util::fatal("--trace-sample must be in [0, 1]");
+        tcfg.traceSampleRate = trace_sample;
+    }
+    if (trace_tail_us < 0)
+        util::fatal("--trace-tail-us must be non-negative");
+    if (trace_tail_us > 0)
+        tcfg.traceTailUs = std::uint64_t(trace_tail_us);
     if (tcfg.any())
         obs::enableTelemetry(tcfg);
 
